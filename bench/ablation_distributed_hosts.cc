@@ -1,0 +1,108 @@
+// Ablation: distributing the N-versioned set across machines (paper §VI).
+//
+// "Such degradation can be mitigated by upgrading to servers with more
+// cores, or deploying each instance of the N-versioned set on a different
+// machine; RDDR can easily be reconfigured to run distributed across
+// multiple hosts."
+//
+// We rerun the Fig-5 sweep with three placements:
+//   co-located : 3 instances + proxy on ONE 32-core host (Fig 5's RDDR)
+//   distributed: each instance on ITS OWN 32-core host, proxy on a 4th
+//   bare       : single instance (reference ceiling)
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "rddr/divergence.h"
+#include "rddr/incoming_proxy.h"
+#include "rddr/plugins.h"
+#include "sqldb/server.h"
+#include "workloads/driver.h"
+#include "workloads/pgbench.h"
+
+using namespace rddr;
+
+namespace {
+
+constexpr int kAccounts = 10000;
+constexpr double kCpuPerQuery = 2e-3;
+
+double run(bool rddr_enabled, bool distributed, int clients) {
+  sim::Simulator simulator;
+  sim::Network net(simulator, 50 * sim::kMicrosecond);
+  std::vector<std::unique_ptr<sim::Host>> hosts;
+  auto add_host = [&](const std::string& name) -> sim::Host& {
+    hosts.push_back(
+        std::make_unique<sim::Host>(simulator, name, 32, 128LL << 30));
+    return *hosts.back();
+  };
+  sim::Host& shared = add_host("node-0");
+
+  int n = rddr_enabled ? 3 : 1;
+  std::vector<std::shared_ptr<sqldb::Database>> dbs;
+  std::vector<std::unique_ptr<sqldb::SqlServer>> servers;
+  for (int i = 0; i < n; ++i) {
+    sim::Host& host = distributed && i > 0
+                          ? add_host("node-" + std::to_string(i))
+                          : shared;
+    auto db = std::make_shared<sqldb::Database>(sqldb::minipg_info("13.0"));
+    workloads::load_pgbench(*db, kAccounts, 9);
+    sqldb::SqlServer::Options so;
+    so.address = "pg-" + std::to_string(i) + ":5432";
+    so.cpu_per_query = kCpuPerQuery;
+    so.cpu_per_row = 0;
+    so.rng_seed = 70 + static_cast<uint64_t>(i);
+    dbs.push_back(db);
+    servers.push_back(std::make_unique<sqldb::SqlServer>(net, host, db, so));
+  }
+  std::unique_ptr<core::DivergenceBus> bus;
+  std::unique_ptr<core::IncomingProxy> rddr;
+  std::string address = "pg-0:5432";
+  if (rddr_enabled) {
+    sim::Host& proxy_host = distributed ? add_host("node-proxy") : shared;
+    core::IncomingProxy::Config cfg;
+    cfg.listen_address = "front:5432";
+    cfg.instance_addresses = {"pg-0:5432", "pg-1:5432", "pg-2:5432"};
+    cfg.plugin = std::make_shared<core::PgPlugin>();
+    cfg.filter_pair = true;
+    cfg.cpu_per_unit = 50e-6;
+    bus = std::make_unique<core::DivergenceBus>(simulator);
+    rddr = std::make_unique<core::IncomingProxy>(net, proxy_host, cfg,
+                                                 bus.get());
+    address = "front:5432";
+  }
+  workloads::ClientPoolOptions opts;
+  opts.address = address;
+  opts.clients = clients;
+  opts.transactions_per_client = 100;
+  opts.seed = 5;
+  opts.next_query = [](Rng& rng, int, int) {
+    return workloads::pgbench_select_tx(rng, kAccounts);
+  };
+  return workloads::run_client_pool(simulator, net, opts).throughput_tps();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation: co-located vs distributed instance placement (§VI) "
+      "===\n\n");
+  std::printf("%-8s | %14s | %16s | %12s\n", "clients", "RDDR 1 host",
+              "RDDR 4 hosts", "bare 1x");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  for (int clients : {8, 16, 32, 64, 128, 256}) {
+    double co = run(true, false, clients);
+    double dist = run(true, true, clients);
+    double bare = run(false, false, clients);
+    std::printf("%-8d | %11.0f    | %13.0f    | %9.0f\n", clients, co, dist,
+                bare);
+  }
+  std::printf(
+      "\nExpected: the co-located deployment plateaus ~3x below the bare "
+      "ceiling (Fig 5), while the distributed placement tracks the bare "
+      "instance's throughput — the paper's suggested remedy works.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation: the deployment-cost argument of Fig 1 / §II / §VI.
+//
+// N-versioning only the critical microservice costs ~(N-1)/M extra
+// containers instead of (N-1)x the whole deployment. We measure actual
+// resident memory of the simulated GitLab composite in three
+// configurations: unprotected, RDDR on Postgres only (the paper's
+// deployment), and naive whole-app 3-versioning.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "rddr/divergence.h"
+#include "rddr/incoming_proxy.h"
+#include "rddr/plugins.h"
+#include "services/gitlab.h"
+#include "sqldb/server.h"
+
+using namespace rddr;
+
+namespace {
+
+struct Footprint {
+  size_t containers = 0;
+  double memory_gb = 0;
+};
+
+Footprint measure(int db_replicas, int app_copies) {
+  sim::Simulator simulator;
+  sim::Network net(simulator, 20 * sim::kMicrosecond);
+  sim::Host host(simulator, "node", 32, 256LL << 30);
+
+  std::vector<std::shared_ptr<sqldb::Database>> dbs;
+  std::vector<std::unique_ptr<sqldb::SqlServer>> servers;
+  for (int i = 0; i < db_replicas * app_copies; ++i) {
+    auto db = std::make_shared<sqldb::Database>(
+        sqldb::minipg_info(i % 3 == 2 ? "10.9" : "10.7"));
+    services::GitlabApp::init_schema(*db);
+    sqldb::SqlServer::Options so;
+    so.address = "pg-" + std::to_string(i) + ":5432";
+    dbs.push_back(db);
+    servers.push_back(std::make_unique<sqldb::SqlServer>(net, host, db, so));
+  }
+  std::unique_ptr<core::DivergenceBus> bus;
+  std::unique_ptr<core::IncomingProxy> proxy;
+  if (db_replicas > 1) {
+    core::IncomingProxy::Config cfg;
+    cfg.listen_address = "gitlab-db:5432";
+    for (int i = 0; i < db_replicas; ++i)
+      cfg.instance_addresses.push_back("pg-" + std::to_string(i) + ":5432");
+    cfg.plugin = std::make_shared<core::PgPlugin>();
+    cfg.filter_pair = true;
+    bus = std::make_unique<core::DivergenceBus>(simulator);
+    proxy = std::make_unique<core::IncomingProxy>(net, host, cfg, bus.get());
+  }
+  std::vector<std::unique_ptr<services::GitlabApp>> apps;
+  for (int i = 0; i < app_copies; ++i) {
+    services::GitlabApp::Options o;
+    o.ingress_address = "gitlab-" + std::to_string(i) + ":80";
+    o.db_address = db_replicas > 1 ? "gitlab-db:5432" : "pg-0:5432";
+    o.sidekiq_interval = 0;  // footprint measurement only
+    apps.push_back(std::make_unique<services::GitlabApp>(net, host, o));
+  }
+  simulator.run_until_idle();
+
+  Footprint f;
+  f.containers = static_cast<size_t>(db_replicas * app_copies) +
+                 static_cast<size_t>(app_copies) * apps[0]->container_count() +
+                 (db_replicas > 1 ? 1 : 0);  // the RDDR proxy container
+  f.memory_gb = static_cast<double>(host.memory_bytes()) / 1e9;
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation: micro-versioning vs whole-app N-versioning (Fig 1 / "
+      "Fig 3 argument) ===\n\n");
+  Footprint base = measure(1, 1);
+  Footprint micro = measure(3, 1);   // the paper's GitLab deployment
+  Footprint naive = measure(1, 3);   // replicate EVERYTHING 3x (no RDDR)
+
+  auto row = [&](const char* name, const Footprint& f) {
+    std::printf("%-34s %10zu %12.2f %14.0f%%\n", name, f.containers,
+                f.memory_gb,
+                100.0 * (f.memory_gb - base.memory_gb) / base.memory_gb);
+  };
+  std::printf("%-34s %10s %12s %15s\n", "configuration", "containers",
+              "memory(GB)", "mem overhead");
+  std::printf("%s\n", std::string(75, '-').c_str());
+  row("unprotected GitLab", base);
+  row("RDDR on Postgres only (paper)", micro);
+  row("naive 3x whole deployment", naive);
+
+  double micro_ct = 100.0 * (static_cast<double>(micro.containers) -
+                             static_cast<double>(base.containers)) /
+                    static_cast<double>(base.containers);
+  double naive_ct = 100.0 * (static_cast<double>(naive.containers) -
+                             static_cast<double>(base.containers)) /
+                    static_cast<double>(base.containers);
+  double micro_pct =
+      100.0 * (micro.memory_gb - base.memory_gb) / base.memory_gb;
+  std::printf(
+      "\nContainer overhead: micro-versioning +%.0f%% (paper's \"~33%%, "
+      "assuming all containers equally costly\") vs +%.0f%% for whole-app "
+      "replication. Measured memory overhead is +%.0f%% because the "
+      "replicated container (the database) is heavier than the stubs — the "
+      "paper makes the same equal-cost caveat.\n",
+      micro_ct, naive_ct, micro_pct);
+  return 0;
+}

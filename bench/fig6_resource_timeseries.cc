@@ -1,0 +1,162 @@
+// Regenerates Figure 6: aggregate CPU% and memory over time while serving
+// pgbench with 16 and 128 simultaneous clients, for the three deployments
+// of Figure 5.
+//
+// Expected shapes (paper §V-G2): at 16 clients RDDR runs ~3x the CPU and
+// ~3x the memory of the single-instance baselines with headroom to spare;
+// at 128 clients RDDR pins the host near 100% CPU while the baselines
+// stay below it.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "rddr/divergence.h"
+#include "rddr/incoming_proxy.h"
+#include "rddr/plugins.h"
+#include "services/tcp_proxy.h"
+#include "sqldb/server.h"
+#include "workloads/driver.h"
+#include "workloads/pgbench.h"
+
+using namespace rddr;
+
+namespace {
+
+constexpr int kAccounts = 20000;
+constexpr double kCpuPerQuery = 2e-3;
+
+struct Series {
+  std::vector<sim::ResourceSample> samples;
+};
+
+Series run_series(int n_instances, bool envoy_front, int clients,
+                  int tx_per_client) {
+  sim::Simulator simulator;
+  // Fig 6 ran clients on a SEPARATE machine (m5a.4xlarge); the fatter
+  // round trip dilutes in-server concurrency, which is why the paper's
+  // 16-client curves have CPU headroom. 750us/hop ~= the paper's
+  // cross-instance RTT once both directions and the proxy hop are summed.
+  sim::Network net(simulator, 750 * sim::kMicrosecond);
+  sim::Host host(simulator, "server", 32, 128LL << 30);
+
+  std::vector<std::shared_ptr<sqldb::Database>> dbs;
+  std::vector<std::unique_ptr<sqldb::SqlServer>> servers;
+  for (int i = 0; i < n_instances; ++i) {
+    auto db = std::make_shared<sqldb::Database>(sqldb::minipg_info("13.0"));
+    workloads::load_pgbench(*db, kAccounts, 9);
+    sqldb::SqlServer::Options so;
+    so.address = "pg-" + std::to_string(i) + ":5432";
+    so.cpu_per_query = kCpuPerQuery;
+    so.cpu_per_row = 0;
+    so.rng_seed = 30 + static_cast<uint64_t>(i);
+    dbs.push_back(db);
+    servers.push_back(std::make_unique<sqldb::SqlServer>(net, host, db, so));
+  }
+  std::unique_ptr<services::TcpProxy> envoy;
+  std::unique_ptr<core::DivergenceBus> bus;
+  std::unique_ptr<core::IncomingProxy> rddr;
+  std::string address = "pg-0:5432";
+  if (envoy_front) {
+    services::TcpProxy::Options po;
+    po.address = "front:5432";
+    po.backend_address = "pg-0:5432";
+    envoy = std::make_unique<services::TcpProxy>(net, host, po);
+    address = "front:5432";
+  } else if (n_instances > 1) {
+    core::IncomingProxy::Config cfg;
+    cfg.listen_address = "front:5432";
+    for (int i = 0; i < n_instances; ++i)
+      cfg.instance_addresses.push_back("pg-" + std::to_string(i) + ":5432");
+    cfg.plugin = std::make_shared<core::PgPlugin>();
+    cfg.filter_pair = true;
+    // Models the paper's Python proxy: a few hundred us of tokenize+diff
+    // work per message (calibrated to the ~10% penalty at 8 clients).
+    cfg.cpu_per_unit = 50e-6;
+    cfg.cpu_per_byte = 5e-9;
+    bus = std::make_unique<core::DivergenceBus>(simulator);
+    rddr = std::make_unique<core::IncomingProxy>(net, host, cfg, bus.get());
+    address = "front:5432";
+  }
+
+  host.reset_metrics();
+  host.start_sampling(250 * sim::kMillisecond);
+
+  workloads::ClientPoolOptions opts;
+  opts.address = address;
+  opts.clients = clients;
+  opts.transactions_per_client = tx_per_client;
+  opts.seed = 5;
+  opts.next_query = [](Rng& rng, int, int) {
+    return workloads::pgbench_select_tx(rng, kAccounts);
+  };
+  workloads::run_client_pool(simulator, net, opts);
+  host.stop_sampling();
+
+  Series s;
+  s.samples = host.samples();
+  return s;
+}
+
+void print_block(int clients, int tx_per_client) {
+  Series rddr = run_series(3, false, clients, tx_per_client);
+  Series envoy = run_series(1, true, clients, tx_per_client);
+  Series bare = run_series(1, false, clients, tx_per_client);
+
+  std::printf("--- %d clients ---\n", clients);
+  std::printf("%-9s | %-22s | %-22s | %-22s\n", "", "RDDR (3x)",
+              "1x + envoy", "1x minipg");
+  std::printf("%-9s | %10s %11s | %10s %11s | %10s %11s\n", "t(s)", "cpu%",
+              "mem(GB)", "cpu%", "mem(GB)", "cpu%", "mem(GB)");
+  size_t rows = std::max({rddr.samples.size(), envoy.samples.size(),
+                          bare.samples.size()});
+  auto at = [](const Series& s, size_t i) -> sim::ResourceSample {
+    if (s.samples.empty()) return {};
+    // Past the end of a finished run the host is idle but memory stays
+    // resident.
+    if (i < s.samples.size()) return s.samples[i];
+    auto last = s.samples.back();
+    last.cpu_pct = 0;
+    return last;
+  };
+  // Downsample long series to ~24 printed rows.
+  size_t step = std::max<size_t>(1, rows / 24);
+  for (size_t i = 0; i < rows; i += step) {
+    auto r = at(rddr, i), e = at(envoy, i), b = at(bare, i);
+    std::printf("%-9.2f | %10.1f %11.2f | %10.1f %11.2f | %10.1f %11.2f\n",
+                sim::to_seconds(r.time), r.cpu_pct, r.mem_bytes / 1e9,
+                e.cpu_pct, e.mem_bytes / 1e9, b.cpu_pct, b.mem_bytes / 1e9);
+  }
+  // Peak summary.
+  auto peak = [](const Series& s) {
+    double cpu = 0, mem = 0;
+    for (const auto& x : s.samples) {
+      cpu = std::max(cpu, x.cpu_pct);
+      mem = std::max(mem, x.mem_bytes);
+    }
+    return std::pair<double, double>(cpu, mem / 1e9);
+  };
+  auto [rc, rm] = peak(rddr);
+  auto [ec, em] = peak(envoy);
+  auto [bc, bm] = peak(bare);
+  std::printf(
+      "peaks: RDDR %.0f%% cpu / %.2f GB; envoy %.0f%% / %.2f GB; bare "
+      "%.0f%% / %.2f GB  (mem ratio %.1fx)\n\n",
+      rc, rm, ec, em, bc, bm, rm / bm);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 6: CPU%% and memory over time (pgbench, 32-core host) "
+      "===\n\n");
+  print_block(16, 2000);
+  print_block(128, 400);
+  std::printf(
+      "Paper shape check: ~3x CPU and ~3x memory for RDDR at 16 clients; "
+      "at 128 clients RDDR saturates (~100%% CPU) while the baselines do "
+      "not (Fig 6a/6b).\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Microbenchmarks (google-benchmark) of the hot paths on RDDR's critical
+// path: framing, tokenizing, de-noise + diff, content decoding, and the
+// engine's query execution.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "proto/http/coding.h"
+#include "proto/http/parser.h"
+#include "proto/json/json.h"
+#include "proto/pgwire/pgwire.h"
+#include "rddr/noise.h"
+#include "rddr/plugins.h"
+#include "sqldb/engine.h"
+#include "sqldb/parser.h"
+#include "workloads/pgbench.h"
+#include "workloads/tpch.h"
+
+namespace {
+
+using namespace rddr;
+
+void BM_HttpParseRequest(benchmark::State& state) {
+  http::Request req;
+  req.method = "POST";
+  req.target = "/api/v1/render";
+  req.headers.set("Host", "svc");
+  req.headers.set("Content-Type", "application/json");
+  req.body = std::string(static_cast<size_t>(state.range(0)), 'x');
+  Bytes wire = req.to_bytes();
+  for (auto _ : state) {
+    http::RequestParser p;
+    p.feed(wire);
+    benchmark::DoNotOptimize(p.take());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_HttpParseRequest)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_PgFrameMessages(benchmark::State& state) {
+  Bytes wire;
+  for (int i = 0; i < 100; ++i)
+    wire += pg::build_data_row({std::string("value-") + std::to_string(i),
+                                std::string("second-column")});
+  for (auto _ : state) {
+    pg::MessageReader r(false);
+    r.feed(wire);
+    benchmark::DoNotOptimize(r.take());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_PgFrameMessages);
+
+void BM_Xz77Compress(benchmark::State& state) {
+  Rng rng(1);
+  Bytes input;
+  for (int i = 0; i < state.range(0) / 16; ++i)
+    input += "<tr><td>cell " + std::to_string(i % 50) + "</td></tr>\n";
+  for (auto _ : state)
+    benchmark::DoNotOptimize(http::xz77_compress(input));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_Xz77Compress)->Arg(4096)->Arg(65536);
+
+void BM_Xz77Decompress(benchmark::State& state) {
+  Bytes input;
+  for (int i = 0; i < state.range(0) / 16; ++i)
+    input += "<tr><td>cell " + std::to_string(i % 50) + "</td></tr>\n";
+  Bytes packed = http::xz77_compress(input);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(http::xz77_decompress(packed));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_Xz77Decompress)->Arg(4096)->Arg(65536);
+
+void BM_NoiseMaskAndCompare(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<std::string> a, b, c;
+  for (int i = 0; i < state.range(0); ++i) {
+    std::string line = "line " + std::to_string(i) + " stable";
+    if (i % 10 == 0) {
+      a.push_back("token=" + rng.alnum_token(32));
+      b.push_back("token=" + rng.alnum_token(32));
+      c.push_back("token=" + rng.alnum_token(32));
+    } else {
+      a.push_back(line);
+      b.push_back(line);
+      c.push_back(line);
+    }
+  }
+  for (auto _ : state) {
+    core::NoiseMask mask = core::build_noise_mask(a, b);
+    benchmark::DoNotOptimize(core::masked_compare(a, c, mask));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_NoiseMaskAndCompare)->Arg(50)->Arg(500);
+
+void BM_HttpPluginCompare3(benchmark::State& state) {
+  core::HttpPlugin plugin;
+  Rng rng(3);
+  auto page = [&](const std::string& tok) {
+    http::Response r = http::make_response(
+        200, "<html><input value=\"" + tok + "\"><p>body body body</p></html>");
+    return core::Unit{r.to_bytes(), "http-resp"};
+  };
+  std::vector<core::Unit> units{page(rng.alnum_token(32)),
+                                page(rng.alnum_token(32)),
+                                page(rng.alnum_token(32))};
+  core::KnownVariance kv;
+  core::CompareContext ctx;
+  ctx.filter_pair = true;
+  ctx.variance = &kv;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(plugin.compare(units, ctx));
+}
+BENCHMARK(BM_HttpPluginCompare3);
+
+void BM_JsonParseDump(benchmark::State& state) {
+  std::string doc = R"({"items":[)";
+  for (int i = 0; i < 50; ++i) {
+    if (i) doc += ",";
+    doc += R"({"id":)" + std::to_string(i) + R"(,"name":"item","score":1.5})";
+  }
+  doc += "]}";
+  for (auto _ : state) {
+    auto v = json::parse(doc);
+    benchmark::DoNotOptimize(v->dump());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_JsonParseDump);
+
+void BM_SqlIndexedLookup(benchmark::State& state) {
+  sqldb::Database db(sqldb::minipg_info("13.0"));
+  workloads::load_pgbench(db, 10000, 1);
+  sqldb::Session s(db, "postgres");
+  Rng rng(4);
+  for (auto _ : state) {
+    auto q = workloads::pgbench_select_tx(rng, 10000);
+    benchmark::DoNotOptimize(s.execute(q));
+  }
+}
+BENCHMARK(BM_SqlIndexedLookup);
+
+void BM_SqlTpchQ1(benchmark::State& state) {
+  sqldb::Database db(sqldb::minipg_info("13.0"));
+  workloads::load_tpch(db, workloads::TpchScale{0.25}, 1);
+  sqldb::Session s(db, "postgres");
+  const auto& q1 = workloads::tpch_queries()[0];
+  for (auto _ : state) benchmark::DoNotOptimize(s.execute(q1));
+}
+BENCHMARK(BM_SqlTpchQ1);
+
+void BM_SqlParseOnly(benchmark::State& state) {
+  const auto& q = workloads::tpch_queries()[1];  // join-heavy text
+  for (auto _ : state) benchmark::DoNotOptimize(sqldb::parse_sql(q));
+}
+BENCHMARK(BM_SqlParseOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

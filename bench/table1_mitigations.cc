@@ -1,0 +1,40 @@
+// Regenerates Table I: "RDDR vulnerability mitigations".
+//
+// Runs all ten end-to-end scenarios and prints the table the paper
+// reports, extended with the live verdicts this reproduction measures:
+// whether the exploit works without RDDR, whether benign traffic is
+// unaffected, and whether the leak was blocked.
+#include <cstdio>
+
+#include "workloads/scenarios.h"
+
+int main() {
+  std::printf("=== Table I: RDDR vulnerability mitigations ===\n\n");
+  std::printf("%-16s %-28s %-10s %-7s %-9s %-9s %-8s %-10s\n", "CVE",
+              "Microservice/program", "CWE", "OWASP#", "ExploitOK",
+              "BenignOK", "Blocked", "Mitigated");
+  std::printf("%s\n", std::string(104, '-').c_str());
+
+  auto rows = rddr::workloads::run_all_table1();
+  int mitigated = 0;
+  for (const auto& r : rows) {
+    std::printf("%-16s %-28.28s %-10s %-7s %-9s %-9s %-8s %-10s\n",
+                r.id.c_str(), r.microservice.c_str(), r.cwe.c_str(),
+                r.owasp.c_str(), r.exploit_works_unprotected ? "yes" : "NO",
+                r.benign_ok ? "yes" : "NO", r.exploit_blocked ? "yes" : "NO",
+                r.mitigated() ? "yes" : "NO");
+    if (r.mitigated()) ++mitigated;
+  }
+  std::printf("\nDiversity sources:\n");
+  for (const auto& r : rows)
+    std::printf("  %-16s %s\n", r.id.c_str(), r.diversity.c_str());
+  std::printf("\nDivergence details:\n");
+  for (const auto& r : rows)
+    std::printf("  %-16s %s\n", r.id.c_str(),
+                r.detail.empty() ? "(none)" : r.detail.c_str());
+  std::printf(
+      "\nSummary: %d/10 CWEs mitigated (paper: 10/10). 'ExploitOK' shows the "
+      "exploit succeeding against an UNPROTECTED vulnerable instance.\n",
+      mitigated);
+  return mitigated == 10 ? 0 : 1;
+}

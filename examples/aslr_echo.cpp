@@ -1,0 +1,75 @@
+// OS-generated diversity: ASLR pointer-leak POC (paper §V-E).
+//
+// Two copies of the same vulnerable echo binary run with randomized
+// address spaces behind RDDR's raw-TCP plugin. A buffer overflow makes
+// each instance leak the pointer adjacent to its buffer; because the
+// address spaces differ, the leaks differ, and RDDR terminates the
+// connection at step (1) of the exploit chain. The example also runs the
+// ablation: with ASLR off, both leaks are identical and RDDR sees nothing.
+#include <cstdio>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "rddr/divergence.h"
+#include "rddr/incoming_proxy.h"
+#include "rddr/plugins.h"
+#include "services/echo_vuln.h"
+
+using namespace rddr;
+
+namespace {
+
+void run_deployment(bool aslr) {
+  sim::Simulator simulator;
+  sim::Network net(simulator, 20 * sim::kMicrosecond);
+  sim::Host host(simulator, "node-1", 4, 4LL << 30);
+
+  services::EchoVulnServer::Options o0, o1;
+  o0.address = "echo-0:7";
+  o0.aslr = aslr;
+  o0.rng_seed = 1;
+  o1.address = "echo-1:7";
+  o1.aslr = aslr;
+  o1.rng_seed = 2;
+  services::EchoVulnServer e0(net, host, o0);
+  services::EchoVulnServer e1(net, host, o1);
+  std::printf("  instance address spaces: 0x%016llx / 0x%016llx\n",
+              static_cast<unsigned long long>(e0.leaked_pointer()),
+              static_cast<unsigned long long>(e1.leaked_pointer()));
+
+  core::IncomingProxy::Config cfg;
+  cfg.listen_address = "echo:7";
+  cfg.instance_addresses = {"echo-0:7", "echo-1:7"};
+  cfg.plugin = std::make_shared<core::TcpLinePlugin>();
+  core::DivergenceBus bus(simulator);
+  core::IncomingProxy rddr(net, host, cfg, &bus);
+
+  auto send = [&](const char* label, const Bytes& payload) {
+    auto conn = net.connect("echo:7", {.source = "attacker"});
+    Bytes got;
+    bool closed = false;
+    conn->set_on_data([&](ByteView d) { got += Bytes(d); });
+    conn->set_on_close([&] { closed = true; });
+    conn->send(payload);
+    simulator.run_until_idle();
+    std::printf("  %-22s -> %s%s\n", label,
+                got.empty() ? "(connection closed, nothing returned)"
+                            : got.substr(0, 60).c_str(),
+                closed && !got.empty() ? " [closed]" : "");
+  };
+
+  send("benign echo", "hello from the paper\n");
+  send("overflow (exploit)", Bytes(80, 'A') + "\n");
+  std::printf("  interventions: %zu\n", bus.count());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== with ASLR: address spaces differ, the leak diverges ==\n");
+  run_deployment(true);
+  std::printf("\n== without ASLR (ablation): identical leak, RDDR is blind "
+              "— the diversity IS the defence ==\n");
+  run_deployment(false);
+  return 0;
+}

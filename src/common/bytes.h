@@ -1,0 +1,39 @@
+// Byte-buffer aliases and helpers shared across the codebase.
+//
+// All network traffic in this repo is carried as `Bytes` (an owned,
+// contiguous, 8-bit-clean buffer) and inspected through `ByteView`.
+// `std::string` is used as the underlying representation: it is 8-bit clean,
+// has small-buffer optimisation, and interoperates with the parsing code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rddr {
+
+/// Owned byte buffer (8-bit clean).
+using Bytes = std::string;
+
+/// Non-owning view over a byte buffer.
+using ByteView = std::string_view;
+
+/// Appends a big-endian 32-bit integer to `out` (Postgres wire order).
+void put_u32_be(Bytes& out, uint32_t v);
+
+/// Appends a big-endian 16-bit integer to `out`.
+void put_u16_be(Bytes& out, uint16_t v);
+
+/// Reads a big-endian 32-bit integer at `pos`; caller guarantees bounds.
+uint32_t get_u32_be(ByteView b, size_t pos);
+
+/// Reads a big-endian 16-bit integer at `pos`; caller guarantees bounds.
+uint16_t get_u16_be(ByteView b, size_t pos);
+
+/// Hex-encodes a buffer ("deadbeef" style, lowercase).
+Bytes to_hex(ByteView b);
+
+/// Decodes a lowercase/uppercase hex string; returns empty on malformed input.
+Bytes from_hex(ByteView hex);
+
+}  // namespace rddr

@@ -1,0 +1,54 @@
+// A small expected-like result type used where exceptions would obscure
+// control flow (parsers, protocol framers). Errors carry a message string.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rddr {
+
+/// Error payload for `Result<T>`.
+struct Error {
+  std::string message;
+};
+
+/// Holds either a value of T or an Error. Modeled after std::expected
+/// (unavailable before C++23) with the subset of API this repo needs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit by design
+  Result(Error err) : error_(std::move(err)) {}  // NOLINT implicit by design
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return error_->message;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Convenience factory: Err("bad thing: %s detail").
+inline Error Err(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace rddr

@@ -1,0 +1,82 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rddr {
+
+void SampleStats::add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_ = false;
+}
+
+double SampleStats::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  // Nearest-rank: ceil(p/100 * N), 1-indexed.
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+double SampleStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void SampleStats::clear() {
+  samples_.clear();
+  sum_ = 0;
+  sorted_ = true;
+}
+
+void TimeWeightedValue::update(int64_t now_ns, double value) {
+  if (!started_) {
+    started_ = true;
+    start_ns_ = now_ns;
+    last_ns_ = now_ns;
+    value_ = value;
+    max_ = value;
+    return;
+  }
+  integral_ += value_ * static_cast<double>(now_ns - last_ns_);
+  last_ns_ = now_ns;
+  value_ = value;
+  max_ = std::max(max_, value);
+}
+
+double TimeWeightedValue::integral(int64_t now_ns) const {
+  if (!started_) return 0.0;
+  return integral_ + value_ * static_cast<double>(now_ns - last_ns_);
+}
+
+double TimeWeightedValue::mean(int64_t now_ns) const {
+  if (!started_ || now_ns <= start_ns_) return 0.0;
+  return integral(now_ns) / static_cast<double>(now_ns - start_ns_);
+}
+
+}  // namespace rddr

@@ -1,0 +1,62 @@
+// Lightweight statistics accumulators used by benchmarks and the host
+// metrics sampler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rddr {
+
+/// Accumulates samples and reports summary statistics. Percentiles are
+/// computed on demand over the retained sample vector (nearest-rank).
+class SampleStats {
+ public:
+  void add(double v);
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Nearest-rank percentile; `p` in [0, 100]. Returns 0 when empty.
+  double percentile(double p) const;
+  /// Sample standard deviation (0 when fewer than 2 samples).
+  double stddev() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+  void clear();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
+};
+
+/// Integrates a step function over (virtual) time: value v held from the
+/// previous update until the next. Used for CPU-busy-core and memory
+/// integrals.
+class TimeWeightedValue {
+ public:
+  /// Records that the tracked value becomes `value` at time `now_ns`.
+  void update(int64_t now_ns, double value);
+
+  /// Integral of the value over [first update, now_ns].
+  double integral(int64_t now_ns) const;
+
+  /// Time-weighted mean over [first update, now_ns]; 0 if no time elapsed.
+  double mean(int64_t now_ns) const;
+
+  double current() const { return value_; }
+  double max_value() const { return max_; }
+
+ private:
+  bool started_ = false;
+  int64_t start_ns_ = 0;
+  int64_t last_ns_ = 0;
+  double value_ = 0;
+  double integral_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace rddr

@@ -1,0 +1,127 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace rddr::sim {
+
+Connection::Connection(Simulator& sim, uint64_t id, Time latency,
+                       ConnectMeta meta, std::string dialed_address)
+    : sim_(sim),
+      id_(id),
+      latency_(latency),
+      meta_(std::move(meta)),
+      dialed_address_(std::move(dialed_address)) {}
+
+void Connection::send(ByteView data) {
+  if (!open_ || data.empty()) return;
+  auto peer = peer_.lock();
+  if (!peer) return;
+  // FIFO per direction: never deliver earlier than a previous delivery.
+  Time arrival = std::max(last_arrival_, sim_.now() + latency_);
+  last_arrival_ = arrival;
+  sim_.schedule_at(arrival, [peer, buf = Bytes(data)]() mutable {
+    peer->deliver(std::move(buf));
+  });
+}
+
+void Connection::close() {
+  if (!open_) return;
+  open_ = false;
+  auto peer = peer_.lock();
+  if (!peer) return;
+  Time arrival = std::max(last_arrival_, sim_.now() + latency_);
+  last_arrival_ = arrival;
+  sim_.schedule_at(arrival, [peer] { peer->deliver_close(); });
+}
+
+void Connection::set_on_data(DataHandler h) {
+  on_data_ = std::move(h);
+  if (!pending_.empty() || close_pending_) {
+    auto self = shared_from_this();
+    sim_.schedule(0, [self] { self->flush_pending(); });
+  }
+}
+
+void Connection::set_on_close(CloseHandler h) {
+  on_close_ = std::move(h);
+  if (close_pending_ && pending_.empty()) {
+    auto self = shared_from_this();
+    sim_.schedule(0, [self] { self->flush_pending(); });
+  }
+}
+
+void Connection::deliver(Bytes data) {
+  if (close_delivered_) return;
+  pending_.append(data);
+  flush_pending();
+}
+
+void Connection::deliver_close() {
+  if (close_delivered_) return;
+  open_ = false;
+  close_pending_ = true;
+  flush_pending();
+}
+
+void Connection::flush_pending() {
+  if (close_delivered_) return;
+  if (!pending_.empty() && on_data_) {
+    Bytes chunk;
+    chunk.swap(pending_);
+    // Handler may re-enter (e.g. respond synchronously); keep state sane by
+    // swapping out first.
+    on_data_(chunk);
+  }
+  if (close_pending_ && pending_.empty()) {
+    close_delivered_ = true;
+    open_ = false;
+    if (on_close_) {
+      auto h = std::move(on_close_);
+      on_close_ = nullptr;
+      h();
+    }
+  }
+}
+
+Network::Network(Simulator& sim, Time default_latency)
+    : sim_(sim), default_latency_(default_latency) {}
+
+void Network::listen(const std::string& address, AcceptHandler on_accept) {
+  listeners_[address] = std::move(on_accept);
+}
+
+void Network::unlisten(const std::string& address) { listeners_.erase(address); }
+
+bool Network::has_listener(const std::string& address) const {
+  return listeners_.count(address) > 0;
+}
+
+ConnPtr Network::connect(const std::string& address, ConnectMeta meta) {
+  auto it = listeners_.find(address);
+  if (it == listeners_.end()) {
+    RDDR_LOG_DEBUG("connect to %s refused (no listener)", address.c_str());
+    return nullptr;
+  }
+  uint64_t id = next_conn_id_++;
+  auto client = std::shared_ptr<Connection>(
+      new Connection(sim_, id, default_latency_, meta, address));
+  auto server = std::shared_ptr<Connection>(
+      new Connection(sim_, id, default_latency_, meta, address));
+  client->peer_ = server;
+  server->peer_ = client;
+  // Accept fires after one link latency; re-check the listener then so a
+  // service that stopped in the meantime refuses cleanly.
+  sim_.schedule(default_latency_, [this, address, server] {
+    auto lit = listeners_.find(address);
+    if (lit == listeners_.end()) {
+      server->close();
+      return;
+    }
+    lit->second(server);
+  });
+  return client;
+}
+
+}  // namespace rddr::sim

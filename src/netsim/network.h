@@ -1,0 +1,140 @@
+// Simulated network: listeners, duplex byte-stream connections, latency.
+//
+// Substitutes for TCP sockets (see DESIGN.md). The abstraction matches what
+// RDDR's proxies need from a transport: ordered 8-bit-clean byte streams,
+// connect/accept by address, graceful close, and connection metadata
+// (which container opened the connection, and an optional flow label used
+// by the outgoing proxy to group the N instances' backend connections).
+//
+// Guarantees:
+//  * Per-direction FIFO: bytes arrive in the order sent.
+//  * Close ordering: a peer sees all bytes sent before close() before its
+//    on_close fires.
+//  * Data sent before the receiving side installs a handler is buffered and
+//    delivered when the handler is installed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "netsim/simulator.h"
+
+namespace rddr::sim {
+
+class Network;
+
+/// Metadata attached to a connection at connect() time.
+struct ConnectMeta {
+  /// Name of the container/process opening the connection (diagnostics and
+  /// outgoing-proxy grouping).
+  std::string source;
+  /// Optional flow label: the outgoing proxy groups the N instances'
+  /// connections that carry the same label (paper §IV-B: "merge requests to
+  /// downstream microservices").
+  std::string flow_label;
+};
+
+/// One endpoint of a duplex byte-stream connection. Obtained from
+/// Network::connect (client half) or a listener callback (server half).
+/// Lifetime is shared between the two halves and any in-flight events.
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  using DataHandler = std::function<void(ByteView)>;
+  using CloseHandler = std::function<void()>;
+
+  /// Sends bytes to the peer; delivered after the link latency. No-op after
+  /// close.
+  void send(ByteView data);
+
+  /// Gracefully closes both directions. The peer receives all bytes already
+  /// sent, then its on_close handler fires. Idempotent.
+  void close();
+
+  /// True until either side closed.
+  bool is_open() const { return open_; }
+
+  /// Installs the data handler; any buffered bytes are delivered
+  /// immediately (in a scheduled event, preserving run-to-completion).
+  void set_on_data(DataHandler h);
+
+  /// Installs the close handler; fires once, after all data is delivered.
+  void set_on_close(CloseHandler h);
+
+  /// Metadata supplied by the connecting side.
+  const ConnectMeta& meta() const { return meta_; }
+
+  /// Address the client dialled (both halves see the same value).
+  const std::string& dialed_address() const { return dialed_address_; }
+
+  /// Unique id (diagnostics; stable within a simulation).
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class Network;
+
+  Connection(Simulator& sim, uint64_t id, Time latency, ConnectMeta meta,
+             std::string dialed_address);
+
+  void deliver(Bytes data);      // runs on the *receiving* half
+  void deliver_close();          // runs on the *receiving* half
+  void flush_pending();
+
+  Simulator& sim_;
+  uint64_t id_;
+  Time latency_;
+  ConnectMeta meta_;
+  std::string dialed_address_;
+  std::weak_ptr<Connection> peer_;
+  bool open_ = true;
+  bool close_delivered_ = false;
+  bool close_pending_ = false;
+  Time last_arrival_ = 0;  // per-direction FIFO watermark (arrivals at peer)
+  Bytes pending_;          // received but not yet handed to on_data
+  DataHandler on_data_;
+  CloseHandler on_close_;
+};
+
+using ConnPtr = std::shared_ptr<Connection>;
+
+/// Address registry + connection factory.
+class Network {
+ public:
+  using AcceptHandler = std::function<void(ConnPtr)>;
+
+  explicit Network(Simulator& sim, Time default_latency = 50 * kMicrosecond);
+
+  /// Registers a listener for `address` (e.g. "minipg-0:5432"). Replaces any
+  /// existing listener for the same address.
+  void listen(const std::string& address, AcceptHandler on_accept);
+
+  /// Removes a listener.
+  void unlisten(const std::string& address);
+
+  /// True if some listener is registered at `address`.
+  bool has_listener(const std::string& address) const;
+
+  /// Dials `address`. Returns the client half, or nullptr if nothing
+  /// listens there (connection refused). The listener's accept handler is
+  /// invoked after one link latency with the server half.
+  ConnPtr connect(const std::string& address, ConnectMeta meta = {});
+
+  /// Link latency applied to each direction of new connections.
+  void set_default_latency(Time latency) { default_latency_ = latency; }
+  Time default_latency() const { return default_latency_; }
+
+  Simulator& simulator() { return sim_; }
+
+  /// Total connections ever opened (diagnostics).
+  uint64_t connections_opened() const { return next_conn_id_ - 1; }
+
+ private:
+  Simulator& sim_;
+  Time default_latency_;
+  uint64_t next_conn_id_ = 1;
+  std::map<std::string, AcceptHandler> listeners_;
+};
+
+}  // namespace rddr::sim

@@ -1,0 +1,69 @@
+#include "netsim/simulator.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace rddr::sim {
+
+Simulator::Simulator() {
+  set_log_clock([this] { return now_; });
+}
+
+uint64_t Simulator::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  uint64_t id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+uint64_t Simulator::schedule(Time delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(uint64_t id) {
+  if (handlers_.erase(id) > 0) cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    auto it = handlers_.find(ev.id);
+    if (it == handlers_.end()) continue;  // defensive; should not happen
+    auto fn = std::move(it->second);
+    handlers_.erase(it);
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+size_t Simulator::run_until_idle(size_t max_events) {
+  size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+void Simulator::run_until(Time t) {
+  while (!queue_.empty()) {
+    // Skip cancelled heads without executing.
+    Event ev = queue_.top();
+    if (cancelled_.count(ev.id) > 0) {
+      queue_.pop();
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    if (ev.time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace rddr::sim

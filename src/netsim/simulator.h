@@ -1,0 +1,90 @@
+// Deterministic discrete-event simulator with a virtual nanosecond clock.
+//
+// This is the substrate substituting for real machines and networks (see
+// DESIGN.md): every test and benchmark in the repo runs on one `Simulator`
+// instance, so runs replay byte-identically from a seed. Events scheduled
+// for the same instant fire in scheduling order (FIFO tie-break), which is
+// what makes the network FIFO guarantees below easy to uphold.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rddr::sim {
+
+/// Virtual time in nanoseconds since simulation start.
+using Time = int64_t;
+
+constexpr Time kMicrosecond = 1000;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Converts virtual time to seconds as a double (for reporting).
+inline double to_seconds(Time t) { return static_cast<double>(t) / 1e9; }
+
+/// Converts (fractional) seconds to virtual time.
+inline Time from_seconds(double s) { return static_cast<Time>(s * 1e9); }
+
+/// Single-threaded event loop over virtual time.
+class Simulator {
+ public:
+  Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `t` (clamped to now()).
+  /// Returns an id usable with `cancel`.
+  uint64_t schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` nanoseconds from now.
+  uint64_t schedule(Time delay, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(uint64_t id);
+
+  /// Runs the next pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until none remain or `max_events` were processed.
+  /// Returns the number of events processed.
+  size_t run_until_idle(size_t max_events = SIZE_MAX);
+
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  void run_until(Time t);
+
+  /// Number of events executed so far (diagnostic).
+  uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending.
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    Time time;
+    uint64_t seq;  // FIFO tie-break for identical times
+    uint64_t id;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_map<uint64_t, std::function<void()>> handlers_;
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+}  // namespace rddr::sim

@@ -1,0 +1,109 @@
+#include "proto/http/coding.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.h"
+
+namespace rddr::http {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxLen = 65535;
+constexpr size_t kMaxDist = 65535;
+
+uint32_t hash4(ByteView s, size_t pos) {
+  uint32_t v = static_cast<uint32_t>(static_cast<unsigned char>(s[pos])) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(s[pos + 1])) << 8) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(s[pos + 2])) << 16) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(s[pos + 3])) << 24);
+  return v * 2654435761u;
+}
+
+void emit_literals(Bytes& out, ByteView input, size_t start, size_t end) {
+  while (start < end) {
+    size_t n = std::min(end - start, kMaxLen);
+    out.push_back('\x00');
+    out.push_back(static_cast<char>((n >> 8) & 0xff));
+    out.push_back(static_cast<char>(n & 0xff));
+    out.append(input.substr(start, n));
+    start += n;
+  }
+}
+
+}  // namespace
+
+Bytes xz77_compress(ByteView input) {
+  Bytes out;
+  std::unordered_map<uint32_t, size_t> table;
+  size_t lit_start = 0;
+  size_t i = 0;
+  while (i + kMinMatch <= input.size()) {
+    uint32_t h = hash4(input, i);
+    auto it = table.find(h);
+    size_t match_len = 0;
+    size_t match_pos = 0;
+    if (it != table.end()) {
+      size_t cand = it->second;
+      if (i - cand <= kMaxDist &&
+          input.substr(cand, kMinMatch) == input.substr(i, kMinMatch)) {
+        size_t len = kMinMatch;
+        while (i + len < input.size() && len < kMaxLen &&
+               input[cand + len] == input[i + len])
+          ++len;
+        match_len = len;
+        match_pos = cand;
+      }
+    }
+    table[h] = i;
+    if (match_len >= kMinMatch) {
+      emit_literals(out, input, lit_start, i);
+      size_t dist = i - match_pos;
+      out.push_back('\x01');
+      out.push_back(static_cast<char>((dist >> 8) & 0xff));
+      out.push_back(static_cast<char>(dist & 0xff));
+      out.push_back(static_cast<char>((match_len >> 8) & 0xff));
+      out.push_back(static_cast<char>(match_len & 0xff));
+      i += match_len;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  emit_literals(out, input, lit_start, input.size());
+  return out;
+}
+
+std::optional<Bytes> xz77_decompress(ByteView input) {
+  Bytes out;
+  size_t i = 0;
+  auto u16 = [&](size_t pos) {
+    return (static_cast<size_t>(static_cast<unsigned char>(input[pos])) << 8) |
+           static_cast<size_t>(static_cast<unsigned char>(input[pos + 1]));
+  };
+  while (i < input.size()) {
+    char op = input[i];
+    if (op == '\x00') {
+      if (i + 3 > input.size()) return std::nullopt;
+      size_t n = u16(i + 1);
+      if (i + 3 + n > input.size()) return std::nullopt;
+      out.append(input.substr(i + 3, n));
+      i += 3 + n;
+    } else if (op == '\x01') {
+      if (i + 5 > input.size()) return std::nullopt;
+      size_t dist = u16(i + 1);
+      size_t len = u16(i + 3);
+      if (dist == 0 || dist > out.size()) return std::nullopt;
+      size_t src = out.size() - dist;
+      // Byte-by-byte to support overlapping (RLE) copies.
+      for (size_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+      i += 5;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace rddr::http

@@ -1,0 +1,28 @@
+// Content coding ("xz77"): a small LZ77-style byte compressor.
+//
+// Stands in for gzip so the reproduction exercises the paper's requirement
+// that the HTTP module "interprets the HTTP header and decompresses the
+// message before differencing" (§IV-B1). Responses carry
+// `Content-Encoding: xz77`; the RDDR HTTP plugin decodes before tokenizing.
+//
+// Wire format: a sequence of ops.
+//   0x00 <u16 len> <len literal bytes>
+//   0x01 <u16 distance> <u16 length>     copy from already-produced output
+// Distances/lengths are big-endian; distance must not exceed the bytes
+// produced so far. Overlapping copies are allowed (RLE-style).
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace rddr::http {
+
+/// Compresses `input`. Output always decodes back to `input`.
+Bytes xz77_compress(ByteView input);
+
+/// Decompresses; returns nullopt on malformed input (bad op, distance
+/// beyond output, truncated stream).
+std::optional<Bytes> xz77_decompress(ByteView input);
+
+}  // namespace rddr::http

@@ -1,0 +1,142 @@
+#include "proto/http/message.h"
+
+#include "common/strutil.h"
+
+namespace rddr::http {
+
+void HeaderMap::add(std::string name, std::string value) {
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+void HeaderMap::set(std::string name, std::string value) {
+  remove(name);
+  add(std::move(name), std::move(value));
+}
+
+std::optional<std::string> HeaderMap::get(std::string_view name) const {
+  for (const auto& [n, v] : entries_)
+    if (iequals(n, name)) return v;
+  return std::nullopt;
+}
+
+std::vector<std::string> HeaderMap::get_all(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const auto& [n, v] : entries_)
+    if (iequals(n, name)) out.push_back(v);
+  return out;
+}
+
+size_t HeaderMap::remove(std::string_view name) {
+  size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (iequals(it->first, name)) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+namespace {
+void append_headers(Bytes& out, const HeaderMap& headers) {
+  for (const auto& [n, v] : headers.entries()) {
+    out += n;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  out += "\r\n";
+}
+}  // namespace
+
+Bytes Request::to_bytes() const {
+  Bytes out = method + " " + target + " " + version + "\r\n";
+  HeaderMap h = headers;
+  if (!h.has("Content-Length") && !h.has("Transfer-Encoding"))
+    h.set("Content-Length", std::to_string(body.size()));
+  append_headers(out, h);
+  out += body;
+  return out;
+}
+
+Bytes Response::to_bytes() const {
+  Bytes out = version + " " + std::to_string(status) + " " + reason + "\r\n";
+  HeaderMap h = headers;
+  if (!h.has("Content-Length") && !h.has("Transfer-Encoding"))
+    h.set("Content-Length", std::to_string(body.size()));
+  append_headers(out, h);
+  out += body;
+  return out;
+}
+
+Response make_response(int status, std::string_view body,
+                       std::string_view content_type) {
+  Response r;
+  r.status = status;
+  r.reason = reason_phrase(status);
+  r.headers.set("Content-Type", std::string(content_type));
+  r.headers.set("Content-Length", std::to_string(body.size()));
+  r.body = Bytes(body);
+  return r;
+}
+
+std::string reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 206: return "Partial Content";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 416: return "Range Not Satisfiable";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::optional<std::vector<ByteRange>> parse_range_header(std::string_view v) {
+  v = trim(v);
+  if (!starts_with(v, "bytes=")) return std::nullopt;
+  v.remove_prefix(6);
+  std::vector<ByteRange> out;
+  for (const auto& part_str : split(v, ',')) {
+    std::string_view part = trim(part_str);
+    if (part.empty()) return std::nullopt;
+    size_t dash = part.find('-');
+    if (dash == std::string_view::npos) return std::nullopt;
+    std::string_view first_s = part.substr(0, dash);
+    std::string_view last_s = part.substr(dash + 1);
+    ByteRange r;
+    if (first_s.empty()) {
+      // Suffix range "-N".
+      auto n = parse_i64(last_s);
+      if (!n || *n < 0) return std::nullopt;
+      r.first = -1;
+      r.last = *n;
+    } else {
+      auto f = parse_i64(first_s);
+      if (!f || *f < 0) return std::nullopt;
+      r.first = *f;
+      if (last_s.empty()) {
+        r.last = -1;  // open-ended
+      } else {
+        auto l = parse_i64(last_s);
+        if (!l || *l < 0) return std::nullopt;
+        r.last = *l;
+      }
+    }
+    out.push_back(r);
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+}  // namespace rddr::http

@@ -1,0 +1,96 @@
+// HTTP/1.1 message model: header map, request, response, serialization.
+//
+// The model is deliberately faithful to the parts of RFC 7230 that matter to
+// this reproduction: framing (Content-Length vs Transfer-Encoding), header
+// ordering, Range requests, and the whitespace edge cases that power the
+// request-smuggling CVE scenario (see parser.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rddr::http {
+
+/// Ordered, case-insensitive-lookup header collection. Duplicate names are
+/// preserved (needed to *detect* duplicate Content-Length attacks).
+class HeaderMap {
+ public:
+  /// Appends a header, keeping arrival order.
+  void add(std::string name, std::string value);
+
+  /// Replaces all headers named `name` with a single one.
+  void set(std::string name, std::string value);
+
+  /// First value with the given name (case-insensitive), if any.
+  std::optional<std::string> get(std::string_view name) const;
+
+  /// All values with the given name, in order.
+  std::vector<std::string> get_all(std::string_view name) const;
+
+  bool has(std::string_view name) const { return get(name).has_value(); }
+
+  /// Removes all headers with the given name; returns count removed.
+  size_t remove(std::string_view name);
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Parsed HTTP request. `raw` holds the exact bytes the parser consumed for
+/// this message — proxies that make forwarding decisions with their own
+/// framing but forward the original octets (the smuggling scenario) need it.
+struct Request {
+  std::string method;
+  std::string target;
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  Bytes body;
+  Bytes raw;
+
+  /// Serializes with Content-Length framing (body as-is, no chunking).
+  Bytes to_bytes() const;
+};
+
+/// Parsed HTTP response.
+struct Response {
+  std::string version = "HTTP/1.1";
+  int status = 200;
+  std::string reason = "OK";
+  HeaderMap headers;
+  Bytes body;
+  Bytes raw;
+
+  Bytes to_bytes() const;
+};
+
+/// Builds a simple response with Content-Length and Content-Type set.
+Response make_response(int status, std::string_view body,
+                       std::string_view content_type = "text/html");
+
+/// Standard reason phrase for a status code ("OK", "Not Found", ...).
+std::string reason_phrase(int status);
+
+/// One element of a Range header. first==-1 means a suffix range
+/// ("-500" = last 500 bytes); last==-1 means open-ended ("500-").
+struct ByteRange {
+  int64_t first = 0;
+  int64_t last = 0;
+};
+
+/// Parses a "bytes=a-b,c-d" Range header value. Returns nullopt when the
+/// value is not a syntactically valid byte-range set. NOTE: performs no
+/// bounds checking against any entity size — that is the server's job, and
+/// getting it wrong is exactly CVE-2017-7529 (see services/static_server).
+std::optional<std::vector<ByteRange>> parse_range_header(std::string_view v);
+
+}  // namespace rddr::http

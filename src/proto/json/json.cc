@@ -1,0 +1,264 @@
+#include "proto/json/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rddr::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void dump_number(std::string& out, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+void dump_value(std::string& out, const Value& v) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    dump_number(out, v.as_number());
+  } else if (v.is_string()) {
+    out.push_back('"');
+    out += escape(v.as_string());
+    out.push_back('"');
+  } else if (v.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const auto& e : v.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_value(out, e);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, e] : v.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('"');
+      out += escape(k);
+      out += "\":";
+      dump_value(out, e);
+    }
+    out.push_back('}');
+  }
+}
+
+class Parser {
+ public:
+  Parser(ByteView text, int max_depth) : s_(text), max_depth_(max_depth) {}
+
+  std::optional<Value> run() {
+    skip_ws();
+    auto v = parse_value(0);
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> parse_value(int depth) {
+    if (depth > max_depth_) return std::nullopt;
+    if (pos_ >= s_.size()) return std::nullopt;
+    char c = s_[pos_];
+    if (c == 'n') return literal("null") ? std::optional<Value>(Value(nullptr)) : std::nullopt;
+    if (c == 't') return literal("true") ? std::optional<Value>(Value(true)) : std::nullopt;
+    if (c == 'f') return literal("false") ? std::optional<Value>(Value(false)) : std::nullopt;
+    if (c == '"') return parse_string();
+    if (c == '[') return parse_array(depth);
+    if (c == '{') return parse_object(depth);
+    return parse_number();
+  }
+
+  std::optional<Value> parse_string() {
+    std::string out;
+    if (!consume('"')) return std::nullopt;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return Value(std::move(out));
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return std::nullopt;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              int d;
+              if (h >= '0' && h <= '9') d = h - '0';
+              else if (h >= 'a' && h <= 'f') d = h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') d = h - 'A' + 10;
+              else return std::nullopt;
+              code = code * 16 + static_cast<unsigned>(d);
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+            // emitted as-is in the replacement range).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> parse_number() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return std::nullopt;
+    std::string num(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return std::nullopt;
+    return Value(d);
+  }
+
+  std::optional<Value> parse_array(int depth) {
+    if (!consume('[')) return std::nullopt;
+    Array arr;
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    while (true) {
+      skip_ws();
+      auto v = parse_value(depth + 1);
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return Value(std::move(arr));
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parse_object(int depth) {
+    if (!consume('{')) return std::nullopt;
+    Object obj;
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      auto v = parse_value(depth + 1);
+      if (!v) return std::nullopt;
+      obj[key->as_string()] = std::move(*v);
+      skip_ws();
+      if (consume('}')) return Value(std::move(obj));
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  ByteView s_;
+  size_t pos_ = 0;
+  int max_depth_;
+};
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_value(out, *this);
+  return out;
+}
+
+std::optional<Value> parse(ByteView text, int max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+}  // namespace rddr::json

@@ -1,0 +1,76 @@
+// Minimal JSON value model, parser, and writer.
+//
+// Used by the RESTful library-variant services (paper §V-A) and by the RDDR
+// JSON protocol plugin, which diffs responses structurally (so key order is
+// not a spurious divergence).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rddr::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps members ordered by key, which makes writing canonical.
+using Object = std::map<std::string, Value>;
+
+/// A JSON value. Numbers are stored as double (sufficient for this repo's
+/// payloads); use `is_integer()` to check for integral values.
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}            // NOLINT
+  Value(bool b) : v_(b) {}                          // NOLINT
+  Value(double d) : v_(d) {}                        // NOLINT
+  Value(int i) : v_(static_cast<double>(i)) {}      // NOLINT
+  Value(int64_t i) : v_(static_cast<double>(i)) {}  // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}      // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}        // NOLINT
+  Value(Array a) : v_(std::move(a)) {}              // NOLINT
+  Value(Object o) : v_(std::move(o)) {}             // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_number() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  Array& as_array() { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+  Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object member access; returns nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+
+  /// Canonical serialization: object keys sorted (std::map order), no
+  /// whitespace, shortest-round-trip numbers.
+  std::string dump() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parses a JSON document. Returns nullopt on syntax error. Rejects
+/// trailing garbage. Depth-limited (default 64) against stack abuse.
+std::optional<Value> parse(ByteView text, int max_depth = 64);
+
+/// Escapes a string for embedding in JSON output.
+std::string escape(std::string_view s);
+
+}  // namespace rddr::json

@@ -1,0 +1,288 @@
+#include "proto/pgwire/pgwire.h"
+
+#include "common/strutil.h"
+
+namespace rddr::pg {
+
+namespace {
+
+constexpr uint32_t kProtocolVersion = 0x00030000;  // 3.0
+constexpr size_t kMaxMessageBytes = 64 * 1024 * 1024;
+
+void put_cstring(Bytes& out, std::string_view s) {
+  out.append(s);
+  out.push_back('\0');
+}
+
+/// Frames a typed message: type + length(payload + 4) + payload.
+Bytes frame(char type, ByteView payload) {
+  Bytes out;
+  out.push_back(type);
+  put_u32_be(out, static_cast<uint32_t>(payload.size() + 4));
+  out.append(payload);
+  return out;
+}
+
+/// Reads a NUL-terminated string starting at `pos`; advances pos past NUL.
+std::optional<std::string> read_cstring(ByteView b, size_t& pos) {
+  size_t nul = b.find('\0', pos);
+  if (nul == ByteView::npos) return std::nullopt;
+  std::string s(b.substr(pos, nul - pos));
+  pos = nul + 1;
+  return s;
+}
+
+}  // namespace
+
+MessageReader::MessageReader(bool expect_startup)
+    : expect_startup_(expect_startup) {}
+
+void MessageReader::feed(ByteView data) {
+  if (failed_) return;
+  buf_.append(data);
+  parse();
+}
+
+void MessageReader::parse() {
+  while (!failed_) {
+    if (expect_startup_) {
+      if (buf_.size() < 4) return;
+      uint32_t len = get_u32_be(buf_, 0);
+      if (len < 8 || len > kMaxMessageBytes) {
+        failed_ = true;
+        error_ = "bad startup packet length";
+        return;
+      }
+      if (buf_.size() < len) return;
+      Message m;
+      m.type = 0;
+      m.payload = buf_.substr(4, len - 4);
+      buf_.erase(0, len);
+      ready_.push_back(std::move(m));
+      expect_startup_ = false;
+      continue;
+    }
+    if (buf_.size() < 5) return;
+    char type = buf_[0];
+    uint32_t len = get_u32_be(buf_, 1);
+    if (len < 4 || len > kMaxMessageBytes) {
+      failed_ = true;
+      error_ = std::string("bad message length for type '") + type + "'";
+      return;
+    }
+    if (buf_.size() < 1 + len) return;
+    Message m;
+    m.type = type;
+    m.payload = buf_.substr(5, len - 4);
+    buf_.erase(0, 1 + len);
+    ready_.push_back(std::move(m));
+  }
+}
+
+std::vector<Message> MessageReader::take() {
+  std::vector<Message> out;
+  out.swap(ready_);
+  return out;
+}
+
+Bytes build_startup(const std::map<std::string, std::string>& params) {
+  Bytes payload;
+  put_u32_be(payload, kProtocolVersion);
+  for (const auto& [k, v] : params) {
+    put_cstring(payload, k);
+    put_cstring(payload, v);
+  }
+  payload.push_back('\0');
+  Bytes out;
+  put_u32_be(out, static_cast<uint32_t>(payload.size() + 4));
+  out.append(payload);
+  return out;
+}
+
+Bytes build_query(std::string_view sql) {
+  Bytes payload;
+  put_cstring(payload, sql);
+  return frame('Q', payload);
+}
+
+Bytes build_terminate() { return frame('X', {}); }
+
+Bytes build_auth_ok() {
+  Bytes payload;
+  put_u32_be(payload, 0);
+  return frame('R', payload);
+}
+
+Bytes build_parameter_status(std::string_view name, std::string_view value) {
+  Bytes payload;
+  put_cstring(payload, name);
+  put_cstring(payload, value);
+  return frame('S', payload);
+}
+
+Bytes build_backend_key_data(uint32_t pid, uint32_t secret) {
+  Bytes payload;
+  put_u32_be(payload, pid);
+  put_u32_be(payload, secret);
+  return frame('K', payload);
+}
+
+Bytes build_ready_for_query(char txn_status) {
+  Bytes payload(1, txn_status);
+  return frame('Z', payload);
+}
+
+Bytes build_row_description(const std::vector<std::string>& column_names) {
+  Bytes payload;
+  put_u16_be(payload, static_cast<uint16_t>(column_names.size()));
+  for (const auto& name : column_names) {
+    put_cstring(payload, name);
+    // table oid, column attnum, type oid, type size, type mod, format code —
+    // filled with the "unknown/text" defaults the real server uses for
+    // computed columns.
+    put_u32_be(payload, 0);
+    put_u16_be(payload, 0);
+    put_u32_be(payload, 25);  // TEXTOID
+    put_u16_be(payload, 0xffff);
+    put_u32_be(payload, 0xffffffff);
+    put_u16_be(payload, 0);
+  }
+  return frame('T', payload);
+}
+
+Bytes build_data_row(const std::vector<std::optional<std::string>>& columns) {
+  Bytes payload;
+  put_u16_be(payload, static_cast<uint16_t>(columns.size()));
+  for (const auto& col : columns) {
+    if (!col) {
+      put_u32_be(payload, 0xffffffff);  // -1 = NULL
+    } else {
+      put_u32_be(payload, static_cast<uint32_t>(col->size()));
+      payload.append(*col);
+    }
+  }
+  return frame('D', payload);
+}
+
+Bytes build_command_complete(std::string_view tag) {
+  Bytes payload;
+  put_cstring(payload, tag);
+  return frame('C', payload);
+}
+
+namespace {
+Bytes build_error_like(char type, std::string_view severity,
+                       std::string_view sqlstate, std::string_view message) {
+  Bytes payload;
+  payload.push_back('S');
+  put_cstring(payload, severity);
+  payload.push_back('C');
+  put_cstring(payload, sqlstate);
+  payload.push_back('M');
+  put_cstring(payload, message);
+  payload.push_back('\0');
+  return frame(type, payload);
+}
+}  // namespace
+
+Bytes build_error(std::string_view sqlstate, std::string_view message) {
+  return build_error_like('E', "ERROR", sqlstate, message);
+}
+
+Bytes build_notice(std::string_view message) {
+  return build_error_like('N', "NOTICE", "00000", message);
+}
+
+std::optional<std::map<std::string, std::string>> parse_startup(
+    ByteView payload) {
+  if (payload.size() < 4) return std::nullopt;
+  std::map<std::string, std::string> params;
+  size_t pos = 4;  // skip protocol version
+  while (pos < payload.size() && payload[pos] != '\0') {
+    auto k = read_cstring(payload, pos);
+    if (!k) return std::nullopt;
+    auto v = read_cstring(payload, pos);
+    if (!v) return std::nullopt;
+    params[*k] = *v;
+  }
+  return params;
+}
+
+std::optional<std::string> parse_query(ByteView payload) {
+  size_t pos = 0;
+  return read_cstring(payload, pos);
+}
+
+std::optional<std::vector<std::string>> parse_row_description(
+    ByteView payload) {
+  if (payload.size() < 2) return std::nullopt;
+  uint16_t n = get_u16_be(payload, 0);
+  size_t pos = 2;
+  std::vector<std::string> names;
+  for (uint16_t i = 0; i < n; ++i) {
+    auto name = read_cstring(payload, pos);
+    if (!name) return std::nullopt;
+    if (pos + 18 > payload.size()) return std::nullopt;
+    pos += 18;  // fixed-size field metadata
+    names.push_back(std::move(*name));
+  }
+  return names;
+}
+
+std::optional<std::vector<std::optional<std::string>>> parse_data_row(
+    ByteView payload) {
+  if (payload.size() < 2) return std::nullopt;
+  uint16_t n = get_u16_be(payload, 0);
+  size_t pos = 2;
+  std::vector<std::optional<std::string>> cols;
+  for (uint16_t i = 0; i < n; ++i) {
+    if (pos + 4 > payload.size()) return std::nullopt;
+    uint32_t len = get_u32_be(payload, pos);
+    pos += 4;
+    if (len == 0xffffffff) {
+      cols.push_back(std::nullopt);
+      continue;
+    }
+    if (pos + len > payload.size()) return std::nullopt;
+    cols.emplace_back(std::string(payload.substr(pos, len)));
+    pos += len;
+  }
+  return cols;
+}
+
+std::optional<ErrorFields> parse_error_fields(ByteView payload) {
+  ErrorFields out;
+  size_t pos = 0;
+  while (pos < payload.size() && payload[pos] != '\0') {
+    char field = payload[pos++];
+    auto v = read_cstring(payload, pos);
+    if (!v) return std::nullopt;
+    switch (field) {
+      case 'S': out.severity = *v; break;
+      case 'C': out.sqlstate = *v; break;
+      case 'M': out.message = *v; break;
+      default: break;  // unknown fields are legal; skip
+    }
+  }
+  return out;
+}
+
+std::string type_name(char type) {
+  switch (type) {
+    case 0: return "Startup";
+    case 'Q': return "Query";
+    case 'X': return "Terminate";
+    case 'R': return "Authentication";
+    case 'S': return "ParameterStatus";
+    case 'K': return "BackendKeyData";
+    case 'Z': return "ReadyForQuery";
+    case 'T': return "RowDescription";
+    case 'D': return "DataRow";
+    case 'C': return "CommandComplete";
+    case 'E': return "ErrorResponse";
+    case 'N': return "NoticeResponse";
+    default: return strformat("Unknown(%c)", type);
+  }
+}
+
+}  // namespace rddr::pg

@@ -1,0 +1,108 @@
+// Postgres-style wire protocol ("pgwire").
+//
+// Implements the framing and the message subset that the sqldb servers, the
+// RDDR pgwire plugin, and the workload drivers need. Framing follows the
+// real protocol (PostgreSQL docs ch. "Message Formats", cited by the paper):
+// a startup packet without a type byte, then `type(1) + length(4, includes
+// itself) + payload` messages in both directions.
+//
+// Backend message types used: R (Auth), S (ParameterStatus), K
+// (BackendKeyData), Z (ReadyForQuery), T (RowDescription), D (DataRow),
+// C (CommandComplete), E (ErrorResponse), N (NoticeResponse).
+// Frontend: startup, Q (Query), X (Terminate).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rddr::pg {
+
+/// A framed protocol message. `type == 0` denotes the (untyped) startup
+/// packet.
+struct Message {
+  char type = 0;
+  Bytes payload;
+
+  bool operator==(const Message&) const = default;
+};
+
+/// Incremental frame reader for one direction of a connection.
+class MessageReader {
+ public:
+  /// `expect_startup` — true for the server side of a fresh connection,
+  /// where the first packet has no type byte.
+  explicit MessageReader(bool expect_startup);
+
+  void feed(ByteView data);
+  std::vector<Message> take();
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  /// Not-yet-framed bytes (pass-through fallback after a framing failure).
+  const Bytes& unconsumed() const { return buf_; }
+
+ private:
+  void parse();
+
+  bool expect_startup_;
+  bool failed_ = false;
+  std::string error_;
+  Bytes buf_;
+  std::vector<Message> ready_;
+};
+
+// ---- Frontend builders ----
+
+/// Startup packet: protocol 3.0 + parameters (user, database, ...).
+Bytes build_startup(const std::map<std::string, std::string>& params);
+/// Simple query ('Q').
+Bytes build_query(std::string_view sql);
+/// Terminate ('X').
+Bytes build_terminate();
+
+// ---- Backend builders ----
+
+Bytes build_auth_ok();
+Bytes build_parameter_status(std::string_view name, std::string_view value);
+Bytes build_backend_key_data(uint32_t pid, uint32_t secret);
+Bytes build_ready_for_query(char txn_status = 'I');
+Bytes build_row_description(const std::vector<std::string>& column_names);
+/// DataRow; nullopt = SQL NULL.
+Bytes build_data_row(const std::vector<std::optional<std::string>>& columns);
+Bytes build_command_complete(std::string_view tag);
+Bytes build_error(std::string_view sqlstate, std::string_view message);
+Bytes build_notice(std::string_view message);
+
+// ---- Decoders (operate on Message::payload) ----
+
+/// Startup parameters (key/value pairs). Returns nullopt on malformed data.
+std::optional<std::map<std::string, std::string>> parse_startup(ByteView payload);
+
+/// SQL text of a Query message.
+std::optional<std::string> parse_query(ByteView payload);
+
+/// Column names from a RowDescription.
+std::optional<std::vector<std::string>> parse_row_description(ByteView payload);
+
+/// Column values (nullopt = NULL) from a DataRow.
+std::optional<std::vector<std::optional<std::string>>> parse_data_row(
+    ByteView payload);
+
+/// Severity/code/message fields of an ErrorResponse or NoticeResponse.
+struct ErrorFields {
+  std::string severity;
+  std::string sqlstate;
+  std::string message;
+};
+std::optional<ErrorFields> parse_error_fields(ByteView payload);
+
+/// Human-readable name for a message type (diagnostics).
+std::string type_name(char type);
+
+}  // namespace rddr::pg

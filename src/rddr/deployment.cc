@@ -1,0 +1,18 @@
+#include "rddr/deployment.h"
+
+namespace rddr::core {
+
+NVersionDeployment::NVersionDeployment(sim::Network& net,
+                                       sim::Host& proxy_host, Options options)
+    : bus_(net.simulator()) {
+  // Outgoing proxies first: instances may dial the backend as soon as the
+  // incoming proxy forwards them traffic.
+  for (auto& out_cfg : options.outgoing) {
+    outgoing_.push_back(
+        std::make_unique<OutgoingProxy>(net, proxy_host, out_cfg, &bus_));
+  }
+  incoming_ = std::make_unique<IncomingProxy>(net, proxy_host,
+                                              options.incoming, &bus_);
+}
+
+}  // namespace rddr::core

@@ -1,0 +1,43 @@
+// NVersionDeployment: wires the RDDR proxies around a protected
+// microservice's instances — the "add RDDR to a deployment" step the
+// paper reports taking about an hour of configuration (§V-C1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rddr/divergence.h"
+#include "rddr/incoming_proxy.h"
+#include "rddr/outgoing_proxy.h"
+
+namespace rddr::core {
+
+class NVersionDeployment {
+ public:
+  struct Options {
+    IncomingProxy::Config incoming;
+    /// Zero or more, one per distinct backend microservice the protected
+    /// service talks to (paper: "one proxy assigned for each distinct
+    /// microservice").
+    std::vector<OutgoingProxy::Config> outgoing;
+  };
+
+  /// All proxies run on `proxy_host` and share one DivergenceBus.
+  NVersionDeployment(sim::Network& net, sim::Host& proxy_host,
+                     Options options);
+
+  DivergenceBus& bus() { return bus_; }
+  IncomingProxy& incoming() { return *incoming_; }
+  OutgoingProxy& outgoing(size_t i = 0) { return *outgoing_.at(i); }
+  size_t outgoing_count() const { return outgoing_.size(); }
+
+  /// Total interventions across all proxies.
+  uint64_t divergences() const { return bus_.count(); }
+
+ private:
+  DivergenceBus bus_;
+  std::unique_ptr<IncomingProxy> incoming_;
+  std::vector<std::unique_ptr<OutgoingProxy>> outgoing_;
+};
+
+}  // namespace rddr::core

@@ -1,0 +1,50 @@
+// Divergence event bus.
+//
+// Every RDDR proxy guarding one protected microservice shares a bus: when
+// the outgoing request proxy detects divergence in backend-bound traffic,
+// the incoming proxy must also abort the client session (the information
+// leak must not reach the client even though it was caught behind the
+// instances). Tests and benches subscribe to count interventions.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/simulator.h"
+
+namespace rddr::core {
+
+struct DivergenceEvent {
+  sim::Time time = 0;
+  std::string proxy;    // reporting proxy's name
+  std::string reason;   // human-readable cause
+};
+
+class DivergenceBus {
+ public:
+  using Listener = std::function<void(const DivergenceEvent&)>;
+
+  explicit DivergenceBus(sim::Simulator& sim) : sim_(sim) {}
+
+  void subscribe(Listener l) { listeners_.push_back(std::move(l)); }
+
+  void report(std::string proxy, std::string reason) {
+    DivergenceEvent ev{sim_.now(), std::move(proxy), std::move(reason)};
+    events_.push_back(ev);
+    // Copy: listeners may subscribe re-entrantly.
+    auto listeners = listeners_;
+    for (auto& l : listeners) l(ev);
+  }
+
+  const std::vector<DivergenceEvent>& events() const { return events_; }
+  size_t count() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<Listener> listeners_;
+  std::vector<DivergenceEvent> events_;
+};
+
+}  // namespace rddr::core

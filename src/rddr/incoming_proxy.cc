@@ -1,0 +1,295 @@
+#include "rddr/incoming_proxy.h"
+
+#include <deque>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace rddr::core {
+
+struct IncomingProxy::Session {
+  uint64_t id = 0;
+  sim::ConnPtr client;
+  std::unique_ptr<StreamFramer> client_framer;
+  bool client_passthrough = false;
+
+  std::vector<sim::ConnPtr> upstreams;
+  std::vector<std::unique_ptr<StreamFramer>> upstream_framers;
+  std::vector<std::deque<Unit>> queues;
+  std::vector<bool> upstream_closed;
+
+  bool busy = false;          // a compare task is on the host
+  bool ended = false;
+  uint64_t timeout_event = 0; // pending instance-timeout event id
+  // Fingerprint of the most recent client unit (divergence attribution
+  // for the signature store). Pipelined requests make this approximate,
+  // which mirrors real signature generators.
+  uint64_t last_unit_fingerprint = 0;
+  bool has_fingerprint = false;
+};
+
+IncomingProxy::IncomingProxy(sim::Network& net, sim::Host& host,
+                             Config config, DivergenceBus* bus)
+    : net_(net), host_(host), config_(std::move(config)), bus_(bus) {
+  token_state_.n_instances = config_.instance_addresses.size();
+  token_state_.delete_tokens_after_use = config_.delete_tokens_after_use;
+  host_.charge_memory(config_.base_memory_bytes);
+  net_.listen(config_.listen_address,
+              [this](sim::ConnPtr c) { on_accept(std::move(c)); });
+  if (bus_) {
+    bus_->subscribe([this](const DivergenceEvent& ev) {
+      // A sibling proxy (the outgoing one) saw divergence: the client
+      // session must not receive whatever the instances produce next.
+      if (ev.proxy != config_.name)
+        abort_all_sessions("sibling proxy reported: " + ev.reason);
+    });
+  }
+}
+
+IncomingProxy::~IncomingProxy() {
+  net_.unlisten(config_.listen_address);
+  host_.release_memory(config_.base_memory_bytes);
+  for (auto& [id, s] : sessions_) {
+    if (s->timeout_event) net_.simulator().cancel(s->timeout_event);
+  }
+}
+
+void IncomingProxy::on_accept(sim::ConnPtr conn) {
+  auto s = std::make_shared<Session>();
+  s->id = next_session_id_++;
+  s->client = std::move(conn);
+  s->client_framer = config_.plugin->make_framer(Direction::kClientToServer);
+  ++stats_.sessions;
+
+  const size_t n = config_.instance_addresses.size();
+  s->queues.resize(n);
+  s->upstream_closed.resize(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    auto up = net_.connect(config_.instance_addresses[i],
+                           {.source = config_.name,
+                            .flow_label = strformat("in-%llu", static_cast<unsigned long long>(s->id))});
+    if (!up) {
+      RDDR_LOG_WARN("%s: instance %zu (%s) refused connection",
+                    config_.name.c_str(), i,
+                    config_.instance_addresses[i].c_str());
+      intervene(s, strformat("instance %zu unreachable", i), true);
+      return;
+    }
+    s->upstreams.push_back(up);
+    s->upstream_framers.push_back(
+        config_.plugin->make_framer(Direction::kServerToClient));
+  }
+  sessions_[s->id] = s;
+
+  for (size_t i = 0; i < n; ++i) {
+    auto up = s->upstreams[i];
+    up->set_on_data([this, s, i](ByteView data) {
+      if (s->ended) return;
+      auto& framer = *s->upstream_framers[i];
+      framer.feed(data);
+      if (framer.failed()) {
+        intervene(s, strformat("instance %zu response framing error", i),
+                  true);
+        return;
+      }
+      for (auto& u : framer.take()) s->queues[i].push_back(std::move(u));
+      arm_timeout(s);
+      pump(s);
+    });
+    up->set_on_close([this, s, i] {
+      if (s->ended) return;
+      s->upstream_closed[i] = true;
+      // Divergence-by-silence: another instance has queued output this
+      // one will never match.
+      pump(s);
+    });
+  }
+
+  s->client->set_on_data([this, s](ByteView data) {
+    if (s->ended) return;
+    if (s->client_passthrough) {
+      for (auto& up : s->upstreams) up->send(data);
+      return;
+    }
+    s->client_framer->feed(data);
+    if (s->client_framer->failed()) {
+      // The client speaks something our framer does not understand; fall
+      // back to raw replication so the instances decide (their responses
+      // are still diffed).
+      s->client_passthrough = true;
+      ++stats_.passthrough_sessions;
+      Bytes rest = s->client_framer->unconsumed();
+      for (auto& up : s->upstreams) up->send(rest);
+      return;
+    }
+    CompareContext ctx;
+    ctx.filter_pair = config_.filter_pair;
+    ctx.variance = &config_.variance;
+    ctx.session = &token_state_;
+    for (auto& u : s->client_framer->take()) {
+      if (config_.signature_blocking) {
+        uint64_t fp = std::hash<std::string>()(u.data);
+        auto hit = signatures_.find(fp);
+        if (hit != signatures_.end() &&
+            hit->second >= config_.signature_threshold) {
+          // Known-bad input: refuse at the proxy; the instances never see
+          // the request (the §IV-D repeated-divergence DoS mitigation).
+          ++stats_.signature_blocks;
+          RDDR_LOG_INFO("%s: refused request matching divergence signature",
+                        config_.name.c_str());
+          Bytes page = config_.plugin->intervention_response();
+          if (!page.empty() && s->client->is_open()) s->client->send(page);
+          teardown(s);
+          return;
+        }
+        s->last_unit_fingerprint = fp;
+        s->has_fingerprint = true;
+      }
+      ++stats_.units_replicated;
+      for (size_t i = 0; i < s->upstreams.size(); ++i) {
+        Bytes rewritten = config_.plugin->rewrite_for_instance(u, i, ctx);
+        s->upstreams[i]->send(rewritten);
+      }
+    }
+  });
+  s->client->set_on_close([this, s] {
+    if (s->ended) return;
+    teardown(s);
+  });
+}
+
+void IncomingProxy::arm_timeout(const std::shared_ptr<Session>& s) {
+  if (config_.instance_timeout <= 0 || s->ended) return;
+  bool some = false, all = true;
+  for (const auto& q : s->queues) {
+    if (q.empty()) all = false;
+    else some = true;
+  }
+  if (some && !all && !s->timeout_event) {
+    s->timeout_event = net_.simulator().schedule(
+        config_.instance_timeout, [this, s] {
+          s->timeout_event = 0;
+          if (s->ended) return;
+          bool still_waiting = false;
+          for (const auto& q : s->queues)
+            if (q.empty()) still_waiting = true;
+          if (still_waiting) {
+            ++stats_.timeouts;
+            intervene(s, "instance response timeout", true);
+          }
+        });
+  }
+}
+
+void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
+  if (s->busy || s->ended) return;
+  bool all_ready = true;
+  bool any_ready = false;
+  for (size_t i = 0; i < s->queues.size(); ++i) {
+    if (s->queues[i].empty()) {
+      all_ready = false;
+      if (s->upstream_closed[i]) {
+        // This instance is gone. If a peer has produced output, the
+        // deployment has diverged; if nobody has anything pending, the
+        // close is a normal end-of-session — propagate it.
+        bool peer_has_output = false;
+        for (const auto& q : s->queues)
+          if (!q.empty()) peer_has_output = true;
+        if (peer_has_output) {
+          intervene(s,
+                    strformat("instance %zu closed while peers responded", i),
+                    true);
+        } else {
+          bool all_closed = true;
+          for (bool c : s->upstream_closed)
+            if (!c) all_closed = false;
+          if (all_closed) teardown(s);
+        }
+        return;
+      }
+    } else {
+      any_ready = true;
+    }
+  }
+  (void)any_ready;
+  if (!all_ready) return;
+
+  if (s->timeout_event) {
+    net_.simulator().cancel(s->timeout_event);
+    s->timeout_event = 0;
+  }
+
+  auto units = std::make_shared<std::vector<Unit>>();
+  size_t bytes = 0;
+  for (auto& q : s->queues) {
+    bytes += q.front().data.size();
+    units->push_back(std::move(q.front()));
+    q.pop_front();
+  }
+  s->busy = true;
+  double cost = config_.cpu_per_unit +
+                static_cast<double>(bytes) * config_.cpu_per_byte;
+  host_.run_task(cost, [this, s, units] {
+    s->busy = false;
+    if (s->ended) return;
+    ++stats_.units_compared;
+    CompareContext ctx;
+    ctx.filter_pair = config_.filter_pair;
+    ctx.variance = &config_.variance;
+    ctx.session = &token_state_;
+    DiffOutcome outcome = config_.plugin->compare(*units, ctx);
+    if (outcome.divergent) {
+      intervene(s, outcome.reason, true);
+      return;
+    }
+    Bytes fwd = config_.plugin->on_forward_downstream(*units, ctx);
+    if (s->client->is_open()) s->client->send(fwd);
+    pump(s);
+    arm_timeout(s);
+  });
+}
+
+void IncomingProxy::intervene(const std::shared_ptr<Session>& s,
+                              const std::string& reason, bool report) {
+  if (s->ended) return;
+  ++stats_.divergences;
+  RDDR_LOG_INFO("%s: intervention on session %llu: %s", config_.name.c_str(),
+                static_cast<unsigned long long>(s->id), reason.c_str());
+  if (config_.signature_blocking && s->has_fingerprint)
+    ++signatures_[s->last_unit_fingerprint];
+  if (report && bus_) bus_->report(config_.name, reason);
+  Bytes page = config_.plugin->intervention_response();
+  if (!page.empty() && s->client && s->client->is_open())
+    s->client->send(page);
+  teardown(s);
+}
+
+void IncomingProxy::teardown(const std::shared_ptr<Session>& s) {
+  if (s->ended) return;
+  s->ended = true;
+  if (s->timeout_event) {
+    net_.simulator().cancel(s->timeout_event);
+    s->timeout_event = 0;
+  }
+  if (s->client && s->client->is_open()) s->client->close();
+  for (auto& up : s->upstreams)
+    if (up && up->is_open()) up->close();
+  sessions_.erase(s->id);
+}
+
+void IncomingProxy::abort_all_sessions(const std::string& reason) {
+  // Copy ids: teardown mutates the map.
+  std::vector<std::shared_ptr<Session>> active;
+  for (auto& [id, s] : sessions_) active.push_back(s);
+  for (auto& s : active) {
+    ++stats_.divergences;
+    Bytes page = config_.plugin->intervention_response();
+    if (!page.empty() && s->client && s->client->is_open())
+      s->client->send(page);
+    RDDR_LOG_INFO("%s: aborting session %llu: %s", config_.name.c_str(),
+                  static_cast<unsigned long long>(s->id), reason.c_str());
+    teardown(s);
+  }
+}
+
+}  // namespace rddr::core

@@ -1,0 +1,103 @@
+// RDDR Incoming Request Proxy (paper §IV-B).
+//
+// Listens on the protected service's public address. Per client
+// connection it: Replicates each request unit to the N instances (after
+// per-instance ephemeral-token rewriting), collects the k-th response
+// unit from every instance, De-noises via the filter pair, Diffs via the
+// protocol plugin, and Responds — forwarding instance 0's bytes on
+// agreement, or emitting the intervention response and closing everything
+// on divergence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "rddr/divergence.h"
+#include "rddr/plugin.h"
+
+namespace rddr::core {
+
+struct ProxyStats {
+  uint64_t sessions = 0;
+  uint64_t units_replicated = 0;  // client->instances units
+  uint64_t units_compared = 0;    // instance->client comparisons
+  uint64_t divergences = 0;
+  uint64_t timeouts = 0;
+  uint64_t passthrough_sessions = 0;
+  uint64_t signature_blocks = 0;  // requests refused by known signature
+};
+
+class IncomingProxy {
+ public:
+  struct Config {
+    std::string name = "rddr-in";
+    std::string listen_address;
+    /// Addresses of the N protected-microservice instances. With
+    /// `filter_pair`, instances 0 and 1 must be the identical-image pair.
+    std::vector<std::string> instance_addresses;
+    std::shared_ptr<ProtocolPlugin> plugin;
+    KnownVariance variance;
+    bool filter_pair = false;
+    bool delete_tokens_after_use = true;
+    /// 0 disables the per-unit instance timeout — reproducing the paper's
+    /// §IV-D DoS limitation; a positive value is the suggested mitigation.
+    sim::Time instance_timeout = 0;
+    /// §IV-D's other suggested mitigation ("automated signature
+    /// generation to defeat an attacker who repetitively triggers
+    /// divergence"): when enabled, the client request that preceded a
+    /// divergence is fingerprinted, and once a fingerprint has triggered
+    /// `signature_threshold` divergences, matching requests are refused at
+    /// the proxy without ever reaching the instances.
+    bool signature_blocking = false;
+    uint32_t signature_threshold = 1;
+    /// CPU model for the de-noise+diff work.
+    double cpu_per_unit = 15e-6;
+    double cpu_per_byte = 2e-9;
+    int64_t base_memory_bytes = 24LL << 20;
+  };
+
+  IncomingProxy(sim::Network& net, sim::Host& host, Config config,
+                DivergenceBus* bus = nullptr);
+  ~IncomingProxy();
+  IncomingProxy(const IncomingProxy&) = delete;
+  IncomingProxy& operator=(const IncomingProxy&) = delete;
+
+  const ProxyStats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+  /// Aborts every active session with the intervention response (invoked
+  /// via the DivergenceBus when a sibling proxy detects divergence).
+  void abort_all_sessions(const std::string& reason);
+
+ private:
+  struct Session;
+  void on_accept(sim::ConnPtr conn);
+  void pump(const std::shared_ptr<Session>& s);
+  void intervene(const std::shared_ptr<Session>& s, const std::string& reason,
+                 bool report);
+  void teardown(const std::shared_ptr<Session>& s);
+  void arm_timeout(const std::shared_ptr<Session>& s);
+
+  sim::Network& net_;
+  sim::Host& host_;
+  Config config_;
+  DivergenceBus* bus_;
+  ProxyStats stats_;
+  /// Ephemeral-token table. Proxy-global (not per client connection):
+  /// tokens are issued on one connection and presented on another (a
+  /// browser does not pin CSRF round-trips to a socket), and values are
+  /// globally unique, so a flat map is safe.
+  SessionState token_state_;
+  /// Divergence signatures: request fingerprint -> times it preceded a
+  /// divergence (the §IV-D DoS mitigation).
+  std::map<uint64_t, uint32_t> signatures_;
+  uint64_t next_session_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace rddr::core

@@ -1,0 +1,160 @@
+#include "rddr/noise.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strutil.h"
+
+namespace rddr::core {
+
+size_t common_prefix(std::string_view a, std::string_view b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+size_t common_suffix(std::string_view a, std::string_view b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[a.size() - 1 - i] == b[b.size() - 1 - i]) ++i;
+  return i;
+}
+
+NoiseMask build_noise_mask(const std::vector<std::string>& pair_a,
+                           const std::vector<std::string>& pair_b) {
+  NoiseMask mask;
+  if (pair_a.size() != pair_b.size()) {
+    mask.structural_noise = true;
+    return mask;
+  }
+  mask.lines.resize(pair_a.size());
+  for (size_t i = 0; i < pair_a.size(); ++i) {
+    const std::string& a = pair_a[i];
+    const std::string& b = pair_b[i];
+    if (a == b) continue;
+    LineMask lm;
+    lm.prefix = common_prefix(a, b);
+    lm.suffix = common_suffix(a, b);
+    // Prefix and suffix may overlap when one line nearly contains the
+    // other; clamp so they describe disjoint regions of the shorter line.
+    size_t min_len = std::min(a.size(), b.size());
+    if (lm.prefix + lm.suffix > min_len) lm.suffix = min_len - lm.prefix;
+    // Widen the noise region to alphanumeric-run boundaries: tokens are
+    // alnum runs, and two random tokens can share their first/last
+    // characters by chance — without widening, that chance agreement
+    // would be enforced on every other instance (a false positive).
+    while (lm.prefix > 0 &&
+           std::isalnum(static_cast<unsigned char>(a[lm.prefix - 1])))
+      --lm.prefix;
+    while (lm.suffix > 0 &&
+           std::isalnum(static_cast<unsigned char>(a[a.size() - lm.suffix])))
+      --lm.suffix;
+    mask.lines[i] = lm;
+  }
+  return mask;
+}
+
+std::optional<std::string> masked_compare(
+    const std::vector<std::string>& reference,
+    const std::vector<std::string>& candidate, const NoiseMask& mask) {
+  if (mask.structural_noise) {
+    // The pair itself disagreed structurally; per the paper's assumption
+    // we can only hold other instances to the same gross shape.
+    if (candidate.size() != reference.size())
+      return strformat("line count %zu != %zu under structural noise",
+                       candidate.size(), reference.size());
+    return std::nullopt;
+  }
+  if (candidate.size() != reference.size())
+    return strformat("line count %zu != %zu", candidate.size(),
+                     reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const std::string& ref = reference[i];
+    const std::string& cand = candidate[i];
+    if (!mask.lines[i]) {
+      if (cand != ref)
+        return strformat("line %zu differs: '%.80s' vs '%.80s'", i,
+                         ref.c_str(), cand.c_str());
+      continue;
+    }
+    const LineMask& lm = *mask.lines[i];
+    if (cand.size() < lm.prefix + lm.suffix)
+      return strformat("line %zu shorter than noise frame", i);
+    if (ByteView(cand).substr(0, lm.prefix) !=
+        ByteView(ref).substr(0, lm.prefix))
+      return strformat("line %zu prefix differs outside noise region", i);
+    if (lm.suffix > 0 &&
+        ByteView(cand).substr(cand.size() - lm.suffix) !=
+            ByteView(ref).substr(ref.size() - lm.suffix))
+      return strformat("line %zu suffix differs outside noise region", i);
+  }
+  return std::nullopt;
+}
+
+std::vector<EphemeralToken> detect_ephemeral_tokens(
+    const std::vector<std::vector<std::string>>& instance_lines) {
+  std::vector<EphemeralToken> out;
+  if (instance_lines.size() < 2) return out;
+  const size_t n = instance_lines.size();
+  const size_t line_count = instance_lines[0].size();
+  for (size_t i = 1; i < n; ++i)
+    if (instance_lines[i].size() != line_count) return out;
+
+  for (size_t li = 0; li < line_count; ++li) {
+    // "Lines that differ across all instances": every instance's line is
+    // distinct from every other's.
+    bool all_differ = true;
+    for (size_t a = 0; a < n && all_differ; ++a)
+      for (size_t b = a + 1; b < n && all_differ; ++b)
+        if (instance_lines[a][li] == instance_lines[b][li]) all_differ = false;
+    if (!all_differ) continue;
+
+    // Character range that differs: common prefix/suffix over ALL lines.
+    size_t p = instance_lines[0][li].size();
+    size_t s = instance_lines[0][li].size();
+    for (size_t a = 1; a < n; ++a) {
+      p = std::min(p, common_prefix(instance_lines[0][li],
+                                    instance_lines[a][li]));
+      s = std::min(s, common_suffix(instance_lines[0][li],
+                                    instance_lines[a][li]));
+    }
+    // Widen to alnum-run boundaries (chance agreement between random
+    // tokens must not truncate the captured token).
+    const std::string& l0 = instance_lines[0][li];
+    while (p > 0 && std::isalnum(static_cast<unsigned char>(l0[p - 1]))) --p;
+    while (s > 0 &&
+           std::isalnum(static_cast<unsigned char>(l0[l0.size() - s])))
+      --s;
+    EphemeralToken token;
+    token.per_instance.resize(n);
+    bool ok = true;
+    for (size_t a = 0; a < n && ok; ++a) {
+      const std::string& line = instance_lines[a][li];
+      size_t sfx = s;
+      if (p + sfx > line.size()) {
+        if (p > line.size()) {
+          ok = false;
+          break;
+        }
+        sfx = line.size() - p;
+      }
+      std::string candidate = line.substr(p, line.size() - p - sfx);
+      // Paper's empirically-determined criterion: alphanumeric, >= 10.
+      if (candidate.size() < 10) {
+        ok = false;
+        break;
+      }
+      for (char c : candidate)
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          ok = false;
+          break;
+        }
+      token.per_instance[a] = std::move(candidate);
+    }
+    if (ok) out.push_back(std::move(token));
+  }
+  return out;
+}
+
+}  // namespace rddr::core

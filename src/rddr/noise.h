@@ -1,0 +1,65 @@
+// De-noising and ephemeral-token detection (paper §IV-B2, §IV-B3).
+//
+// Line-oriented masked comparison: the filter pair (instances 0 and 1,
+// identical images) is compared line by line; where the pair disagrees,
+// the differing region — delimited by the pair's common prefix/suffix —
+// is marked as noise and excluded when every other instance is compared
+// against instance 0. Prefix/suffix masking (rather than fixed character
+// ranges) keeps the mask valid when tokens differ in length.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rddr/plugin.h"
+
+namespace rddr::core {
+
+/// Noise mask for one line: enforce the first `prefix` and last `suffix`
+/// characters; ignore the middle.
+struct LineMask {
+  size_t prefix = 0;
+  size_t suffix = 0;
+  bool whole_line_noise = false;  // pair differed beyond recoverable shape
+};
+
+/// Mask over a whole message body.
+struct NoiseMask {
+  /// One entry per line of instance 0's body; absent entry = exact match
+  /// required.
+  std::vector<std::optional<LineMask>> lines;
+  /// The pair disagreed structurally (different line counts); per the
+  /// paper's assumption all pair divergence is benign, so comparison
+  /// degrades to structural checks only.
+  bool structural_noise = false;
+};
+
+/// Builds the mask from the filter pair's lines (instance 0 vs 1).
+NoiseMask build_noise_mask(const std::vector<std::string>& pair_a,
+                           const std::vector<std::string>& pair_b);
+
+/// Compares candidate lines against reference (instance 0) lines under the
+/// mask. Returns a human-readable divergence reason, or nullopt when they
+/// match.
+std::optional<std::string> masked_compare(
+    const std::vector<std::string>& reference,
+    const std::vector<std::string>& candidate, const NoiseMask& mask);
+
+/// A detected ephemeral token (paper §IV-B3): per-instance values of an
+/// alphanumeric run of length >= 10 that differs across ALL instances.
+struct EphemeralToken {
+  std::vector<std::string> per_instance;  // [i] = instance i's value
+};
+
+/// Scans aligned lines from all N instances for ephemeral tokens using the
+/// paper's empirically-chosen criterion (alphanumeric, >= 10 chars).
+std::vector<EphemeralToken> detect_ephemeral_tokens(
+    const std::vector<std::vector<std::string>>& instance_lines);
+
+/// Longest common prefix length of two strings.
+size_t common_prefix(std::string_view a, std::string_view b);
+/// Longest common suffix length of two strings.
+size_t common_suffix(std::string_view a, std::string_view b);
+
+}  // namespace rddr::core

@@ -1,0 +1,288 @@
+#include "rddr/outgoing_proxy.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace rddr::core {
+
+struct OutgoingProxy::Group {
+  uint64_t id = 0;
+  std::string flow_label;
+  std::vector<sim::ConnPtr> members;                       // instance conns
+  std::vector<std::unique_ptr<StreamFramer>> framers;      // per member
+  std::vector<std::deque<Unit>> queues;
+  std::vector<bool> member_closed;
+  sim::ConnPtr backend;
+  bool complete = false;
+  bool busy = false;
+  bool ended = false;
+  uint64_t window_event = 0;
+  uint64_t unit_timeout_event = 0;
+  SessionState state;  // unused by current plugins upstream, kept uniform
+};
+
+OutgoingProxy::OutgoingProxy(sim::Network& net, sim::Host& host,
+                             Config config, DivergenceBus* bus)
+    : net_(net), host_(host), config_(std::move(config)), bus_(bus) {
+  host_.charge_memory(config_.base_memory_bytes);
+  net_.listen(config_.listen_address,
+              [this](sim::ConnPtr c) { on_accept(std::move(c)); });
+}
+
+OutgoingProxy::~OutgoingProxy() {
+  net_.unlisten(config_.listen_address);
+  host_.release_memory(config_.base_memory_bytes);
+  for (auto& [id, g] : groups_) {
+    if (g->window_event) net_.simulator().cancel(g->window_event);
+    if (g->unit_timeout_event) net_.simulator().cancel(g->unit_timeout_event);
+  }
+}
+
+void OutgoingProxy::on_accept(sim::ConnPtr conn) {
+  const std::string& label = conn->meta().flow_label;
+  // Join the first incomplete group with this label, else start one.
+  std::shared_ptr<Group> g;
+  for (auto& [id, grp] : groups_) {
+    if (grp->flow_label == label && !grp->complete && !grp->ended) {
+      g = grp;
+      break;
+    }
+  }
+  if (!g) {
+    g = std::make_shared<Group>();
+    g->id = next_group_id_++;
+    g->flow_label = label;
+    groups_[g->id] = g;
+    ++stats_.sessions;
+    g->window_event = net_.simulator().schedule(
+        config_.group_window, [this, g] {
+          g->window_event = 0;
+          if (!g->complete && !g->ended) {
+            ++stats_.timeouts;
+            intervene(g, strformat("flow '%s': only %zu of %zu instances "
+                                   "contacted the backend",
+                                   g->flow_label.c_str(), g->members.size(),
+                                   config_.group_size));
+          }
+        });
+  }
+
+  size_t idx = g->members.size();
+  g->members.push_back(conn);
+  g->framers.push_back(config_.plugin->make_framer(Direction::kClientToServer));
+  g->queues.emplace_back();
+  g->member_closed.push_back(false);
+
+  conn->set_on_data([this, g, idx](ByteView data) {
+    if (g->ended) return;
+    auto& framer = *g->framers[idx];
+    framer.feed(data);
+    if (framer.failed()) {
+      intervene(g, strformat("instance %zu request framing error", idx));
+      return;
+    }
+    for (auto& u : framer.take()) g->queues[idx].push_back(std::move(u));
+    pump(g);
+  });
+  conn->set_on_close([this, g, idx] {
+    if (g->ended) return;
+    g->member_closed[idx] = true;
+    bool all_closed = true;
+    for (size_t i = 0; i < g->member_closed.size(); ++i)
+      if (!g->member_closed[i]) all_closed = false;
+    if (all_closed && g->members.size() == config_.group_size) {
+      teardown(g);
+      return;
+    }
+    pump(g);
+  });
+
+  if (g->members.size() == config_.group_size) complete_group(g);
+}
+
+void OutgoingProxy::complete_group(const std::shared_ptr<Group>& g) {
+  g->complete = true;
+  if (g->window_event) {
+    net_.simulator().cancel(g->window_event);
+    g->window_event = 0;
+  }
+  // Pin instance order when sources are configured (filter pair slots).
+  if (!config_.instance_sources.empty()) {
+    std::vector<size_t> order;
+    for (const auto& want : config_.instance_sources) {
+      for (size_t i = 0; i < g->members.size(); ++i) {
+        if (g->members[i]->meta().source == want) {
+          order.push_back(i);
+          break;
+        }
+      }
+    }
+    if (order.size() == g->members.size()) {
+      std::vector<sim::ConnPtr> members;
+      std::vector<std::unique_ptr<StreamFramer>> framers;
+      std::vector<std::deque<Unit>> queues;
+      std::vector<bool> closed;
+      for (size_t i : order) {
+        members.push_back(g->members[i]);
+        framers.push_back(std::move(g->framers[i]));
+        queues.push_back(std::move(g->queues[i]));
+        closed.push_back(g->member_closed[i]);
+      }
+      // Re-register handlers with the new slot indices.
+      g->members = std::move(members);
+      g->framers = std::move(framers);
+      g->queues = std::move(queues);
+      g->member_closed = std::move(closed);
+      for (size_t i = 0; i < g->members.size(); ++i) {
+        auto conn = g->members[i];
+        conn->set_on_data([this, g, i](ByteView data) {
+          if (g->ended) return;
+          auto& framer = *g->framers[i];
+          framer.feed(data);
+          if (framer.failed()) {
+            intervene(g, strformat("instance %zu request framing error", i));
+            return;
+          }
+          for (auto& u : framer.take()) g->queues[i].push_back(std::move(u));
+          pump(g);
+        });
+        conn->set_on_close([this, g, i] {
+          if (g->ended) return;
+          g->member_closed[i] = true;
+          bool all_closed = true;
+          for (bool c : g->member_closed)
+            if (!c) all_closed = false;
+          if (all_closed) teardown(g);
+          else pump(g);
+        });
+      }
+    }
+  }
+
+  g->backend = net_.connect(config_.backend_address,
+                            {.source = config_.name,
+                             .flow_label = g->flow_label});
+  if (!g->backend) {
+    intervene(g, "backend unreachable: " + config_.backend_address);
+    return;
+  }
+  // Backend responses are replicated verbatim to every instance.
+  g->backend->set_on_data([g](ByteView data) {
+    for (auto& m : g->members)
+      if (m->is_open()) m->send(data);
+  });
+  g->backend->set_on_close([this, g] {
+    if (!g->ended) teardown(g);
+  });
+  pump(g);
+}
+
+void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
+  if (!g->complete || g->busy || g->ended) return;
+  bool all_ready = true;
+  bool any_ready = false;
+  for (size_t i = 0; i < g->queues.size(); ++i) {
+    if (g->queues[i].empty()) {
+      all_ready = false;
+      if (g->member_closed[i]) {
+        bool peer_has_output = false;
+        for (const auto& q : g->queues)
+          if (!q.empty()) peer_has_output = true;
+        if (peer_has_output) {
+          intervene(g, strformat("instance %zu closed while peers kept "
+                                 "sending to the backend",
+                                 i));
+          return;
+        }
+      }
+    } else {
+      any_ready = true;
+    }
+  }
+  if (!all_ready) {
+    // Divergence-by-silence guard (§IV-D): some instance has a request
+    // pending while a sibling stays quiet.
+    if (any_ready && config_.unit_timeout > 0 && !g->unit_timeout_event) {
+      g->unit_timeout_event =
+          net_.simulator().schedule(config_.unit_timeout, [this, g] {
+            g->unit_timeout_event = 0;
+            if (g->ended) return;
+            bool still_waiting = false;
+            bool still_have = false;
+            for (const auto& q : g->queues) {
+              if (q.empty()) still_waiting = true;
+              else still_have = true;
+            }
+            if (still_waiting && still_have) {
+              ++stats_.timeouts;
+              intervene(g, "instance request timeout at the backend merge");
+            }
+          });
+    }
+    return;
+  }
+  if (g->unit_timeout_event) {
+    net_.simulator().cancel(g->unit_timeout_event);
+    g->unit_timeout_event = 0;
+  }
+  auto units = std::make_shared<std::vector<Unit>>();
+  size_t bytes = 0;
+  for (auto& q : g->queues) {
+    bytes += q.front().data.size();
+    units->push_back(std::move(q.front()));
+    q.pop_front();
+  }
+  g->busy = true;
+  double cost = config_.cpu_per_unit +
+                static_cast<double>(bytes) * config_.cpu_per_byte;
+  host_.run_task(cost, [this, g, units] {
+    g->busy = false;
+    if (g->ended) return;
+    ++stats_.units_compared;
+    CompareContext ctx;
+    ctx.filter_pair = config_.filter_pair;
+    ctx.variance = &config_.variance;
+    ctx.session = &g->state;
+    DiffOutcome outcome = config_.plugin->compare(*units, ctx);
+    if (outcome.divergent) {
+      intervene(g, outcome.reason);
+      return;
+    }
+    ++stats_.units_replicated;
+    if (g->backend && g->backend->is_open())
+      g->backend->send((*units)[0].data);
+    pump(g);
+  });
+}
+
+void OutgoingProxy::intervene(const std::shared_ptr<Group>& g,
+                              const std::string& reason) {
+  if (g->ended) return;
+  ++stats_.divergences;
+  RDDR_LOG_INFO("%s: intervention on flow '%s': %s", config_.name.c_str(),
+                g->flow_label.c_str(), reason.c_str());
+  if (bus_) bus_->report(config_.name, reason);
+  teardown(g);
+}
+
+void OutgoingProxy::teardown(const std::shared_ptr<Group>& g) {
+  if (g->ended) return;
+  g->ended = true;
+  if (g->window_event) {
+    net_.simulator().cancel(g->window_event);
+    g->window_event = 0;
+  }
+  if (g->unit_timeout_event) {
+    net_.simulator().cancel(g->unit_timeout_event);
+    g->unit_timeout_event = 0;
+  }
+  for (auto& m : g->members)
+    if (m && m->is_open()) m->close();
+  if (g->backend && g->backend->is_open()) g->backend->close();
+  groups_.erase(g->id);
+}
+
+}  // namespace rddr::core

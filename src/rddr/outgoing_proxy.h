@@ -1,0 +1,81 @@
+// RDDR Outgoing Request Proxy (paper §IV-B).
+//
+// The dual of the incoming proxy: the N instances of the protected
+// microservice each open what they believe is a connection to a backend
+// microservice; this proxy groups those N connections (by flow label),
+// diffs each request unit across the group, forwards ONE copy to the real
+// backend, and fans the backend's response bytes back to every instance.
+// Divergence (including an instance that never dials in before the group
+// window expires) is reported on the DivergenceBus so the incoming proxy
+// can abort the client session.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "rddr/divergence.h"
+#include "rddr/incoming_proxy.h"  // ProxyStats
+#include "rddr/plugin.h"
+
+namespace rddr::core {
+
+class OutgoingProxy {
+ public:
+  struct Config {
+    std::string name = "rddr-out";
+    /// Address the instances dial (their configured "backend").
+    std::string listen_address;
+    /// The real backend microservice.
+    std::string backend_address;
+    /// Number of instances expected per flow group (N).
+    size_t group_size = 3;
+    std::shared_ptr<ProtocolPlugin> plugin;
+    KnownVariance variance;
+    bool filter_pair = false;
+    /// If the group is still incomplete this long after its first member
+    /// connected, that is divergence-by-absence (e.g. one proxy variant
+    /// refused the request the others forwarded).
+    sim::Time group_window = 100 * sim::kMillisecond;
+    /// Per-unit wait for lagging instances (0 = off, the paper's DoS
+    /// limitation).
+    sim::Time unit_timeout = 0;
+    double cpu_per_unit = 15e-6;
+    double cpu_per_byte = 2e-9;
+    int64_t base_memory_bytes = 16LL << 20;
+    /// Optional: pin instance order by ConnectMeta::source so the filter
+    /// pair occupies slots 0 and 1 regardless of arrival order.
+    std::vector<std::string> instance_sources;
+  };
+
+  OutgoingProxy(sim::Network& net, sim::Host& host, Config config,
+                DivergenceBus* bus = nullptr);
+  ~OutgoingProxy();
+  OutgoingProxy(const OutgoingProxy&) = delete;
+  OutgoingProxy& operator=(const OutgoingProxy&) = delete;
+
+  const ProxyStats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct Group;
+  void on_accept(sim::ConnPtr conn);
+  void pump(const std::shared_ptr<Group>& g);
+  void complete_group(const std::shared_ptr<Group>& g);
+  void intervene(const std::shared_ptr<Group>& g, const std::string& reason);
+  void teardown(const std::shared_ptr<Group>& g);
+
+  sim::Network& net_;
+  sim::Host& host_;
+  Config config_;
+  DivergenceBus* bus_;
+  ProxyStats stats_;
+  uint64_t next_group_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<Group>> groups_;
+};
+
+}  // namespace rddr::core

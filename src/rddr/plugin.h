@@ -1,0 +1,126 @@
+// RDDR protocol plugin interface (paper §IV-B1).
+//
+// "Support for application layer protocols is implemented by modules that
+// comply with a standard interface" — this is that interface. A plugin
+// supplies (a) stream framers that cut each direction of a connection into
+// comparable units, (b) the differencing logic (with de-noising and
+// known-variance rules), (c) ephemeral-state handling (CSRF token capture
+// and per-instance restore), and (d) the intervention response emitted to
+// the client when RDDR blocks.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rddr::core {
+
+/// One comparable protocol unit (an HTTP message, a pgwire message, a
+/// line, ...). `data` is the exact wire form, suitable for forwarding.
+struct Unit {
+  Bytes data;
+  /// Protocol-specific tag for quick structural checks ("http", "pg:Q",
+  /// "pg:D", "line", ...). Units with different kinds always diverge.
+  std::string kind;
+};
+
+/// Cuts one direction of a byte stream into Units. Implementations wrap
+/// the proto parsers. After `failed()`, `unconsumed()` returns the bytes
+/// the framer could not interpret; proxies fall back to pass-through.
+class StreamFramer {
+ public:
+  virtual ~StreamFramer() = default;
+  virtual void feed(ByteView data) = 0;
+  virtual std::vector<Unit> take() = 0;
+  virtual bool failed() const = 0;
+  virtual Bytes unconsumed() const = 0;
+};
+
+/// Which way a framer faces.
+enum class Direction {
+  kClientToServer,  // requests (replicated / merged)
+  kServerToClient,  // responses (diffed)
+};
+
+/// Manually configured benign divergence (paper §IV-B4). Deterministic
+/// differences that de-noising cannot learn (the filter pair agrees on
+/// them) are declared here.
+struct KnownVariance {
+  /// pgwire ParameterStatus names whose values may differ (e.g.
+  /// "server_version" when running version diversity).
+  std::vector<std::string> pg_ignore_params = {"server_version",
+                                               "application_name"};
+  /// BackendKeyData is always instance-specific.
+  bool pg_ignore_backend_key = true;
+  /// HTTP headers whose values may differ across implementations.
+  std::vector<std::string> http_ignore_headers = {"Server", "Date"};
+  /// Body lines starting with any of these prefixes are skipped entirely
+  /// (e.g. a version banner in a health endpoint).
+  std::vector<std::string> http_ignore_line_prefixes;
+};
+
+/// Per-client-session state shared between compare/forward/rewrite calls.
+/// Most importantly holds the ephemeral-token table: canonical value (the
+/// forwarded instance-0 token) -> each instance's own value.
+struct SessionState {
+  size_t n_instances = 0;
+  /// canonical token -> per-instance tokens ([i] for instance i).
+  std::map<std::string, std::vector<std::string>> tokens;
+  /// Tokens are deleted after one use (paper §IV-B3); the DVWA session
+  /// cookie style of reuse can disable this.
+  bool delete_tokens_after_use = true;
+};
+
+struct DiffOutcome {
+  bool divergent = false;
+  std::string reason;
+};
+
+/// Context for one compare call.
+struct CompareContext {
+  /// Instances 0 and 1 are an identical-image filter pair whose mutual
+  /// differences are treated as nondeterministic noise (paper §IV-B2).
+  bool filter_pair = false;
+  const KnownVariance* variance = nullptr;
+  SessionState* session = nullptr;
+};
+
+class ProtocolPlugin {
+ public:
+  virtual ~ProtocolPlugin() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual std::unique_ptr<StreamFramer> make_framer(Direction dir) const = 0;
+
+  /// Diffs the k-th unit from every instance (units.size() == N).
+  virtual DiffOutcome compare(const std::vector<Unit>& units,
+                              const CompareContext& ctx) const = 0;
+
+  /// Called after a successful compare, before forwarding instance 0's
+  /// unit to the client. May harvest ephemeral tokens into the session and
+  /// may rewrite the forwarded bytes. Default: forward instance 0 as-is.
+  virtual Bytes on_forward_downstream(const std::vector<Unit>& units,
+                                      const CompareContext& ctx) const {
+    (void)ctx;
+    return units[0].data;
+  }
+
+  /// Rewrites a client->server unit for a specific instance (restores that
+  /// instance's own ephemeral tokens). Default: forward unchanged.
+  virtual Bytes rewrite_for_instance(const Unit& unit, size_t instance,
+                                     const CompareContext& ctx) const {
+    (void)instance;
+    (void)ctx;
+    return unit.data;
+  }
+
+  /// Bytes to send to the client when RDDR intervenes. Empty => just
+  /// close the connection (the pgwire behaviour).
+  virtual Bytes intervention_response() const { return {}; }
+};
+
+}  // namespace rddr::core

@@ -1,0 +1,433 @@
+#include "rddr/plugins.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+#include "proto/http/coding.h"
+#include "proto/http/parser.h"
+#include "proto/json/json.h"
+#include "proto/pgwire/pgwire.h"
+#include "rddr/noise.h"
+
+namespace rddr::core {
+
+namespace {
+
+// ---------- framers ----------
+
+/// '\n'-delimited lines; never fails.
+class LineFramer : public StreamFramer {
+ public:
+  void feed(ByteView data) override { buf_.append(data); }
+  std::vector<Unit> take() override {
+    std::vector<Unit> out;
+    size_t nl;
+    while ((nl = buf_.find('\n')) != Bytes::npos) {
+      Unit u;
+      u.data = buf_.substr(0, nl + 1);
+      u.kind = "line";
+      buf_.erase(0, nl + 1);
+      out.push_back(std::move(u));
+    }
+    return out;
+  }
+  bool failed() const override { return false; }
+  Bytes unconsumed() const override { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+/// HTTP requests. Lenient framing: RDDR forwards original bytes, so its
+/// own framing choice must never *hide* bytes from instances — anything
+/// consumed is forwarded, anything unparseable flips the session to
+/// pass-through.
+class HttpRequestFramer : public StreamFramer {
+ public:
+  HttpRequestFramer() : parser_(lenient_options()) {}
+  void feed(ByteView data) override { parser_.feed(data); }
+  std::vector<Unit> take() override {
+    std::vector<Unit> out;
+    for (auto& req : parser_.take()) {
+      Unit u;
+      u.data = std::move(req.raw);
+      u.kind = "http-req";
+      out.push_back(std::move(u));
+    }
+    return out;
+  }
+  bool failed() const override { return parser_.failed(); }
+  Bytes unconsumed() const override { return parser_.unconsumed(); }
+
+  static http::ParserOptions lenient_options() {
+    http::ParserOptions o;
+    o.te_whitespace = http::TeWhitespace::kAnyWhitespace;
+    o.reject_te_and_cl = false;
+    o.reject_duplicate_cl = false;
+    return o;
+  }
+
+ private:
+  http::RequestParser parser_;
+};
+
+class HttpResponseFramer : public StreamFramer {
+ public:
+  HttpResponseFramer() : parser_(HttpRequestFramer::lenient_options()) {}
+  void feed(ByteView data) override { parser_.feed(data); }
+  std::vector<Unit> take() override {
+    std::vector<Unit> out;
+    for (auto& resp : parser_.take()) {
+      Unit u;
+      u.data = std::move(resp.raw);
+      u.kind = "http-resp";
+      out.push_back(std::move(u));
+    }
+    return out;
+  }
+  bool failed() const override { return parser_.failed(); }
+  Bytes unconsumed() const override { return parser_.unconsumed(); }
+
+ private:
+  http::ResponseParser parser_;
+};
+
+class PgFramer : public StreamFramer {
+ public:
+  explicit PgFramer(bool expect_startup) : reader_(expect_startup) {}
+  void feed(ByteView data) override { reader_.feed(data); }
+  std::vector<Unit> take() override {
+    std::vector<Unit> out;
+    for (auto& msg : reader_.take()) {
+      Unit u;
+      if (msg.type == 0) {
+        u.kind = "pg:startup";
+        uint32_t len = static_cast<uint32_t>(msg.payload.size() + 4);
+        put_u32_be(u.data, len);
+        u.data += msg.payload;
+      } else {
+        u.kind = std::string("pg:") + msg.type;
+        u.data.push_back(msg.type);
+        put_u32_be(u.data, static_cast<uint32_t>(msg.payload.size() + 4));
+        u.data += msg.payload;
+      }
+      out.push_back(std::move(u));
+    }
+    return out;
+  }
+  bool failed() const override { return reader_.failed(); }
+  Bytes unconsumed() const override { return reader_.unconsumed(); }
+
+ private:
+  pg::MessageReader reader_;
+};
+
+/// Extracts a pg message payload back out of a framed unit.
+ByteView pg_payload(const Unit& u) {
+  if (u.kind == "pg:startup") return ByteView(u.data).substr(4);
+  return ByteView(u.data).substr(5);
+}
+
+bool kinds_match(const std::vector<Unit>& units, std::string* reason) {
+  for (size_t i = 1; i < units.size(); ++i) {
+    if (units[i].kind != units[0].kind) {
+      *reason = strformat("unit kind mismatch: instance 0 sent %s, instance "
+                          "%zu sent %s",
+                          units[0].kind.c_str(), i, units[i].kind.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Generic single-blob comparison with optional filter-pair masking.
+DiffOutcome compare_blobs(const std::vector<Unit>& units, bool filter_pair,
+                          const char* what) {
+  bool all_equal = true;
+  for (size_t i = 1; i < units.size(); ++i)
+    if (units[i].data != units[0].data) all_equal = false;
+  if (all_equal) return {};
+  if (!filter_pair || units.size() < 3) {
+    return {true, strformat("%s differs across instances", what)};
+  }
+  std::vector<std::string> a{units[0].data}, b{units[1].data};
+  NoiseMask mask = build_noise_mask(a, b);
+  for (size_t i = 2; i < units.size(); ++i) {
+    std::vector<std::string> cand{units[i].data};
+    auto bad = masked_compare(a, cand, mask);
+    if (bad)
+      return {true, strformat("%s: instance %zu: %s", what, i, bad->c_str())};
+  }
+  return {};
+}
+
+}  // namespace
+
+// ---------- TcpLinePlugin ----------
+
+std::unique_ptr<StreamFramer> TcpLinePlugin::make_framer(Direction) const {
+  return std::make_unique<LineFramer>();
+}
+
+DiffOutcome TcpLinePlugin::compare(const std::vector<Unit>& units,
+                                   const CompareContext& ctx) const {
+  std::string reason;
+  if (!kinds_match(units, &reason)) return {true, reason};
+  return compare_blobs(units, ctx.filter_pair, "line");
+}
+
+// ---------- HttpPlugin ----------
+
+std::unique_ptr<StreamFramer> HttpPlugin::make_framer(Direction dir) const {
+  if (dir == Direction::kClientToServer)
+    return std::make_unique<HttpRequestFramer>();
+  return std::make_unique<HttpResponseFramer>();
+}
+
+std::vector<std::string> HttpPlugin::comparable_lines(
+    const Unit& unit, const KnownVariance* kv) const {
+  http::ResponseParser parser(HttpRequestFramer::lenient_options());
+  parser.feed(unit.data);
+  auto msgs = parser.take();
+  if (msgs.size() != 1) {
+    // Unparseable: compare raw bytes as lines.
+    return split_lines(unit.data);
+  }
+  http::Response& resp = msgs[0];
+  std::vector<std::string> lines;
+  lines.push_back(resp.version + " " + std::to_string(resp.status) + " " +
+                  resp.reason);
+  for (const auto& [name, value] : resp.headers.entries()) {
+    bool ignored = false;
+    if (kv) {
+      for (const auto& ign : kv->http_ignore_headers)
+        if (iequals(name, ign)) ignored = true;
+    }
+    if (!ignored) lines.push_back(name + ": " + value);
+  }
+  // Body: decode content-coding, canonicalise JSON, then split to lines.
+  Bytes body = resp.body;
+  auto enc = resp.headers.get("Content-Encoding");
+  if (enc && iequals(*enc, "xz77")) {
+    auto decoded = http::xz77_decompress(body);
+    if (decoded) body = std::move(*decoded);
+    else lines.push_back("!undecodable-content-coding");
+  }
+  auto ctype = resp.headers.get("Content-Type");
+  if (opts_.canonicalize_json && ctype &&
+      ifind(*ctype, "json") != std::string::npos) {
+    auto doc = json::parse(body);
+    if (doc) {
+      lines.push_back(doc->dump());
+      return lines;
+    }
+  }
+  auto body_lines = split_lines(body);
+  for (auto& l : body_lines) {
+    if (kv) {
+      bool skip = false;
+      for (const auto& pre : kv->http_ignore_line_prefixes)
+        if (starts_with(l, pre)) skip = true;
+      if (skip) continue;
+    }
+    lines.push_back(std::move(l));
+  }
+  return lines;
+}
+
+DiffOutcome HttpPlugin::compare(const std::vector<Unit>& units,
+                                const CompareContext& ctx) const {
+  std::string reason;
+  if (!kinds_match(units, &reason)) return {true, reason};
+  std::vector<std::vector<std::string>> lines;
+  lines.reserve(units.size());
+  for (const auto& u : units) lines.push_back(comparable_lines(u, ctx.variance));
+  NoiseMask mask;
+  if (ctx.filter_pair && units.size() >= 3) {
+    mask = build_noise_mask(lines[0], lines[1]);
+  } else {
+    mask.lines.resize(lines[0].size());  // exact compare
+  }
+  for (size_t i = 1; i < units.size(); ++i) {
+    auto bad = masked_compare(lines[0], lines[i], mask);
+    if (bad) return {true, strformat("instance %zu: %s", i, bad->c_str())};
+  }
+  return {};
+}
+
+Bytes HttpPlugin::on_forward_downstream(const std::vector<Unit>& units,
+                                        const CompareContext& ctx) const {
+  // Harvest ephemeral tokens (CSRF, session ids): alphanumeric runs >= 10
+  // chars that differ across ALL instances (paper §IV-B3).
+  if (opts_.handle_ephemeral_state && ctx.session && units.size() >= 2) {
+    std::vector<std::vector<std::string>> lines;
+    for (const auto& u : units)
+      lines.push_back(comparable_lines(u, ctx.variance));
+    for (auto& token : detect_ephemeral_tokens(lines)) {
+      ctx.session->tokens[token.per_instance[0]] =
+          std::move(token.per_instance);
+    }
+  }
+  return units[0].data;
+}
+
+Bytes HttpPlugin::rewrite_for_instance(const Unit& unit, size_t instance,
+                                       const CompareContext& ctx) const {
+  if (!opts_.handle_ephemeral_state || !ctx.session ||
+      ctx.session->tokens.empty())
+    return unit.data;
+  // Find tokens present in this request.
+  bool any = false;
+  for (const auto& [canonical, _] : ctx.session->tokens) {
+    if (unit.data.find(canonical) != Bytes::npos) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return unit.data;
+
+  // Re-frame so Content-Length stays correct if token lengths differ.
+  http::RequestParser parser(HttpRequestFramer::lenient_options());
+  parser.feed(unit.data);
+  auto msgs = parser.take();
+  std::vector<std::string> used;
+  Bytes out;
+  if (msgs.size() == 1) {
+    http::Request& req = msgs[0];
+    for (const auto& [canonical, per_instance] : ctx.session->tokens) {
+      const std::string& mine = per_instance[instance];
+      if (req.body.find(canonical) != Bytes::npos ||
+          req.target.find(canonical) != std::string::npos) {
+        req.body = replace_all(req.body, canonical, mine);
+        req.target = replace_all(req.target, canonical, mine);
+        used.push_back(canonical);
+      }
+      http::HeaderMap rewritten;
+      bool header_hit = false;
+      for (const auto& [name, value] : req.headers.entries()) {
+        if (value.find(canonical) != std::string::npos) {
+          rewritten.add(name, replace_all(value, canonical, mine));
+          header_hit = true;
+        } else {
+          rewritten.add(name, value);
+        }
+      }
+      if (header_hit) {
+        req.headers = std::move(rewritten);
+        used.push_back(canonical);
+      }
+    }
+    req.headers.set("Content-Length", std::to_string(req.body.size()));
+    out = req.to_bytes();
+  } else {
+    // Could not re-frame: raw replacement (token lengths match in all our
+    // generators, so Content-Length is preserved).
+    out = unit.data;
+    for (const auto& [canonical, per_instance] : ctx.session->tokens) {
+      if (out.find(canonical) != Bytes::npos) {
+        out = replace_all(out, canonical, per_instance[instance]);
+        used.push_back(canonical);
+      }
+    }
+  }
+  // "Because they are ephemeral, tokens are deleted after forwarding" —
+  // once the LAST instance's copy was rewritten.
+  if (ctx.session->delete_tokens_after_use &&
+      instance + 1 == ctx.session->n_instances) {
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    for (const auto& c : used) ctx.session->tokens.erase(c);
+  }
+  return out;
+}
+
+Bytes HttpPlugin::intervention_response() const {
+  http::Response resp = http::make_response(
+      403,
+      "<html><head><title>RDDR</title></head><body>"
+      "<h1>RDDR intervened</h1>"
+      "<p>The replicated instances of this service disagreed about the "
+      "response to your request. The connection has been closed to prevent "
+      "a potential information leak.</p></body></html>");
+  resp.headers.set("Connection", "close");
+  return resp.to_bytes();
+}
+
+// ---------- PgPlugin ----------
+
+std::unique_ptr<StreamFramer> PgPlugin::make_framer(Direction dir) const {
+  return std::make_unique<PgFramer>(dir == Direction::kClientToServer);
+}
+
+DiffOutcome PgPlugin::compare(const std::vector<Unit>& units,
+                              const CompareContext& ctx) const {
+  std::string reason;
+  if (!kinds_match(units, &reason)) return {true, reason};
+  const std::string& kind = units[0].kind;
+  const KnownVariance* kv = ctx.variance;
+
+  if (kind == "pg:K" && (!kv || kv->pg_ignore_backend_key)) {
+    return {};  // BackendKeyData is always instance-specific
+  }
+  if (kind == "pg:S") {
+    // ParameterStatus: names must agree; configured names may vary.
+    std::vector<std::string> names;
+    for (const auto& u : units) {
+      ByteView payload = pg_payload(u);
+      size_t nul = payload.find('\0');
+      names.emplace_back(nul == ByteView::npos ? std::string(payload)
+                                               : std::string(payload.substr(0, nul)));
+    }
+    for (size_t i = 1; i < names.size(); ++i)
+      if (names[i] != names[0])
+        return {true, "ParameterStatus name mismatch: " + names[0] + " vs " +
+                          names[i]};
+    if (kv) {
+      for (const auto& ign : kv->pg_ignore_params)
+        if (names[0] == ign) return {};
+    }
+    return compare_blobs(units, ctx.filter_pair, "ParameterStatus");
+  }
+  if (kind == "pg:Q") {
+    // Query merge (outgoing proxy): compare SQL text so divergence reasons
+    // are readable ("...WHERE id = ''' OR ..." beats raw frame bytes).
+    std::vector<Unit> sql(units.size());
+    for (size_t i = 0; i < units.size(); ++i) {
+      auto q = pg::parse_query(pg_payload(units[i]));
+      sql[i].kind = units[i].kind;
+      sql[i].data = q ? *q : units[i].data;
+    }
+    return compare_blobs(sql, ctx.filter_pair, "Query SQL");
+  }
+  return compare_blobs(units, ctx.filter_pair,
+                       ("message " + pg::type_name(kind.size() > 3 ? kind[3] : '?'))
+                           .c_str());
+}
+
+Bytes PgPlugin::intervention_response() const {
+  return pg::build_error("RDDRX",
+                         "RDDR intervened: instance responses diverged; "
+                         "connection aborted to prevent information leak");
+}
+
+// ---------- JsonLinesPlugin ----------
+
+std::unique_ptr<StreamFramer> JsonLinesPlugin::make_framer(Direction) const {
+  return std::make_unique<LineFramer>();
+}
+
+DiffOutcome JsonLinesPlugin::compare(const std::vector<Unit>& units,
+                                     const CompareContext& ctx) const {
+  std::string reason;
+  if (!kinds_match(units, &reason)) return {true, reason};
+  // Canonicalise each document; malformed docs compare as raw bytes.
+  std::vector<Unit> canon(units.size());
+  for (size_t i = 0; i < units.size(); ++i) {
+    auto doc = json::parse(trim(units[i].data));
+    canon[i].kind = units[i].kind;
+    canon[i].data = doc ? doc->dump() : units[i].data;
+  }
+  return compare_blobs(canon, ctx.filter_pair, "json document");
+}
+
+}  // namespace rddr::core

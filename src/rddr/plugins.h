@@ -1,0 +1,84 @@
+// Concrete protocol plugins: raw TCP lines, HTTP, pgwire, JSON-lines
+// (paper §IV-B1: "It currently supports unencrypted TCP ... PostgreSQL,
+// HTTP, and JSON").
+#pragma once
+
+#include <memory>
+
+#include "rddr/plugin.h"
+
+namespace rddr::core {
+
+/// Line-delimited raw TCP: each '\n'-terminated line is a unit. Used by
+/// the ASLR echo scenario. With a filter pair, differing character
+/// regions within a line are treated as noise.
+class TcpLinePlugin : public ProtocolPlugin {
+ public:
+  std::string name() const override { return "tcp-line"; }
+  std::unique_ptr<StreamFramer> make_framer(Direction dir) const override;
+  DiffOutcome compare(const std::vector<Unit>& units,
+                      const CompareContext& ctx) const override;
+};
+
+/// HTTP/1.1. Units are whole messages. Responses are compared line-wise
+/// (start line + headers + body) after known-variance header filtering and
+/// content decoding; the filter pair de-noises random regions; ephemeral
+/// tokens (CSRF, session ids) are harvested on forward and restored per
+/// instance on the request path (paper §IV-B3).
+class HttpPlugin : public ProtocolPlugin {
+ public:
+  struct Options {
+    /// Compare JSON bodies structurally (canonicalise before diffing), so
+    /// key order is not a divergence.
+    bool canonicalize_json = true;
+    /// §IV-B3 ephemeral-state handling (CSRF capture + per-instance
+    /// restore). Off only for the ablation study.
+    bool handle_ephemeral_state = true;
+  };
+
+  HttpPlugin() : opts_(Options{}) {}
+  explicit HttpPlugin(Options opts) : opts_(opts) {}
+
+  std::string name() const override { return "http"; }
+  std::unique_ptr<StreamFramer> make_framer(Direction dir) const override;
+  DiffOutcome compare(const std::vector<Unit>& units,
+                      const CompareContext& ctx) const override;
+  Bytes on_forward_downstream(const std::vector<Unit>& units,
+                              const CompareContext& ctx) const override;
+  Bytes rewrite_for_instance(const Unit& unit, size_t instance,
+                             const CompareContext& ctx) const override;
+  Bytes intervention_response() const override;
+
+  /// Comparison form of a response (exposed for tests): start line +
+  /// non-ignored header lines + decoded body lines.
+  std::vector<std::string> comparable_lines(const Unit& unit,
+                                            const KnownVariance* kv) const;
+
+ private:
+  Options opts_;
+};
+
+/// pgwire. Units are protocol messages. BackendKeyData and configured
+/// ParameterStatus values are known variance (paper §IV-B4 — implemented
+/// for the PostgreSQL plugin); everything else compares exactly, with
+/// filter-pair masking as fallback.
+class PgPlugin : public ProtocolPlugin {
+ public:
+  std::string name() const override { return "pgwire"; }
+  std::unique_ptr<StreamFramer> make_framer(Direction dir) const override;
+  DiffOutcome compare(const std::vector<Unit>& units,
+                      const CompareContext& ctx) const override;
+  Bytes intervention_response() const override;
+};
+
+/// Newline-delimited JSON documents over raw TCP. Units are lines;
+/// comparison is structural (canonical dump) with filter-pair masking.
+class JsonLinesPlugin : public ProtocolPlugin {
+ public:
+  std::string name() const override { return "json-lines"; }
+  std::unique_ptr<StreamFramer> make_framer(Direction dir) const override;
+  DiffOutcome compare(const std::vector<Unit>& units,
+                      const CompareContext& ctx) const override;
+};
+
+}  // namespace rddr::core

@@ -1,0 +1,56 @@
+#include "services/echo_vuln.h"
+
+#include <memory>
+
+#include "common/strutil.h"
+
+namespace rddr::services {
+
+namespace {
+// Non-ASLR builds load at a fixed base (what `-no-pie` would give you).
+constexpr uint64_t kFixedBase = 0x0000555555554000ULL;
+}  // namespace
+
+EchoVulnServer::EchoVulnServer(sim::Network& net, sim::Host& host,
+                               Options opts)
+    : net_(net), host_(host), opts_(std::move(opts)) {
+  Rng rng(opts_.rng_seed);
+  uint64_t base = kFixedBase;
+  if (opts_.aslr) {
+    // Model mmap-region ASLR: 28 random bits, page aligned.
+    base = 0x00007f0000000000ULL | ((rng.next() & 0x0fffffffULL) << 12);
+  }
+  adjacent_pointer_ = base + 0x1337;  // "return address" next to the buffer
+  net_.listen(opts_.address, [this](sim::ConnPtr c) { on_accept(std::move(c)); });
+}
+
+EchoVulnServer::~EchoVulnServer() { net_.unlisten(opts_.address); }
+
+void EchoVulnServer::on_accept(sim::ConnPtr conn) {
+  auto buf = std::make_shared<Bytes>();
+  conn->set_on_data([this, conn, buf](ByteView data) {
+    buf->append(data);
+    size_t nl;
+    while ((nl = buf->find('\n')) != Bytes::npos) {
+      std::string msg = buf->substr(0, nl);
+      buf->erase(0, nl + 1);
+      host_.run_task(opts_.cpu_per_request, [this, conn, msg] {
+        if (!conn->is_open()) return;
+        Bytes reply;
+        if (msg.size() <= opts_.buffer_size) {
+          reply = msg;
+        } else {
+          // Overflow: the NUL terminator is gone, so the echo walks off the
+          // end of the buffer and prints the adjacent pointer bytes.
+          reply = msg.substr(0, opts_.buffer_size);
+          reply += strformat("%016llx",
+                             static_cast<unsigned long long>(adjacent_pointer_));
+        }
+        reply += '\n';
+        conn->send(reply);
+      });
+    }
+  });
+}
+
+}  // namespace rddr::services

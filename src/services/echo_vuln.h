@@ -1,0 +1,51 @@
+// ASLR proof-of-concept service (paper §V-E).
+//
+// Simulates the C echo server the paper uses: a fixed-size stack buffer
+// holds the request; a pointer sits adjacent to it. Requests longer than
+// the buffer overwrite the NUL terminator, so the echo reply runs past the
+// buffer and leaks the pointer's value. With ASLR each instance's address
+// space — and therefore the leaked pointer — differs, which is precisely
+// the divergence RDDR detects at step (1) of the exploit chain.
+//
+// Protocol: raw TCP. Client sends a length-prefixed line ("msg\n");
+// service replies with the echoed bytes followed by '\n'.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "netsim/host.h"
+#include "netsim/network.h"
+
+namespace rddr::services {
+
+class EchoVulnServer {
+ public:
+  struct Options {
+    std::string address;
+    /// Simulated stack buffer size; longer messages overflow.
+    size_t buffer_size = 64;
+    /// ASLR on: the adjacent pointer's base is randomized per instance.
+    bool aslr = true;
+    /// Seed for this instance's address-space layout.
+    uint64_t rng_seed = 1;
+    double cpu_per_request = 5e-6;
+  };
+
+  EchoVulnServer(sim::Network& net, sim::Host& host, Options opts);
+  ~EchoVulnServer();
+
+  /// The pointer value an overflow leaks (tests compare across instances).
+  uint64_t leaked_pointer() const { return adjacent_pointer_; }
+
+ private:
+  void on_accept(sim::ConnPtr conn);
+
+  sim::Network& net_;
+  sim::Host& host_;
+  Options opts_;
+  uint64_t adjacent_pointer_;
+};
+
+}  // namespace rddr::services

@@ -1,0 +1,92 @@
+#include "services/orchestrator.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/strutil.h"
+
+namespace rddr::services {
+
+Orchestrator::Orchestrator(sim::Simulator& sim, sim::Network& net,
+                           uint64_t seed)
+    : sim_(sim), net_(net), seed_(seed) {}
+
+sim::Host& Orchestrator::add_host(const std::string& name, int cores,
+                                  int64_t memory_bytes) {
+  auto [it, inserted] = hosts_.emplace(
+      name, std::make_unique<sim::Host>(sim_, name, cores, memory_bytes));
+  if (!inserted) throw std::runtime_error("host already exists: " + name);
+  return *it->second;
+}
+
+sim::Host& Orchestrator::host(const std::string& name) {
+  auto it = hosts_.find(name);
+  if (it == hosts_.end()) throw std::runtime_error("unknown host: " + name);
+  return *it->second;
+}
+
+void Orchestrator::register_image(const std::string& image, Factory factory) {
+  images_[image] = std::move(factory);
+}
+
+void Orchestrator::deploy(const std::string& container_name,
+                          const std::string& image, const std::string& tag,
+                          const std::string& host_name,
+                          const std::string& address) {
+  if (containers_.count(container_name) > 0)
+    throw std::runtime_error("container already exists: " + container_name);
+  auto img = images_.find(image);
+  if (img == images_.end())
+    throw std::runtime_error("unknown image: " + image);
+  ContainerSpec spec;
+  spec.container_name = container_name;
+  spec.image = image;
+  spec.tag = tag;
+  spec.address = address.empty() ? container_name + ":80" : address;
+  spec.host = &host(host_name);
+  // Derive a unique, deterministic per-container seed.
+  Rng mix(seed_);
+  spec.rng_seed = mix.fork(next_container_ordinal_++).next() ^
+                  std::hash<std::string>()(container_name);
+  Deployed d;
+  d.object = img->second(spec);
+  d.image = image;
+  d.tag = tag;
+  d.host = host_name;
+  d.address = spec.address;
+  containers_.emplace(container_name, std::move(d));
+}
+
+std::vector<std::string> Orchestrator::deploy_replicas(
+    const std::string& base_name, const std::string& image,
+    const std::vector<std::string>& tags, const std::string& host_name,
+    int port) {
+  std::vector<std::string> addresses;
+  for (size_t i = 0; i < tags.size(); ++i) {
+    std::string name = strformat("%s-%zu", base_name.c_str(), i);
+    std::string address = strformat("%s:%d", name.c_str(), port);
+    deploy(name, image, tags[i], host_name, address);
+    addresses.push_back(address);
+  }
+  return addresses;
+}
+
+void Orchestrator::stop(const std::string& container_name) {
+  containers_.erase(container_name);
+}
+
+std::vector<std::string> Orchestrator::container_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : containers_) out.push_back(name);
+  return out;
+}
+
+const std::string& Orchestrator::host_of(
+    const std::string& container_name) const {
+  auto it = containers_.find(container_name);
+  if (it == containers_.end())
+    throw std::runtime_error("unknown container: " + container_name);
+  return it->second.host;
+}
+
+}  // namespace rddr::services

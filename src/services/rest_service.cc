@@ -1,0 +1,128 @@
+#include "services/rest_service.h"
+
+#include "common/strutil.h"
+#include "proto/json/json.h"
+#include "services/variant_libs.h"
+
+namespace rddr::services {
+
+namespace {
+
+http::Response json_response(int status, json::Object obj) {
+  return http::make_response(status, json::Value(std::move(obj)).dump(),
+                             "application/json");
+}
+
+http::Response json_error(int status, std::string message) {
+  return json_response(status, json::Object{{"error", std::move(message)}});
+}
+
+}  // namespace
+
+std::string RestLibraryService::endpoint(Kind kind) {
+  switch (kind) {
+    case Kind::kMarkdown: return "/render";
+    case Kind::kSanitizer: return "/sanitize";
+    case Kind::kSvg: return "/convert";
+    case Kind::kRsa: return "/decrypt";
+  }
+  return "/";
+}
+
+RestLibraryService::RestLibraryService(sim::Network& net, sim::Host& host,
+                                       Options opts)
+    : opts_(std::move(opts)) {
+  HttpServer::Options sopts;
+  sopts.address = opts_.address;
+  sopts.cpu_per_request = opts_.cpu_per_request;
+  server_ = std::make_unique<HttpServer>(net, host, sopts);
+  server_->set_handler([this](const http::Request& req, Responder respond) {
+    handle(req, respond);
+  });
+}
+
+void RestLibraryService::handle(const http::Request& req, Responder respond) {
+  if (req.method != "POST" || req.target != endpoint(opts_.kind)) {
+    respond(json_error(404, "unknown endpoint"));
+    return;
+  }
+  auto doc = json::parse(req.body);
+  if (!doc || !doc->is_object()) {
+    respond(json_error(400, "body must be a JSON object"));
+    return;
+  }
+  auto input_field = [&](const char* name) -> const std::string* {
+    const json::Value* v = doc->find(name);
+    return v && v->is_string() ? &v->as_string() : nullptr;
+  };
+
+  switch (opts_.kind) {
+    case Kind::kMarkdown: {
+      const std::string* md = input_field("markdown");
+      if (!md) {
+        respond(json_error(400, "missing field: markdown"));
+        return;
+      }
+      std::string html = opts_.library == "mdtwo"
+                             ? lib::md_render_mdtwo(*md)
+                             : lib::md_render_mdone(*md);
+      respond(json_response(200, json::Object{{"html", std::move(html)}}));
+      return;
+    }
+    case Kind::kSanitizer: {
+      const std::string* html = input_field("html");
+      if (!html) {
+        respond(json_error(400, "missing field: html"));
+        return;
+      }
+      std::string clean = opts_.library == "lxmllite"
+                              ? lib::sanitize_lxmllite(*html)
+                              : lib::sanitize_sanihtml(*html);
+      respond(json_response(200, json::Object{{"html", std::move(clean)}}));
+      return;
+    }
+    case Kind::kSvg: {
+      const std::string* svg = input_field("svg");
+      if (!svg) {
+        respond(json_error(400, "missing field: svg"));
+        return;
+      }
+      Result<Bytes> png = opts_.library == "svglite"
+                              ? lib::svg_to_png_svglite(*svg)
+                              : lib::svg_to_png_cairolite(*svg);
+      if (!png.ok()) {
+        respond(json_error(422, png.error()));
+        return;
+      }
+      respond(json_response(
+          200, json::Object{{"png_hex", to_hex(png.value())}}));
+      return;
+    }
+    case Kind::kRsa: {
+      const std::string* hex = input_field("ciphertext_hex");
+      if (!hex) {
+        respond(json_error(400, "missing field: ciphertext_hex"));
+        return;
+      }
+      Bytes cipher = from_hex(*hex);
+      if (cipher.empty() && !hex->empty()) {
+        respond(json_error(400, "malformed hex"));
+        return;
+      }
+      Result<Bytes> plain =
+          opts_.library == "rsalite"
+              ? lib::rsa_decrypt_rsalite(cipher, opts_.rsa_key)
+              : lib::rsa_decrypt_cryptolite(cipher, opts_.rsa_key);
+      if (!plain.ok()) {
+        respond(json_error(422, plain.error()));
+        return;
+      }
+      respond(json_response(
+          200, json::Object{{"plaintext", plain.value()}}));
+      return;
+    }
+  }
+  respond(json_error(500, "unreachable"));
+}
+
+}  // namespace rddr::services

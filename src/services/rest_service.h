@@ -1,0 +1,46 @@
+// RESTful single-function services (paper §V-A).
+//
+// Each service wraps one "library" function behind a JSON-over-HTTP API.
+// Deploying two instances with the same Kind but different `library`
+// values is the paper's library-diversity construction: identical API,
+// different code, divergent behaviour under exploitation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "services/http_service.h"
+
+namespace rddr::services {
+
+class RestLibraryService {
+ public:
+  enum class Kind { kMarkdown, kSanitizer, kSvg, kRsa };
+
+  struct Options {
+    std::string address;
+    Kind kind = Kind::kMarkdown;
+    /// Which implementation backs the endpoint:
+    ///   kMarkdown : "mdone" | "mdtwo"
+    ///   kSanitizer: "lxmllite" | "sanihtml"
+    ///   kSvg      : "svglite" | "cairolite"
+    ///   kRsa      : "rsalite" | "cryptolite"
+    std::string library;
+    /// Key for the kRsa service (same across diverse instances).
+    uint64_t rsa_key = 0x524444522d4b4559;  // "RDDR-KEY"
+    double cpu_per_request = 80e-6;
+  };
+
+  RestLibraryService(sim::Network& net, sim::Host& host, Options opts);
+
+  /// The endpoint path this Kind serves ("/render", "/sanitize", ...).
+  static std::string endpoint(Kind kind);
+
+ private:
+  void handle(const http::Request& req, Responder respond);
+
+  Options opts_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+}  // namespace rddr::services

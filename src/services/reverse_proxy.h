@@ -1,0 +1,62 @@
+// Reverse proxies "hap" and "ngx" (paper §V-C1, CVE-2019-18277).
+//
+// Both enforce a path ACL (deny /admin from outside) and then forward the
+// ORIGINAL request bytes to the backend, piping the backend's bytes back —
+// the way HAProxy operates in tunnel mode after inspecting the first
+// request. The security-relevant difference is the framing parser:
+//
+//   hap (HAProxy 1.5.3): strict-whitespace Transfer-Encoding recognition —
+//       a "\x0bchunked" value is NOT chunked, so Content-Length frames the
+//       message and a smuggled request hides inside the body. It forwards
+//       the whole thing. The (lenient) backend then sees TWO requests, the
+//       second of which bypasses the ACL.
+//
+//   ngx (nginx): lenient parsing BUT rejects messages that carry both a
+//       chunked Transfer-Encoding and a Content-Length — the request never
+//       reaches the backend; the client gets 400.
+//
+// RDDR sees the two proxies return different bytes and intervenes.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "proto/http/parser.h"
+
+namespace rddr::services {
+
+class ReverseProxy {
+ public:
+  enum class Flavor { kHap153, kNgx };
+
+  struct Options {
+    std::string address;
+    std::string backend_address;
+    Flavor flavor = Flavor::kHap153;
+    /// Request paths denied at the proxy (403).
+    std::set<std::string> blocked_paths = {"/admin"};
+    double cpu_per_request = 10e-6;
+    /// Label stamped on backend connections (outgoing-proxy grouping).
+    std::string instance_name = "proxy";
+  };
+
+  ReverseProxy(sim::Network& net, sim::Host& host, Options opts);
+  ~ReverseProxy();
+
+  const Options& options() const { return opts_; }
+
+ private:
+  struct Session;
+  void on_accept(sim::ConnPtr conn);
+  void handle_parsed(const std::shared_ptr<Session>& s);
+
+  sim::Network& net_;
+  sim::Host& host_;
+  Options opts_;
+  http::ParserOptions parser_opts_;
+};
+
+}  // namespace rddr::services

@@ -1,0 +1,31 @@
+#include "services/simple_api.h"
+
+namespace rddr::services {
+
+SimpleApiService::SimpleApiService(sim::Network& net, sim::Host& host,
+                                   Options opts)
+    : opts_(std::move(opts)) {
+  HttpServer::Options sopts;
+  sopts.address = opts_.address;
+  sopts.cpu_per_request = opts_.cpu_per_request;
+  // Lenient backend framing: isspace() trimming recognises "\x0bchunked".
+  sopts.parser.te_whitespace = http::TeWhitespace::kAnyWhitespace;
+  sopts.parser.reject_te_and_cl = false;
+  server_ = std::make_unique<HttpServer>(net, host, sopts);
+  server_->set_handler([this](const http::Request& req, Responder respond) {
+    if (req.target == "/admin") {
+      // Reachable only by internal callers — the proxies' ACL is the sole
+      // guard, which is exactly what request smuggling defeats.
+      ++admin_hits_;
+      respond(http::make_response(200, opts_.admin_secret, "text/plain"));
+      return;
+    }
+    if (req.target == "/" || req.target == "/api/echo") {
+      respond(http::make_response(200, "public ok: " + req.body, "text/plain"));
+      return;
+    }
+    respond(http::make_response(404, "not found", "text/plain"));
+  });
+}
+
+}  // namespace rddr::services

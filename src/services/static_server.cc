@@ -1,0 +1,111 @@
+#include "services/static_server.h"
+
+#include "common/strutil.h"
+#include "proto/http/coding.h"
+#include "sqldb/engine.h"  // compare_versions
+
+namespace rddr::services {
+
+StaticFileServer::StaticFileServer(sim::Network& net, sim::Host& host,
+                                   Options opts)
+    : opts_(std::move(opts)) {
+  HttpServer::Options sopts;
+  sopts.address = opts_.address;
+  sopts.cpu_per_request = opts_.cpu_per_request;
+  server_ = std::make_unique<HttpServer>(net, host, sopts);
+  server_->set_handler([this](const http::Request& req, Responder respond) {
+    respond(handle(req));
+  });
+}
+
+bool StaticFileServer::vulnerable() const {
+  return sqldb::compare_versions(opts_.version, "1.13.3") < 0;
+}
+
+void StaticFileServer::add_document(const std::string& path, Bytes content,
+                                    Bytes cache_header) {
+  if (cache_header.empty()) {
+    cache_header = "KEY: internal-upstream-key-0xDEAD; srv=10.0.0.7:8443; "
+                   "auth=Bearer cache-secret-token\n";
+  }
+  CacheEntry entry;
+  entry.doc_offset = cache_header.size();
+  entry.slab = std::move(cache_header);
+  entry.slab += content;
+  docs_[path] = std::move(entry);
+}
+
+http::Response StaticFileServer::handle(const http::Request& req) const {
+  if (req.method != "GET" && req.method != "HEAD")
+    return http::make_response(405, "method not allowed", "text/plain");
+  auto it = docs_.find(req.target);
+  if (it == docs_.end())
+    return http::make_response(404, "<h1>404 Not Found</h1>");
+  const CacheEntry& entry = it->second;
+  auto range = req.headers.get("Range");
+  if (range) return serve_ranges(entry, *range);
+  http::Response resp = http::make_response(
+      200, ByteView(entry.slab).substr(entry.doc_offset), "text/html");
+  resp.headers.set("Server", "wsgx/" + opts_.version);
+  auto accept = req.headers.get("Accept-Encoding");
+  if (accept && ifind(*accept, "xz77") != std::string::npos) {
+    resp.body = http::xz77_compress(resp.body);
+    resp.headers.set("Content-Encoding", "xz77");
+    resp.headers.set("Content-Length", std::to_string(resp.body.size()));
+  }
+  return resp;
+}
+
+http::Response StaticFileServer::serve_ranges(
+    const CacheEntry& entry, const std::string& range_value) const {
+  const int64_t doc_size =
+      static_cast<int64_t>(entry.slab.size() - entry.doc_offset);
+  auto ranges = http::parse_range_header(range_value);
+  if (!ranges) {
+    // Unparseable Range headers are ignored (full response), per RFC.
+    http::Response resp = http::make_response(
+        200, ByteView(entry.slab).substr(entry.doc_offset), "text/html");
+    resp.headers.set("Server", "wsgx/" + opts_.version);
+    return resp;
+  }
+
+  Bytes body;
+  for (const auto& r : *ranges) {
+    int64_t start, end;  // [start, end) relative to document
+    if (r.first == -1) {
+      // Suffix range "-N": start = size - N. nginx <= 1.13.2 computed this
+      // WITHOUT checking N <= size, so a huge N drives start negative and
+      // the read begins inside the cache header. That is CVE-2017-7529.
+      start = doc_size - r.last;
+      end = doc_size;
+      if (!vulnerable()) {
+        if (r.last > doc_size) start = 0;  // fixed: clamp to the document
+      }
+    } else {
+      start = r.first;
+      end = (r.last == -1) ? doc_size : r.last + 1;
+      if (start >= doc_size)
+        return http::make_response(416, "range not satisfiable", "text/plain");
+      if (end > doc_size) end = doc_size;
+    }
+    // Translate to slab offsets. The vulnerable build lets `start` be
+    // negative, which lands before doc_offset — inside the header.
+    int64_t slab_start = static_cast<int64_t>(entry.doc_offset) + start;
+    int64_t slab_end = static_cast<int64_t>(entry.doc_offset) + end;
+    if (slab_start < 0) slab_start = 0;  // even nginx can't read before the slab
+    if (slab_start > slab_end || slab_end > static_cast<int64_t>(entry.slab.size()))
+      return http::make_response(416, "range not satisfiable", "text/plain");
+    body.append(entry.slab, static_cast<size_t>(slab_start),
+                static_cast<size_t>(slab_end - slab_start));
+  }
+  http::Response resp;
+  resp.status = 206;
+  resp.reason = http::reason_phrase(206);
+  resp.headers.set("Content-Type", "text/html");
+  resp.headers.set("Server", "wsgx/" + opts_.version);
+  resp.headers.set("Content-Length", std::to_string(body.size()));
+  resp.body = std::move(body);
+  return resp;
+}
+
+}  // namespace rddr::services

@@ -1,0 +1,61 @@
+// "wsgx" static file server with the CVE-2017-7529 range bug (paper §V-D).
+//
+// Models nginx's cache layout: each document lives in a cache slab as
+// [cache header | document bytes]. The cache header holds data a client
+// must never see (upstream keys, internal addresses). nginx <= 1.13.2
+// computed the response size for multi-range/suffix-range requests in a
+// signed integer that could go negative; the resulting offset walked
+// backwards into the cache header, leaking it. wsgx reproduces exactly
+// that arithmetic for versions < 1.13.3 and validates it from 1.13.3 on.
+//
+// Version is selected with Options::version, mirroring how Docker image
+// tags select the deployed build (paper §V-D on version diversity).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "services/http_service.h"
+
+namespace rddr::services {
+
+class StaticFileServer {
+ public:
+  struct Options {
+    std::string address;
+    /// "1.13.2" is vulnerable; "1.13.3"+ validates ranges.
+    std::string version = "1.13.2";
+    double cpu_per_request = 30e-6;
+  };
+
+  /// Full (non-range) responses are served with `Content-Encoding: xz77`
+  /// when the client offers it via Accept-Encoding — which exercises
+  /// RDDR's decompress-before-diff path (paper §IV-B1).
+  StaticFileServer(sim::Network& net, sim::Host& host, Options opts);
+
+  /// Registers a document. `cache_header` is the secret slab prefix; a
+  /// default is synthesized when empty.
+  void add_document(const std::string& path, Bytes content,
+                    Bytes cache_header = {});
+
+  const std::string& version() const { return opts_.version; }
+  bool vulnerable() const;
+
+ private:
+  struct CacheEntry {
+    Bytes slab;         // header + content
+    size_t doc_offset;  // where the document starts in the slab
+  };
+
+  http::Response handle(const http::Request& req) const;
+  http::Response serve_ranges(const CacheEntry& entry,
+                              const std::string& range_value) const;
+
+  Options opts_;
+  std::map<std::string, CacheEntry> docs_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+}  // namespace rddr::services

@@ -1,0 +1,80 @@
+// "Library" pairs backing the RESTful diversity experiments (paper §V-A).
+//
+// Each pair implements the same function with different code: one member
+// reproduces the observable bug of the CVE'd library, the other is the
+// diverse implementation the paper paired it with. RDDR never inspects the
+// internals — only the response bytes — so reproducing the *observable*
+// behaviour exercises the identical defence path:
+//
+//   markdown : mdtwo  (markdown2, CVE-2020-11888 XSS)   vs mdone
+//   sanitize : lxmllite (lxml,    CVE-2014-3146 XSS)    vs sanihtml
+//   svg2png  : svglite (svglib,   CVE-2020-10799 XXE)   vs cairolite
+//   rsa      : rsalite (rsa,      CVE-2020-13757 crypto) vs cryptolite
+//
+// NOTE on "rsa": this is a SIMULATION of RSA-PKCS#1v1.5 semantics over a
+// toy XOR keystream so the padding-validation difference (the CVE) is
+// observable without bignum code. It is not cryptography.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace rddr::services::lib {
+
+// ---- markdown renderers ----
+
+/// Safe renderer ("markdown"): sanitises link URLs after stripping control
+/// characters.
+std::string md_render_mdone(std::string_view markdown);
+
+/// Vulnerable renderer ("markdown2", CVE-2020-11888): checks the URL
+/// scheme BEFORE stripping control characters, so "java\x01script:" slips
+/// through and is emitted as a live javascript: URL.
+std::string md_render_mdtwo(std::string_view markdown);
+
+// ---- HTML sanitizers ----
+
+/// Vulnerable sanitizer ("lxml", CVE-2014-3146): does not decode HTML
+/// character references before scheme-checking href values, so
+/// "java&#10;script:" survives sanitisation.
+std::string sanitize_lxmllite(std::string_view html);
+
+/// Safe sanitizer ("sanitize-html", a different-language implementation):
+/// decodes entities and strips whitespace/control characters first.
+std::string sanitize_sanihtml(std::string_view html);
+
+// ---- SVG -> PNG converters ----
+
+/// Minimal filesystem visible to the XXE bug (path -> contents).
+const std::map<std::string, std::string>& xxe_filesystem();
+
+/// Vulnerable converter ("svglib", CVE-2020-10799): resolves external
+/// DTD entities, so file:// URIs pull local files into the rendering.
+Result<Bytes> svg_to_png_svglite(std::string_view svg);
+
+/// Safe converter ("cairosvg"): refuses documents with external entities.
+Result<Bytes> svg_to_png_cairolite(std::string_view svg);
+
+// ---- "RSA" decryption (simulated, see header comment) ----
+
+/// Encrypts with PKCS#1v1.5-style padding over the toy keystream —
+/// produces ciphertext both decrypters accept (test/bench helper).
+Bytes rsa_encrypt(ByteView message, uint64_t key, uint64_t padding_seed);
+
+/// Strict decrypter ("Crypto"): full padding validation, errors on any
+/// malformed block.
+Result<Bytes> rsa_decrypt_cryptolite(ByteView ciphertext, uint64_t key);
+
+/// Vulnerable decrypter ("rsa", CVE-2020-13757): skips the leading-byte
+/// check and accepts degenerate padding, returning attacker-influenced
+/// plaintext where the strict library errors.
+Result<Bytes> rsa_decrypt_rsalite(ByteView ciphertext, uint64_t key);
+
+/// The shared toy keystream (exposed for crafting exploit ciphertexts).
+uint8_t rsa_keystream_byte(uint64_t key, size_t index);
+
+}  // namespace rddr::services::lib

@@ -1,0 +1,148 @@
+#include "sqldb/client.h"
+
+#include "common/log.h"
+
+namespace rddr::sqldb {
+
+PgClient::PgClient(sim::Network& net, std::string source,
+                   const std::string& address, const std::string& user,
+                   std::string flow_label) {
+  conn_ = net.connect(address, {.source = std::move(source),
+                                .flow_label = std::move(flow_label)});
+  if (!conn_) {
+    broken_ = true;
+    return;
+  }
+  conn_->set_on_data([this](ByteView d) { on_data(d); });
+  conn_->set_on_close([this] { on_close(); });
+  conn_->send(pg::build_startup({{"user", user}, {"database", "app"}}));
+}
+
+PgClient::~PgClient() {
+  if (conn_ && conn_->is_open()) conn_->close();
+}
+
+void PgClient::query(const std::string& sql, QueryCallback cb) {
+  if (broken_) {
+    QueryOutcome out;
+    out.connection_lost = true;
+    cb(std::move(out));
+    return;
+  }
+  queue_.emplace_back(sql, std::move(cb));
+  maybe_send_next();
+}
+
+void PgClient::close() {
+  if (conn_ && conn_->is_open()) {
+    conn_->send(pg::build_terminate());
+    conn_->close();
+  }
+}
+
+void PgClient::maybe_send_next() {
+  if (!ready_ || in_flight_ || queue_.empty() || broken_) return;
+  in_flight_ = true;
+  ready_ = false;
+  current_ = QueryOutcome{};
+  conn_->send(pg::build_query(queue_.front().first));
+}
+
+void PgClient::finish_cycle() {
+  in_flight_ = false;
+  auto [sql, cb] = std::move(queue_.front());
+  queue_.pop_front();
+  QueryOutcome out = std::move(current_);
+  current_ = QueryOutcome{};
+  cb(std::move(out));
+  maybe_send_next();
+}
+
+void PgClient::on_data(ByteView data) {
+  reader_.feed(data);
+  if (reader_.failed()) {
+    RDDR_LOG_WARN("pg client framing error: %s", reader_.error().c_str());
+    broken_ = true;
+    conn_->close();
+    on_close();
+    return;
+  }
+  for (const auto& msg : reader_.take()) {
+    switch (msg.type) {
+      case 'R':
+        break;  // auth ok
+      case 'S': {
+        // ParameterStatus: name/value c-strings.
+        size_t nul = msg.payload.find('\0');
+        if (nul != Bytes::npos && nul + 1 < msg.payload.size()) {
+          std::string name = msg.payload.substr(0, nul);
+          std::string value =
+              msg.payload.substr(nul + 1, msg.payload.size() - nul - 2);
+          server_params_[name] = value;
+        }
+        break;
+      }
+      case 'K':
+        break;  // backend key data (instance-local noise)
+      case 'T': {
+        auto names = pg::parse_row_description(msg.payload);
+        if (names) current_.columns = std::move(*names);
+        break;
+      }
+      case 'D': {
+        auto row = pg::parse_data_row(msg.payload);
+        if (row) current_.rows.push_back(std::move(*row));
+        break;
+      }
+      case 'C': {
+        size_t nul = msg.payload.find('\0');
+        current_.command_tags.push_back(msg.payload.substr(0, nul));
+        break;
+      }
+      case 'N': {
+        auto f = pg::parse_error_fields(msg.payload);
+        if (f) current_.notices.push_back(f->message);
+        break;
+      }
+      case 'E': {
+        auto f = pg::parse_error_fields(msg.payload);
+        if (f) {
+          current_.error_sqlstate = f->sqlstate;
+          current_.error_message = f->message;
+        } else {
+          current_.error_sqlstate = "XX000";
+        }
+        break;
+      }
+      case 'Z': {
+        ready_ = true;
+        if (in_flight_) finish_cycle();
+        else maybe_send_next();
+        break;
+      }
+      default:
+        RDDR_LOG_WARN("pg client: unexpected message '%c'", msg.type);
+    }
+  }
+}
+
+void PgClient::on_close() {
+  if (broken_ && queue_.empty()) return;
+  broken_ = true;
+  // Fail any in-flight and queued queries.
+  std::deque<std::pair<std::string, QueryCallback>> pending;
+  pending.swap(queue_);
+  bool first = in_flight_;
+  in_flight_ = false;
+  for (auto& [sql, cb] : pending) {
+    QueryOutcome out;
+    if (first) {
+      out = std::move(current_);
+      first = false;
+    }
+    out.connection_lost = true;
+    cb(std::move(out));
+  }
+}
+
+}  // namespace rddr::sqldb

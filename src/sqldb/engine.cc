@@ -1,0 +1,1683 @@
+#include "sqldb/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <unordered_map>
+#include <variant>
+
+#include "common/strutil.h"
+#include "sqldb/parser.h"
+
+namespace rddr::sqldb {
+
+namespace {
+
+/// Rows sampled by the planner's selectivity estimation probe — stands in
+/// for Postgres' pg_statistic histogram contents (the CVE leak channel).
+constexpr size_t kStatsSampleRows = 30;
+constexpr int kMaxFunctionDepth = 16;
+
+// ---------- version handling ----------
+
+std::vector<int> parse_version(const std::string& v) {
+  std::vector<int> out;
+  for (const auto& part : split(v, '.')) {
+    auto n = parse_i64(part);
+    out.push_back(n ? static_cast<int>(*n) : 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+int compare_versions(const std::string& a, const std::string& b) {
+  auto va = parse_version(a), vb = parse_version(b);
+  size_t n = std::max(va.size(), vb.size());
+  for (size_t i = 0; i < n; ++i) {
+    int x = i < va.size() ? va[i] : 0;
+    int y = i < vb.size() ? vb[i] : 0;
+    if (x != y) return x < y ? -1 : 1;
+  }
+  return 0;
+}
+
+EngineInfo minipg_info(const std::string& version) {
+  EngineInfo info;
+  info.product = "minipg";
+  info.version = version;
+  info.version_banner = "PostgreSQL " + version + " (minipg build)";
+  info.supports_udf = true;
+  info.scan_insertion_order = true;
+  // CVE-2017-7484: fixed in 9.2.21 / 9.6.3 / 10.0. Anything older leaks
+  // stats without a privilege check.
+  if (compare_versions(version, "9.2.21") < 0)
+    info.vulns.stats_leak_ignores_privilege = true;
+  // CVE-2019-10130: affects 9.5..11 before the 2019-05 minors; our gate:
+  // 10.0 <= v < 10.8 bypasses RLS in the stats probe (fixed by 10.8/10.9).
+  if (compare_versions(version, "10.0") >= 0 &&
+      compare_versions(version, "10.8") < 0)
+    info.vulns.stats_leak_ignores_rls = true;
+  return info;
+}
+
+EngineInfo roachdb_info(const std::string& version) {
+  EngineInfo info;
+  info.product = "roachdb";
+  info.version = version;
+  info.version_banner = "RoachDB CCL v" + version + " (compatible; minipg wire)";
+  info.supports_udf = false;
+  info.forces_serializable = true;
+  info.scan_insertion_order = false;  // KV scans come back sorted
+  return info;
+}
+
+int TableData::find_column(std::string_view col) const {
+  for (size_t i = 0; i < columns.size(); ++i)
+    if (columns[i].name == col) return static_cast<int>(i);
+  return -1;
+}
+
+void TableData::build_index(const std::string& column) {
+  int idx = find_column(column);
+  if (idx < 0) return;
+  auto& map = hash_indexes[idx];
+  map.clear();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Datum& d = rows[i][static_cast<size_t>(idx)];
+    if (d.type() == Type::kInt) map.emplace(d.as_int(), i);
+  }
+}
+
+void TableData::index_appended(size_t first_new_row) {
+  for (auto& [col, map] : hash_indexes) {
+    for (size_t i = first_new_row; i < rows.size(); ++i) {
+      const Datum& d = rows[i][static_cast<size_t>(col)];
+      if (d.type() == Type::kInt) map.emplace(d.as_int(), i);
+    }
+  }
+}
+
+void TableData::rebuild_indexes() {
+  for (auto& [col, map] : hash_indexes) {
+    map.clear();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Datum& d = rows[i][static_cast<size_t>(col)];
+      if (d.type() == Type::kInt) map.emplace(d.as_int(), i);
+    }
+  }
+}
+
+int64_t TableData::approx_bytes() const {
+  int64_t bytes = 0;
+  for (const auto& row : rows) {
+    bytes += 24;  // tuple header
+    for (const auto& d : row) {
+      switch (d.type()) {
+        case Type::kText: bytes += 16 + static_cast<int64_t>(d.as_text().size()); break;
+        case Type::kNull: bytes += 1; break;
+        default: bytes += 8;
+      }
+    }
+  }
+  return bytes;
+}
+
+Database::Database(EngineInfo info) : info_(std::move(info)) {}
+
+TableData* Database::create_table(const std::string& name,
+                                  std::vector<Column> columns) {
+  TableData t;
+  t.name = name;
+  t.columns = std::move(columns);
+  auto [it, _] = tables_.insert_or_assign(name, std::move(t));
+  return &it->second;
+}
+
+TableData* Database::find_table(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const TableData* Database::find_table(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+int64_t Database::approx_bytes() const {
+  int64_t total = 0;
+  for (const auto& [_, t] : tables_) total += t.approx_bytes();
+  return total;
+}
+
+int64_t Database::total_rows() const {
+  int64_t total = 0;
+  for (const auto& [_, t] : tables_) total += static_cast<int64_t>(t.rows.size());
+  return total;
+}
+
+// ---------- evaluation ----------
+
+namespace {
+
+struct SqlError {
+  std::string sqlstate;
+  std::string message;
+};
+
+template <typename T>
+using EvalResult = std::variant<T, SqlError>;
+
+struct ScopeEntry {
+  std::string alias;
+  const TableData* table;
+  const Row* row;
+};
+
+struct EvalCtx {
+  const Database* db = nullptr;
+  const std::string* user = nullptr;
+  std::vector<ScopeEntry> scope;
+  const std::vector<Datum>* params = nullptr;
+  std::vector<std::string>* notices = nullptr;
+  int64_t* rows_scanned = nullptr;
+  int depth = 0;
+};
+
+EvalResult<Datum> eval(const Expr& e, EvalCtx& ctx);
+
+SqlError err(std::string sqlstate, std::string message) {
+  return SqlError{std::move(sqlstate), std::move(message)};
+}
+
+bool like_match(std::string_view text, std::string_view pat) {
+  // Iterative wildcard match: '%' any run, '_' one char.
+  size_t ti = 0, pi = 0, star_ti = std::string_view::npos, star_pi = 0;
+  while (ti < text.size()) {
+    if (pi < pat.size() && (pat[pi] == '_' || pat[pi] == text[ti])) {
+      ++ti;
+      ++pi;
+    } else if (pi < pat.size() && pat[pi] == '%') {
+      star_pi = ++pi;
+      star_ti = ti;
+    } else if (star_ti != std::string_view::npos) {
+      pi = star_pi;
+      ti = ++star_ti;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pat.size() && pat[pi] == '%') ++pi;
+  return pi == pat.size();
+}
+
+/// Expands a plpgsql RAISE NOTICE format: each '%' consumes one argument.
+std::string expand_notice(const std::string& fmt,
+                          const std::vector<Datum>& args) {
+  std::string out;
+  size_t arg = 0;
+  for (size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] == '%' && i + 1 < fmt.size() && fmt[i + 1] == '%') {
+      out.push_back('%');
+      ++i;
+    } else if (fmt[i] == '%') {
+      out += arg < args.size() ? args[arg].to_text() : "<null>";
+      ++arg;
+    } else {
+      out.push_back(fmt[i]);
+    }
+  }
+  return out;
+}
+
+EvalResult<Datum> call_function(const FunctionDef& fn,
+                                std::vector<Datum> args, EvalCtx& ctx) {
+  if (ctx.depth >= kMaxFunctionDepth)
+    return err("54001", "function call depth limit exceeded");
+  if (args.size() != fn.nargs)
+    return err("42883",
+               strformat("function %s expects %zu arguments, got %zu",
+                         fn.name.c_str(), fn.nargs, args.size()));
+  EvalCtx inner = ctx;
+  inner.params = &args;
+  inner.depth = ctx.depth + 1;
+  inner.scope.clear();
+  if (fn.notice_format && ctx.notices) {
+    std::vector<Datum> notice_vals;
+    for (const auto& a : fn.notice_args) {
+      auto v = eval(*a, inner);
+      if (std::holds_alternative<SqlError>(v)) return v;
+      notice_vals.push_back(std::get<Datum>(std::move(v)));
+    }
+    ctx.notices->push_back(expand_notice(*fn.notice_format, notice_vals));
+  }
+  if (!fn.return_expr) return Datum();
+  return eval(*fn.return_expr, inner);
+}
+
+EvalResult<Datum> eval_builtin(const std::string& name,
+                               std::vector<Datum> args, EvalCtx& ctx) {
+  auto need = [&](size_t n) { return args.size() == n; };
+  if (name == "lower" && need(1))
+    return args[0].is_null() ? Datum() : Datum::text(to_lower(args[0].to_text()));
+  if (name == "upper" && need(1))
+    return args[0].is_null() ? Datum() : Datum::text(to_upper(args[0].to_text()));
+  if (name == "length" && need(1))
+    return args[0].is_null()
+               ? Datum()
+               : Datum::integer(static_cast<int64_t>(args[0].to_text().size()));
+  if (name == "abs" && need(1)) {
+    if (args[0].is_null()) return Datum();
+    if (args[0].type() == Type::kInt)
+      return Datum::integer(std::llabs(args[0].as_int()));
+    return Datum::floating(std::fabs(args[0].numeric()));
+  }
+  if (name == "substr" || name == "substring") {
+    if (args.size() != 2 && args.size() != 3)
+      return err("42883", "substr expects 2 or 3 arguments");
+    if (args[0].is_null()) return Datum();
+    std::string s = args[0].to_text();
+    int64_t start = args[1].is_null() ? 1 : args[1].as_int();
+    int64_t len = args.size() == 3 && !args[2].is_null()
+                      ? args[2].as_int()
+                      : static_cast<int64_t>(s.size());
+    int64_t begin = std::max<int64_t>(start - 1, 0);
+    if (begin >= static_cast<int64_t>(s.size()) || len <= 0)
+      return Datum::text("");
+    return Datum::text(s.substr(static_cast<size_t>(begin),
+                                static_cast<size_t>(len)));
+  }
+  if (name == "coalesce") {
+    for (auto& a : args)
+      if (!a.is_null()) return std::move(a);
+    return Datum();
+  }
+  if (name == "concat") {
+    std::string out;
+    for (const auto& a : args) out += a.to_text();
+    return Datum::text(std::move(out));
+  }
+  if (name == "round") {
+    if (args.empty() || args.size() > 2) return err("42883", "round arity");
+    if (args[0].is_null()) return Datum();
+    double v = args[0].numeric();
+    int digits = args.size() == 2 && !args[1].is_null()
+                     ? static_cast<int>(args[1].as_int())
+                     : 0;
+    double scale = std::pow(10.0, digits);
+    return Datum::floating(std::round(v * scale) / scale);
+  }
+  if (name == "floor" && need(1))
+    return args[0].is_null() ? Datum() : Datum::floating(std::floor(args[0].numeric()));
+  if (name == "ceil" && need(1))
+    return args[0].is_null() ? Datum() : Datum::floating(std::ceil(args[0].numeric()));
+  if (name == "mod" && need(2)) {
+    if (args[0].is_null() || args[1].is_null()) return Datum();
+    int64_t d = args[1].as_int();
+    if (d == 0) return err("22012", "division by zero");
+    return Datum::integer(args[0].as_int() % d);
+  }
+  if (name == "power" && need(2)) {
+    if (args[0].is_null() || args[1].is_null()) return Datum();
+    return Datum::floating(std::pow(args[0].numeric(), args[1].numeric()));
+  }
+  if (name == "version" && need(0))
+    return Datum::text(ctx.db->info().version_banner);
+  if (name == "current_user" && need(0)) return Datum::text(*ctx.user);
+  return err("42883", "unknown function: " + name);
+}
+
+EvalResult<Datum> eval_binary(const Expr& e, EvalCtx& ctx) {
+  const std::string& op = e.op;
+  // Logical operators need SQL three-valued short-circuiting.
+  if (op == "and" || op == "or") {
+    auto lv = eval(*e.args[0], ctx);
+    if (std::holds_alternative<SqlError>(lv)) return lv;
+    Datum l = std::get<Datum>(std::move(lv));
+    bool l_known = !l.is_null();
+    bool l_true = l_known && l.type() == Type::kBool && l.as_bool();
+    if (op == "and" && l_known && !l_true) return Datum::boolean(false);
+    if (op == "or" && l_true) return Datum::boolean(true);
+    auto rv = eval(*e.args[1], ctx);
+    if (std::holds_alternative<SqlError>(rv)) return rv;
+    Datum r = std::get<Datum>(std::move(rv));
+    bool r_known = !r.is_null();
+    bool r_true = r_known && r.type() == Type::kBool && r.as_bool();
+    if (op == "and") {
+      if (!l_known || !r_known) return r_known && !r_true ? Datum::boolean(false) : Datum();
+      return Datum::boolean(l_true && r_true);
+    }
+    if (!l_known || !r_known) return r_true ? Datum::boolean(true) : Datum();
+    return Datum::boolean(l_true || r_true);
+  }
+
+  auto lv = eval(*e.args[0], ctx);
+  if (std::holds_alternative<SqlError>(lv)) return lv;
+  auto rv = eval(*e.args[1], ctx);
+  if (std::holds_alternative<SqlError>(rv)) return rv;
+  Datum l = std::get<Datum>(std::move(lv));
+  Datum r = std::get<Datum>(std::move(rv));
+
+  if (op == "=" || op == "<>" || op == "!=" || op == "<" || op == "<=" ||
+      op == ">" || op == ">=") {
+    auto c = l.compare(r);
+    if (!c) return Datum();  // NULL comparison
+    int cv = *c;
+    bool res = false;
+    if (op == "=") res = cv == 0;
+    else if (op == "<>" || op == "!=") res = cv != 0;
+    else if (op == "<") res = cv < 0;
+    else if (op == "<=") res = cv <= 0;
+    else if (op == ">") res = cv > 0;
+    else res = cv >= 0;
+    return Datum::boolean(res);
+  }
+  if (op == "||") {
+    if (l.is_null() || r.is_null()) return Datum();
+    return Datum::text(l.to_text() + r.to_text());
+  }
+  if (op == "+" || op == "-" || op == "*" || op == "/" || op == "%") {
+    if (l.is_null() || r.is_null()) return Datum();
+    bool both_int = l.type() == Type::kInt && r.type() == Type::kInt;
+    if (op == "%") {
+      if (!both_int) return err("42883", "operator %% requires integers");
+      if (r.as_int() == 0) return err("22012", "division by zero");
+      return Datum::integer(l.as_int() % r.as_int());
+    }
+    if (both_int) {
+      int64_t a = l.as_int(), b = r.as_int();
+      if (op == "+") return Datum::integer(a + b);
+      if (op == "-") return Datum::integer(a - b);
+      if (op == "*") return Datum::integer(a * b);
+      if (b == 0) return err("22012", "division by zero");
+      return Datum::integer(a / b);
+    }
+    double a = l.type() == Type::kText ? parse_f64(l.as_text()).value_or(0)
+                                       : l.numeric();
+    double b = r.type() == Type::kText ? parse_f64(r.as_text()).value_or(0)
+                                       : r.numeric();
+    if (op == "+") return Datum::floating(a + b);
+    if (op == "-") return Datum::floating(a - b);
+    if (op == "*") return Datum::floating(a * b);
+    if (b == 0) return err("22012", "division by zero");
+    return Datum::floating(a / b);
+  }
+
+  // Custom operator: resolve via the operator catalog.
+  auto oit = ctx.db->operators().find(op);
+  if (oit == ctx.db->operators().end())
+    return err("42883", "operator does not exist: " + op);
+  auto fit = ctx.db->functions().find(oit->second.procedure);
+  if (fit == ctx.db->functions().end())
+    return err("42883", "operator procedure missing: " + oit->second.procedure);
+  std::vector<Datum> args;
+  args.push_back(std::move(l));
+  args.push_back(std::move(r));
+  return call_function(fit->second, std::move(args), ctx);
+}
+
+EvalResult<Datum> eval(const Expr& e, EvalCtx& ctx) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kParam: {
+      if (!ctx.params || e.param_index < 1 ||
+          static_cast<size_t>(e.param_index) > ctx.params->size())
+        return err("42P02", strformat("parameter $%d out of range", e.param_index));
+      return (*ctx.params)[static_cast<size_t>(e.param_index - 1)];
+    }
+    case ExprKind::kColumnRef: {
+      const Datum* found = nullptr;
+      for (const auto& entry : ctx.scope) {
+        if (!e.table.empty() && entry.alias != e.table) continue;
+        int idx = entry.table->find_column(e.column);
+        if (idx >= 0) {
+          if (found)
+            return err("42702", "ambiguous column reference: " + e.column);
+          found = &(*entry.row)[static_cast<size_t>(idx)];
+          if (!e.table.empty()) break;
+        }
+      }
+      if (!found) {
+        // Postgres exposes current_user as a bare keyword, not a call.
+        if (e.table.empty() && e.column == "current_user")
+          return Datum::text(*ctx.user);
+        return err("42703", "column does not exist: " +
+                                (e.table.empty() ? e.column
+                                                 : e.table + "." + e.column));
+      }
+      return *found;
+    }
+    case ExprKind::kUnary: {
+      auto v = eval(*e.args[0], ctx);
+      if (std::holds_alternative<SqlError>(v)) return v;
+      Datum d = std::get<Datum>(std::move(v));
+      if (d.is_null()) return Datum();
+      if (e.op == "-") {
+        if (d.type() == Type::kInt) return Datum::integer(-d.as_int());
+        return Datum::floating(-d.numeric());
+      }
+      if (d.type() != Type::kBool)
+        return err("42804", "argument of NOT must be boolean");
+      return Datum::boolean(!d.as_bool());
+    }
+    case ExprKind::kBinary:
+      return eval_binary(e, ctx);
+    case ExprKind::kFuncCall: {
+      std::vector<Datum> args;
+      for (const auto& a : e.args) {
+        auto v = eval(*a, ctx);
+        if (std::holds_alternative<SqlError>(v)) return v;
+        args.push_back(std::get<Datum>(std::move(v)));
+      }
+      auto fit = ctx.db->functions().find(e.func_name);
+      if (fit != ctx.db->functions().end())
+        return call_function(fit->second, std::move(args), ctx);
+      return eval_builtin(e.func_name, std::move(args), ctx);
+    }
+    case ExprKind::kAggregate:
+      return err("42803", "aggregate not allowed here: " + e.func_name);
+    case ExprKind::kIsNull: {
+      auto v = eval(*e.args[0], ctx);
+      if (std::holds_alternative<SqlError>(v)) return v;
+      bool isnull = std::get<Datum>(v).is_null();
+      return Datum::boolean(e.negated ? !isnull : isnull);
+    }
+    case ExprKind::kLike: {
+      auto lv = eval(*e.args[0], ctx);
+      if (std::holds_alternative<SqlError>(lv)) return lv;
+      auto rv = eval(*e.args[1], ctx);
+      if (std::holds_alternative<SqlError>(rv)) return rv;
+      Datum l = std::get<Datum>(std::move(lv));
+      Datum r = std::get<Datum>(std::move(rv));
+      if (l.is_null() || r.is_null()) return Datum();
+      bool m = like_match(l.to_text(), r.to_text());
+      return Datum::boolean(e.negated ? !m : m);
+    }
+    case ExprKind::kBetween: {
+      auto vv = eval(*e.args[0], ctx);
+      if (std::holds_alternative<SqlError>(vv)) return vv;
+      auto lov = eval(*e.args[1], ctx);
+      if (std::holds_alternative<SqlError>(lov)) return lov;
+      auto hiv = eval(*e.args[2], ctx);
+      if (std::holds_alternative<SqlError>(hiv)) return hiv;
+      Datum v = std::get<Datum>(std::move(vv));
+      Datum lo = std::get<Datum>(std::move(lov));
+      Datum hi = std::get<Datum>(std::move(hiv));
+      auto c1 = v.compare(lo);
+      auto c2 = v.compare(hi);
+      if (!c1 || !c2) return Datum();
+      bool in = *c1 >= 0 && *c2 <= 0;
+      return Datum::boolean(e.negated ? !in : in);
+    }
+    case ExprKind::kInList: {
+      auto vv = eval(*e.args[0], ctx);
+      if (std::holds_alternative<SqlError>(vv)) return vv;
+      Datum v = std::get<Datum>(std::move(vv));
+      bool saw_null = v.is_null();
+      bool found = false;
+      for (size_t i = 1; i < e.args.size() && !found; ++i) {
+        auto iv = eval(*e.args[i], ctx);
+        if (std::holds_alternative<SqlError>(iv)) return iv;
+        Datum item = std::get<Datum>(std::move(iv));
+        auto c = v.compare(item);
+        if (!c) {
+          saw_null = true;
+          continue;
+        }
+        if (*c == 0) found = true;
+      }
+      if (found) return Datum::boolean(!e.negated);
+      if (saw_null) return Datum();
+      return Datum::boolean(e.negated);
+    }
+    case ExprKind::kCase: {
+      size_t pairs = (e.args.size() - (e.case_has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        auto cv = eval(*e.args[2 * i], ctx);
+        if (std::holds_alternative<SqlError>(cv)) return cv;
+        Datum c = std::get<Datum>(std::move(cv));
+        if (!c.is_null() && c.type() == Type::kBool && c.as_bool())
+          return eval(*e.args[2 * i + 1], ctx);
+      }
+      if (e.case_has_else) return eval(*e.args.back(), ctx);
+      return Datum();
+    }
+  }
+  return err("XX000", "unreachable expression kind");
+}
+
+bool expr_has_aggregate(const Expr& e) {
+  if (e.kind == ExprKind::kAggregate) return true;
+  for (const auto& a : e.args)
+    if (a && expr_has_aggregate(*a)) return true;
+  return false;
+}
+
+/// Truthiness of a WHERE/HAVING result (NULL and non-bool are false).
+bool datum_is_true(const Datum& d) {
+  return !d.is_null() && d.type() == Type::kBool && d.as_bool();
+}
+
+Datum coerce(const Datum& d, Type target) {
+  if (d.is_null()) return d;
+  if (d.type() == target) return d;
+  switch (target) {
+    case Type::kInt:
+      if (d.type() == Type::kFloat)
+        return Datum::integer(static_cast<int64_t>(std::llround(d.as_float())));
+      if (d.type() == Type::kText) {
+        auto v = parse_i64(d.as_text());
+        return v ? Datum::integer(*v) : d;
+      }
+      if (d.type() == Type::kBool) return Datum::integer(d.as_bool() ? 1 : 0);
+      return d;
+    case Type::kFloat:
+      if (d.type() == Type::kInt) return Datum::floating(static_cast<double>(d.as_int()));
+      if (d.type() == Type::kText) {
+        auto v = parse_f64(d.as_text());
+        return v ? Datum::floating(*v) : d;
+      }
+      return d;
+    case Type::kText:
+      return Datum::text(d.to_text());
+    case Type::kBool:
+      if (d.type() == Type::kInt) return Datum::boolean(d.as_int() != 0);
+      if (d.type() == Type::kText)
+        return Datum::boolean(d.as_text() == "t" || d.as_text() == "true");
+      return d;
+    default:
+      return d;
+  }
+}
+
+}  // namespace
+
+// ---------- session ----------
+
+Session::Session(Database& db, std::string user)
+    : db_(db), user_(std::move(user)) {
+  settings_["client_min_messages"] = "notice";
+}
+
+std::string Session::setting(const std::string& name) const {
+  auto it = settings_.find(name);
+  return it == settings_.end() ? "" : it->second;
+}
+
+ExecResult Session::execute(std::string_view sql) {
+  ExecResult result;
+  auto parsed = parse_sql(sql);
+  if (!parsed.ok()) {
+    StatementResult sr;
+    sr.error_sqlstate = "42601";
+    sr.error_message = parsed.error();
+    result.statements.push_back(std::move(sr));
+    return result;
+  }
+  for (const auto& st : parsed.value()) {
+    StatementResult sr = run_statement(st);
+    bool failed = sr.failed();
+    result.rows_scanned += sr.rows_scanned;
+    result.statements.push_back(std::move(sr));
+    if (failed) break;  // simple-protocol scripts abort at first error
+  }
+  return result;
+}
+
+StatementResult Session::run_statement(const Statement& st) {
+  using K = Statement::Kind;
+  switch (st.kind) {
+    case K::kSelect: return run_select(*st.select, false, false);
+    case K::kInsert: return run_insert(*st.insert);
+    case K::kUpdate: return run_update(*st.update);
+    case K::kDelete: return run_delete(*st.del);
+    case K::kCreateTable: return run_create_table(*st.create_table);
+    case K::kDropTable: return run_drop_table(*st.drop_table);
+    case K::kCreateFunction: return run_create_function(*st.create_function);
+    case K::kCreateOperator: return run_create_operator(*st.create_operator);
+    case K::kSet: return run_set(*st.set);
+    case K::kGrant: return run_grant(*st.grant);
+    case K::kAlterTableRls: return run_alter_rls(*st.alter_rls);
+    case K::kCreatePolicy: return run_create_policy(*st.create_policy);
+    case K::kExplain:
+      return run_select(*st.explain->select, true, st.explain->costs_off);
+    case K::kTxn: {
+      StatementResult sr;
+      sr.command_tag = to_upper(st.txn->keyword);
+      return sr;
+    }
+  }
+  StatementResult sr;
+  sr.error_sqlstate = "XX000";
+  sr.error_message = "unhandled statement";
+  return sr;
+}
+
+namespace {
+
+/// Can `user` SELECT from `t`?
+bool can_select(const TableData& t, const std::string& user) {
+  if (user == "postgres" || user == t.owner) return true;
+  auto it = t.grants.find("SELECT");
+  return it != t.grants.end() && it->second.count(user) > 0;
+}
+
+bool can_modify(const TableData& t, const std::string& user,
+                const std::string& privilege) {
+  if (user == "postgres" || user == t.owner) return true;
+  auto it = t.grants.find(privilege);
+  return it != t.grants.end() && it->second.count(user) > 0;
+}
+
+/// True when RLS filtering applies to this user on this table.
+bool rls_applies(const TableData& t, const std::string& user) {
+  return t.rls_enabled && user != "postgres" && user != t.owner;
+}
+
+/// Evaluates the table's policies for `user` against `row`.
+EvalResult<bool> rls_row_visible(const Database& db, const TableData& t,
+                                 const std::string& user, const Row& row) {
+  bool visible = false;
+  for (const auto& pol : t.policies) {
+    if (!pol.role.empty() && pol.role != user) continue;
+    EvalCtx ctx;
+    ctx.db = &db;
+    ctx.user = &user;
+    ctx.scope.push_back(ScopeEntry{t.name, &t, &row});
+    auto v = eval(*pol.using_expr, ctx);
+    if (std::holds_alternative<SqlError>(v))
+      return std::get<SqlError>(std::move(v));
+    if (datum_is_true(std::get<Datum>(v))) visible = true;
+  }
+  return visible;
+}
+
+/// For single-table queries, resolves "col = <int literal>" conjuncts
+/// against a hash index. Returns matching row ordinals (sorted, so scan
+/// order stays deterministic), or nullopt for a full scan.
+std::optional<std::vector<size_t>> index_candidates(const TableData& t,
+                                                    const Expr* where) {
+  if (!where) return std::nullopt;
+  std::vector<const Expr*> conjuncts{where};
+  while (!conjuncts.empty()) {
+    const Expr* e = conjuncts.back();
+    conjuncts.pop_back();
+    if (e->kind == ExprKind::kBinary && e->op == "and") {
+      conjuncts.push_back(e->args[0].get());
+      conjuncts.push_back(e->args[1].get());
+      continue;
+    }
+    if (e->kind != ExprKind::kBinary || e->op != "=") continue;
+    const Expr* col = nullptr;
+    const Expr* lit = nullptr;
+    if (e->args[0]->kind == ExprKind::kColumnRef &&
+        e->args[1]->kind == ExprKind::kLiteral) {
+      col = e->args[0].get();
+      lit = e->args[1].get();
+    } else if (e->args[1]->kind == ExprKind::kColumnRef &&
+               e->args[0]->kind == ExprKind::kLiteral) {
+      col = e->args[1].get();
+      lit = e->args[0].get();
+    } else {
+      continue;
+    }
+    if (lit->literal.type() != Type::kInt) continue;
+    int ci = t.find_column(col->column);
+    if (ci < 0) continue;
+    auto it = t.hash_indexes.find(ci);
+    if (it == t.hash_indexes.end()) continue;
+    auto [b, end] = it->second.equal_range(lit->literal.as_int());
+    std::vector<size_t> out;
+    for (auto i = b; i != end; ++i) out.push_back(i->second);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+// ---------- SELECT ----------
+
+StatementResult Session::run_select(const SelectStmt& sel, bool explain_only,
+                                    bool costs_off) {
+  (void)costs_off;  // cost output is always off in this engine
+  StatementResult out;
+  out.is_rowset = true;
+
+  // Resolve FROM tables.
+  struct FromEntry {
+    const TableRef* ref;
+    const TableData* table;
+  };
+  std::vector<FromEntry> from;
+  for (const auto& tr : sel.from) {
+    const TableData* t = db_.find_table(tr.table);
+    if (!t) {
+      out.error_sqlstate = "42P01";
+      out.error_message = "relation does not exist: " + tr.table;
+      return out;
+    }
+    from.push_back(FromEntry{&tr, t});
+  }
+
+  // ---- Planner statistics probe: the CVE site. ----
+  // Selectivity estimation for user-defined operators with a `restrict`
+  // estimator evaluates the operator's procedure over sampled column
+  // values. Which rows may be sampled depends on the engine build:
+  //   - privilege unchecked (CVE-2017-7484) on vulnerable builds;
+  //   - RLS unchecked (CVE-2019-10130) on vulnerable builds.
+  if (sel.where) {
+    std::function<void(const Expr&)> probe = [&](const Expr& e) {
+      for (const auto& a : e.args)
+        if (a) probe(*a);
+      if (e.kind != ExprKind::kBinary) return;
+      auto oit = db_.operators().find(e.op);
+      if (oit == db_.operators().end()) return;
+      if (oit->second.restrict_estimator.empty()) return;
+      auto fit = db_.functions().find(oit->second.procedure);
+      if (fit == db_.functions().end()) return;
+      // Identify the column operand and its table.
+      const Expr* col_expr = nullptr;
+      const Expr* other = nullptr;
+      if (e.args[0]->kind == ExprKind::kColumnRef) {
+        col_expr = e.args[0].get();
+        other = e.args[1].get();
+      } else if (e.args[1]->kind == ExprKind::kColumnRef) {
+        col_expr = e.args[1].get();
+        other = e.args[0].get();
+      } else {
+        return;
+      }
+      const TableData* table = nullptr;
+      int col_idx = -1;
+      for (const auto& fe : from) {
+        if (!col_expr->table.empty() && fe.ref->alias != col_expr->table)
+          continue;
+        int idx = fe.table->find_column(col_expr->column);
+        if (idx >= 0) {
+          table = fe.table;
+          col_idx = idx;
+          break;
+        }
+      }
+      if (!table) return;
+      // Privilege gate (fixed in 9.2.21+ for CVE-2017-7484).
+      if (!db_.info().vulns.stats_leak_ignores_privilege &&
+          !can_select(*table, user_))
+        return;
+      // Constant side of the operator.
+      EvalCtx const_ctx;
+      const_ctx.db = &db_;
+      const_ctx.user = &user_;
+      auto other_v = eval(*other, const_ctx);
+      if (std::holds_alternative<SqlError>(other_v)) return;
+      Datum const_side = std::get<Datum>(std::move(other_v));
+      bool col_on_left = col_expr == e.args[0].get();
+      // Sample rows; RLS gate (fixed in 10.8+ for CVE-2019-10130).
+      size_t sampled = 0;
+      for (const auto& row : table->rows) {
+        if (sampled >= kStatsSampleRows) break;
+        if (rls_applies(*table, user_) &&
+            !db_.info().vulns.stats_leak_ignores_rls) {
+          auto vis = rls_row_visible(db_, *table, user_, row);
+          if (std::holds_alternative<SqlError>(vis) ||
+              !std::get<bool>(vis))
+            continue;
+        }
+        ++sampled;
+        EvalCtx fctx;
+        fctx.db = &db_;
+        fctx.user = &user_;
+        fctx.notices = &out.notices;
+        std::vector<Datum> args;
+        const Datum& colv = row[static_cast<size_t>(col_idx)];
+        if (col_on_left) {
+          args = {colv, const_side};
+        } else {
+          args = {const_side, colv};
+        }
+        (void)call_function(fit->second, std::move(args), fctx);
+        out.rows_scanned += 1;
+      }
+    };
+    probe(*sel.where);
+  }
+
+  if (explain_only) {
+    out.columns = {"QUERY PLAN"};
+    for (size_t i = 0; i < from.size(); ++i) {
+      std::string line = (i == 0 ? "Seq Scan on " : "  Nested Loop join with ")
+                         + from[i].ref->table;
+      out.rows.push_back({line});
+      if (from[i].ref->join_on)
+        out.rows.push_back({"    Join Filter: " + from[i].ref->join_on->to_string()});
+    }
+    if (from.empty()) out.rows.push_back({"Result"});
+    if (sel.where) out.rows.push_back({"  Filter: " + sel.where->to_string()});
+    out.command_tag = "EXPLAIN";
+    return out;
+  }
+
+  // Privilege checks happen *after* planning — that ordering is the
+  // CVE-2017-7484 leak-before-denial behaviour.
+  for (const auto& fe : from) {
+    if (!can_select(*fe.table, user_)) {
+      out.error_sqlstate = "42501";
+      out.error_message = "permission denied for table " + fe.table->name;
+      return out;
+    }
+  }
+
+  EvalCtx base_ctx;
+  base_ctx.db = &db_;
+  base_ctx.user = &user_;
+  base_ctx.notices = &out.notices;
+  base_ctx.rows_scanned = &out.rows_scanned;
+
+  // Determine grouping.
+  bool has_agg = !sel.group_by.empty();
+  for (const auto& item : sel.items)
+    if (item.expr && expr_has_aggregate(*item.expr)) has_agg = true;
+  if (sel.having) has_agg = true;
+
+  // Output column names.
+  auto derive_name = [](const SelectItem& item) -> std::string {
+    if (!item.alias.empty()) return item.alias;
+    if (!item.expr) return "?column?";
+    if (item.expr->kind == ExprKind::kColumnRef) return item.expr->column;
+    if (item.expr->kind == ExprKind::kAggregate ||
+        item.expr->kind == ExprKind::kFuncCall)
+      return item.expr->func_name;
+    return "?column?";
+  };
+
+  std::vector<size_t> star_positions;  // indices in sel.items that are '*'
+  for (size_t i = 0; i < sel.items.size(); ++i) {
+    const auto& item = sel.items[i];
+    if (item.star) {
+      for (const auto& fe : from)
+        for (const auto& col : fe.table->columns) out.columns.push_back(col.name);
+      star_positions.push_back(i);
+    } else {
+      out.columns.push_back(derive_name(item));
+    }
+  }
+
+  // ---- Build the joined, filtered row stream. ----
+  struct ResultRow {
+    std::vector<Datum> values;      // projected (non-grouped path)
+    std::vector<Datum> order_keys;  // evaluated ORDER BY keys
+    std::vector<const Row*> scope_rows;  // per-FROM-table source rows
+  };
+  std::vector<std::vector<const Row*>> matches;  // scope rows per match
+  SqlError scan_error{"", ""};
+  bool errored = false;
+
+  std::function<void(size_t, std::vector<const Row*>&)> scan =
+      [&](size_t level, std::vector<const Row*>& acc) {
+        if (errored) return;
+        if (level == from.size()) {
+          // WHERE filter.
+          if (sel.where) {
+            EvalCtx ctx = base_ctx;
+            for (size_t i = 0; i < from.size(); ++i)
+              ctx.scope.push_back(
+                  ScopeEntry{from[i].ref->alias, from[i].table, acc[i]});
+            auto v = eval(*sel.where, ctx);
+            if (std::holds_alternative<SqlError>(v)) {
+              scan_error = std::get<SqlError>(std::move(v));
+              errored = true;
+              return;
+            }
+            if (!datum_is_true(std::get<Datum>(v))) return;
+          }
+          matches.push_back(acc);
+          return;
+        }
+        const auto& fe = from[level];
+        bool rls = rls_applies(*fe.table, user_);
+        // Indexed fast path: a single-table equality predicate with a hash
+        // index visits only the matching rows (pgbench's PK lookup).
+        std::optional<std::vector<size_t>> candidates;
+        if (level == 0 && from.size() == 1)
+          candidates = index_candidates(*fe.table, sel.where.get());
+        size_t scan_count =
+            candidates ? candidates->size() : fe.table->rows.size();
+        for (size_t scan_i = 0; scan_i < scan_count; ++scan_i) {
+          const Row& row =
+              fe.table->rows[candidates ? (*candidates)[scan_i] : scan_i];
+          if (errored) return;
+          out.rows_scanned += 1;
+          if (rls) {
+            auto vis = rls_row_visible(db_, *fe.table, user_, row);
+            if (std::holds_alternative<SqlError>(vis)) {
+              scan_error = std::get<SqlError>(std::move(vis));
+              errored = true;
+              return;
+            }
+            if (!std::get<bool>(vis)) continue;
+          }
+          acc.push_back(&row);
+          // Apply the JOIN ON condition as soon as its table is in scope.
+          bool pass = true;
+          if (fe.ref->join_on) {
+            EvalCtx ctx = base_ctx;
+            for (size_t i = 0; i <= level; ++i)
+              ctx.scope.push_back(
+                  ScopeEntry{from[i].ref->alias, from[i].table, acc[i]});
+            auto v = eval(*fe.ref->join_on, ctx);
+            if (std::holds_alternative<SqlError>(v)) {
+              scan_error = std::get<SqlError>(std::move(v));
+              errored = true;
+              acc.pop_back();
+              return;
+            }
+            pass = datum_is_true(std::get<Datum>(v));
+          }
+          if (pass) scan(level + 1, acc);
+          acc.pop_back();
+        }
+      };
+
+  if (from.empty()) {
+    // SELECT <exprs> without FROM: a single empty-scope row.
+    matches.push_back({});
+  } else {
+    std::vector<const Row*> acc;
+    scan(0, acc);
+  }
+  if (errored) {
+    out.error_sqlstate = scan_error.sqlstate;
+    out.error_message = scan_error.message;
+    return out;
+  }
+
+  auto make_scope = [&](const std::vector<const Row*>& rows_in_scope) {
+    std::vector<ScopeEntry> scope;
+    for (size_t i = 0; i < from.size(); ++i)
+      scope.push_back(
+          ScopeEntry{from[i].ref->alias, from[i].table, rows_in_scope[i]});
+    return scope;
+  };
+
+  std::vector<ResultRow> results;
+
+  if (!has_agg) {
+    for (const auto& m : matches) {
+      ResultRow rr;
+      rr.scope_rows = m;
+      EvalCtx ctx = base_ctx;
+      ctx.scope = make_scope(m);
+      for (const auto& item : sel.items) {
+        if (item.star) {
+          for (const auto* r : m)
+            for (const auto& d : *r) rr.values.push_back(d);
+          continue;
+        }
+        auto v = eval(*item.expr, ctx);
+        if (std::holds_alternative<SqlError>(v)) {
+          auto& se = std::get<SqlError>(v);
+          out.error_sqlstate = se.sqlstate;
+          out.error_message = se.message;
+          return out;
+        }
+        rr.values.push_back(std::get<Datum>(std::move(v)));
+      }
+      results.push_back(std::move(rr));
+    }
+  } else {
+    // ---- Grouped / aggregated path. ----
+    struct Group {
+      std::vector<Datum> keys;
+      std::vector<std::vector<const Row*>> members;
+    };
+    std::vector<Group> groups;
+    std::unordered_map<size_t, std::vector<size_t>> index;  // hash -> group ids
+    for (const auto& m : matches) {
+      EvalCtx ctx = base_ctx;
+      ctx.scope = make_scope(m);
+      std::vector<Datum> keys;
+      for (const auto& g : sel.group_by) {
+        auto v = eval(*g, ctx);
+        if (std::holds_alternative<SqlError>(v)) {
+          auto& se = std::get<SqlError>(v);
+          out.error_sqlstate = se.sqlstate;
+          out.error_message = se.message;
+          return out;
+        }
+        keys.push_back(std::get<Datum>(std::move(v)));
+      }
+      size_t h = 1469598103u;
+      for (const auto& k : keys) h = h * 1099511628211ull ^ k.hash();
+      Group* grp = nullptr;
+      for (size_t gid : index[h]) {
+        bool equal = true;
+        for (size_t i = 0; i < keys.size(); ++i)
+          if (!groups[gid].keys[i].group_equal(keys[i])) {
+            equal = false;
+            break;
+          }
+        if (equal) {
+          grp = &groups[gid];
+          break;
+        }
+      }
+      if (!grp) {
+        index[h].push_back(groups.size());
+        groups.push_back(Group{std::move(keys), {}});
+        grp = &groups.back();
+      }
+      grp->members.push_back(m);
+    }
+    if (groups.empty() && sel.group_by.empty()) {
+      // Aggregate over an empty input still yields one row (COUNT = 0).
+      groups.push_back(Group{{}, {}});
+    }
+
+    // Aggregate evaluation helper: replaces kAggregate nodes with computed
+    // datums by evaluating bottom-up over group members.
+    std::function<EvalResult<Datum>(const Expr&, Group&)> eval_agg_expr =
+        [&](const Expr& e, Group& grp) -> EvalResult<Datum> {
+      if (e.kind == ExprKind::kAggregate) {
+        const std::string& fn = e.func_name;
+        int64_t count = 0;
+        double sum = 0;
+        bool any = false;
+        bool all_int = true;
+        Datum min_v, max_v;
+        std::vector<Datum> seen;  // DISTINCT support
+        for (const auto& m : grp.members) {
+          Datum v;
+          if (e.star) {
+            v = Datum::integer(1);
+          } else {
+            EvalCtx ctx = base_ctx;
+            ctx.scope = make_scope(m);
+            auto ev = eval(*e.args[0], ctx);
+            if (std::holds_alternative<SqlError>(ev)) return ev;
+            v = std::get<Datum>(std::move(ev));
+          }
+          if (v.is_null()) continue;
+          if (e.distinct) {
+            bool dup = false;
+            for (const auto& s : seen)
+              if (s.group_equal(v)) {
+                dup = true;
+                break;
+              }
+            if (dup) continue;
+            seen.push_back(v);
+          }
+          ++count;
+          if (v.type() != Type::kInt) all_int = false;
+          if (v.type() == Type::kInt || v.type() == Type::kFloat ||
+              v.type() == Type::kBool)
+            sum += v.numeric();
+          if (!any) {
+            min_v = v;
+            max_v = v;
+            any = true;
+          } else {
+            auto c1 = v.compare(min_v);
+            if (c1 && *c1 < 0) min_v = v;
+            auto c2 = v.compare(max_v);
+            if (c2 && *c2 > 0) max_v = v;
+          }
+        }
+        if (fn == "count") return Datum::integer(count);
+        if (!any) return Datum();  // SUM/AVG/MIN/MAX over empty -> NULL
+        if (fn == "sum")
+          return all_int ? Datum::integer(static_cast<int64_t>(sum))
+                         : Datum::floating(sum);
+        if (fn == "avg") return Datum::floating(sum / static_cast<double>(count));
+        if (fn == "min") return min_v;
+        if (fn == "max") return max_v;
+        return err("42883", "unknown aggregate: " + fn);
+      }
+      // Non-aggregate nodes: must be computable from the group keys; we
+      // evaluate over the first member's scope (valid for grouped columns).
+      if (e.args.empty() || e.kind == ExprKind::kColumnRef ||
+          e.kind == ExprKind::kLiteral) {
+        EvalCtx ctx = base_ctx;
+        if (!grp.members.empty()) ctx.scope = make_scope(grp.members.front());
+        return eval(e, ctx);
+      }
+      // Recurse: clone evaluation over children.
+      Expr shallow;
+      shallow.kind = e.kind;
+      shallow.op = e.op;
+      shallow.func_name = e.func_name;
+      shallow.negated = e.negated;
+      shallow.star = e.star;
+      shallow.case_has_else = e.case_has_else;
+      std::vector<Datum> child_vals;
+      for (const auto& a : e.args) {
+        auto cv = eval_agg_expr(*a, grp);
+        if (std::holds_alternative<SqlError>(cv)) return cv;
+        child_vals.push_back(std::get<Datum>(std::move(cv)));
+      }
+      for (const auto& d : child_vals) shallow.args.push_back(make_literal(d));
+      EvalCtx ctx = base_ctx;
+      return eval(shallow, ctx);
+    };
+
+    for (auto& grp : groups) {
+      ResultRow rr;
+      // HAVING filter.
+      if (sel.having) {
+        auto hv = eval_agg_expr(*sel.having, grp);
+        if (std::holds_alternative<SqlError>(hv)) {
+          auto& se = std::get<SqlError>(hv);
+          out.error_sqlstate = se.sqlstate;
+          out.error_message = se.message;
+          return out;
+        }
+        if (!datum_is_true(std::get<Datum>(hv))) continue;
+      }
+      for (const auto& item : sel.items) {
+        if (item.star) {
+          out.error_sqlstate = "42803";
+          out.error_message = "SELECT * not allowed with GROUP BY";
+          return out;
+        }
+        auto v = eval_agg_expr(*item.expr, grp);
+        if (std::holds_alternative<SqlError>(v)) {
+          auto& se = std::get<SqlError>(v);
+          out.error_sqlstate = se.sqlstate;
+          out.error_message = se.message;
+          return out;
+        }
+        rr.values.push_back(std::get<Datum>(std::move(v)));
+      }
+      if (!grp.members.empty()) rr.scope_rows = grp.members.front();
+      results.push_back(std::move(rr));
+    }
+  }
+
+  // ---- ORDER BY ----
+  if (!sel.order_by.empty()) {
+    // Each order key resolves to (a) a positional number, (b) a select
+    // alias, (c) a select-item expression match, or (d) for non-grouped
+    // queries, an arbitrary expression over the row scope.
+    struct KeySpec {
+      int select_index = -1;  // resolved to a projected column
+      const Expr* expr = nullptr;
+      bool descending;
+    };
+    std::vector<KeySpec> specs;
+    for (const auto& oi : sel.order_by) {
+      KeySpec ks;
+      ks.descending = oi.descending;
+      const Expr& e = *oi.expr;
+      if (e.kind == ExprKind::kLiteral && e.literal.type() == Type::kInt) {
+        int pos = static_cast<int>(e.literal.as_int());
+        if (pos < 1 || pos > static_cast<int>(out.columns.size())) {
+          out.error_sqlstate = "42P10";
+          out.error_message = "ORDER BY position out of range";
+          return out;
+        }
+        ks.select_index = pos - 1;
+      } else {
+        // Alias or expression match against select items.
+        std::string estr = e.to_string();
+        int col = 0;
+        bool found = false;
+        for (size_t i = 0; i < sel.items.size() && !found; ++i) {
+          const auto& item = sel.items[i];
+          int width = 1;
+          if (item.star) {
+            width = 0;
+            for (const auto& fe : from)
+              width += static_cast<int>(fe.table->columns.size());
+          } else {
+            if ((e.kind == ExprKind::kColumnRef && e.table.empty() &&
+                 item.alias == e.column) ||
+                (item.expr && item.expr->to_string() == estr)) {
+              ks.select_index = col;
+              found = true;
+            }
+          }
+          col += width;
+        }
+        if (!found) ks.expr = &e;
+      }
+      specs.push_back(ks);
+    }
+    // Evaluate expression keys (non-grouped path only).
+    for (auto& rr : results) {
+      for (const auto& ks : specs) {
+        if (ks.select_index >= 0) {
+          rr.order_keys.push_back(rr.values[static_cast<size_t>(ks.select_index)]);
+        } else if (!has_agg && !rr.scope_rows.empty()) {
+          EvalCtx ctx = base_ctx;
+          ctx.scope = make_scope(rr.scope_rows);
+          auto v = eval(*ks.expr, ctx);
+          if (std::holds_alternative<SqlError>(v)) {
+            auto& se = std::get<SqlError>(v);
+            out.error_sqlstate = se.sqlstate;
+            out.error_message = se.message;
+            return out;
+          }
+          rr.order_keys.push_back(std::get<Datum>(std::move(v)));
+        } else {
+          out.error_sqlstate = "42803";
+          out.error_message =
+              "ORDER BY expression must appear in the select list for "
+              "aggregate queries";
+          return out;
+        }
+      }
+    }
+    std::stable_sort(results.begin(), results.end(),
+                     [&](const ResultRow& a, const ResultRow& b) {
+                       for (size_t i = 0; i < specs.size(); ++i) {
+                         auto c = a.order_keys[i].compare(b.order_keys[i]);
+                         int cv;
+                         if (!c) {
+                           // NULLS LAST (asc) / FIRST (desc), like Postgres.
+                           bool an = a.order_keys[i].is_null();
+                           bool bn = b.order_keys[i].is_null();
+                           if (an == bn) continue;
+                           cv = an ? 1 : -1;
+                         } else {
+                           cv = *c;
+                         }
+                         if (cv == 0) continue;
+                         return specs[i].descending ? cv > 0 : cv < 0;
+                       }
+                       return false;
+                     });
+  } else if (!db_.info().scan_insertion_order) {
+    // roachdb personality: unordered SELECTs come back sorted — the
+    // paper's "unspecified row order" hazard, reproduced deliberately.
+    std::sort(results.begin(), results.end(),
+              [](const ResultRow& a, const ResultRow& b) {
+                for (size_t i = 0; i < a.values.size() && i < b.values.size();
+                     ++i) {
+                  auto c = a.values[i].compare(b.values[i]);
+                  if (!c) {
+                    bool an = a.values[i].is_null(), bn = b.values[i].is_null();
+                    if (an != bn) return bn;
+                    continue;
+                  }
+                  if (*c != 0) return *c < 0;
+                }
+                return false;
+              });
+  }
+
+  if (sel.limit && static_cast<int64_t>(results.size()) > *sel.limit)
+    results.resize(static_cast<size_t>(*sel.limit));
+
+  for (const auto& rr : results) {
+    std::vector<std::optional<std::string>> row;
+    for (const auto& d : rr.values) {
+      if (d.is_null()) row.push_back(std::nullopt);
+      else row.push_back(d.to_text());
+    }
+    out.rows.push_back(std::move(row));
+  }
+  out.command_tag = "SELECT " + std::to_string(out.rows.size());
+  return out;
+}
+
+// ---------- DML / DDL ----------
+
+StatementResult Session::run_insert(const InsertStmt& ins) {
+  StatementResult out;
+  TableData* t = db_.find_table(ins.table);
+  if (!t) {
+    out.error_sqlstate = "42P01";
+    out.error_message = "relation does not exist: " + ins.table;
+    return out;
+  }
+  if (!can_modify(*t, user_, "INSERT")) {
+    out.error_sqlstate = "42501";
+    out.error_message = "permission denied for table " + t->name;
+    return out;
+  }
+  std::vector<int> target_cols;
+  if (ins.columns.empty()) {
+    for (size_t i = 0; i < t->columns.size(); ++i)
+      target_cols.push_back(static_cast<int>(i));
+  } else {
+    for (const auto& c : ins.columns) {
+      int idx = t->find_column(c);
+      if (idx < 0) {
+        out.error_sqlstate = "42703";
+        out.error_message = "column does not exist: " + c;
+        return out;
+      }
+      target_cols.push_back(idx);
+    }
+  }
+  EvalCtx ctx;
+  ctx.db = &db_;
+  ctx.user = &user_;
+  ctx.notices = &out.notices;
+  const size_t first_new_row = t->rows.size();
+  for (const auto& row_exprs : ins.rows) {
+    if (row_exprs.size() != target_cols.size()) {
+      out.error_sqlstate = "42601";
+      out.error_message = "INSERT value count does not match column count";
+      return out;
+    }
+    Row row(t->columns.size());  // defaults to NULL
+    for (size_t i = 0; i < row_exprs.size(); ++i) {
+      auto v = eval(*row_exprs[i], ctx);
+      if (std::holds_alternative<SqlError>(v)) {
+        auto& se = std::get<SqlError>(v);
+        out.error_sqlstate = se.sqlstate;
+        out.error_message = se.message;
+        return out;
+      }
+      size_t col = static_cast<size_t>(target_cols[i]);
+      row[col] = coerce(std::get<Datum>(std::move(v)), t->columns[col].type);
+    }
+    t->rows.push_back(std::move(row));
+  }
+  t->index_appended(first_new_row);
+  out.command_tag = "INSERT 0 " + std::to_string(ins.rows.size());
+  return out;
+}
+
+StatementResult Session::run_update(const UpdateStmt& up) {
+  StatementResult out;
+  TableData* t = db_.find_table(up.table);
+  if (!t) {
+    out.error_sqlstate = "42P01";
+    out.error_message = "relation does not exist: " + up.table;
+    return out;
+  }
+  if (!can_modify(*t, user_, "UPDATE")) {
+    out.error_sqlstate = "42501";
+    out.error_message = "permission denied for table " + t->name;
+    return out;
+  }
+  std::vector<std::pair<int, const ExprPtr*>> sets;
+  for (const auto& [col, expr] : up.sets) {
+    int idx = t->find_column(col);
+    if (idx < 0) {
+      out.error_sqlstate = "42703";
+      out.error_message = "column does not exist: " + col;
+      return out;
+    }
+    sets.emplace_back(idx, &expr);
+  }
+  int64_t updated = 0;
+  for (auto& row : t->rows) {
+    out.rows_scanned += 1;
+    EvalCtx ctx;
+    ctx.db = &db_;
+    ctx.user = &user_;
+    ctx.notices = &out.notices;
+    ctx.scope.push_back(ScopeEntry{t->name, t, &row});
+    if (rls_applies(*t, user_)) {
+      auto vis = rls_row_visible(db_, *t, user_, row);
+      if (std::holds_alternative<SqlError>(vis)) continue;
+      if (!std::get<bool>(vis)) continue;
+    }
+    if (up.where) {
+      auto v = eval(*up.where, ctx);
+      if (std::holds_alternative<SqlError>(v)) {
+        auto& se = std::get<SqlError>(v);
+        out.error_sqlstate = se.sqlstate;
+        out.error_message = se.message;
+        return out;
+      }
+      if (!datum_is_true(std::get<Datum>(v))) continue;
+    }
+    for (auto& [idx, expr] : sets) {
+      auto v = eval(**expr, ctx);
+      if (std::holds_alternative<SqlError>(v)) {
+        auto& se = std::get<SqlError>(v);
+        out.error_sqlstate = se.sqlstate;
+        out.error_message = se.message;
+        return out;
+      }
+      row[static_cast<size_t>(idx)] = coerce(std::get<Datum>(std::move(v)),
+                                             t->columns[static_cast<size_t>(idx)].type);
+    }
+    ++updated;
+  }
+  if (updated > 0 && !t->hash_indexes.empty()) t->rebuild_indexes();
+  out.command_tag = "UPDATE " + std::to_string(updated);
+  return out;
+}
+
+StatementResult Session::run_delete(const DeleteStmt& del) {
+  StatementResult out;
+  TableData* t = db_.find_table(del.table);
+  if (!t) {
+    out.error_sqlstate = "42P01";
+    out.error_message = "relation does not exist: " + del.table;
+    return out;
+  }
+  if (!can_modify(*t, user_, "DELETE")) {
+    out.error_sqlstate = "42501";
+    out.error_message = "permission denied for table " + t->name;
+    return out;
+  }
+  int64_t deleted = 0;
+  std::vector<Row> kept;
+  kept.reserve(t->rows.size());
+  for (auto& row : t->rows) {
+    out.rows_scanned += 1;
+    bool remove = true;
+    EvalCtx ctx;
+    ctx.db = &db_;
+    ctx.user = &user_;
+    ctx.notices = &out.notices;
+    ctx.scope.push_back(ScopeEntry{t->name, t, &row});
+    if (rls_applies(*t, user_)) {
+      auto vis = rls_row_visible(db_, *t, user_, row);
+      remove = !std::holds_alternative<SqlError>(vis) && std::get<bool>(vis);
+    }
+    if (remove && del.where) {
+      auto v = eval(*del.where, ctx);
+      if (std::holds_alternative<SqlError>(v)) {
+        auto& se = std::get<SqlError>(v);
+        out.error_sqlstate = se.sqlstate;
+        out.error_message = se.message;
+        return out;
+      }
+      remove = datum_is_true(std::get<Datum>(v));
+    }
+    if (remove) ++deleted;
+    else kept.push_back(std::move(row));
+  }
+  t->rows = std::move(kept);
+  if (deleted > 0 && !t->hash_indexes.empty()) t->rebuild_indexes();
+  out.command_tag = "DELETE " + std::to_string(deleted);
+  return out;
+}
+
+StatementResult Session::run_create_table(const CreateTableStmt& ct) {
+  StatementResult out;
+  if (db_.find_table(ct.table)) {
+    out.error_sqlstate = "42P07";
+    out.error_message = "relation already exists: " + ct.table;
+    return out;
+  }
+  std::vector<Column> cols;
+  for (const auto& c : ct.columns) cols.push_back(Column{c.name, c.type});
+  TableData* t = db_.create_table(ct.table, std::move(cols));
+  t->owner = user_;
+  out.command_tag = "CREATE TABLE";
+  return out;
+}
+
+StatementResult Session::run_drop_table(const DropTableStmt& d) {
+  StatementResult out;
+  TableData* t = db_.find_table(d.table);
+  if (!t) {
+    if (d.if_exists) {
+      out.command_tag = "DROP TABLE";
+      out.notices.push_back("table \"" + d.table + "\" does not exist, skipping");
+      return out;
+    }
+    out.error_sqlstate = "42P01";
+    out.error_message = "relation does not exist: " + d.table;
+    return out;
+  }
+  if (user_ != "postgres" && user_ != t->owner) {
+    out.error_sqlstate = "42501";
+    out.error_message = "must be owner of table " + d.table;
+    return out;
+  }
+  db_.tables_.erase(d.table);
+  out.command_tag = "DROP TABLE";
+  return out;
+}
+
+StatementResult Session::run_create_function(const CreateFunctionStmt& fn) {
+  StatementResult out;
+  if (!db_.info().supports_udf) {
+    out.error_sqlstate = "0A000";
+    out.error_message =
+        "unimplemented: user-defined functions are not supported";
+    return out;
+  }
+  FunctionDef def;
+  def.name = fn.name;
+  def.nargs = fn.arg_types.size();
+  def.notice_format = fn.notice_format;
+  for (const auto& a : fn.notice_args) {
+    // Deep-copy via re-parse of the printed form (exprs are move-only).
+    auto copy = parse_expression(a->to_string());
+    if (!copy.ok()) {
+      out.error_sqlstate = "42601";
+      out.error_message = "internal: " + copy.error();
+      return out;
+    }
+    def.notice_args.push_back(std::move(copy.take()));
+  }
+  if (fn.return_expr) {
+    auto copy = parse_expression(fn.return_expr->to_string());
+    if (!copy.ok()) {
+      out.error_sqlstate = "42601";
+      out.error_message = "internal: " + copy.error();
+      return out;
+    }
+    def.return_expr = std::move(copy.take());
+  }
+  db_.functions_[def.name] = std::move(def);
+  out.command_tag = "CREATE FUNCTION";
+  return out;
+}
+
+StatementResult Session::run_create_operator(const CreateOperatorStmt& op) {
+  StatementResult out;
+  if (!db_.info().supports_udf) {
+    out.error_sqlstate = "0A000";
+    out.error_message =
+        "unimplemented: user-defined operators are not supported";
+    return out;
+  }
+  if (db_.functions_.find(op.procedure) == db_.functions_.end()) {
+    out.error_sqlstate = "42883";
+    out.error_message = "function does not exist: " + op.procedure;
+    return out;
+  }
+  OperatorDef def;
+  def.symbol = op.symbol;
+  def.procedure = op.procedure;
+  def.restrict_estimator = op.restrict_estimator;
+  db_.operators_[def.symbol] = std::move(def);
+  out.command_tag = "CREATE OPERATOR";
+  return out;
+}
+
+StatementResult Session::run_set(const SetStmt& set) {
+  StatementResult out;
+  std::string name = to_lower(set.name);
+  std::string value = to_lower(set.value);
+  if (starts_with(name, "transaction isolation level") ||
+      name == "default_transaction_isolation") {
+    constexpr std::string_view kPrefix = "transaction isolation level";
+    std::string level = value;
+    if (level.empty() && name.size() > kPrefix.size())
+      level = std::string(trim(name.substr(kPrefix.size())));
+    if (db_.info().forces_serializable && level != "serializable") {
+      out.error_sqlstate = "0A000";
+      out.error_message = "unimplemented: isolation level " + level +
+                          " (only serializable is supported)";
+      return out;
+    }
+    settings_["transaction_isolation"] = level;
+    out.command_tag = "SET";
+    return out;
+  }
+  settings_[name] = set.value;
+  out.command_tag = "SET";
+  return out;
+}
+
+StatementResult Session::run_grant(const GrantStmt& g) {
+  StatementResult out;
+  TableData* t = db_.find_table(g.table);
+  if (!t) {
+    out.error_sqlstate = "42P01";
+    out.error_message = "relation does not exist: " + g.table;
+    return out;
+  }
+  if (user_ != "postgres" && user_ != t->owner) {
+    out.error_sqlstate = "42501";
+    out.error_message = "must be owner of table " + g.table;
+    return out;
+  }
+  t->grants[g.privilege].insert(g.grantee);
+  out.command_tag = "GRANT";
+  return out;
+}
+
+StatementResult Session::run_alter_rls(const AlterTableRlsStmt& a) {
+  StatementResult out;
+  TableData* t = db_.find_table(a.table);
+  if (!t) {
+    out.error_sqlstate = "42P01";
+    out.error_message = "relation does not exist: " + a.table;
+    return out;
+  }
+  if (user_ != "postgres" && user_ != t->owner) {
+    out.error_sqlstate = "42501";
+    out.error_message = "must be owner of table " + a.table;
+    return out;
+  }
+  t->rls_enabled = a.enable;
+  out.command_tag = "ALTER TABLE";
+  return out;
+}
+
+StatementResult Session::run_create_policy(const CreatePolicyStmt& p) {
+  StatementResult out;
+  TableData* t = db_.find_table(p.table);
+  if (!t) {
+    out.error_sqlstate = "42P01";
+    out.error_message = "relation does not exist: " + p.table;
+    return out;
+  }
+  if (user_ != "postgres" && user_ != t->owner) {
+    out.error_sqlstate = "42501";
+    out.error_message = "must be owner of table " + p.table;
+    return out;
+  }
+  Policy pol;
+  pol.name = p.name;
+  pol.role = p.role;
+  auto copy = parse_expression(p.using_expr->to_string());
+  if (!copy.ok()) {
+    out.error_sqlstate = "42601";
+    out.error_message = "internal: " + copy.error();
+    return out;
+  }
+  pol.using_expr = std::move(copy.take());
+  t->policies.push_back(std::move(pol));
+  out.command_tag = "CREATE POLICY";
+  return out;
+}
+
+}  // namespace rddr::sqldb

@@ -1,0 +1,172 @@
+#include "sqldb/lexer.h"
+
+#include <cctype>
+
+#include "common/strutil.h"
+
+namespace rddr::sqldb {
+
+namespace {
+
+bool is_op_char(char c) {
+  return std::string_view("+-*/<>=~!@#%^&|?").find(c) != std::string_view::npos;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> lex_sql(std::string_view sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      size_t end = sql.find("*/", i + 2);
+      if (end == std::string_view::npos)
+        return Err("unterminated block comment");
+      i = end + 2;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (is_ident_start(c)) {
+      size_t start = i;
+      while (i < n && is_ident_char(sql[i])) ++i;
+      tok.kind = TokKind::kIdent;
+      tok.text = to_lower(sql.substr(start, i - start));
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      size_t end = sql.find('"', i + 1);
+      if (end == std::string_view::npos)
+        return Err("unterminated quoted identifier");
+      tok.kind = TokKind::kIdent;
+      tok.text = std::string(sql.substr(i + 1, end - i - 1));
+      i = end + 1;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool seen_dot = false, seen_exp = false;
+      while (i < n) {
+        char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && !seen_exp && i + 1 < n &&
+                   (std::isdigit(static_cast<unsigned char>(sql[i + 1])) ||
+                    ((sql[i + 1] == '+' || sql[i + 1] == '-') && i + 2 < n &&
+                     std::isdigit(static_cast<unsigned char>(sql[i + 2]))))) {
+          seen_exp = true;
+          i += (sql[i + 1] == '+' || sql[i + 1] == '-') ? 2 : 1;
+        } else {
+          break;
+        }
+      }
+      tok.kind = TokKind::kNumber;
+      tok.text = std::string(sql.substr(start, i - start));
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      // Standard SQL string: '' is an escaped quote.
+      std::string content;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            content.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        content.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) return Err("unterminated string literal");
+      tok.kind = TokKind::kString;
+      tok.text = std::move(content);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '$') {
+      // $n parameter or $$dollar-quoted body$$.
+      if (i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        size_t start = ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        tok.kind = TokKind::kParam;
+        tok.text = std::string(sql.substr(start, i - start));
+        out.push_back(std::move(tok));
+        continue;
+      }
+      if (i + 1 < n && sql[i + 1] == '$') {
+        size_t end = sql.find("$$", i + 2);
+        if (end == std::string_view::npos)
+          return Err("unterminated dollar-quoted string");
+        tok.kind = TokKind::kString;
+        tok.text = std::string(sql.substr(i + 2, end - i - 2));
+        i = end + 2;
+        out.push_back(std::move(tok));
+        continue;
+      }
+      return Err("stray '$'");
+    }
+    switch (c) {
+      case '(': tok.kind = TokKind::kLParen; ++i; break;
+      case ')': tok.kind = TokKind::kRParen; ++i; break;
+      case ',': tok.kind = TokKind::kComma; ++i; break;
+      case ';': tok.kind = TokKind::kSemicolon; ++i; break;
+      case '.': tok.kind = TokKind::kDot; ++i; break;
+      default: {
+        if (!is_op_char(c))
+          return Err(strformat("unexpected character '%c' at offset %zu", c, i));
+        size_t start = i;
+        while (i < n && is_op_char(sql[i])) {
+          // Don't swallow a comment start inside an operator run.
+          if (sql[i] == '-' && i + 1 < n && sql[i + 1] == '-') break;
+          if (sql[i] == '/' && i + 1 < n && sql[i + 1] == '*') break;
+          ++i;
+        }
+        tok.kind = TokKind::kOperator;
+        tok.text = std::string(sql.substr(start, i - start));
+        break;
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace rddr::sqldb

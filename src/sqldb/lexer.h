@@ -1,0 +1,37 @@
+// SQL lexer.
+//
+// Postgres-compatible where it matters to the exploits: single-quoted
+// strings with '' escaping (the DVWA injection depends on exact quote
+// semantics), $n parameters, dollar-quoted bodies ($$...$$), line comments
+// (--), and multi-character operator symbols so user-defined operators like
+// `>>>` and `<<<` lex as single tokens.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rddr::sqldb {
+
+enum class TokKind {
+  kEnd,
+  kIdent,     // unquoted identifier (lowercased) or "quoted" (verbatim)
+  kNumber,    // integer or decimal literal text
+  kString,    // string literal (unescaped content)
+  kOperator,  // symbol built from +-*/<>=~!@#%^&|?
+  kParam,     // $n
+  kLParen, kRParen, kComma, kSemicolon, kDot,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // normalized content (see kIdent/kString notes)
+  size_t offset = 0;  // byte offset in the input (error messages)
+};
+
+/// Tokenizes SQL text. Fails on unterminated strings/comments and stray
+/// characters.
+Result<std::vector<Token>> lex_sql(std::string_view sql);
+
+}  // namespace rddr::sqldb

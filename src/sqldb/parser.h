@@ -1,0 +1,18 @@
+// Recursive-descent SQL parser for the sqldb subset (see ast.h).
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "sqldb/ast.h"
+
+namespace rddr::sqldb {
+
+/// Parses a script of semicolon-separated statements. On syntax error the
+/// Result carries a message including the offending token.
+Result<std::vector<Statement>> parse_sql(std::string_view sql);
+
+/// Parses a single scalar expression (used by function bodies and tests).
+Result<ExprPtr> parse_expression(std::string_view text);
+
+}  // namespace rddr::sqldb

@@ -1,0 +1,149 @@
+#include "sqldb/server.h"
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace rddr::sqldb {
+
+struct SqlServer::Conn {
+  sim::ConnPtr conn;
+  pg::MessageReader reader{/*expect_startup=*/true};
+  std::unique_ptr<Session> session;
+  bool busy = false;           // a query task is running on the host
+  std::vector<std::string> queued;  // queries received while busy
+};
+
+SqlServer::SqlServer(sim::Network& net, sim::Host& host,
+                     std::shared_ptr<Database> db, Options opts)
+    : net_(net),
+      host_(host),
+      db_(std::move(db)),
+      opts_(std::move(opts)),
+      rng_(opts_.rng_seed) {
+  host_.charge_memory(opts_.base_memory_bytes);
+  charged_memory_ = opts_.base_memory_bytes;
+  refresh_memory_charge();
+  net_.listen(opts_.address, [this](sim::ConnPtr c) { on_accept(std::move(c)); });
+}
+
+SqlServer::~SqlServer() {
+  net_.unlisten(opts_.address);
+  host_.release_memory(charged_memory_);
+}
+
+void SqlServer::refresh_memory_charge() {
+  int64_t rows = db_->total_rows();
+  if (rows == last_known_rows_) return;
+  last_known_rows_ = rows;
+  int64_t want = opts_.base_memory_bytes + db_->approx_bytes();
+  host_.charge_memory(want - charged_memory_);
+  charged_memory_ = want;
+}
+
+void SqlServer::on_accept(sim::ConnPtr conn) {
+  auto c = std::make_shared<Conn>();
+  c->conn = std::move(conn);
+  c->conn->set_on_data([this, c](ByteView data) {
+    c->reader.feed(data);
+    if (c->reader.failed()) {
+      RDDR_LOG_WARN("pgwire framing error on %s: %s", opts_.address.c_str(),
+                    c->reader.error().c_str());
+      c->conn->close();
+      return;
+    }
+    for (const auto& msg : c->reader.take()) on_message(c, msg);
+  });
+  c->conn->set_on_close([c] { /* shared_ptr keeps state until drained */ });
+}
+
+void SqlServer::on_message(const std::shared_ptr<Conn>& c,
+                           const pg::Message& msg) {
+  if (msg.type == 0) {
+    auto params = pg::parse_startup(msg.payload);
+    std::string user = "postgres";
+    if (params) {
+      auto it = params->find("user");
+      if (it != params->end()) user = it->second;
+    }
+    c->session = std::make_unique<Session>(*db_, user);
+    Bytes out;
+    out += pg::build_auth_ok();
+    // server_version is deterministic per-build known variance; the
+    // backend key is instance-local randomness (filter-pair fodder).
+    out += pg::build_parameter_status("server_version", db_->info().version);
+    out += pg::build_parameter_status("server_encoding", "UTF8");
+    out += pg::build_parameter_status("application_name", db_->info().product);
+    out += pg::build_backend_key_data(
+        static_cast<uint32_t>(rng_.uniform(1000, 65000)),
+        static_cast<uint32_t>(rng_.next() & 0xffffffff));
+    out += pg::build_ready_for_query();
+    c->conn->send(out);
+    return;
+  }
+  if (msg.type == 'X') {
+    c->conn->close();
+    return;
+  }
+  if (msg.type == 'Q') {
+    auto sql = pg::parse_query(msg.payload);
+    if (!sql || !c->session) {
+      c->conn->send(pg::build_error("08P01", "malformed Query message"));
+      c->conn->send(pg::build_ready_for_query());
+      return;
+    }
+    if (c->busy) {
+      c->queued.push_back(*sql);
+      return;
+    }
+    handle_query(c, *sql);
+    return;
+  }
+  // Unsupported message type (this subset has no extended protocol).
+  c->conn->send(pg::build_error("0A000", std::string("unsupported message: ") +
+                                             pg::type_name(msg.type)));
+  c->conn->send(pg::build_ready_for_query());
+}
+
+void SqlServer::handle_query(const std::shared_ptr<Conn>& c,
+                             const std::string& sql) {
+  c->busy = true;
+  // Execute against the engine now (results are deterministic); charge the
+  // virtual CPU cost and deliver when the host grants it.
+  ExecResult result = c->session->execute(sql);
+  ++queries_served_;
+  refresh_memory_charge();
+  double cost = opts_.cpu_per_query +
+                static_cast<double>(result.rows_scanned) * opts_.cpu_per_row;
+  bool notices_enabled = true;
+  std::string cmm = to_lower(c->session->setting("client_min_messages"));
+  if (cmm == "warning" || cmm == "error") notices_enabled = false;
+
+  host_.run_task(cost, [this, c, result = std::move(result),
+                        notices_enabled] {
+    if (!c->conn->is_open()) return;
+    Bytes out;
+    for (const auto& sr : result.statements) {
+      if (notices_enabled)
+        for (const auto& n : sr.notices) out += pg::build_notice(n);
+      if (sr.failed()) {
+        out += pg::build_error(*sr.error_sqlstate, sr.error_message);
+        break;  // remaining statements were aborted by the engine
+      }
+      if (sr.is_rowset) {
+        out += pg::build_row_description(sr.columns);
+        for (const auto& row : sr.rows) out += pg::build_data_row(row);
+      }
+      out += pg::build_command_complete(sr.command_tag);
+    }
+    out += pg::build_ready_for_query();
+    c->conn->send(out);
+    c->busy = false;
+    if (!c->queued.empty()) {
+      std::string next = std::move(c->queued.front());
+      c->queued.erase(c->queued.begin());
+      handle_query(c, next);
+    }
+  });
+}
+
+}  // namespace rddr::sqldb

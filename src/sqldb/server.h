@@ -1,0 +1,72 @@
+// pgwire server: binds a sqldb::Database to a netsim address + host.
+//
+// One server == one simulated database container. CPU cost per query is
+// charged to the host (base cost + per-row-scanned cost), which is what
+// drives the paper's Figures 4-6; memory is charged for the container
+// footprint plus the resident dataset.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "proto/pgwire/pgwire.h"
+#include "sqldb/engine.h"
+
+namespace rddr::sqldb {
+
+class SqlServer {
+ public:
+  struct Options {
+    /// Address to listen on, e.g. "minipg-0:5432".
+    std::string address;
+    /// CPU seconds charged per query, independent of data touched.
+    double cpu_per_query = 200e-6;
+    /// CPU seconds per row scanned by the executor.
+    double cpu_per_row = 0.5e-6;
+    /// Container footprint charged to the host at start.
+    int64_t base_memory_bytes = 96LL << 20;
+    /// Seed for instance-local randomness (backend pid/secret — the
+    /// nondeterminism the paper's filter pair must absorb).
+    uint64_t rng_seed = 1;
+  };
+
+  /// Starts listening immediately. The database may be shared between
+  /// servers (not done in practice; each instance owns its replica).
+  SqlServer(sim::Network& net, sim::Host& host, std::shared_ptr<Database> db,
+            Options opts);
+  ~SqlServer();
+
+  SqlServer(const SqlServer&) = delete;
+  SqlServer& operator=(const SqlServer&) = delete;
+
+  Database& database() { return *db_; }
+  const Options& options() const { return opts_; }
+
+  /// Re-charges host memory from current table sizes (call after bulk
+  /// loads that bypass SQL).
+  void refresh_memory_charge();
+
+  /// Total queries served (diagnostics / tests).
+  uint64_t queries_served() const { return queries_served_; }
+
+ private:
+  struct Conn;
+  void on_accept(sim::ConnPtr conn);
+  void on_message(const std::shared_ptr<Conn>& c, const pg::Message& msg);
+  void handle_query(const std::shared_ptr<Conn>& c, const std::string& sql);
+
+  sim::Network& net_;
+  sim::Host& host_;
+  std::shared_ptr<Database> db_;
+  Options opts_;
+  Rng rng_;
+  int64_t charged_memory_ = 0;
+  int64_t last_known_rows_ = -1;
+  uint64_t queries_served_ = 0;
+};
+
+}  // namespace rddr::sqldb

@@ -1,0 +1,63 @@
+// SQL datum: a dynamically-typed value with Postgres-flavoured semantics
+// (NULL propagation, text casts, t/f booleans).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace rddr::sqldb {
+
+enum class Type { kNull, kBool, kInt, kFloat, kText };
+
+/// Name Postgres uses for a type ("integer", "text", ...).
+std::string type_name(Type t);
+
+/// Parses a type name from SQL (int/integer/int4, bool/boolean,
+/// float/double/real/numeric, text/varchar/char). Returns nullopt otherwise.
+std::optional<Type> parse_type_name(std::string_view s);
+
+/// A single SQL value. NULL is the monostate alternative.
+class Datum {
+ public:
+  Datum() = default;  // NULL
+  static Datum null() { return Datum(); }
+  static Datum boolean(bool b);
+  static Datum integer(int64_t i);
+  static Datum floating(double d);
+  static Datum text(std::string s);
+
+  Type type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_float() const { return std::get<double>(v_); }
+  const std::string& as_text() const { return std::get<std::string>(v_); }
+
+  /// Numeric view (int widened to double); only for kInt/kFloat/kBool.
+  double numeric() const;
+
+  /// Postgres text output: integers plain, floats shortest, bools "t"/"f".
+  /// NULL renders as an empty string (callers emit wire NULL separately).
+  std::string to_text() const;
+
+  /// Three-valued SQL comparison: nullopt when either side is NULL.
+  /// Numeric types compare numerically; text compares bytewise.
+  /// Cross-type text/number comparisons attempt numeric coercion of the
+  /// text side (Postgres would error; our subset coerces, which is enough
+  /// for the workloads and keeps both engines consistent).
+  std::optional<int> compare(const Datum& other) const;
+
+  /// Equality for hashing/grouping: NULLs group together (SQL GROUP BY).
+  bool group_equal(const Datum& other) const;
+  size_t hash() const;
+
+  bool operator==(const Datum& other) const { return v_ == other.v_; }
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> v_;
+};
+
+}  // namespace rddr::sqldb

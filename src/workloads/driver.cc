@@ -1,0 +1,88 @@
+#include "workloads/driver.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/strutil.h"
+#include "sqldb/client.h"
+
+namespace rddr::workloads {
+
+namespace {
+
+struct PoolState {
+  sim::Simulator& sim;
+  const ClientPoolOptions& options;
+  PoolResult result;
+  sim::Time first_send = -1;
+  sim::Time last_done = 0;
+  int clients_remaining = 0;
+};
+
+struct ClientState {
+  std::unique_ptr<sqldb::PgClient> client;
+  Rng rng{0};
+  int done = 0;
+};
+
+void issue_next(const std::shared_ptr<PoolState>& pool,
+                const std::shared_ptr<ClientState>& c, int client_id) {
+  if (c->done >= pool->options.transactions_per_client) {
+    c->client->close();
+    --pool->clients_remaining;
+    return;
+  }
+  std::string sql = pool->options.next_query(c->rng, client_id, c->done);
+  sim::Time t0 = pool->sim.now();
+  if (pool->first_send < 0) pool->first_send = t0;
+  c->client->query(sql, [pool, c, client_id, t0](sqldb::QueryOutcome out) {
+    sim::Time t1 = pool->sim.now();
+    if (out.failed()) {
+      ++pool->result.failed;
+    } else {
+      ++pool->result.completed;
+      double ms = static_cast<double>(t1 - t0) / 1e6;
+      pool->result.latency_ms.add(ms);
+      if (pool->options.on_tx_complete)
+        pool->options.on_tx_complete(client_id, c->done, ms);
+    }
+    pool->last_done = std::max(pool->last_done, t1);
+    ++c->done;
+    if (out.connection_lost) {
+      // Connection gone (e.g. RDDR intervened): count the rest as failed.
+      pool->result.failed += static_cast<uint64_t>(
+          pool->options.transactions_per_client - c->done);
+      --pool->clients_remaining;
+      return;
+    }
+    issue_next(pool, c, client_id);
+  });
+}
+
+}  // namespace
+
+PoolResult run_client_pool(sim::Simulator& sim, sim::Network& net,
+                           const ClientPoolOptions& options) {
+  auto pool = std::make_shared<PoolState>(PoolState{sim, options, {}, -1, 0});
+  std::vector<std::shared_ptr<ClientState>> clients;
+  Rng seeder(options.seed);
+  for (int i = 0; i < options.clients; ++i) {
+    auto c = std::make_shared<ClientState>();
+    c->rng = seeder.fork(static_cast<uint64_t>(i) + 1);
+    c->client = std::make_unique<sqldb::PgClient>(
+        net, strformat("bench-client-%d", i), options.address, options.user);
+    clients.push_back(c);
+  }
+  pool->clients_remaining = options.clients;
+  for (int i = 0; i < options.clients; ++i)
+    issue_next(pool, clients[static_cast<size_t>(i)], i);
+  // Run until every client finished — NOT until idle: recurring events
+  // (host samplers, background jobs) may keep the queue non-empty forever.
+  while (pool->clients_remaining > 0 && sim.step()) {
+  }
+  pool->result.elapsed =
+      pool->first_send >= 0 ? pool->last_done - pool->first_send : 0;
+  return pool->result;
+}
+
+}  // namespace rddr::workloads

@@ -1,0 +1,47 @@
+// Closed-loop SQL client pool: N concurrent clients, each issuing
+// `transactions` queries back to back. The measurement harness behind the
+// Fig 4/5/6 benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "netsim/network.h"
+
+namespace rddr::workloads {
+
+struct ClientPoolOptions {
+  std::string address;
+  std::string user = "postgres";
+  int clients = 1;
+  int transactions_per_client = 100;
+  /// Produces the next SQL text for a client (called per transaction).
+  std::function<std::string(Rng&, int client_id, int tx_index)> next_query;
+  /// Optional per-transaction completion hook (Fig 4 tracks latency per
+  /// query index).
+  std::function<void(int client_id, int tx_index, double latency_ms)>
+      on_tx_complete;
+  uint64_t seed = 1;
+};
+
+struct PoolResult {
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  SampleStats latency_ms;       // per-transaction latency
+  sim::Time elapsed = 0;        // first send -> last completion
+
+  double throughput_tps() const {
+    return elapsed > 0 ? static_cast<double>(completed) /
+                             (static_cast<double>(elapsed) / 1e9)
+                       : 0.0;
+  }
+};
+
+/// Runs the pool to completion on the given simulator (drains all events).
+PoolResult run_client_pool(sim::Simulator& sim, sim::Network& net,
+                           const ClientPoolOptions& options);
+
+}  // namespace rddr::workloads

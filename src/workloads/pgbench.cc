@@ -1,0 +1,46 @@
+#include "workloads/pgbench.h"
+
+#include "common/strutil.h"
+
+namespace rddr::workloads {
+
+using sqldb::Datum;
+using sqldb::Type;
+
+void load_pgbench(sqldb::Database& db, int accounts, uint64_t seed) {
+  Rng rng(seed);
+  const int branches = std::max(1, accounts / 100000 + 1);
+  const int tellers = branches * 10;
+
+  auto* b = db.create_table("pgbench_branches",
+                            {{"bid", Type::kInt}, {"bbalance", Type::kInt}});
+  for (int i = 1; i <= branches; ++i)
+    b->rows.push_back({Datum::integer(i), Datum::integer(0)});
+
+  auto* t = db.create_table("pgbench_tellers", {{"tid", Type::kInt},
+                                                {"bid", Type::kInt},
+                                                {"tbalance", Type::kInt}});
+  for (int i = 1; i <= tellers; ++i)
+    t->rows.push_back({Datum::integer(i), Datum::integer((i - 1) / 10 + 1),
+                       Datum::integer(0)});
+
+  auto* a = db.create_table("pgbench_accounts", {{"aid", Type::kInt},
+                                                 {"bid", Type::kInt},
+                                                 {"abalance", Type::kInt},
+                                                 {"filler", Type::kText}});
+  a->rows.reserve(static_cast<size_t>(accounts));
+  for (int i = 1; i <= accounts; ++i) {
+    a->rows.push_back({Datum::integer(i),
+                       Datum::integer((i - 1) % branches + 1),
+                       Datum::integer(rng.uniform(-5000, 5000)),
+                       Datum::text("                    ")});
+  }
+  a->build_index("aid");
+}
+
+std::string pgbench_select_tx(Rng& rng, int accounts) {
+  return strformat("SELECT abalance FROM pgbench_accounts WHERE aid = %lld;",
+                   static_cast<long long>(rng.uniform(1, accounts)));
+}
+
+}  // namespace rddr::workloads

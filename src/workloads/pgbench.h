@@ -1,0 +1,25 @@
+// pgbench-lite: accounts schema + SELECT-only transaction mix (Fig 5/6).
+//
+// Mirrors pgbench's -S mode, which is what the paper drives RDDR with:
+// each transaction is `SELECT abalance FROM pgbench_accounts WHERE aid =
+// :aid` against a scale-factor-sized accounts table with a primary-key
+// index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "sqldb/engine.h"
+
+namespace rddr::workloads {
+
+/// Loads pgbench tables. `accounts` is the row count of pgbench_accounts
+/// (pgbench scale factor 1 == 100'000 accounts; we default far smaller and
+/// model the working-set cost through the server's CPU parameters).
+void load_pgbench(sqldb::Database& db, int accounts, uint64_t seed);
+
+/// One SELECT-only transaction (uniformly random aid), like pgbench -S.
+std::string pgbench_select_tx(Rng& rng, int accounts);
+
+}  // namespace rddr::workloads

@@ -1,0 +1,60 @@
+// Table I scenarios: one self-contained deployment + exploit per row of
+// the paper's evaluation (§V-A..§V-F). Shared by the integration tests,
+// the table1 bench binary, and the examples.
+//
+// Every scenario:
+//   1. builds the N-versioned deployment behind RDDR on a fresh simulator,
+//   2. sends benign traffic and verifies it passes unmodified,
+//   3. runs the CVE's exploit and verifies RDDR intervenes before the
+//      leaked data reaches the client,
+//   4. (where cheap) re-runs the exploit against a single unprotected
+//      vulnerable instance to prove the exploit actually works.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rddr::workloads {
+
+struct ScenarioResult {
+  std::string id;            // "CVE-2017-7484", "DVWA SQLi", ...
+  std::string microservice;  // protected component
+  std::string exploit;       // one-line description
+  std::string cwe;
+  std::string owasp;         // OWASP Top-10 bucket ("1".."5" or "N/A")
+  std::string diversity;     // diversity source (Table I last column)
+
+  bool benign_ok = false;         // benign traffic unaffected by RDDR
+  bool exploit_blocked = false;   // RDDR intervened
+  bool leak_reached_client = false;  // leaked bytes observed client-side
+  bool exploit_works_unprotected = false;  // control run without RDDR
+  std::string detail;             // divergence reason / notes
+
+  bool mitigated() const { return exploit_blocked && !leak_reached_client; }
+};
+
+// §V-C2: information leak during query planning (minipg pair + roachdb).
+ScenarioResult run_cve_2017_7484();
+// §V-D: nginx range integer overflow (wsgx 1.13.2 pair + 1.13.4).
+ScenarioResult run_cve_2017_7529();
+// §V-F: RLS bypass inside the GitLab composite (minipg 10.7 pair + 10.9).
+ScenarioResult run_cve_2019_10130();
+// §V-C1: HAProxy request smuggling (hap 1.5.3 + ngx).
+ScenarioResult run_cve_2019_18277();
+// §V-A: XSS via lax sanitizer (lxmllite + sanihtml).
+ScenarioResult run_cve_2014_3146();
+// §V-A: XXE in svg conversion (svglite + cairolite).
+ScenarioResult run_cve_2020_10799();
+// §V-A: risky-crypto padding acceptance (rsalite + cryptolite).
+ScenarioResult run_cve_2020_13757();
+// §V-A: XSS via markdown renderer (mdtwo + mdone).
+ScenarioResult run_cve_2020_11888();
+// §V-B: DVWA SQL injection through the outgoing proxy (+ CSRF handling).
+ScenarioResult run_dvwa_sqli();
+// §V-E: ASLR pointer leak POC.
+ScenarioResult run_aslr_poc();
+
+/// All ten rows, in Table I order.
+std::vector<ScenarioResult> run_all_table1();
+
+}  // namespace rddr::workloads

@@ -1,0 +1,258 @@
+#include "workloads/tpch.h"
+
+#include "common/rng.h"
+#include "common/strutil.h"
+
+namespace rddr::workloads {
+
+namespace {
+
+using sqldb::Column;
+using sqldb::Datum;
+using sqldb::Type;
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "MACHINERY", "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kTypes[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                        "PROMO"};
+const char* kBrands[] = {"Brand#11", "Brand#12", "Brand#21", "Brand#22",
+                         "Brand#31"};
+
+std::string random_date(Rng& rng, int year_lo, int year_hi) {
+  int y = static_cast<int>(rng.uniform(year_lo, year_hi));
+  int m = static_cast<int>(rng.uniform(1, 12));
+  int d = static_cast<int>(rng.uniform(1, 28));
+  return strformat("%04d-%02d-%02d", y, m, d);
+}
+
+}  // namespace
+
+void load_tpch(sqldb::Database& db, TpchScale scale, uint64_t seed) {
+  Rng rng(seed);
+
+  auto* region = db.create_table(
+      "region", {{"r_regionkey", Type::kInt}, {"r_name", Type::kText}});
+  for (int i = 0; i < 5; ++i)
+    region->rows.push_back({Datum::integer(i), Datum::text(kRegions[i])});
+
+  auto* nation = db.create_table(
+      "nation", {{"n_nationkey", Type::kInt},
+                 {"n_name", Type::kText},
+                 {"n_regionkey", Type::kInt}});
+  for (int i = 0; i < 25; ++i)
+    nation->rows.push_back({Datum::integer(i), Datum::text(kNations[i]),
+                            Datum::integer(i % 5)});
+
+  auto* customer = db.create_table(
+      "customer", {{"c_custkey", Type::kInt},
+                   {"c_name", Type::kText},
+                   {"c_nationkey", Type::kInt},
+                   {"c_acctbal", Type::kFloat},
+                   {"c_mktsegment", Type::kText}});
+  for (int i = 1; i <= scale.customers(); ++i) {
+    customer->rows.push_back(
+        {Datum::integer(i), Datum::text(strformat("Customer#%06d", i)),
+         Datum::integer(rng.uniform(0, 24)),
+         Datum::floating(static_cast<double>(rng.uniform(-999, 9999)) / 10.0),
+         Datum::text(kSegments[rng.uniform(0, 4)])});
+  }
+  customer->build_index("c_custkey");
+
+  auto* supplier = db.create_table(
+      "supplier", {{"s_suppkey", Type::kInt},
+                   {"s_name", Type::kText},
+                   {"s_nationkey", Type::kInt},
+                   {"s_acctbal", Type::kFloat}});
+  for (int i = 1; i <= scale.suppliers(); ++i) {
+    supplier->rows.push_back(
+        {Datum::integer(i), Datum::text(strformat("Supplier#%06d", i)),
+         Datum::integer(rng.uniform(0, 24)),
+         Datum::floating(static_cast<double>(rng.uniform(-999, 9999)) / 10.0)});
+  }
+
+  auto* part = db.create_table(
+      "part", {{"p_partkey", Type::kInt},
+               {"p_name", Type::kText},
+               {"p_brand", Type::kText},
+               {"p_type", Type::kText},
+               {"p_size", Type::kInt},
+               {"p_retailprice", Type::kFloat}});
+  for (int i = 1; i <= scale.parts(); ++i) {
+    part->rows.push_back(
+        {Datum::integer(i), Datum::text(strformat("part %d", i)),
+         Datum::text(kBrands[rng.uniform(0, 4)]),
+         Datum::text(kTypes[rng.uniform(0, 5)]),
+         Datum::integer(rng.uniform(1, 50)),
+         Datum::floating(900.0 + static_cast<double>(i % 200))});
+  }
+  part->build_index("p_partkey");
+
+  auto* partsupp = db.create_table(
+      "partsupp", {{"ps_partkey", Type::kInt},
+                   {"ps_suppkey", Type::kInt},
+                   {"ps_availqty", Type::kInt},
+                   {"ps_supplycost", Type::kFloat}});
+  for (int i = 0; i < scale.partsupps(); ++i) {
+    partsupp->rows.push_back(
+        {Datum::integer(rng.uniform(1, scale.parts())),
+         Datum::integer(rng.uniform(1, scale.suppliers())),
+         Datum::integer(rng.uniform(1, 9999)),
+         Datum::floating(static_cast<double>(rng.uniform(100, 99999)) / 100.0)});
+  }
+
+  auto* orders = db.create_table(
+      "orders", {{"o_orderkey", Type::kInt},
+                 {"o_custkey", Type::kInt},
+                 {"o_orderstatus", Type::kText},
+                 {"o_totalprice", Type::kFloat},
+                 {"o_orderdate", Type::kText},
+                 {"o_orderpriority", Type::kText}});
+  for (int i = 1; i <= scale.orders(); ++i) {
+    orders->rows.push_back(
+        {Datum::integer(i), Datum::integer(rng.uniform(1, scale.customers())),
+         Datum::text(rng.uniform01() < 0.5 ? "F" : "O"),
+         Datum::floating(static_cast<double>(rng.uniform(1000, 500000)) / 100.0),
+         Datum::text(random_date(rng, 1992, 1998)),
+         Datum::text(kPriorities[rng.uniform(0, 4)])});
+  }
+  orders->build_index("o_orderkey");
+
+  auto* lineitem = db.create_table(
+      "lineitem", {{"l_orderkey", Type::kInt},
+                   {"l_partkey", Type::kInt},
+                   {"l_suppkey", Type::kInt},
+                   {"l_linenumber", Type::kInt},
+                   {"l_quantity", Type::kFloat},
+                   {"l_extendedprice", Type::kFloat},
+                   {"l_discount", Type::kFloat},
+                   {"l_tax", Type::kFloat},
+                   {"l_returnflag", Type::kText},
+                   {"l_linestatus", Type::kText},
+                   {"l_shipdate", Type::kText}});
+  for (int i = 0; i < scale.lineitems(); ++i) {
+    int orderkey = static_cast<int>(rng.uniform(1, scale.orders()));
+    double qty = static_cast<double>(rng.uniform(1, 50));
+    lineitem->rows.push_back(
+        {Datum::integer(orderkey),
+         Datum::integer(rng.uniform(1, scale.parts())),
+         Datum::integer(rng.uniform(1, scale.suppliers())),
+         Datum::integer(rng.uniform(1, 7)), Datum::floating(qty),
+         Datum::floating(qty * (900.0 + static_cast<double>(rng.uniform(0, 200)))),
+         Datum::floating(static_cast<double>(rng.uniform(0, 10)) / 100.0),
+         Datum::floating(static_cast<double>(rng.uniform(0, 8)) / 100.0),
+         Datum::text(rng.uniform01() < 0.5 ? "A" : (rng.uniform01() < 0.5 ? "N" : "R")),
+         Datum::text(rng.uniform01() < 0.5 ? "O" : "F"),
+         Datum::text(random_date(rng, 1992, 1998))});
+  }
+  lineitem->build_index("l_orderkey");
+}
+
+const std::vector<std::string>& tpch_queries() {
+  static const std::vector<std::string> kQueries = {
+      // Q1: pricing summary report.
+      "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, "
+      "sum(l_extendedprice) AS sum_base_price, "
+      "sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+      "avg(l_quantity) AS avg_qty, avg(l_discount) AS avg_disc, count(*) AS "
+      "count_order FROM lineitem WHERE l_shipdate <= '1998-09-01' "
+      "GROUP BY l_returnflag, l_linestatus "
+      "ORDER BY l_returnflag, l_linestatus;",
+      // Q3: shipping priority.
+      "SELECT o.o_orderkey, sum(l.l_extendedprice * (1 - l.l_discount)) AS "
+      "revenue, o.o_orderdate FROM customer c "
+      "JOIN orders o ON c.c_custkey = o.o_custkey "
+      "JOIN lineitem l ON l.l_orderkey = o.o_orderkey "
+      "WHERE c.c_mktsegment = 'BUILDING' AND o.o_orderdate < '1995-03-15' "
+      "GROUP BY o.o_orderkey, o.o_orderdate "
+      "ORDER BY revenue DESC, o.o_orderdate LIMIT 10;",
+      // Q4-flavoured: order priority checking.
+      "SELECT o_orderpriority, count(*) AS order_count FROM orders "
+      "WHERE o_orderdate >= '1993-07-01' AND o_orderdate < '1993-10-01' "
+      "GROUP BY o_orderpriority ORDER BY o_orderpriority;",
+      // Q5-flavoured: local supplier volume.
+      "SELECT n.n_name, sum(l.l_extendedprice * (1 - l.l_discount)) AS "
+      "revenue FROM region r "
+      "JOIN nation n ON n.n_regionkey = r.r_regionkey "
+      "JOIN customer c ON c.c_nationkey = n.n_nationkey "
+      "JOIN orders o ON o.o_custkey = c.c_custkey "
+      "JOIN lineitem l ON l.l_orderkey = o.o_orderkey "
+      "WHERE r.r_name = 'ASIA' "
+      "GROUP BY n.n_name ORDER BY revenue DESC, n.n_name;",
+      // Q6: forecasting revenue change.
+      "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem "
+      "WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01' "
+      "AND l_discount BETWEEN 0.02 AND 0.07 AND l_quantity < 24 "
+      "ORDER BY revenue;",
+      // Q10-flavoured: returned item reporting.
+      "SELECT c.c_custkey, c.c_name, sum(l.l_extendedprice * "
+      "(1 - l.l_discount)) AS revenue, c.c_acctbal FROM customer c "
+      "JOIN orders o ON o.o_custkey = c.c_custkey "
+      "JOIN lineitem l ON l.l_orderkey = o.o_orderkey "
+      "WHERE l.l_returnflag = 'R' GROUP BY c.c_custkey, c.c_name, c.c_acctbal "
+      "ORDER BY revenue DESC, c.c_custkey LIMIT 20;",
+      // Q11-flavoured: important stock identification.
+      "SELECT ps_partkey, sum(ps_supplycost * ps_availqty) AS value "
+      "FROM partsupp GROUP BY ps_partkey "
+      "HAVING sum(ps_supplycost * ps_availqty) > 100000 "
+      "ORDER BY value DESC, ps_partkey LIMIT 25;",
+      // Q12-flavoured: shipping modes and order priority.
+      "SELECT l.l_linestatus, count(*) AS line_count, "
+      "sum(CASE WHEN o.o_orderpriority = '1-URGENT' THEN 1 ELSE 0 END) AS "
+      "urgent_count FROM orders o "
+      "JOIN lineitem l ON l.l_orderkey = o.o_orderkey "
+      "WHERE l.l_shipdate >= '1994-01-01' "
+      "GROUP BY l.l_linestatus ORDER BY l.l_linestatus;",
+      // Q14-flavoured: promotion effect.
+      "SELECT 100.0 * sum(CASE WHEN p.p_type = 'PROMO' THEN "
+      "l.l_extendedprice * (1 - l.l_discount) ELSE 0 END) / "
+      "sum(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue "
+      "FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey "
+      "ORDER BY promo_revenue;",
+      // Q15-flavoured: top supplier by revenue.
+      "SELECT l_suppkey, sum(l_extendedprice * (1 - l_discount)) AS "
+      "total_revenue FROM lineitem WHERE l_shipdate >= '1996-01-01' "
+      "GROUP BY l_suppkey ORDER BY total_revenue DESC, l_suppkey LIMIT 5;",
+      // Q16-flavoured: parts/supplier relationship.
+      "SELECT p.p_brand, p.p_type, count(distinct ps.ps_suppkey) AS "
+      "supplier_cnt FROM partsupp ps "
+      "JOIN part p ON p.p_partkey = ps.ps_partkey "
+      "WHERE p.p_brand <> 'Brand#11' AND p.p_size IN (1, 5, 9, 13, 21) "
+      "GROUP BY p.p_brand, p.p_type "
+      "ORDER BY supplier_cnt DESC, p.p_brand, p.p_type;",
+      // Q17-flavoured: small-quantity-order revenue.
+      "SELECT sum(l.l_extendedprice) / 7.0 AS avg_yearly FROM lineitem l "
+      "JOIN part p ON p.p_partkey = l.l_partkey "
+      "WHERE p.p_brand = 'Brand#21' AND l.l_quantity < 5 "
+      "ORDER BY avg_yearly;",
+      // Q18-flavoured: large volume customers.
+      "SELECT c.c_name, o.o_orderkey, o.o_totalprice, sum(l.l_quantity) AS "
+      "total_qty FROM customer c "
+      "JOIN orders o ON o.o_custkey = c.c_custkey "
+      "JOIN lineitem l ON l.l_orderkey = o.o_orderkey "
+      "GROUP BY c.c_name, o.o_orderkey, o.o_totalprice "
+      "HAVING sum(l.l_quantity) > 100 "
+      "ORDER BY o.o_totalprice DESC, o.o_orderkey LIMIT 10;",
+      // Q19-flavoured: discounted revenue for brand.
+      "SELECT sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue "
+      "FROM lineitem l JOIN part p ON p.p_partkey = l.l_partkey "
+      "WHERE p.p_brand = 'Brand#12' AND l.l_quantity BETWEEN 1 AND 30 "
+      "ORDER BY revenue;",
+      // Nation/account rollup (custom analytic in the same style).
+      "SELECT n.n_name, count(*) AS customers, round(avg(c.c_acctbal), 2) AS "
+      "avg_bal FROM nation n JOIN customer c ON c.c_nationkey = n.n_nationkey "
+      "GROUP BY n.n_name HAVING count(*) > 2 "
+      "ORDER BY customers DESC, n.n_name LIMIT 15;",
+  };
+  return kQueries;
+}
+
+}  // namespace rddr::workloads

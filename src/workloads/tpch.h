@@ -1,0 +1,41 @@
+// TPC-H-lite: schema, data generator, and analytic query set (Fig 4).
+//
+// Substitutes for the paper's TPC-H SF-10 runs (see DESIGN.md). The schema
+// is the TPC-H schema (all eight tables); the data volumes are scaled so a
+// full bench run finishes in seconds, and the queries are adaptations of
+// the TPC-H analytics to the sqldb SQL subset (joins, aggregates,
+// GROUP BY/HAVING, ORDER BY, LIMIT, CASE — no correlated subqueries). The
+// per-row CPU cost model on the server is what carries the performance
+// signal, so absolute dataset size only sets the bench's wall time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqldb/engine.h"
+
+namespace rddr::workloads {
+
+/// Row counts at scale = 1.0 (scaled linearly; region/nation fixed).
+struct TpchScale {
+  double scale = 1.0;
+  int customers() const { return static_cast<int>(300 * scale); }
+  int orders() const { return static_cast<int>(450 * scale); }
+  int lineitems() const { return static_cast<int>(1800 * scale); }
+  int parts() const { return static_cast<int>(200 * scale); }
+  int suppliers() const { return static_cast<int>(100 * scale); }
+  int partsupps() const { return static_cast<int>(800 * scale); }
+};
+
+/// Creates the eight TPC-H tables in `db` and fills them deterministically
+/// from `seed`. Loading the same (scale, seed) into two databases yields
+/// byte-identical contents — required for N-versioned replicas.
+void load_tpch(sqldb::Database& db, TpchScale scale, uint64_t seed);
+
+/// The analytic query set (15 queries, Q1-flavoured through Q19-flavoured).
+/// All queries carry ORDER BY so row order is deterministic across engine
+/// personalities (the paper's §V-C2 configuration requirement).
+const std::vector<std::string>& tpch_queries();
+
+}  // namespace rddr::workloads

@@ -1,0 +1,189 @@
+// Unit tests for src/common: bytes, rng, strutil, stats.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/strutil.h"
+
+namespace rddr {
+namespace {
+
+TEST(Bytes, BigEndianRoundTrip) {
+  Bytes b;
+  put_u32_be(b, 0xdeadbeef);
+  put_u16_be(b, 0x1234);
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(get_u32_be(b, 0), 0xdeadbeefu);
+  EXPECT_EQ(get_u16_be(b, 4), 0x1234u);
+}
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes raw("\x00\x7f\xff\x41", 4);
+  EXPECT_EQ(to_hex(raw), "007fff41");
+  EXPECT_EQ(from_hex("007fff41"), raw);
+}
+
+TEST(Bytes, FromHexRejectsMalformed) {
+  EXPECT_TRUE(from_hex("abc").empty());   // odd length
+  EXPECT_TRUE(from_hex("zz").empty());    // bad digit
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ForkedStreamsIndependent) {
+  Rng parent(99);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (c1.next() == c2.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkSameLabelFromSameStateDiffers) {
+  // fork() consumes parent state, so successive forks differ even with the
+  // same label.
+  Rng parent(99);
+  Rng a = parent.fork(7);
+  Rng b = parent.fork(7);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, AlnumTokenAlphabet) {
+  Rng r(3);
+  std::string t = r.alnum_token(64);
+  ASSERT_EQ(t.size(), 64u);
+  for (char c : t) EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(Rng, TokensCollisionFree) {
+  // The paper assumes a CSPRNG so filter-pair tokens never collide; verify
+  // our stand-in doesn't produce duplicates across instances.
+  Rng seed(5);
+  Rng i0 = seed.fork(0), i1 = seed.fork(1);
+  std::set<std::string> seen;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(seen.insert(i0.alnum_token(16)).second);
+    EXPECT_TRUE(seen.insert(i1.alnum_token(16)).second);
+  }
+}
+
+TEST(StrUtil, Split) {
+  auto v = split("a,b,,c", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "");
+}
+
+TEST(StrUtil, SplitLines) {
+  auto v = split_lines("one\r\ntwo\nthree");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "one");
+  EXPECT_EQ(v[1], "two");
+  EXPECT_EQ(v[2], "three");
+}
+
+TEST(StrUtil, SplitLinesTrailingNewline) {
+  auto v = split_lines("a\nb\n");
+  ASSERT_EQ(v.size(), 2u);
+}
+
+TEST(StrUtil, SplitLinesKeepsInteriorEmpties) {
+  auto v = split_lines("a\n\nb");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], "");
+}
+
+TEST(StrUtil, TrimAndCase) {
+  EXPECT_EQ(trim("  x \t"), "x");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_EQ(to_upper("AbC"), "ABC");
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_FALSE(iequals("a", "ab"));
+}
+
+TEST(StrUtil, IFind) {
+  EXPECT_EQ(ifind("Hello World", "WORLD"), 6u);
+  EXPECT_EQ(ifind("abc", "zzz"), std::string_view::npos);
+  EXPECT_EQ(ifind("abc", ""), 0u);
+}
+
+TEST(StrUtil, ParseI64) {
+  EXPECT_EQ(parse_i64("42").value(), 42);
+  EXPECT_EQ(parse_i64(" -7 ").value(), -7);
+  EXPECT_FALSE(parse_i64("12x").has_value());
+  EXPECT_FALSE(parse_i64("").has_value());
+  EXPECT_FALSE(parse_i64("999999999999999999999").has_value());
+}
+
+TEST(StrUtil, ReplaceAll) {
+  EXPECT_EQ(replace_all("aXbXc", "X", "--"), "a--b--c");
+  EXPECT_EQ(replace_all("none", "X", "Y"), "none");
+}
+
+TEST(StrUtil, StrFormat) {
+  EXPECT_EQ(strformat("%d-%s", 7, "ok"), "7-ok");
+}
+
+TEST(SampleStats, BasicMoments) {
+  SampleStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(SampleStats, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100);
+}
+
+TEST(TimeWeightedValue, IntegralAndMax) {
+  TimeWeightedValue v;
+  v.update(0, 2.0);
+  v.update(1000, 4.0);   // 2.0 held for 1000ns
+  v.update(3000, 0.0);   // 4.0 held for 2000ns
+  EXPECT_DOUBLE_EQ(v.integral(3000), 2.0 * 1000 + 4.0 * 2000);
+  EXPECT_DOUBLE_EQ(v.max_value(), 4.0);
+  EXPECT_DOUBLE_EQ(v.mean(4000), (2000.0 + 8000.0) / 4000.0);
+}
+
+}  // namespace
+}  // namespace rddr

@@ -1,0 +1,266 @@
+// Unit tests for the simulator, network, and processor-sharing host.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "netsim/simulator.h"
+
+namespace rddr::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(300, [&] { order.push_back(3); });
+  sim.schedule(100, [&] { order.push_back(1); });
+  sim.schedule(200, [&] { order.push_back(2); });
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulator, FifoTieBreakAtSameTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(100, [&] { order.push_back(1); });
+  sim.schedule(100, [&] { order.push_back(2); });
+  sim.schedule(100, [&] { order.push_back(3); });
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  uint64_t id = sim.schedule(100, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run_until_idle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int hits = 0;
+  sim.schedule(10, [&] {
+    ++hits;
+    sim.schedule(10, [&] { ++hits; });
+  });
+  sim.run_until_idle();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator sim;
+  int hits = 0;
+  sim.schedule(50, [&] { ++hits; });
+  sim.schedule(500, [&] { ++hits; });
+  sim.run_until(100);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(sim.now(), 100);
+  sim.run_until_idle();
+  EXPECT_EQ(hits, 2);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+  Network net{sim, 10 * kMicrosecond};
+};
+
+TEST_F(NetworkTest, ConnectRefusedWithoutListener) {
+  EXPECT_EQ(net.connect("nobody:1"), nullptr);
+}
+
+TEST_F(NetworkTest, EchoRoundTrip) {
+  ConnPtr server_side;
+  net.listen("svc:80", [&](ConnPtr c) {
+    server_side = c;
+    c->set_on_data([c](ByteView data) { c->send(Bytes("echo:") + Bytes(data)); });
+  });
+  auto client = net.connect("svc:80", {.source = "client", .flow_label = ""});
+  ASSERT_NE(client, nullptr);
+  Bytes got;
+  client->set_on_data([&](ByteView d) { got += Bytes(d); });
+  client->send("hi");
+  sim.run_until_idle();
+  EXPECT_EQ(got, "echo:hi");
+  ASSERT_NE(server_side, nullptr);
+  EXPECT_EQ(server_side->meta().source, "client");
+}
+
+TEST_F(NetworkTest, FifoOrderingPreserved) {
+  Bytes got;
+  net.listen("svc:80", [&](ConnPtr c) {
+    c->set_on_data([&got](ByteView d) { got += Bytes(d); });
+  });
+  auto client = net.connect("svc:80");
+  client->send("a");
+  client->send("b");
+  client->send("c");
+  sim.run_until_idle();
+  EXPECT_EQ(got, "abc");
+}
+
+TEST_F(NetworkTest, DataBeforeHandlerIsBuffered) {
+  ConnPtr server_side;
+  net.listen("svc:80", [&](ConnPtr c) { server_side = c; });
+  auto client = net.connect("svc:80");
+  client->send("early");
+  sim.run_until_idle();
+  ASSERT_NE(server_side, nullptr);
+  Bytes got;
+  server_side->set_on_data([&](ByteView d) { got += Bytes(d); });
+  sim.run_until_idle();
+  EXPECT_EQ(got, "early");
+}
+
+TEST_F(NetworkTest, CloseDeliversAfterData) {
+  std::vector<std::string> events;
+  net.listen("svc:80", [&](ConnPtr c) {
+    c->set_on_data([&](ByteView d) { events.push_back("data:" + std::string(d)); });
+    c->set_on_close([&] { events.push_back("close"); });
+  });
+  auto client = net.connect("svc:80");
+  client->send("bye");
+  client->close();
+  sim.run_until_idle();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "data:bye");
+  EXPECT_EQ(events[1], "close");
+}
+
+TEST_F(NetworkTest, LatencyIsApplied) {
+  net.listen("svc:80", [&](ConnPtr c) { c->set_on_data([](ByteView) {}); });
+  Time t_connected = -1;
+  auto client = net.connect("svc:80");
+  (void)client;
+  // Accept fires after exactly one link latency.
+  sim.schedule(0, [] {});
+  sim.run_until_idle();
+  t_connected = sim.now();
+  EXPECT_EQ(t_connected, 10 * kMicrosecond);
+}
+
+TEST_F(NetworkTest, PeerSendAfterCloseIsDropped) {
+  ConnPtr server_side;
+  net.listen("svc:80", [&](ConnPtr c) { server_side = c; });
+  auto client = net.connect("svc:80");
+  sim.run_until_idle();
+  client->close();
+  sim.run_until_idle();
+  EXPECT_FALSE(server_side->is_open());
+  server_side->send("too late");  // must not crash or deliver
+  Bytes got;
+  client->set_on_data([&](ByteView d) { got += Bytes(d); });
+  sim.run_until_idle();
+  EXPECT_EQ(got, "");
+}
+
+class HostTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+};
+
+TEST_F(HostTest, SingleTaskTakesItsCost) {
+  Host host(sim, "h", 4, 1LL << 30);
+  bool done = false;
+  host.run_task(0.5, [&] { done = true; });
+  sim.run_until_idle();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(to_seconds(sim.now()), 0.5, 1e-6);
+}
+
+TEST_F(HostTest, TasksWithinCoreCountRunInParallel) {
+  Host host(sim, "h", 4, 1LL << 30);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) host.run_task(1.0, [&] { ++done; });
+  sim.run_until_idle();
+  EXPECT_EQ(done, 4);
+  EXPECT_NEAR(to_seconds(sim.now()), 1.0, 1e-6);  // no contention
+}
+
+TEST_F(HostTest, ProcessorSharingSlowsOverload) {
+  Host host(sim, "h", 2, 1LL << 30);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) host.run_task(1.0, [&] { ++done; });
+  sim.run_until_idle();
+  EXPECT_EQ(done, 4);
+  // 4 core-seconds of work on 2 cores => 2 seconds wall.
+  EXPECT_NEAR(to_seconds(sim.now()), 2.0, 1e-6);
+}
+
+TEST_F(HostTest, WorkConservation) {
+  // Regardless of arrival pattern, total busy-core-seconds equals the work
+  // submitted.
+  Host host(sim, "h", 3, 1LL << 30);
+  double total_work = 0;
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    double work = 0.01 + rng.uniform01() * 0.2;
+    total_work += work;
+    sim.schedule(from_seconds(rng.uniform01() * 0.5),
+                 [&host, work] { host.run_task(work, nullptr); });
+  }
+  sim.run_until_idle();
+  EXPECT_NEAR(host.busy_core_seconds(), total_work, 1e-6);
+}
+
+TEST_F(HostTest, StaggeredArrivalCompletes) {
+  Host host(sim, "h", 1, 1LL << 30);
+  std::vector<double> completion;
+  host.run_task(1.0, [&] { completion.push_back(to_seconds(sim.now())); });
+  sim.schedule(from_seconds(0.5), [&] {
+    host.run_task(1.0, [&] { completion.push_back(to_seconds(sim.now())); });
+  });
+  sim.run_until_idle();
+  ASSERT_EQ(completion.size(), 2u);
+  // First task: 0.5s alone + shares [0.5, 1.5] => finishes at 1.5.
+  EXPECT_NEAR(completion[0], 1.5, 1e-6);
+  // Second: got 0.5 core-seconds by 1.5, runs alone after => 2.0.
+  EXPECT_NEAR(completion[1], 2.0, 1e-6);
+}
+
+TEST_F(HostTest, MemoryLedgerAndPeak) {
+  Host host(sim, "h", 1, 1LL << 30);
+  host.charge_memory(100);
+  sim.run_until(1000);
+  host.charge_memory(50);
+  host.release_memory(120);
+  EXPECT_EQ(host.memory_bytes(), 30);
+  EXPECT_DOUBLE_EQ(host.max_memory_bytes(), 150.0);
+}
+
+TEST_F(HostTest, ZeroCostTaskCompletes) {
+  Host host(sim, "h", 1, 1LL << 30);
+  bool done = false;
+  host.run_task(0.0, [&] { done = true; });
+  sim.run_until_idle();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(HostTest, SamplingRecordsSeries) {
+  Host host(sim, "h", 2, 1LL << 30);
+  host.start_sampling(from_seconds(0.1));
+  host.run_task(0.5, nullptr);
+  host.run_task(0.5, nullptr);
+  sim.run_until(from_seconds(1.0));
+  host.stop_sampling();
+  ASSERT_GE(host.samples().size(), 10u);
+  // While both tasks run, both cores are busy.
+  EXPECT_DOUBLE_EQ(host.samples()[1].cpu_pct, 100.0);
+  // After completion, idle.
+  EXPECT_DOUBLE_EQ(host.samples().back().cpu_pct, 0.0);
+}
+
+TEST_F(HostTest, MeanUtilization) {
+  Host host(sim, "h", 2, 1LL << 30);
+  host.run_task(1.0, nullptr);  // one core busy for 1s
+  sim.run_until(from_seconds(2.0));
+  // 1 core-second over 2s on 2 cores = 25%.
+  EXPECT_NEAR(host.mean_utilization(), 0.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace rddr::sim

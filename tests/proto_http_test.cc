@@ -1,0 +1,262 @@
+// Unit tests for the HTTP message model, parser framing (including the
+// smuggling-relevant Transfer-Encoding whitespace behaviour), chunked
+// coding, Range parsing, and the xz77 content coding.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "proto/http/coding.h"
+#include "proto/http/message.h"
+#include "proto/http/parser.h"
+
+namespace rddr::http {
+namespace {
+
+TEST(HeaderMap, OrderPreservingCaseInsensitive) {
+  HeaderMap h;
+  h.add("Host", "a");
+  h.add("X-One", "1");
+  h.add("x-one", "2");
+  EXPECT_EQ(h.get("HOST").value(), "a");
+  EXPECT_EQ(h.get("x-ONE").value(), "1");
+  EXPECT_EQ(h.get_all("X-One").size(), 2u);
+  h.set("X-One", "3");
+  EXPECT_EQ(h.get_all("X-One").size(), 1u);
+  EXPECT_EQ(h.entries().back().second, "3");
+  EXPECT_EQ(h.remove("Host"), 1u);
+  EXPECT_FALSE(h.has("Host"));
+}
+
+TEST(RequestSerialization, RoundTrip) {
+  Request req;
+  req.method = "POST";
+  req.target = "/api/v1";
+  req.headers.add("Host", "svc");
+  req.body = "hello";
+  Bytes wire = req.to_bytes();
+  RequestParser p;
+  p.feed(wire);
+  auto msgs = p.take();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].method, "POST");
+  EXPECT_EQ(msgs[0].target, "/api/v1");
+  EXPECT_EQ(msgs[0].body, "hello");
+  EXPECT_EQ(msgs[0].raw, wire);
+}
+
+TEST(ResponseSerialization, RoundTrip) {
+  Response resp = make_response(404, "nope", "text/plain");
+  ResponseParser p;
+  p.feed(resp.to_bytes());
+  auto msgs = p.take();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].status, 404);
+  EXPECT_EQ(msgs[0].reason, "Not Found");
+  EXPECT_EQ(msgs[0].body, "nope");
+}
+
+TEST(RequestParser, IncrementalFeed) {
+  Request req;
+  req.method = "GET";
+  req.target = "/";
+  req.body = "0123456789";
+  Bytes wire = req.to_bytes();
+  RequestParser p;
+  for (char c : wire) {
+    p.feed(ByteView(&c, 1));
+  }
+  auto msgs = p.take();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].body, "0123456789");
+}
+
+TEST(RequestParser, PipelinedRequests) {
+  Request a, b;
+  a.method = "GET";
+  a.target = "/a";
+  b.method = "GET";
+  b.target = "/b";
+  RequestParser p;
+  p.feed(a.to_bytes() + b.to_bytes());
+  auto msgs = p.take();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].target, "/a");
+  EXPECT_EQ(msgs[1].target, "/b");
+}
+
+TEST(RequestParser, ChunkedBodyDecoded) {
+  Bytes wire =
+      "POST /up HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" +
+      chunked_encode("hello chunked world", 7);
+  RequestParser p;
+  p.feed(wire);
+  auto msgs = p.take();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].body, "hello chunked world");
+}
+
+TEST(RequestParser, ChunkedWithExtensionAndTrailer) {
+  Bytes wire =
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5;ext=1\r\nhello\r\n0\r\nX-Trailer: v\r\n\r\n";
+  RequestParser p;
+  p.feed(wire);
+  auto msgs = p.take();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].body, "hello");
+}
+
+TEST(RequestParser, MalformedStartLineFails) {
+  RequestParser p;
+  p.feed("NOT_A_REQUEST\r\n\r\n");
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(RequestParser, ConflictingContentLengthRejected) {
+  RequestParser p;
+  p.feed("POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 7\r\n\r\n");
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(RequestParser, EqualDuplicateContentLengthAccepted) {
+  RequestParser p;
+  p.feed("POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok");
+  EXPECT_FALSE(p.failed());
+  EXPECT_EQ(p.take().size(), 1u);
+}
+
+// ---- The CVE-2019-18277 framing disagreement ----
+
+// The tail after the blank line is 37 bytes: a zero chunk (5) plus a full
+// smuggled request (32). Content-Length covers ALL of it, so a framer that
+// ignores the vertical-tab Transfer-Encoding sees one request with the
+// smuggled bytes hidden in the body, while a chunked-aware framer ends the
+// body at the zero chunk and surfaces "GET /admin" as a second request.
+constexpr char kSmuggle[] =
+    "POST / HTTP/1.1\r\n"
+    "Host: x\r\n"
+    "Content-Length: 37\r\n"
+    "Transfer-Encoding: \x0b"
+    "chunked\r\n"
+    "\r\n"
+    "0\r\n\r\nGET /admin HTTP/1.1\r\nHost: x\r\n\r\n";
+
+TEST(Smuggling, StrictFramerHidesSmuggledRequestInBody) {
+  // HAProxy 1.5.3 behaviour: \x0b is not HTTP whitespace, TE is not
+  // recognised as chunked, Content-Length frames the body — ONE request
+  // whose body conceals the attack.
+  ParserOptions opts;
+  opts.te_whitespace = TeWhitespace::kStrictHttp;
+  RequestParser p(opts);
+  p.feed(kSmuggle);
+  auto msgs = p.take();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].target, "/");
+  EXPECT_NE(msgs[0].body.find("GET /admin"), Bytes::npos);
+  EXPECT_FALSE(p.failed());
+}
+
+TEST(Smuggling, LenientFramerExposesSecondRequest) {
+  // Typical backend behaviour: isspace() trimming makes the value
+  // "chunked"; the body ends at the zero chunk and the smuggled /admin
+  // request becomes a real second request.
+  ParserOptions opts;
+  opts.te_whitespace = TeWhitespace::kAnyWhitespace;
+  RequestParser p(opts);
+  p.feed(kSmuggle);
+  auto msgs = p.take();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].target, "/");
+  EXPECT_TRUE(msgs[0].body.empty());
+  EXPECT_EQ(msgs[1].target, "/admin");
+}
+
+TEST(Smuggling, HardenedParserRejectsTeAndCl) {
+  ParserOptions opts;
+  opts.te_whitespace = TeWhitespace::kAnyWhitespace;
+  opts.reject_te_and_cl = true;
+  RequestParser p(opts);
+  p.feed(kSmuggle);
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(Range, ParseForms) {
+  auto r = parse_range_header("bytes=0-99");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].first, 0);
+  EXPECT_EQ((*r)[0].last, 99);
+
+  r = parse_range_header("bytes=-500");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ((*r)[0].first, -1);
+  EXPECT_EQ((*r)[0].last, 500);
+
+  r = parse_range_header("bytes=100-");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ((*r)[0].first, 100);
+  EXPECT_EQ((*r)[0].last, -1);
+
+  r = parse_range_header("bytes=0-0,5-9, 20-29");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Range, RejectsMalformed) {
+  EXPECT_FALSE(parse_range_header("items=0-9").has_value());
+  EXPECT_FALSE(parse_range_header("bytes=").has_value());
+  EXPECT_FALSE(parse_range_header("bytes=a-b").has_value());
+  EXPECT_FALSE(parse_range_header("bytes=5").has_value());
+}
+
+TEST(Xz77, RoundTripText) {
+  Bytes input =
+      "the quick brown fox jumps over the lazy dog; "
+      "the quick brown fox jumps over the lazy dog";
+  Bytes packed = xz77_compress(input);
+  EXPECT_LT(packed.size(), input.size());  // repetition compresses
+  auto out = xz77_decompress(packed);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Xz77, RoundTripBinaryAndEmpty) {
+  Bytes empty;
+  EXPECT_EQ(xz77_decompress(xz77_compress(empty)).value(), empty);
+  Bytes bin;
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) bin.push_back(static_cast<char>(rng.next() & 0xff));
+  EXPECT_EQ(xz77_decompress(xz77_compress(bin)).value(), bin);
+}
+
+TEST(Xz77, RoundTripPropertySweep) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes input;
+    size_t len = static_cast<size_t>(rng.uniform(0, 2000));
+    int alphabet = static_cast<int>(rng.uniform(2, 26));
+    for (size_t i = 0; i < len; ++i)
+      input.push_back(static_cast<char>('a' + rng.uniform(0, alphabet)));
+    auto out = xz77_decompress(xz77_compress(input));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, input) << "trial " << trial;
+  }
+}
+
+TEST(Xz77, RejectsMalformed) {
+  EXPECT_FALSE(xz77_decompress("\x02junk").has_value());       // bad op
+  EXPECT_FALSE(xz77_decompress(Bytes("\x00\xff\xff", 3)).has_value());  // truncated
+  // Match with distance beyond output.
+  Bytes bad;
+  bad += Bytes("\x01\x00\x05\x00\x03", 5);
+  EXPECT_FALSE(xz77_decompress(bad).has_value());
+}
+
+TEST(ChunkedEncode, SplitsIntoChunks) {
+  Bytes enc = chunked_encode("aaaaaaaaaa", 4);  // 4+4+2
+  EXPECT_NE(enc.find("4\r\naaaa\r\n"), Bytes::npos);
+  EXPECT_NE(enc.find("2\r\naa\r\n"), Bytes::npos);
+  EXPECT_NE(enc.find("0\r\n\r\n"), Bytes::npos);
+}
+
+}  // namespace
+}  // namespace rddr::http

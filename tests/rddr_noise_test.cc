@@ -1,0 +1,174 @@
+// Unit tests for de-noising (filter-pair masks) and ephemeral-token
+// detection — the paper's §IV-B2 / §IV-B3 machinery.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rddr/noise.h"
+
+namespace rddr::core {
+namespace {
+
+TEST(CommonFix, PrefixSuffix) {
+  EXPECT_EQ(common_prefix("abcde", "abXde"), 2u);
+  EXPECT_EQ(common_suffix("abcde", "abXde"), 2u);
+  EXPECT_EQ(common_prefix("same", "same"), 4u);
+  EXPECT_EQ(common_prefix("", "x"), 0u);
+  EXPECT_EQ(common_suffix("abc", "c"), 1u);
+}
+
+TEST(NoiseMask, IdenticalPairYieldsEmptyMask) {
+  std::vector<std::string> a{"one", "two"};
+  NoiseMask m = build_noise_mask(a, a);
+  EXPECT_FALSE(m.structural_noise);
+  EXPECT_FALSE(m.lines[0].has_value());
+  EXPECT_FALSE(m.lines[1].has_value());
+}
+
+TEST(NoiseMask, DifferingRegionMasked) {
+  std::vector<std::string> a{"session=AAAA; path=/"};
+  std::vector<std::string> b{"session=BBBB; path=/"};
+  NoiseMask m = build_noise_mask(a, b);
+  ASSERT_TRUE(m.lines[0].has_value());
+  EXPECT_EQ(m.lines[0]->prefix, 8u);
+  EXPECT_EQ(m.lines[0]->suffix, 8u);
+
+  // Third instance with its own token in the same frame: match.
+  std::vector<std::string> c{"session=CCCC; path=/"};
+  EXPECT_FALSE(masked_compare(a, c, m).has_value());
+  // Third instance with a longer token: still within the frame.
+  std::vector<std::string> d{"session=DDDDDD; path=/"};
+  EXPECT_FALSE(masked_compare(a, d, m).has_value());
+  // Divergence outside the noise region is caught.
+  std::vector<std::string> e{"session=CCCC; path=/x"};
+  EXPECT_TRUE(masked_compare(a, e, m).has_value());
+  std::vector<std::string> f{"sXssion=CCCC; path=/"};
+  EXPECT_TRUE(masked_compare(a, f, m).has_value());
+}
+
+TEST(NoiseMask, UnmaskedLineRequiresExactEquality) {
+  std::vector<std::string> a{"stable", "noisyAA"};
+  std::vector<std::string> b{"stable", "noisyBB"};
+  NoiseMask m = build_noise_mask(a, b);
+  std::vector<std::string> ok{"stable", "noisyZZ"};
+  EXPECT_FALSE(masked_compare(a, ok, m).has_value());
+  std::vector<std::string> bad{"stablX", "noisyZZ"};
+  auto reason = masked_compare(a, bad, m);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("line 0"), std::string::npos);
+}
+
+TEST(NoiseMask, LineCountMismatchDiverges) {
+  std::vector<std::string> a{"x"}, b{"x"};
+  NoiseMask m = build_noise_mask(a, b);
+  std::vector<std::string> c{"x", "y"};
+  EXPECT_TRUE(masked_compare(a, c, m).has_value());
+}
+
+TEST(NoiseMask, StructuralPairNoiseDegradesGracefully) {
+  std::vector<std::string> a{"x"}, b{"x", "y"};
+  NoiseMask m = build_noise_mask(a, b);
+  EXPECT_TRUE(m.structural_noise);
+  std::vector<std::string> same_count{"anything"};
+  EXPECT_FALSE(masked_compare(a, same_count, m).has_value());
+  std::vector<std::string> diff_count{"p", "q"};
+  EXPECT_TRUE(masked_compare(a, diff_count, m).has_value());
+}
+
+TEST(NoiseMask, CandidateShorterThanFrameDiverges) {
+  std::vector<std::string> a{"tok=AAAA end"};
+  std::vector<std::string> b{"tok=BBBB end"};
+  NoiseMask m = build_noise_mask(a, b);
+  std::vector<std::string> tiny{"tok"};
+  EXPECT_TRUE(masked_compare(a, tiny, m).has_value());
+}
+
+TEST(EphemeralTokens, DetectsCsrfStyleToken) {
+  std::vector<std::vector<std::string>> lines{
+      {"<input value=\"aaaaaaaaaaaaaaaa\">"},
+      {"<input value=\"bbbbbbbbbbbbbbbb\">"},
+      {"<input value=\"cccccccccccccccc\">"},
+  };
+  auto tokens = detect_ephemeral_tokens(lines);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].per_instance[0], "aaaaaaaaaaaaaaaa");
+  EXPECT_EQ(tokens[0].per_instance[2], "cccccccccccccccc");
+}
+
+TEST(EphemeralTokens, ShortRunsRejected) {
+  // Paper's criterion: >= 10 chars.
+  std::vector<std::vector<std::string>> lines{
+      {"id=abc123"},
+      {"id=def456"},
+      {"id=ghi789"},
+  };
+  EXPECT_TRUE(detect_ephemeral_tokens(lines).empty());
+}
+
+TEST(EphemeralTokens, NonAlnumRunsRejected) {
+  std::vector<std::vector<std::string>> lines{
+      {"v=aaaa-aaaa-aaaa"},
+      {"v=bbbb-bbbb-bbbb"},
+      {"v=cccc-cccc-cccc"},
+  };
+  EXPECT_TRUE(detect_ephemeral_tokens(lines).empty());
+}
+
+TEST(EphemeralTokens, LineMustDifferAcrossAllInstances) {
+  // Instances 0 and 2 agree, so the line does not qualify.
+  std::vector<std::vector<std::string>> lines{
+      {"tok=aaaaaaaaaaaa"},
+      {"tok=bbbbbbbbbbbb"},
+      {"tok=aaaaaaaaaaaa"},
+  };
+  EXPECT_TRUE(detect_ephemeral_tokens(lines).empty());
+}
+
+TEST(EphemeralTokens, StableLinesIgnored) {
+  std::vector<std::vector<std::string>> lines{
+      {"<html>", "tok=aaaaaaaaaaaa", "</html>"},
+      {"<html>", "tok=bbbbbbbbbbbb", "</html>"},
+  };
+  auto tokens = detect_ephemeral_tokens(lines);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].per_instance[1], "bbbbbbbbbbbb");
+}
+
+TEST(EphemeralTokens, VariableLengthTokens) {
+  std::vector<std::vector<std::string>> lines{
+      {"t=aaaaaaaaaaaaaaa;"},
+      {"t=bbbbbbbbbbbb;"},
+      {"t=cccccccccccccccccc;"},
+  };
+  auto tokens = detect_ephemeral_tokens(lines);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].per_instance[1], "bbbbbbbbbbbb");
+}
+
+// Property sweep: random tokens in a fixed frame are always masked; a
+// mutation outside the token region is always caught.
+class NoisePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoisePropertyTest, RandomTokensMaskedMutationsCaught) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::string prefix = "Set-Cookie: sid=";
+  std::string suffix = "; HttpOnly";
+  auto page = [&](const std::string& tok) {
+    return std::vector<std::string>{"HTTP/1.1 200 OK", prefix + tok + suffix,
+                                    "body line"};
+  };
+  auto a = page(rng.alnum_token(32));
+  auto b = page(rng.alnum_token(32));
+  auto c = page(rng.alnum_token(32));
+  NoiseMask m = build_noise_mask(a, b);
+  EXPECT_FALSE(masked_compare(a, c, m).has_value());
+  // Mutate the third instance outside the token: must diverge.
+  auto d = page(rng.alnum_token(32));
+  d[2] = "body line LEAKED-DATA";
+  EXPECT_TRUE(masked_compare(a, d, m).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoisePropertyTest,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace rddr::core

@@ -1,0 +1,214 @@
+// Unit tests for the library-variant pairs: on benign input every pair
+// agrees byte-for-byte (the N-versioning prerequisite); on the CVE input
+// exactly the vulnerable member misbehaves.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "services/variant_libs.h"
+
+namespace rddr::services::lib {
+namespace {
+
+// ---------- markdown pair (CVE-2020-11888) ----------
+
+TEST(Markdown, BenignIdenticalAcrossLibraries) {
+  const char* inputs[] = {
+      "plain text",
+      "# Header\ntext",
+      "### Deep header",
+      "**bold** words",
+      "[link](https://example.com/path?q=1)",
+      "mix **b** and [l](http://x) here",
+      "",
+      "a < b & c > d",  // escaping
+  };
+  for (const char* in : inputs)
+    EXPECT_EQ(md_render_mdone(in), md_render_mdtwo(in)) << in;
+}
+
+TEST(Markdown, EscapesHtml) {
+  std::string html = md_render_mdone("<script>alert(1)</script>");
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(Markdown, BothBlockPlainJavascriptUrl) {
+  const char* in = "[x](javascript:alert(1))";
+  EXPECT_EQ(md_render_mdone(in).find("javascript:"), std::string::npos);
+  EXPECT_EQ(md_render_mdtwo(in).find("javascript:"), std::string::npos);
+}
+
+TEST(Markdown, ControlCharacterBypassOnlyFoolsMdtwo) {
+  const char* in = "[x](java\x0bscript:alert(1))";
+  EXPECT_EQ(md_render_mdone(in).find("javascript:"), std::string::npos);
+  EXPECT_NE(md_render_mdtwo(in).find("javascript:"), std::string::npos);
+}
+
+TEST(Markdown, HeaderLevels) {
+  EXPECT_NE(md_render_mdone("## Two").find("<h2>Two</h2>"), std::string::npos);
+  EXPECT_NE(md_render_mdone("###### Six").find("<h6>Six</h6>"),
+            std::string::npos);
+}
+
+// ---------- sanitizer pair (CVE-2014-3146) ----------
+
+TEST(Sanitizer, BenignIdenticalAcrossLibraries) {
+  const char* inputs[] = {
+      "<p>hello</p>",
+      "<a href=\"https://ok\">x</a>",
+      "<div class=\"c\"><b>bold</b></div>",
+      "plain",
+      "<img src=\"/pic.png\">",
+  };
+  for (const char* in : inputs)
+    EXPECT_EQ(sanitize_lxmllite(in), sanitize_sanihtml(in)) << in;
+}
+
+TEST(Sanitizer, BothStripScriptTags) {
+  const char* in = "<p>a</p><script>evil()</script><p>b</p>";
+  EXPECT_EQ(sanitize_lxmllite(in).find("evil"), std::string::npos);
+  EXPECT_EQ(sanitize_sanihtml(in).find("evil"), std::string::npos);
+}
+
+TEST(Sanitizer, BothStripEventHandlers) {
+  const char* in = "<img src=\"x\" onerror=\"evil()\">";
+  EXPECT_EQ(sanitize_lxmllite(in).find("onerror"), std::string::npos);
+  EXPECT_EQ(sanitize_sanihtml(in).find("onerror"), std::string::npos);
+}
+
+TEST(Sanitizer, BothStripPlainJavascriptHref) {
+  const char* in = "<a href=\"javascript:evil()\">x</a>";
+  EXPECT_EQ(sanitize_lxmllite(in).find("javascript"), std::string::npos);
+  EXPECT_EQ(sanitize_sanihtml(in).find("javascript"), std::string::npos);
+}
+
+TEST(Sanitizer, CharRefBypassOnlyFoolsLxmllite) {
+  const char* in = "<a href=\"java&#10;script:evil()\">x</a>";
+  // lxmllite keeps the href (it never decodes &#10;)...
+  EXPECT_NE(sanitize_lxmllite(in).find("script:evil"), std::string::npos);
+  // ...sanihtml decodes, squeezes and blocks.
+  EXPECT_EQ(sanitize_sanihtml(in).find("script:evil"), std::string::npos);
+}
+
+TEST(Sanitizer, NewlineBypassOnlyFoolsLxmllite) {
+  const char* in = "<a href=\"java\nscript:evil()\">x</a>";
+  EXPECT_NE(sanitize_lxmllite(in).find("script:evil"), std::string::npos);
+  EXPECT_EQ(sanitize_sanihtml(in).find("script:evil"), std::string::npos);
+}
+
+// ---------- svg pair (CVE-2020-10799) ----------
+
+TEST(Svg, BenignIdenticalAcrossLibraries) {
+  const char* svg =
+      "<svg width=\"32\" height=\"24\"><text>hello</text>"
+      "<text>world</text></svg>";
+  auto a = svg_to_png_svglite(svg);
+  auto b = svg_to_png_cairolite(svg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_NE(a.value().find("dims=32x24"), Bytes::npos);
+  EXPECT_NE(a.value().find("text=hello"), Bytes::npos);
+}
+
+TEST(Svg, InternalEntitiesResolvedByBoth) {
+  const char* svg =
+      "<!DOCTYPE svg [<!ENTITY brand \"ACME\">]>"
+      "<svg width=\"8\" height=\"8\"><text>&brand;</text></svg>";
+  auto a = svg_to_png_svglite(svg);
+  auto b = svg_to_png_cairolite(svg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().find("text=ACME"), Bytes::npos);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Svg, ExternalEntityResolvedOnlyBySvglite) {
+  const char* svg =
+      "<!DOCTYPE svg [<!ENTITY xxe SYSTEM \"file:///etc/passwd\">]>"
+      "<svg width=\"8\" height=\"8\"><text>&xxe;</text></svg>";
+  auto a = svg_to_png_svglite(svg);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NE(a.value().find("root:x:0:0"), Bytes::npos);  // the XXE leak
+  auto b = svg_to_png_cairolite(svg);
+  EXPECT_FALSE(b.ok());
+  EXPECT_NE(b.error().find("external"), std::string::npos);
+}
+
+TEST(Svg, UnknownFileResolvesEmpty) {
+  const char* svg =
+      "<!DOCTYPE svg [<!ENTITY x SYSTEM \"file:///no/such\">]>"
+      "<svg width=\"8\" height=\"8\"><text>[&x;]</text></svg>";
+  auto a = svg_to_png_svglite(svg);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NE(a.value().find("text=[]"), Bytes::npos);
+}
+
+// ---------- rsa pair (CVE-2020-13757) ----------
+
+TEST(Rsa, WellFormedCiphertextDecryptsIdentically) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    uint64_t key = rng.next();
+    Bytes msg = rng.alnum_token(static_cast<size_t>(rng.uniform(0, 40)));
+    Bytes cipher = rsa_encrypt(msg, key, rng.next());
+    auto a = rsa_decrypt_cryptolite(cipher, key);
+    auto b = rsa_decrypt_rsalite(cipher, key);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), msg);
+    EXPECT_EQ(b.value(), msg);
+  }
+}
+
+TEST(Rsa, BothRejectGarbage) {
+  EXPECT_FALSE(rsa_decrypt_cryptolite("xx", 1).ok());
+  EXPECT_FALSE(rsa_decrypt_rsalite("xx", 1).ok());
+}
+
+TEST(Rsa, BadLeadingByteOnlyFoolsRsalite) {
+  uint64_t key = 0xfeed;
+  Bytes block;
+  block += '\x01';  // must be 0x00
+  block += '\x02';
+  for (int i = 0; i < 8; ++i) block += '\x55';
+  block += '\0';
+  block += "forged";
+  Bytes cipher;
+  for (size_t i = 0; i < block.size(); ++i)
+    cipher.push_back(static_cast<char>(static_cast<uint8_t>(block[i]) ^
+                                       rsa_keystream_byte(key, i)));
+  EXPECT_FALSE(rsa_decrypt_cryptolite(cipher, key).ok());
+  auto lax = rsa_decrypt_rsalite(cipher, key);
+  ASSERT_TRUE(lax.ok());
+  EXPECT_EQ(lax.value(), "forged");
+}
+
+TEST(Rsa, ShortPaddingOnlyRejectedByStrict) {
+  uint64_t key = 0xbeef;
+  Bytes block;
+  block += '\x00';
+  block += '\x02';
+  block += "\x11\x22";  // only 2 bytes of padding (minimum is 8)
+  block += '\0';
+  block += "m";
+  Bytes cipher;
+  for (size_t i = 0; i < block.size(); ++i)
+    cipher.push_back(static_cast<char>(static_cast<uint8_t>(block[i]) ^
+                                       rsa_keystream_byte(key, i)));
+  EXPECT_FALSE(rsa_decrypt_cryptolite(cipher, key).ok());
+  EXPECT_TRUE(rsa_decrypt_rsalite(cipher, key).ok());
+}
+
+TEST(Rsa, KeystreamDeterministicPerKey) {
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(rsa_keystream_byte(42, i), rsa_keystream_byte(42, i));
+  }
+  int diff = 0;
+  for (size_t i = 0; i < 32; ++i)
+    if (rsa_keystream_byte(1, i) != rsa_keystream_byte(2, i)) ++diff;
+  EXPECT_GT(diff, 24);
+}
+
+}  // namespace
+}  // namespace rddr::services::lib
