@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_denoise_csrf.dir/ablation_denoise_csrf.cc.o"
+  "CMakeFiles/ablation_denoise_csrf.dir/ablation_denoise_csrf.cc.o.d"
+  "ablation_denoise_csrf"
+  "ablation_denoise_csrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_denoise_csrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distributed_hosts.dir/ablation_distributed_hosts.cc.o"
+  "CMakeFiles/ablation_distributed_hosts.dir/ablation_distributed_hosts.cc.o.d"
+  "ablation_distributed_hosts"
+  "ablation_distributed_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distributed_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_overhead_vs_n.cc" "bench/CMakeFiles/ablation_overhead_vs_n.dir/ablation_overhead_vs_n.cc.o" "gcc" "bench/CMakeFiles/ablation_overhead_vs_n.dir/ablation_overhead_vs_n.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/rddr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/rddr/CMakeFiles/rddr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/rddr_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/rddr_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/rddr_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/rddr_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rddr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overhead_vs_n.dir/ablation_overhead_vs_n.cc.o"
+  "CMakeFiles/ablation_overhead_vs_n.dir/ablation_overhead_vs_n.cc.o.d"
+  "ablation_overhead_vs_n"
+  "ablation_overhead_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overhead_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

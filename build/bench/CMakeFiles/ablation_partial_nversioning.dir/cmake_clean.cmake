@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partial_nversioning.dir/ablation_partial_nversioning.cc.o"
+  "CMakeFiles/ablation_partial_nversioning.dir/ablation_partial_nversioning.cc.o.d"
+  "ablation_partial_nversioning"
+  "ablation_partial_nversioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partial_nversioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tpch_overhead.dir/fig4_tpch_overhead.cc.o"
+  "CMakeFiles/fig4_tpch_overhead.dir/fig4_tpch_overhead.cc.o.d"
+  "fig4_tpch_overhead"
+  "fig4_tpch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tpch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

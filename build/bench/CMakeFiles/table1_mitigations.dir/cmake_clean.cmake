@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mitigations.dir/table1_mitigations.cc.o"
+  "CMakeFiles/table1_mitigations.dir/table1_mitigations.cc.o.d"
+  "table1_mitigations"
+  "table1_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aslr_echo.dir/aslr_echo.cpp.o"
+  "CMakeFiles/aslr_echo.dir/aslr_echo.cpp.o.d"
+  "aslr_echo"
+  "aslr_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aslr_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvwa_sql_injection.dir/dvwa_sql_injection.cpp.o"
+  "CMakeFiles/dvwa_sql_injection.dir/dvwa_sql_injection.cpp.o.d"
+  "dvwa_sql_injection"
+  "dvwa_sql_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvwa_sql_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dvwa_sql_injection.
+# This may be replaced when dependencies are built.

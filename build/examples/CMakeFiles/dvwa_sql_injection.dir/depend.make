@@ -1,0 +1,2 @@
+# Empty dependencies file for dvwa_sql_injection.
+# This may be replaced when dependencies are built.

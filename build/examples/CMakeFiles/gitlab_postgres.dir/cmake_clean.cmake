@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gitlab_postgres.dir/gitlab_postgres.cpp.o"
+  "CMakeFiles/gitlab_postgres.dir/gitlab_postgres.cpp.o.d"
+  "gitlab_postgres"
+  "gitlab_postgres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gitlab_postgres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

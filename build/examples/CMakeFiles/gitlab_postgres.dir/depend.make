@@ -1,0 +1,2 @@
+# Empty dependencies file for gitlab_postgres.
+# This may be replaced when dependencies are built.

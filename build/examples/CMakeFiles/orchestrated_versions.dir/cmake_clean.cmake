@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orchestrated_versions.dir/orchestrated_versions.cpp.o"
+  "CMakeFiles/orchestrated_versions.dir/orchestrated_versions.cpp.o.d"
+  "orchestrated_versions"
+  "orchestrated_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orchestrated_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_proxy_smuggling.dir/reverse_proxy_smuggling.cpp.o"
+  "CMakeFiles/reverse_proxy_smuggling.dir/reverse_proxy_smuggling.cpp.o.d"
+  "reverse_proxy_smuggling"
+  "reverse_proxy_smuggling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_proxy_smuggling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

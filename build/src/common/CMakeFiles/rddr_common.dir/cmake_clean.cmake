@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rddr_common.dir/bytes.cc.o"
+  "CMakeFiles/rddr_common.dir/bytes.cc.o.d"
+  "CMakeFiles/rddr_common.dir/log.cc.o"
+  "CMakeFiles/rddr_common.dir/log.cc.o.d"
+  "CMakeFiles/rddr_common.dir/rng.cc.o"
+  "CMakeFiles/rddr_common.dir/rng.cc.o.d"
+  "CMakeFiles/rddr_common.dir/stats.cc.o"
+  "CMakeFiles/rddr_common.dir/stats.cc.o.d"
+  "CMakeFiles/rddr_common.dir/strutil.cc.o"
+  "CMakeFiles/rddr_common.dir/strutil.cc.o.d"
+  "librddr_common.a"
+  "librddr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rddr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/host.cc" "src/netsim/CMakeFiles/rddr_netsim.dir/host.cc.o" "gcc" "src/netsim/CMakeFiles/rddr_netsim.dir/host.cc.o.d"
+  "/root/repo/src/netsim/network.cc" "src/netsim/CMakeFiles/rddr_netsim.dir/network.cc.o" "gcc" "src/netsim/CMakeFiles/rddr_netsim.dir/network.cc.o.d"
+  "/root/repo/src/netsim/simulator.cc" "src/netsim/CMakeFiles/rddr_netsim.dir/simulator.cc.o" "gcc" "src/netsim/CMakeFiles/rddr_netsim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rddr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

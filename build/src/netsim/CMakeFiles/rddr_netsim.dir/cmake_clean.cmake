@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rddr_netsim.dir/host.cc.o"
+  "CMakeFiles/rddr_netsim.dir/host.cc.o.d"
+  "CMakeFiles/rddr_netsim.dir/network.cc.o"
+  "CMakeFiles/rddr_netsim.dir/network.cc.o.d"
+  "CMakeFiles/rddr_netsim.dir/simulator.cc.o"
+  "CMakeFiles/rddr_netsim.dir/simulator.cc.o.d"
+  "librddr_netsim.a"
+  "librddr_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rddr_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

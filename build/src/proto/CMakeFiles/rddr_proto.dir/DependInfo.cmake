@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/http/coding.cc" "src/proto/CMakeFiles/rddr_proto.dir/http/coding.cc.o" "gcc" "src/proto/CMakeFiles/rddr_proto.dir/http/coding.cc.o.d"
+  "/root/repo/src/proto/http/message.cc" "src/proto/CMakeFiles/rddr_proto.dir/http/message.cc.o" "gcc" "src/proto/CMakeFiles/rddr_proto.dir/http/message.cc.o.d"
+  "/root/repo/src/proto/http/parser.cc" "src/proto/CMakeFiles/rddr_proto.dir/http/parser.cc.o" "gcc" "src/proto/CMakeFiles/rddr_proto.dir/http/parser.cc.o.d"
+  "/root/repo/src/proto/json/json.cc" "src/proto/CMakeFiles/rddr_proto.dir/json/json.cc.o" "gcc" "src/proto/CMakeFiles/rddr_proto.dir/json/json.cc.o.d"
+  "/root/repo/src/proto/pgwire/pgwire.cc" "src/proto/CMakeFiles/rddr_proto.dir/pgwire/pgwire.cc.o" "gcc" "src/proto/CMakeFiles/rddr_proto.dir/pgwire/pgwire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rddr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

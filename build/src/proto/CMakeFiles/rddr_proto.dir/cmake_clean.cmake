@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rddr_proto.dir/http/coding.cc.o"
+  "CMakeFiles/rddr_proto.dir/http/coding.cc.o.d"
+  "CMakeFiles/rddr_proto.dir/http/message.cc.o"
+  "CMakeFiles/rddr_proto.dir/http/message.cc.o.d"
+  "CMakeFiles/rddr_proto.dir/http/parser.cc.o"
+  "CMakeFiles/rddr_proto.dir/http/parser.cc.o.d"
+  "CMakeFiles/rddr_proto.dir/json/json.cc.o"
+  "CMakeFiles/rddr_proto.dir/json/json.cc.o.d"
+  "CMakeFiles/rddr_proto.dir/pgwire/pgwire.cc.o"
+  "CMakeFiles/rddr_proto.dir/pgwire/pgwire.cc.o.d"
+  "librddr_proto.a"
+  "librddr_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rddr_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rddr/deployment.cc" "src/rddr/CMakeFiles/rddr_core.dir/deployment.cc.o" "gcc" "src/rddr/CMakeFiles/rddr_core.dir/deployment.cc.o.d"
+  "/root/repo/src/rddr/incoming_proxy.cc" "src/rddr/CMakeFiles/rddr_core.dir/incoming_proxy.cc.o" "gcc" "src/rddr/CMakeFiles/rddr_core.dir/incoming_proxy.cc.o.d"
+  "/root/repo/src/rddr/noise.cc" "src/rddr/CMakeFiles/rddr_core.dir/noise.cc.o" "gcc" "src/rddr/CMakeFiles/rddr_core.dir/noise.cc.o.d"
+  "/root/repo/src/rddr/outgoing_proxy.cc" "src/rddr/CMakeFiles/rddr_core.dir/outgoing_proxy.cc.o" "gcc" "src/rddr/CMakeFiles/rddr_core.dir/outgoing_proxy.cc.o.d"
+  "/root/repo/src/rddr/plugins.cc" "src/rddr/CMakeFiles/rddr_core.dir/plugins.cc.o" "gcc" "src/rddr/CMakeFiles/rddr_core.dir/plugins.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rddr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/rddr_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/rddr_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rddr_core.dir/deployment.cc.o"
+  "CMakeFiles/rddr_core.dir/deployment.cc.o.d"
+  "CMakeFiles/rddr_core.dir/incoming_proxy.cc.o"
+  "CMakeFiles/rddr_core.dir/incoming_proxy.cc.o.d"
+  "CMakeFiles/rddr_core.dir/noise.cc.o"
+  "CMakeFiles/rddr_core.dir/noise.cc.o.d"
+  "CMakeFiles/rddr_core.dir/outgoing_proxy.cc.o"
+  "CMakeFiles/rddr_core.dir/outgoing_proxy.cc.o.d"
+  "CMakeFiles/rddr_core.dir/plugins.cc.o"
+  "CMakeFiles/rddr_core.dir/plugins.cc.o.d"
+  "librddr_core.a"
+  "librddr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rddr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

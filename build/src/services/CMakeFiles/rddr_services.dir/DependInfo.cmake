@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/dvwa.cc" "src/services/CMakeFiles/rddr_services.dir/dvwa.cc.o" "gcc" "src/services/CMakeFiles/rddr_services.dir/dvwa.cc.o.d"
+  "/root/repo/src/services/echo_vuln.cc" "src/services/CMakeFiles/rddr_services.dir/echo_vuln.cc.o" "gcc" "src/services/CMakeFiles/rddr_services.dir/echo_vuln.cc.o.d"
+  "/root/repo/src/services/gitlab.cc" "src/services/CMakeFiles/rddr_services.dir/gitlab.cc.o" "gcc" "src/services/CMakeFiles/rddr_services.dir/gitlab.cc.o.d"
+  "/root/repo/src/services/http_service.cc" "src/services/CMakeFiles/rddr_services.dir/http_service.cc.o" "gcc" "src/services/CMakeFiles/rddr_services.dir/http_service.cc.o.d"
+  "/root/repo/src/services/orchestrator.cc" "src/services/CMakeFiles/rddr_services.dir/orchestrator.cc.o" "gcc" "src/services/CMakeFiles/rddr_services.dir/orchestrator.cc.o.d"
+  "/root/repo/src/services/rest_service.cc" "src/services/CMakeFiles/rddr_services.dir/rest_service.cc.o" "gcc" "src/services/CMakeFiles/rddr_services.dir/rest_service.cc.o.d"
+  "/root/repo/src/services/reverse_proxy.cc" "src/services/CMakeFiles/rddr_services.dir/reverse_proxy.cc.o" "gcc" "src/services/CMakeFiles/rddr_services.dir/reverse_proxy.cc.o.d"
+  "/root/repo/src/services/simple_api.cc" "src/services/CMakeFiles/rddr_services.dir/simple_api.cc.o" "gcc" "src/services/CMakeFiles/rddr_services.dir/simple_api.cc.o.d"
+  "/root/repo/src/services/static_server.cc" "src/services/CMakeFiles/rddr_services.dir/static_server.cc.o" "gcc" "src/services/CMakeFiles/rddr_services.dir/static_server.cc.o.d"
+  "/root/repo/src/services/tcp_proxy.cc" "src/services/CMakeFiles/rddr_services.dir/tcp_proxy.cc.o" "gcc" "src/services/CMakeFiles/rddr_services.dir/tcp_proxy.cc.o.d"
+  "/root/repo/src/services/variant_libs.cc" "src/services/CMakeFiles/rddr_services.dir/variant_libs.cc.o" "gcc" "src/services/CMakeFiles/rddr_services.dir/variant_libs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rddr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/rddr_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/rddr_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/rddr_sqldb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

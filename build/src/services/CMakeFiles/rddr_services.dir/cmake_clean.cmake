@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rddr_services.dir/dvwa.cc.o"
+  "CMakeFiles/rddr_services.dir/dvwa.cc.o.d"
+  "CMakeFiles/rddr_services.dir/echo_vuln.cc.o"
+  "CMakeFiles/rddr_services.dir/echo_vuln.cc.o.d"
+  "CMakeFiles/rddr_services.dir/gitlab.cc.o"
+  "CMakeFiles/rddr_services.dir/gitlab.cc.o.d"
+  "CMakeFiles/rddr_services.dir/http_service.cc.o"
+  "CMakeFiles/rddr_services.dir/http_service.cc.o.d"
+  "CMakeFiles/rddr_services.dir/orchestrator.cc.o"
+  "CMakeFiles/rddr_services.dir/orchestrator.cc.o.d"
+  "CMakeFiles/rddr_services.dir/rest_service.cc.o"
+  "CMakeFiles/rddr_services.dir/rest_service.cc.o.d"
+  "CMakeFiles/rddr_services.dir/reverse_proxy.cc.o"
+  "CMakeFiles/rddr_services.dir/reverse_proxy.cc.o.d"
+  "CMakeFiles/rddr_services.dir/simple_api.cc.o"
+  "CMakeFiles/rddr_services.dir/simple_api.cc.o.d"
+  "CMakeFiles/rddr_services.dir/static_server.cc.o"
+  "CMakeFiles/rddr_services.dir/static_server.cc.o.d"
+  "CMakeFiles/rddr_services.dir/tcp_proxy.cc.o"
+  "CMakeFiles/rddr_services.dir/tcp_proxy.cc.o.d"
+  "CMakeFiles/rddr_services.dir/variant_libs.cc.o"
+  "CMakeFiles/rddr_services.dir/variant_libs.cc.o.d"
+  "librddr_services.a"
+  "librddr_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rddr_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqldb/client.cc" "src/sqldb/CMakeFiles/rddr_sqldb.dir/client.cc.o" "gcc" "src/sqldb/CMakeFiles/rddr_sqldb.dir/client.cc.o.d"
+  "/root/repo/src/sqldb/engine.cc" "src/sqldb/CMakeFiles/rddr_sqldb.dir/engine.cc.o" "gcc" "src/sqldb/CMakeFiles/rddr_sqldb.dir/engine.cc.o.d"
+  "/root/repo/src/sqldb/lexer.cc" "src/sqldb/CMakeFiles/rddr_sqldb.dir/lexer.cc.o" "gcc" "src/sqldb/CMakeFiles/rddr_sqldb.dir/lexer.cc.o.d"
+  "/root/repo/src/sqldb/parser.cc" "src/sqldb/CMakeFiles/rddr_sqldb.dir/parser.cc.o" "gcc" "src/sqldb/CMakeFiles/rddr_sqldb.dir/parser.cc.o.d"
+  "/root/repo/src/sqldb/server.cc" "src/sqldb/CMakeFiles/rddr_sqldb.dir/server.cc.o" "gcc" "src/sqldb/CMakeFiles/rddr_sqldb.dir/server.cc.o.d"
+  "/root/repo/src/sqldb/value.cc" "src/sqldb/CMakeFiles/rddr_sqldb.dir/value.cc.o" "gcc" "src/sqldb/CMakeFiles/rddr_sqldb.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rddr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/rddr_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/rddr_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

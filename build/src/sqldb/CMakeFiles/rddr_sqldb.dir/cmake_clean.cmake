@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rddr_sqldb.dir/client.cc.o"
+  "CMakeFiles/rddr_sqldb.dir/client.cc.o.d"
+  "CMakeFiles/rddr_sqldb.dir/engine.cc.o"
+  "CMakeFiles/rddr_sqldb.dir/engine.cc.o.d"
+  "CMakeFiles/rddr_sqldb.dir/lexer.cc.o"
+  "CMakeFiles/rddr_sqldb.dir/lexer.cc.o.d"
+  "CMakeFiles/rddr_sqldb.dir/parser.cc.o"
+  "CMakeFiles/rddr_sqldb.dir/parser.cc.o.d"
+  "CMakeFiles/rddr_sqldb.dir/server.cc.o"
+  "CMakeFiles/rddr_sqldb.dir/server.cc.o.d"
+  "CMakeFiles/rddr_sqldb.dir/value.cc.o"
+  "CMakeFiles/rddr_sqldb.dir/value.cc.o.d"
+  "librddr_sqldb.a"
+  "librddr_sqldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rddr_sqldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

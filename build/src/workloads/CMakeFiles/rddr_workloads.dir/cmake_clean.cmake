@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rddr_workloads.dir/driver.cc.o"
+  "CMakeFiles/rddr_workloads.dir/driver.cc.o.d"
+  "CMakeFiles/rddr_workloads.dir/pgbench.cc.o"
+  "CMakeFiles/rddr_workloads.dir/pgbench.cc.o.d"
+  "CMakeFiles/rddr_workloads.dir/scenarios.cc.o"
+  "CMakeFiles/rddr_workloads.dir/scenarios.cc.o.d"
+  "CMakeFiles/rddr_workloads.dir/tpch.cc.o"
+  "CMakeFiles/rddr_workloads.dir/tpch.cc.o.d"
+  "librddr_workloads.a"
+  "librddr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rddr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

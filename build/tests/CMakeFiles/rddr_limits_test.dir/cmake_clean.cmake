@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rddr_limits_test.dir/rddr_limits_test.cc.o"
+  "CMakeFiles/rddr_limits_test.dir/rddr_limits_test.cc.o.d"
+  "rddr_limits_test"
+  "rddr_limits_test.pdb"
+  "rddr_limits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rddr_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

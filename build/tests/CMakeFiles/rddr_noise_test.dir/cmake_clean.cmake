@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rddr_noise_test.dir/rddr_noise_test.cc.o"
+  "CMakeFiles/rddr_noise_test.dir/rddr_noise_test.cc.o.d"
+  "rddr_noise_test"
+  "rddr_noise_test.pdb"
+  "rddr_noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rddr_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rddr_plugin_test.dir/rddr_plugin_test.cc.o"
+  "CMakeFiles/rddr_plugin_test.dir/rddr_plugin_test.cc.o.d"
+  "rddr_plugin_test"
+  "rddr_plugin_test.pdb"
+  "rddr_plugin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rddr_plugin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

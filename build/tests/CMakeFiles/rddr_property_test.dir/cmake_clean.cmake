@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rddr_property_test.dir/rddr_property_test.cc.o"
+  "CMakeFiles/rddr_property_test.dir/rddr_property_test.cc.o.d"
+  "rddr_property_test"
+  "rddr_property_test.pdb"
+  "rddr_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rddr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rddr_proxy_test.dir/rddr_proxy_test.cc.o"
+  "CMakeFiles/rddr_proxy_test.dir/rddr_proxy_test.cc.o.d"
+  "rddr_proxy_test"
+  "rddr_proxy_test.pdb"
+  "rddr_proxy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rddr_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqldb_parser_test.dir/sqldb_parser_test.cc.o"
+  "CMakeFiles/sqldb_parser_test.dir/sqldb_parser_test.cc.o.d"
+  "sqldb_parser_test"
+  "sqldb_parser_test.pdb"
+  "sqldb_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqldb_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqldb_server_test.dir/sqldb_server_test.cc.o"
+  "CMakeFiles/sqldb_server_test.dir/sqldb_server_test.cc.o.d"
+  "sqldb_server_test"
+  "sqldb_server_test.pdb"
+  "sqldb_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqldb_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_libs_test.dir/variant_libs_test.cc.o"
+  "CMakeFiles/variant_libs_test.dir/variant_libs_test.cc.o.d"
+  "variant_libs_test"
+  "variant_libs_test.pdb"
+  "variant_libs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_libs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

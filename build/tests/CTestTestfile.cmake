@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_http_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/sqldb_test[1]_include.cmake")
+include("/root/repo/build/tests/rddr_noise_test[1]_include.cmake")
+include("/root/repo/build/tests/rddr_plugin_test[1]_include.cmake")
+include("/root/repo/build/tests/rddr_proxy_test[1]_include.cmake")
+include("/root/repo/build/tests/table1_scenarios_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/services_test[1]_include.cmake")
+include("/root/repo/build/tests/variant_libs_test[1]_include.cmake")
+include("/root/repo/build/tests/rddr_limits_test[1]_include.cmake")
+include("/root/repo/build/tests/sqldb_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/rddr_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sqldb_server_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_property_test[1]_include.cmake")
