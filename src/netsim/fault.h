@@ -1,0 +1,56 @@
+// FaultPlan: deterministic fault scheduling on the virtual clock.
+//
+// The chaos layer the §IV-D limitations call for: every fault is an event
+// scheduled on the shared Simulator, so a scenario (crash pg-2 at t=3s,
+// restart it at t=8s, partition the proxy from svc-1 between 10s and 12s)
+// replays byte-identically from a seed. FaultPlan only schedules; the
+// mechanics live on Network (node/link state) and Host (CPU task loss).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "netsim/simulator.h"
+
+namespace rddr::sim {
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(Network& net) : net_(net) {}
+
+  /// Crashes `node` at absolute time `t`: all live connections touching it
+  /// are severed, new connects refused. With `host`, the machine's CPU
+  /// tasks are dropped too (their completions never fire).
+  void crash_at(Time t, const std::string& node, Host* host = nullptr);
+
+  /// Restarts a crashed node at `t` (listeners answer again; with `host`,
+  /// the machine accepts CPU work again).
+  void restart_at(Time t, const std::string& node, Host* host = nullptr);
+
+  /// Crash at `t`, restart `downtime` later — the common pair.
+  void crash_for(Time t, Time downtime, const std::string& node,
+                 Host* host = nullptr);
+
+  /// Refuses connections to one address during [t, t + duration).
+  void refuse_address_for(Time t, Time duration, const std::string& address);
+
+  /// Adds `extra` per-direction latency to traffic touching `node` during
+  /// [t, t + duration) — a latency spike.
+  void latency_spike(Time t, Time duration, const std::string& node,
+                     Time extra);
+
+  /// One-sided stall: bytes sent by `node` during [t, t + duration) are
+  /// held until the stall ends (the node is alive but frozen).
+  void stall_egress(Time t, Time duration, const std::string& node);
+
+  /// Partitions `group` from the rest of the network during
+  /// [t, t + duration).
+  void partition_for(Time t, Time duration, std::set<std::string> group);
+
+ private:
+  Network& net_;
+};
+
+}  // namespace rddr::sim

@@ -88,9 +88,24 @@ void Host::on_completion_event() {
 }
 
 void Host::run_task(double cpu_seconds, std::function<void()> done) {
+  if (failed_) return;  // crashed machine: the work is lost
   settle();
   tasks_.push_back(Task{std::max(cpu_seconds, 0.0), std::move(done)});
   reschedule();
+}
+
+void Host::fail() {
+  if (failed_) return;
+  settle();
+  failed_ = true;
+  tasks_.clear();
+  reschedule();
+}
+
+void Host::restore() {
+  if (!failed_) return;
+  failed_ = false;
+  last_settle_ = sim_.now();
 }
 
 void Host::charge_memory(int64_t bytes) {

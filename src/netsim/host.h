@@ -44,8 +44,17 @@ class Host {
 
   /// Runs a CPU task needing `cpu_seconds` of one core; `done` fires when
   /// the task completes under processor sharing. Zero-cost tasks complete
-  /// on the next event.
+  /// on the next event. On a failed host the task is silently dropped —
+  /// its completion never fires (crash semantics).
   void run_task(double cpu_seconds, std::function<void()> done);
+
+  /// Machine crash: every in-flight CPU task is lost (completions never
+  /// fire) and new tasks are dropped until restore(). Memory levels are
+  /// preserved — the ledger tracks *charged* allocations, whose owners
+  /// release them when torn down.
+  void fail();
+  void restore();
+  bool failed() const { return failed_; }
 
   /// Number of currently active CPU tasks.
   size_t active_tasks() const { return tasks_.size(); }
@@ -92,6 +101,7 @@ class Host {
   int cores_;
   int64_t memory_capacity_;
   int64_t memory_bytes_ = 0;
+  bool failed_ = false;
 
   std::list<Task> tasks_;
   Time last_settle_ = 0;

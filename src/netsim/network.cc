@@ -7,20 +7,45 @@
 namespace rddr::sim {
 
 Connection::Connection(Simulator& sim, uint64_t id, Time latency,
-                       ConnectMeta meta, std::string dialed_address)
+                       ConnectMeta meta, std::string dialed_address,
+                       bool is_client_half)
     : sim_(sim),
       id_(id),
       latency_(latency),
       meta_(std::move(meta)),
-      dialed_address_(std::move(dialed_address)) {}
+      dialed_address_(std::move(dialed_address)),
+      is_client_half_(is_client_half) {
+  local_node_ = is_client_half_ ? Network::node_of(meta_.source)
+                                : Network::node_of(dialed_address_);
+}
+
+const std::string& Connection::local_node() const { return local_node_; }
+
+Time Connection::next_arrival(Network* net) {
+  Time lat = latency_;
+  Time earliest = sim_.now();
+  if (net) {
+    auto peer = peer_.lock();
+    const std::string& remote = peer ? peer->local_node_ : local_node_;
+    lat += net->fault_delay(local_node_, remote);
+  }
+  Time arrival = std::max(last_arrival_, earliest + lat);
+  last_arrival_ = arrival;
+  return arrival;
+}
 
 void Connection::send(ByteView data) {
   if (!open_ || data.empty()) return;
   auto peer = peer_.lock();
   if (!peer) return;
+  if (net_) {
+    // Crashed or partitioned-away endpoints blackhole traffic. The
+    // connection itself is severed separately; this guards the window
+    // between the fault firing and the close delivery.
+    if (!net_->link_up(local_node_, peer->local_node_)) return;
+  }
   // FIFO per direction: never deliver earlier than a previous delivery.
-  Time arrival = std::max(last_arrival_, sim_.now() + latency_);
-  last_arrival_ = arrival;
+  Time arrival = next_arrival(net_);
   sim_.schedule_at(arrival, [peer, buf = Bytes(data)]() mutable {
     peer->deliver(std::move(buf));
   });
@@ -31,9 +56,21 @@ void Connection::close() {
   open_ = false;
   auto peer = peer_.lock();
   if (!peer) return;
-  Time arrival = std::max(last_arrival_, sim_.now() + latency_);
-  last_arrival_ = arrival;
+  Time arrival = next_arrival(net_);
   sim_.schedule_at(arrival, [peer] { peer->deliver_close(); });
+}
+
+void Connection::abort() {
+  auto self = shared_from_this();
+  auto peer = peer_.lock();
+  open_ = false;
+  // Crash semantics: both halves observe the break "now"; anything still
+  // in flight is lost (deliver() is a no-op after close_delivered_).
+  sim_.schedule(0, [self] { self->deliver_close(); });
+  if (peer) {
+    peer->open_ = false;
+    sim_.schedule(0, [peer] { peer->deliver_close(); });
+  }
 }
 
 void Connection::set_on_data(DataHandler h) {
@@ -104,24 +141,154 @@ ConnPtr Network::connect(const std::string& address, ConnectMeta meta) {
     RDDR_LOG_DEBUG("connect to %s refused (no listener)", address.c_str());
     return nullptr;
   }
+  if (refused_addresses_.count(address) > 0) {
+    RDDR_LOG_DEBUG("connect to %s refused (fault injected)", address.c_str());
+    return nullptr;
+  }
+  std::string src_node = node_of(meta.source);
+  std::string dst_node = node_of(address);
+  if (node_down(src_node) || node_down(dst_node) ||
+      !link_up(src_node, dst_node)) {
+    RDDR_LOG_DEBUG("connect %s -> %s refused (node down or partitioned)",
+                   src_node.c_str(), address.c_str());
+    return nullptr;
+  }
   uint64_t id = next_conn_id_++;
-  auto client = std::shared_ptr<Connection>(
-      new Connection(sim_, id, default_latency_, meta, address));
-  auto server = std::shared_ptr<Connection>(
-      new Connection(sim_, id, default_latency_, meta, address));
+  auto client = std::shared_ptr<Connection>(new Connection(
+      sim_, id, default_latency_, meta, address, /*is_client_half=*/true));
+  auto server = std::shared_ptr<Connection>(new Connection(
+      sim_, id, default_latency_, meta, address, /*is_client_half=*/false));
   client->peer_ = server;
   server->peer_ = client;
-  // Accept fires after one link latency; re-check the listener then so a
-  // service that stopped in the meantime refuses cleanly.
+  client->net_ = this;
+  server->net_ = this;
+  registry_.push_back(client);
+  // Accept fires after one link latency; re-check the listener and fault
+  // state then so a service that stopped (or crashed) in the meantime
+  // refuses cleanly.
   sim_.schedule(default_latency_, [this, address, server] {
     auto lit = listeners_.find(address);
-    if (lit == listeners_.end()) {
+    if (lit == listeners_.end() || node_down(node_of(address))) {
       server->close();
       return;
     }
     lit->second(server);
   });
   return client;
+}
+
+// ---- fault injection ----
+
+std::string Network::node_of(const std::string& address_or_name) {
+  size_t colon = address_or_name.find(':');
+  return colon == std::string::npos ? address_or_name
+                                    : address_or_name.substr(0, colon);
+}
+
+void Network::sever_matching(
+    const std::function<bool(const Connection&, const Connection&)>& pred) {
+  // Collect first: abort() schedules events and conn handlers may mutate
+  // the registry re-entrantly via new connects.
+  std::vector<ConnPtr> doomed;
+  registry_.erase(
+      std::remove_if(registry_.begin(), registry_.end(),
+                     [&](const std::weak_ptr<Connection>& w) {
+                       auto c = w.lock();
+                       if (!c) return true;  // prune expired
+                       auto peer = c->peer_.lock();
+                       if (!peer) return true;
+                       if (pred(*c, *peer)) doomed.push_back(c);
+                       return false;
+                     }),
+      registry_.end());
+  for (auto& c : doomed) c->abort();
+}
+
+void Network::crash_node(const std::string& node) {
+  down_nodes_.insert(node);
+  RDDR_LOG_INFO("fault: node %s crashed", node.c_str());
+  sever_matching([&](const Connection& a, const Connection& b) {
+    return a.local_node() == node || b.local_node() == node;
+  });
+}
+
+void Network::restart_node(const std::string& node) {
+  down_nodes_.erase(node);
+  RDDR_LOG_INFO("fault: node %s restarted", node.c_str());
+}
+
+bool Network::node_down(const std::string& node) const {
+  return down_nodes_.count(node) > 0;
+}
+
+void Network::refuse_address(const std::string& address, bool refuse) {
+  if (refuse) refused_addresses_.insert(address);
+  else refused_addresses_.erase(address);
+}
+
+void Network::set_node_extra_latency(const std::string& node, Time extra) {
+  if (extra > 0) extra_latency_[node] = extra;
+  else extra_latency_.erase(node);
+}
+
+void Network::stall_node_egress_until(const std::string& node, Time until) {
+  if (until > sim_.now()) stall_until_[node] = until;
+  else stall_until_.erase(node);
+}
+
+void Network::partition(const std::set<std::string>& group) {
+  partitioned_ = true;
+  partition_group_ = group;
+  RDDR_LOG_INFO("fault: partition isolating %zu node(s)", group.size());
+  sever_matching([&](const Connection& a, const Connection& b) {
+    return group.count(a.local_node()) != group.count(b.local_node());
+  });
+}
+
+void Network::heal_partition() {
+  partitioned_ = false;
+  partition_group_.clear();
+  RDDR_LOG_INFO("fault: partition healed");
+}
+
+bool Network::link_up(const std::string& a, const std::string& b) const {
+  if (node_down(a) || node_down(b)) return false;
+  if (partitioned_ &&
+      partition_group_.count(a) != partition_group_.count(b))
+    return false;
+  return true;
+}
+
+Time Network::fault_delay(const std::string& from_node,
+                          const std::string& to_node) const {
+  Time delay = 0;
+  auto it = extra_latency_.find(from_node);
+  if (it != extra_latency_.end()) delay += it->second;
+  it = extra_latency_.find(to_node);
+  if (it != extra_latency_.end()) delay += it->second;
+  auto st = stall_until_.find(from_node);
+  if (st != stall_until_.end() && st->second > sim_.now())
+    delay += st->second - sim_.now();
+  return delay;
+}
+
+size_t Network::live_connections(const std::string& node) {
+  size_t n = 0;
+  registry_.erase(std::remove_if(registry_.begin(), registry_.end(),
+                                 [&](const std::weak_ptr<Connection>& w) {
+                                   auto c = w.lock();
+                                   if (!c) return true;
+                                   auto peer = c->peer_.lock();
+                                   bool touches =
+                                       c->local_node() == node ||
+                                       (peer && peer->local_node() == node);
+                                   if (touches && (c->is_open() ||
+                                                   (peer && peer->is_open())))
+                                     ++n;
+                                   return false;
+                                 }),
+                  registry_.end());
+  return n;
 }
 
 }  // namespace rddr::sim

@@ -12,12 +12,22 @@
 //    on_close fires.
 //  * Data sent before the receiving side installs a handler is buffered and
 //    delivered when the handler is installed.
+//
+// Fault injection: the network additionally models node crashes, refused
+// addresses, per-node latency spikes, one-sided egress stalls, and
+// partitions (see netsim/fault.h for the virtual-clock scheduling layer).
+// A "node" is the part of an address before the ':' — "pg-1" for the
+// listener "pg-1:5432" — or a connecting container's ConnectMeta::source.
+// Every fault is plain deterministic state on the Network, so seeded runs
+// replay byte-identically with faults active.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "netsim/simulator.h"
@@ -72,21 +82,34 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// Unique id (diagnostics; stable within a simulation).
   uint64_t id() const { return id_; }
 
+  /// Node this half runs on: the dialing container for the client half,
+  /// the listener's node for the server half.
+  const std::string& local_node() const;
+
+  /// Severs the connection abruptly (crash semantics): both halves see
+  /// on_close "now"; bytes still in flight are lost. Unlike close(), the
+  /// peer is NOT guaranteed to receive previously sent data first.
+  void abort();
+
  private:
   friend class Network;
 
   Connection(Simulator& sim, uint64_t id, Time latency, ConnectMeta meta,
-             std::string dialed_address);
+             std::string dialed_address, bool is_client_half);
 
   void deliver(Bytes data);      // runs on the *receiving* half
   void deliver_close();          // runs on the *receiving* half
   void flush_pending();
+  Time next_arrival(Network* net);  // FIFO watermark + fault adjustments
 
   Simulator& sim_;
   uint64_t id_;
   Time latency_;
   ConnectMeta meta_;
   std::string dialed_address_;
+  bool is_client_half_;
+  std::string local_node_;   // cached node name for fault lookups
+  Network* net_ = nullptr;   // set by Network; faults consulted per send
   std::weak_ptr<Connection> peer_;
   bool open_ = true;
   bool close_delivered_ = false;
@@ -130,11 +153,64 @@ class Network {
   /// Total connections ever opened (diagnostics).
   uint64_t connections_opened() const { return next_conn_id_ - 1; }
 
+  // ---- fault injection (usually driven via FaultPlan, netsim/fault.h) ----
+
+  /// Node name of an address ("pg-1:5432" -> "pg-1") or container name.
+  static std::string node_of(const std::string& address_or_name);
+
+  /// Crashes / restarts a node. While down, connects to or from the node
+  /// are refused; crash() additionally severs every live connection
+  /// touching the node (both halves get on_close, in-flight bytes lost).
+  /// Listener registrations survive — a restarted node serves again
+  /// immediately, modelling a container restarting on the same address.
+  void crash_node(const std::string& node);
+  void restart_node(const std::string& node);
+  bool node_down(const std::string& node) const;
+
+  /// Refuses new connections to one specific address (listener kept).
+  void refuse_address(const std::string& address, bool refuse);
+
+  /// Extra per-direction latency added to traffic touching `node`
+  /// (latency spike). 0 clears.
+  void set_node_extra_latency(const std::string& node, Time extra);
+
+  /// One-sided stall: bytes *sent by* `node` before `until` are delivered
+  /// no earlier than `until` (plus latency). Models a frozen-but-alive
+  /// peer. `until <= now` clears.
+  void stall_node_egress_until(const std::string& node, Time until);
+
+  /// Partitions `group` from every other node: live cross-boundary
+  /// connections are severed and new ones refused until heal_partition().
+  /// A single partition is active at a time (the common two-way split).
+  void partition(const std::set<std::string>& group);
+  void heal_partition();
+
+  /// True when traffic between the two nodes is currently possible.
+  bool link_up(const std::string& a, const std::string& b) const;
+
+  /// Fault adjustments applied to one transfer sent by `from_node` (extra
+  /// latency of both endpoints plus any egress stall of the sender).
+  Time fault_delay(const std::string& from_node,
+                   const std::string& to_node) const;
+
+  /// Live connections touching `node` (diagnostics and severing).
+  size_t live_connections(const std::string& node);
+
  private:
+  void sever_matching(
+      const std::function<bool(const Connection&, const Connection&)>& pred);
+
   Simulator& sim_;
   Time default_latency_;
   uint64_t next_conn_id_ = 1;
   std::map<std::string, AcceptHandler> listeners_;
+  std::vector<std::weak_ptr<Connection>> registry_;  // client halves
+  std::set<std::string> down_nodes_;
+  std::set<std::string> refused_addresses_;
+  std::map<std::string, Time> extra_latency_;
+  std::map<std::string, Time> stall_until_;
+  bool partitioned_ = false;
+  std::set<std::string> partition_group_;
 };
 
 }  // namespace rddr::sim

@@ -15,4 +15,10 @@ NVersionDeployment::NVersionDeployment(sim::Network& net,
                                               options.incoming, &bus_);
 }
 
+ProxyStats NVersionDeployment::aggregate_stats() const {
+  ProxyStats total = incoming_->stats();
+  for (const auto& out : outgoing_) total += out->stats();
+  return total;
+}
+
 }  // namespace rddr::core

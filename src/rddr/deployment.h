@@ -34,6 +34,11 @@ class NVersionDeployment {
   /// Total interventions across all proxies.
   uint64_t divergences() const { return bus_.count(); }
 
+  /// Element-wise sum of every proxy's counters (availability counters
+  /// included: instance_unreachable, quarantines, reconnects,
+  /// degraded_sessions, quorum_outvotes).
+  ProxyStats aggregate_stats() const;
+
  private:
   DivergenceBus bus_;
   std::unique_ptr<IncomingProxy> incoming_;

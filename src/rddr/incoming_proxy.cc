@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/strutil.h"
+#include "rddr/quorum.h"
 
 namespace rddr::core {
 
@@ -13,26 +14,48 @@ struct IncomingProxy::Session {
   std::unique_ptr<StreamFramer> client_framer;
   bool client_passthrough = false;
 
+  // All vectors are indexed by instance id [0, N); a slot of a dropped or
+  // skipped instance holds a null upstream and participating=false.
   std::vector<sim::ConnPtr> upstreams;
   std::vector<std::unique_ptr<StreamFramer>> upstream_framers;
   std::vector<std::deque<Unit>> queues;
   std::vector<bool> upstream_closed;
+  std::vector<bool> participating;
 
   bool busy = false;          // a compare task is on the host
   bool ended = false;
+  bool degraded = false;      // counted into degraded_sessions once
+  bool failopen = false;      // uncompared passthrough on the sole survivor
+  size_t failopen_idx = 0;
   uint64_t timeout_event = 0; // pending instance-timeout event id
   // Fingerprint of the most recent client unit (divergence attribution
   // for the signature store). Pipelined requests make this approximate,
   // which mirrors real signature generators.
   uint64_t last_unit_fingerprint = 0;
   bool has_fingerprint = false;
+
+  size_t live() const {
+    size_t n = 0;
+    for (bool p : participating)
+      if (p) ++n;
+    return n;
+  }
 };
 
 IncomingProxy::IncomingProxy(sim::Network& net, sim::Host& host,
                              Config config, DivergenceBus* bus)
-    : net_(net), host_(host), config_(std::move(config)), bus_(bus) {
+    : net_(net),
+      host_(host),
+      config_(std::move(config)),
+      bus_(bus),
+      health_([this] {
+        HealthTracker::Options h = config_.health;
+        h.n_instances = config_.instance_addresses.size();
+        return h;
+      }()) {
   token_state_.n_instances = config_.instance_addresses.size();
   token_state_.delete_tokens_after_use = config_.delete_tokens_after_use;
+  probe_events_.assign(config_.instance_addresses.size(), 0);
   host_.charge_memory(config_.base_memory_bytes);
   net_.listen(config_.listen_address,
               [this](sim::ConnPtr c) { on_accept(std::move(c)); });
@@ -52,6 +75,49 @@ IncomingProxy::~IncomingProxy() {
   for (auto& [id, s] : sessions_) {
     if (s->timeout_event) net_.simulator().cancel(s->timeout_event);
   }
+  for (uint64_t ev : probe_events_)
+    if (ev) net_.simulator().cancel(ev);
+}
+
+void IncomingProxy::note_instance_failure(size_t i) {
+  if (config_.policy == DegradationPolicy::kStrict) return;
+  if (health_.record_failure(i)) {
+    ++stats_.quarantines;
+    RDDR_LOG_WARN("%s: instance %zu (%s) quarantined", config_.name.c_str(),
+                  i, config_.instance_addresses[i].c_str());
+    schedule_reconnect(i);
+  }
+}
+
+void IncomingProxy::schedule_reconnect(size_t i) {
+  if (probe_events_[i]) return;
+  if (health_.state(i) != HealthTracker::State::kQuarantined) return;
+  if (health_.attempts_exhausted(i)) {
+    health_.mark_dead(i);
+    RDDR_LOG_WARN("%s: instance %zu (%s) declared dead after %u failed "
+                  "reconnect attempts",
+                  config_.name.c_str(), i,
+                  config_.instance_addresses[i].c_str(), health_.attempts(i));
+    return;
+  }
+  sim::Time delay = health_.next_backoff(i);
+  probe_events_[i] = net_.simulator().schedule(delay, [this, i] {
+    probe_events_[i] = 0;
+    if (health_.state(i) != HealthTracker::State::kQuarantined) return;
+    auto probe = net_.connect(
+        config_.instance_addresses[i],
+        {.source = config_.name, .flow_label = "health-probe"});
+    if (!probe) {
+      schedule_reconnect(i);
+      return;
+    }
+    probe->close();
+    health_.readmit(i);
+    ++stats_.reconnects;
+    RDDR_LOG_INFO("%s: instance %zu (%s) re-admitted after reconnect",
+                  config_.name.c_str(), i,
+                  config_.instance_addresses[i].c_str());
+  });
 }
 
 void IncomingProxy::on_accept(sim::ConnPtr conn) {
@@ -62,9 +128,14 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
   ++stats_.sessions;
 
   const size_t n = config_.instance_addresses.size();
+  const bool strict = config_.policy == DegradationPolicy::kStrict;
   s->queues.resize(n);
   s->upstream_closed.resize(n, false);
+  s->participating.assign(n, false);
+  s->upstreams.resize(n);
+  s->upstream_framers.resize(n);
   for (size_t i = 0; i < n; ++i) {
+    if (!strict && !health_.is_healthy(i)) continue;  // quarantined: skip
     auto up = net_.connect(config_.instance_addresses[i],
                            {.source = config_.name,
                             .flow_label = strformat("in-%llu", static_cast<unsigned long long>(s->id))});
@@ -72,43 +143,62 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
       RDDR_LOG_WARN("%s: instance %zu (%s) refused connection",
                     config_.name.c_str(), i,
                     config_.instance_addresses[i].c_str());
-      intervene(s, strformat("instance %zu unreachable", i), true);
-      return;
-    }
-    s->upstreams.push_back(up);
-    s->upstream_framers.push_back(
-        config_.plugin->make_framer(Direction::kServerToClient));
-  }
-  sessions_[s->id] = s;
-
-  for (size_t i = 0; i < n; ++i) {
-    auto up = s->upstreams[i];
-    up->set_on_data([this, s, i](ByteView data) {
-      if (s->ended) return;
-      auto& framer = *s->upstream_framers[i];
-      framer.feed(data);
-      if (framer.failed()) {
-        intervene(s, strformat("instance %zu response framing error", i),
-                  true);
+      ++stats_.instance_unreachable;
+      if (strict) {
+        // Unavailability is not an attack: refuse the client without a
+        // divergence count or bus report, and tear down the upstream
+        // connections already opened for lower indices (these leaked
+        // before).
+        for (size_t j = 0; j < i; ++j)
+          if (s->upstreams[j] && s->upstreams[j]->is_open())
+            s->upstreams[j]->close();
+        Bytes page = config_.plugin->intervention_response();
+        if (!page.empty() && s->client->is_open()) s->client->send(page);
+        if (s->client->is_open()) s->client->close();
         return;
       }
-      for (auto& u : framer.take()) s->queues[i].push_back(std::move(u));
-      arm_timeout(s);
-      pump(s);
-    });
-    up->set_on_close([this, s, i] {
-      if (s->ended) return;
-      s->upstream_closed[i] = true;
-      // Divergence-by-silence: another instance has queued output this
-      // one will never match.
-      pump(s);
-    });
+      note_instance_failure(i);
+      continue;
+    }
+    s->upstreams[i] = up;
+    s->upstream_framers[i] =
+        config_.plugin->make_framer(Direction::kServerToClient);
+    s->participating[i] = true;
+  }
+
+  const size_t live = s->live();
+  if (live < n) {
+    s->degraded = true;
+    ++stats_.degraded_sessions;
+  }
+  const bool failopen_ok = config_.policy == DegradationPolicy::kFailOpen;
+  if (live == 0 || (live == 1 && !failopen_ok)) {
+    // Nothing to serve (or a single instance we are not allowed to trust
+    // unverified): refuse the client. Not a divergence.
+    for (auto& up : s->upstreams)
+      if (up && up->is_open()) up->close();
+    Bytes page = config_.plugin->intervention_response();
+    if (!page.empty() && s->client->is_open()) s->client->send(page);
+    if (s->client->is_open()) s->client->close();
+    return;
+  }
+
+  sessions_[s->id] = s;
+  for (size_t i = 0; i < n; ++i)
+    if (s->participating[i]) attach_upstream(s, i);
+
+  if (live == 1) {
+    size_t sole = 0;
+    for (size_t i = 0; i < n; ++i)
+      if (s->participating[i]) sole = i;
+    enter_failopen(s, sole);
   }
 
   s->client->set_on_data([this, s](ByteView data) {
     if (s->ended) return;
     if (s->client_passthrough) {
-      for (auto& up : s->upstreams) up->send(data);
+      for (auto& up : s->upstreams)
+        if (up && up->is_open()) up->send(data);
       return;
     }
     s->client_framer->feed(data);
@@ -119,7 +209,8 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
       s->client_passthrough = true;
       ++stats_.passthrough_sessions;
       Bytes rest = s->client_framer->unconsumed();
-      for (auto& up : s->upstreams) up->send(rest);
+      for (auto& up : s->upstreams)
+        if (up && up->is_open()) up->send(rest);
       return;
     }
     CompareContext ctx;
@@ -147,6 +238,7 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
       }
       ++stats_.units_replicated;
       for (size_t i = 0; i < s->upstreams.size(); ++i) {
+        if (!s->participating[i] || !s->upstreams[i]) continue;
         Bytes rewritten = config_.plugin->rewrite_for_instance(u, i, ctx);
         s->upstreams[i]->send(rewritten);
       }
@@ -158,60 +250,180 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
   });
 }
 
+void IncomingProxy::attach_upstream(const std::shared_ptr<Session>& s,
+                                    size_t i) {
+  auto up = s->upstreams[i];
+  up->set_on_data([this, s, i](ByteView data) {
+    if (s->ended || !s->participating[i]) return;
+    if (s->failopen) {
+      if (s->client->is_open()) s->client->send(data);
+      return;
+    }
+    auto& framer = *s->upstream_framers[i];
+    framer.feed(data);
+    if (framer.failed()) {
+      if (config_.policy == DegradationPolicy::kStrict) {
+        intervene(s, strformat("instance %zu response framing error", i),
+                  true);
+      } else if (drop_instance(s, i, "response framing error")) {
+        pump(s);
+      }
+      return;
+    }
+    for (auto& u : framer.take()) s->queues[i].push_back(std::move(u));
+    arm_timeout(s);
+    pump(s);
+  });
+  up->set_on_close([this, s, i] {
+    if (s->ended || !s->participating[i]) return;
+    s->upstream_closed[i] = true;
+    if (s->failopen) {
+      // The sole surviving instance is gone: nothing left to serve.
+      teardown(s);
+      return;
+    }
+    // Divergence-by-silence or a crash: pump decides with queue context.
+    pump(s);
+  });
+}
+
+void IncomingProxy::enter_failopen(const std::shared_ptr<Session>& s,
+                                   size_t sole) {
+  s->failopen = true;
+  s->failopen_idx = sole;
+  s->client_passthrough = true;
+  ++stats_.passthrough_sessions;
+  RDDR_LOG_WARN("%s: session %llu FAIL-OPEN: forwarding instance %zu "
+                "uncompared (fewer than 2 healthy instances)",
+                config_.name.c_str(),
+                static_cast<unsigned long long>(s->id), sole);
+  // Everything already framed or buffered for the survivor flows straight
+  // to the client from here on.
+  for (auto& u : s->queues[sole])
+    if (s->client->is_open()) s->client->send(u.data);
+  s->queues[sole].clear();
+  if (s->upstream_framers[sole]) {
+    Bytes rest = s->upstream_framers[sole]->unconsumed();
+    if (!rest.empty() && s->client->is_open()) s->client->send(rest);
+  }
+  if (s->timeout_event) {
+    net_.simulator().cancel(s->timeout_event);
+    s->timeout_event = 0;
+  }
+}
+
+bool IncomingProxy::drop_instance(const std::shared_ptr<Session>& s, size_t i,
+                                  const std::string& why) {
+  if (s->ended) return false;
+  if (!s->participating[i]) return true;
+  RDDR_LOG_WARN("%s: session %llu: dropping instance %zu (%s)",
+                config_.name.c_str(),
+                static_cast<unsigned long long>(s->id), i, why.c_str());
+  s->participating[i] = false;
+  if (s->upstreams[i] && s->upstreams[i]->is_open()) s->upstreams[i]->close();
+  s->upstreams[i] = nullptr;
+  s->queues[i].clear();
+  if (!s->degraded) {
+    s->degraded = true;
+    ++stats_.degraded_sessions;
+  }
+  const size_t live = s->live();
+  if (live >= 2) return true;
+  if (live == 1 && config_.policy == DegradationPolicy::kFailOpen) {
+    size_t sole = 0;
+    for (size_t j = 0; j < s->participating.size(); ++j)
+      if (s->participating[j]) sole = j;
+    enter_failopen(s, sole);
+    return false;  // pump must not compare a fail-open session
+  }
+  // kQuorum with < 2 healthy: nothing left to verify against — refuse the
+  // rest of the session (fail closed, but not a divergence).
+  Bytes page = config_.plugin->intervention_response();
+  if (!page.empty() && s->client && s->client->is_open())
+    s->client->send(page);
+  teardown(s);
+  return false;
+}
+
 void IncomingProxy::arm_timeout(const std::shared_ptr<Session>& s) {
-  if (config_.instance_timeout <= 0 || s->ended) return;
+  if (config_.instance_timeout <= 0 || s->ended || s->failopen) return;
   bool some = false, all = true;
-  for (const auto& q : s->queues) {
-    if (q.empty()) all = false;
+  for (size_t i = 0; i < s->queues.size(); ++i) {
+    if (!s->participating[i]) continue;
+    if (s->queues[i].empty()) all = false;
     else some = true;
   }
   if (some && !all && !s->timeout_event) {
     s->timeout_event = net_.simulator().schedule(
         config_.instance_timeout, [this, s] {
           s->timeout_event = 0;
-          if (s->ended) return;
-          bool still_waiting = false;
-          for (const auto& q : s->queues)
-            if (q.empty()) still_waiting = true;
-          if (still_waiting) {
-            ++stats_.timeouts;
-            intervene(s, "instance response timeout", true);
+          if (s->ended || s->failopen) return;
+          std::vector<size_t> silent;
+          bool have_output = false;
+          for (size_t i = 0; i < s->queues.size(); ++i) {
+            if (!s->participating[i]) continue;
+            if (s->queues[i].empty()) silent.push_back(i);
+            else have_output = true;
           }
+          if (silent.empty() || !have_output) return;
+          ++stats_.timeouts;
+          if (config_.policy == DegradationPolicy::kStrict) {
+            intervene(s, "instance response timeout", true);
+            return;
+          }
+          // Non-strict: the silent instances are lost, not the session.
+          for (size_t i : silent) {
+            ++stats_.instance_unreachable;
+            note_instance_failure(i);
+            if (!drop_instance(s, i, "response timeout")) return;
+          }
+          pump(s);
         });
   }
 }
 
 void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
-  if (s->busy || s->ended) return;
-  bool all_ready = true;
-  bool any_ready = false;
-  for (size_t i = 0; i < s->queues.size(); ++i) {
-    if (s->queues[i].empty()) {
-      all_ready = false;
-      if (s->upstream_closed[i]) {
-        // This instance is gone. If a peer has produced output, the
-        // deployment has diverged; if nobody has anything pending, the
-        // close is a normal end-of-session — propagate it.
-        bool peer_has_output = false;
-        for (const auto& q : s->queues)
-          if (!q.empty()) peer_has_output = true;
-        if (peer_has_output) {
+  if (s->busy || s->ended || s->failopen) return;
+  const bool strict = config_.policy == DegradationPolicy::kStrict;
+
+  bool rescan = true;
+  while (rescan) {
+    rescan = false;
+    for (size_t i = 0; i < s->queues.size(); ++i) {
+      if (!s->participating[i] || !s->queues[i].empty()) continue;
+      if (!s->upstream_closed[i]) continue;
+      // This instance is gone. If a peer has produced output, the
+      // deployment has diverged (strict) or the instance crashed mid-unit
+      // (degraded); if nobody has anything pending, the close is a normal
+      // end-of-session — propagate it once everyone closed.
+      bool peer_has_output = false;
+      for (size_t j = 0; j < s->queues.size(); ++j)
+        if (s->participating[j] && !s->queues[j].empty())
+          peer_has_output = true;
+      if (peer_has_output) {
+        if (strict) {
           intervene(s,
                     strformat("instance %zu closed while peers responded", i),
                     true);
-        } else {
-          bool all_closed = true;
-          for (bool c : s->upstream_closed)
-            if (!c) all_closed = false;
-          if (all_closed) teardown(s);
+          return;
         }
-        return;
+        ++stats_.instance_unreachable;
+        note_instance_failure(i);
+        if (!drop_instance(s, i, "closed while peers responded")) return;
+        rescan = true;
+        break;
       }
-    } else {
-      any_ready = true;
+      bool all_closed = true;
+      for (size_t j = 0; j < s->queues.size(); ++j)
+        if (s->participating[j] && !s->upstream_closed[j]) all_closed = false;
+      if (all_closed) teardown(s);
+      return;
     }
   }
-  (void)any_ready;
+
+  bool all_ready = true;
+  for (size_t i = 0; i < s->queues.size(); ++i)
+    if (s->participating[i] && s->queues[i].empty()) all_ready = false;
   if (!all_ready) return;
 
   if (s->timeout_event) {
@@ -220,29 +432,70 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
   }
 
   auto units = std::make_shared<std::vector<Unit>>();
+  std::vector<size_t> idxmap;  // unit position -> instance id
   size_t bytes = 0;
-  for (auto& q : s->queues) {
-    bytes += q.front().data.size();
-    units->push_back(std::move(q.front()));
-    q.pop_front();
+  for (size_t i = 0; i < s->queues.size(); ++i) {
+    if (!s->participating[i]) continue;
+    bytes += s->queues[i].front().data.size();
+    units->push_back(std::move(s->queues[i].front()));
+    s->queues[i].pop_front();
+    idxmap.push_back(i);
   }
   s->busy = true;
   double cost = config_.cpu_per_unit +
                 static_cast<double>(bytes) * config_.cpu_per_byte;
-  host_.run_task(cost, [this, s, units] {
+  host_.run_task(cost, [this, s, units, idxmap = std::move(idxmap)] {
     s->busy = false;
     if (s->ended) return;
     ++stats_.units_compared;
+    const size_t n = config_.instance_addresses.size();
     CompareContext ctx;
-    ctx.filter_pair = config_.filter_pair;
+    // The de-noise mask needs the filter pair in slots 0/1; a degraded
+    // group may have lost one of them.
+    ctx.filter_pair = config_.filter_pair && idxmap.size() >= 2 &&
+                      idxmap[0] == 0 && idxmap[1] == 1;
     ctx.variance = &config_.variance;
-    ctx.session = &token_state_;
-    DiffOutcome outcome = config_.plugin->compare(*units, ctx);
-    if (outcome.divergent) {
-      intervene(s, outcome.reason, true);
-      return;
+    // Token harvesting assumes per-instance vectors of length N; skip it
+    // for degraded groups (pre-harvested tokens still rewrite fine).
+    ctx.session = idxmap.size() == n ? &token_state_ : nullptr;
+
+    Bytes fwd;
+    if (config_.policy == DegradationPolicy::kStrict) {
+      DiffOutcome outcome = config_.plugin->compare(*units, ctx);
+      if (outcome.divergent) {
+        intervene(s, outcome.reason, true);
+        return;
+      }
+      fwd = config_.plugin->on_forward_downstream(*units, ctx);
+    } else {
+      QuorumVote vote = quorum_vote(*config_.plugin, *units, ctx);
+      if (!vote.agreed) {
+        intervene(s, vote.reason, true);
+        return;
+      }
+      if (vote.outlier != SIZE_MAX) {
+        size_t inst = idxmap[vote.outlier];
+        ++stats_.quorum_outvotes;
+        RDDR_LOG_WARN("%s: session %llu: instance %zu outvoted by quorum "
+                      "(%zu-of-%zu agree); quarantining it",
+                      config_.name.c_str(),
+                      static_cast<unsigned long long>(s->id), inst,
+                      units->size() - 1, units->size());
+        if (health_.quarantine(inst)) ++stats_.quarantines;
+        // A divergent answer is evidence of compromise, not transient
+        // unavailability: no automatic re-admission (probes only test
+        // reachability, which an outvoted instance still has).
+        health_.mark_dead(inst);
+        units->erase(units->begin() +
+                     static_cast<std::ptrdiff_t>(vote.outlier));
+        ctx.filter_pair = ctx.filter_pair && vote.outlier > 1;
+        ctx.session = nullptr;  // degraded group: see above
+        if (!drop_instance(s, inst, "outvoted by quorum")) return;
+      } else {
+        for (size_t i : idxmap) health_.record_success(i);
+      }
+      fwd = config_.plugin->on_forward_downstream(*units, ctx);
     }
-    Bytes fwd = config_.plugin->on_forward_downstream(*units, ctx);
     if (s->client->is_open()) s->client->send(fwd);
     pump(s);
     arm_timeout(s);

@@ -18,6 +18,7 @@
 #include "netsim/host.h"
 #include "netsim/network.h"
 #include "rddr/divergence.h"
+#include "rddr/health.h"
 #include "rddr/plugin.h"
 
 namespace rddr::core {
@@ -30,6 +31,28 @@ struct ProxyStats {
   uint64_t timeouts = 0;
   uint64_t passthrough_sessions = 0;
   uint64_t signature_blocks = 0;  // requests refused by known signature
+  // Availability-path counters (fault tolerance, §IV-D limitations):
+  uint64_t instance_unreachable = 0;  // refused connects / lost instances
+  uint64_t quarantines = 0;           // instances moved to quarantine
+  uint64_t reconnects = 0;            // quarantined instances re-admitted
+  uint64_t degraded_sessions = 0;     // sessions served by < N instances
+  uint64_t quorum_outvotes = 0;       // divergent minorities outvoted
+
+  ProxyStats& operator+=(const ProxyStats& o) {
+    sessions += o.sessions;
+    units_replicated += o.units_replicated;
+    units_compared += o.units_compared;
+    divergences += o.divergences;
+    timeouts += o.timeouts;
+    passthrough_sessions += o.passthrough_sessions;
+    signature_blocks += o.signature_blocks;
+    instance_unreachable += o.instance_unreachable;
+    quarantines += o.quarantines;
+    reconnects += o.reconnects;
+    degraded_sessions += o.degraded_sessions;
+    quorum_outvotes += o.quorum_outvotes;
+    return *this;
+  }
 };
 
 class IncomingProxy {
@@ -55,6 +78,14 @@ class IncomingProxy {
     /// the proxy without ever reaching the instances.
     bool signature_blocking = false;
     uint32_t signature_threshold = 1;
+    /// Graceful degradation under instance failure (§IV-D): kStrict is
+    /// the paper's unanimity; kQuorum keeps serving on a majority of
+    /// healthy instances; kFailOpen additionally passes through (with
+    /// alert counters) when fewer than 2 healthy instances remain.
+    DegradationPolicy policy = DegradationPolicy::kStrict;
+    /// Quarantine threshold and reconnect backoff (ignored under kStrict).
+    /// `health.n_instances` is filled from `instance_addresses`.
+    HealthTracker::Options health;
     /// CPU model for the de-noise+diff work.
     double cpu_per_unit = 15e-6;
     double cpu_per_byte = 2e-9;
@@ -70,6 +101,9 @@ class IncomingProxy {
   const ProxyStats& stats() const { return stats_; }
   const Config& config() const { return config_; }
 
+  /// Per-instance health view (quarantine state, for tests/operators).
+  const HealthTracker& health() const { return health_; }
+
   /// Aborts every active session with the intervention response (invoked
   /// via the DivergenceBus when a sibling proxy detects divergence).
   void abort_all_sessions(const std::string& reason);
@@ -77,17 +111,28 @@ class IncomingProxy {
  private:
   struct Session;
   void on_accept(sim::ConnPtr conn);
+  void attach_upstream(const std::shared_ptr<Session>& s, size_t i);
   void pump(const std::shared_ptr<Session>& s);
   void intervene(const std::shared_ptr<Session>& s, const std::string& reason,
                  bool report);
   void teardown(const std::shared_ptr<Session>& s);
   void arm_timeout(const std::shared_ptr<Session>& s);
+  /// Removes instance i from the session (non-strict policies); returns
+  /// false when the session could not continue and was ended.
+  bool drop_instance(const std::shared_ptr<Session>& s, size_t i,
+                     const std::string& why);
+  void note_instance_failure(size_t i);
+  void schedule_reconnect(size_t i);
+  void enter_failopen(const std::shared_ptr<Session>& s, size_t live_idx);
 
   sim::Network& net_;
   sim::Host& host_;
   Config config_;
   DivergenceBus* bus_;
   ProxyStats stats_;
+  HealthTracker health_;
+  /// Pending reconnect-probe event per instance (0 = none).
+  std::vector<uint64_t> probe_events_;
   /// Ephemeral-token table. Proxy-global (not per client connection):
   /// tokens are issued on one connection and presented on another (a
   /// browser does not pin CSRF round-trips to a socket), and values are

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "common/strutil.h"
+#include "rddr/quorum.h"
 
 namespace rddr::core {
 
@@ -15,21 +16,48 @@ struct OutgoingProxy::Group {
   std::vector<std::unique_ptr<StreamFramer>> framers;      // per member
   std::vector<std::deque<Unit>> queues;
   std::vector<bool> member_closed;
+  std::vector<bool> participating;  // dropped members stay in the vectors
   sim::ConnPtr backend;
   bool complete = false;
   bool busy = false;
   bool ended = false;
+  bool degraded = false;   // counted into degraded_sessions once
+  bool failopen = false;   // sole member forwarded uncompared
+  bool pair_ok = false;    // slots 0/1 hold the filter pair
   uint64_t window_event = 0;
   uint64_t unit_timeout_event = 0;
   SessionState state;  // unused by current plugins upstream, kept uniform
+
+  size_t live() const {
+    size_t n = 0;
+    for (bool p : participating)
+      if (p) ++n;
+    return n;
+  }
 };
 
 OutgoingProxy::OutgoingProxy(sim::Network& net, sim::Host& host,
                              Config config, DivergenceBus* bus)
-    : net_(net), host_(host), config_(std::move(config)), bus_(bus) {
+    : net_(net),
+      host_(host),
+      config_(std::move(config)),
+      bus_(bus),
+      health_([this] {
+        HealthTracker::Options h = config_.health;
+        h.n_instances = config_.instance_sources.size();
+        return h;
+      }()) {
   host_.charge_memory(config_.base_memory_bytes);
   net_.listen(config_.listen_address,
               [this](sim::ConnPtr c) { on_accept(std::move(c)); });
+  if (bus_) {
+    bus_->subscribe([this](const DivergenceEvent& ev) {
+      // A sibling proxy (the incoming one) saw divergence: whatever the
+      // instances are sending the backend must not go through.
+      if (ev.proxy != config_.name)
+        abort_all_sessions("sibling proxy reported: " + ev.reason);
+    });
+  }
 }
 
 OutgoingProxy::~OutgoingProxy() {
@@ -41,7 +69,36 @@ OutgoingProxy::~OutgoingProxy() {
   }
 }
 
+size_t OutgoingProxy::source_index(const std::string& source) const {
+  for (size_t i = 0; i < config_.instance_sources.size(); ++i)
+    if (config_.instance_sources[i] == source) return i;
+  return SIZE_MAX;
+}
+
+size_t OutgoingProxy::expected_members() const {
+  if (config_.policy == DegradationPolicy::kStrict ||
+      health_.n_instances() == 0)
+    return config_.group_size;
+  return std::min(health_.healthy_count(), config_.group_size);
+}
+
 void OutgoingProxy::on_accept(sim::ConnPtr conn) {
+  // A quarantined instance dialing in again is back on its feet; instances
+  // connect outward, so this is the outgoing side's "reconnect".
+  if (config_.policy != DegradationPolicy::kStrict &&
+      health_.n_instances() > 0) {
+    size_t si = source_index(conn->meta().source);
+    // kDead (outvoted, or written off) stays out; only instances that went
+    // quiet from unreachability earn their slot back by dialing in.
+    if (si != SIZE_MAX &&
+        health_.state(si) == HealthTracker::State::kQuarantined) {
+      health_.readmit(si);
+      ++stats_.reconnects;
+      RDDR_LOG_INFO("%s: instance source '%s' re-admitted (dialed in)",
+                    config_.name.c_str(), conn->meta().source.c_str());
+    }
+  }
+
   const std::string& label = conn->meta().flow_label;
   // Join the first incomplete group with this label, else start one.
   std::shared_ptr<Group> g;
@@ -60,13 +117,7 @@ void OutgoingProxy::on_accept(sim::ConnPtr conn) {
     g->window_event = net_.simulator().schedule(
         config_.group_window, [this, g] {
           g->window_event = 0;
-          if (!g->complete && !g->ended) {
-            ++stats_.timeouts;
-            intervene(g, strformat("flow '%s': only %zu of %zu instances "
-                                   "contacted the backend",
-                                   g->flow_label.c_str(), g->members.size(),
-                                   config_.group_size));
-          }
+          on_window_expired(g);
         });
   }
 
@@ -75,32 +126,120 @@ void OutgoingProxy::on_accept(sim::ConnPtr conn) {
   g->framers.push_back(config_.plugin->make_framer(Direction::kClientToServer));
   g->queues.emplace_back();
   g->member_closed.push_back(false);
+  g->participating.push_back(true);
+  register_handlers(g, idx);
 
-  conn->set_on_data([this, g, idx](ByteView data) {
-    if (g->ended) return;
-    auto& framer = *g->framers[idx];
-    framer.feed(data);
-    if (framer.failed()) {
-      intervene(g, strformat("instance %zu request framing error", idx));
+  if (g->members.size() >= config_.group_size) {
+    complete_group(g);
+    return;
+  }
+  // With health tracking a group does not wait the full window for
+  // instances known to be down: all currently-healthy instances present is
+  // as complete as this group will get.
+  size_t expected = expected_members();
+  if (config_.policy != DegradationPolicy::kStrict &&
+      expected < config_.group_size && g->members.size() >= expected) {
+    size_t min_needed = config_.policy == DegradationPolicy::kFailOpen
+                            ? size_t{1}
+                            : config_.min_group_size;
+    if (g->members.size() >= min_needed) {
+      g->degraded = true;
+      ++stats_.degraded_sessions;
+      if (g->members.size() == 1) {
+        g->failopen = true;
+        ++stats_.passthrough_sessions;
+      }
+      complete_group(g);
+    }
+  }
+}
+
+void OutgoingProxy::register_handlers(const std::shared_ptr<Group>& g,
+                                      size_t i) {
+  auto conn = g->members[i];
+  conn->set_on_data([this, g, i](ByteView data) {
+    if (g->ended || !g->participating[i]) return;
+    if (g->failopen) {
+      if (g->backend && g->backend->is_open()) g->backend->send(data);
       return;
     }
-    for (auto& u : framer.take()) g->queues[idx].push_back(std::move(u));
+    auto& framer = *g->framers[i];
+    framer.feed(data);
+    if (framer.failed()) {
+      if (config_.policy == DegradationPolicy::kStrict) {
+        intervene(g, strformat("instance %zu request framing error", i));
+      } else if (drop_member(g, i, "request framing error")) {
+        pump(g);
+      }
+      return;
+    }
+    for (auto& u : framer.take()) g->queues[i].push_back(std::move(u));
     pump(g);
   });
-  conn->set_on_close([this, g, idx] {
-    if (g->ended) return;
-    g->member_closed[idx] = true;
-    bool all_closed = true;
-    for (size_t i = 0; i < g->member_closed.size(); ++i)
-      if (!g->member_closed[i]) all_closed = false;
-    if (all_closed && g->members.size() == config_.group_size) {
+  conn->set_on_close([this, g, i] {
+    if (g->ended || !g->participating[i]) return;
+    g->member_closed[i] = true;
+    if (g->failopen) {
+      // The sole surviving member hung up: the flow is over.
       teardown(g);
       return;
     }
     pump(g);
   });
+}
 
-  if (g->members.size() == config_.group_size) complete_group(g);
+void OutgoingProxy::on_window_expired(const std::shared_ptr<Group>& g) {
+  if (g->complete || g->ended) return;
+  ++stats_.timeouts;
+  if (config_.policy == DegradationPolicy::kStrict) {
+    intervene(g, strformat("flow '%s': only %zu of %zu instances contacted "
+                           "the backend",
+                           g->flow_label.c_str(), g->members.size(),
+                           config_.group_size));
+    return;
+  }
+  size_t joined = g->members.size();
+  size_t min_needed = config_.policy == DegradationPolicy::kFailOpen
+                          ? size_t{1}
+                          : config_.min_group_size;
+  if (joined < min_needed) {
+    intervene(g, strformat("flow '%s': %zu of %zu instances is below the "
+                           "degradation floor",
+                           g->flow_label.c_str(), joined, config_.group_size));
+    return;
+  }
+  // Absence is unavailability, not divergence: quarantine the no-shows and
+  // serve the flow with whoever came.
+  RDDR_LOG_WARN("%s: flow '%s': completing degraded group with %zu of %zu "
+                "instances",
+                config_.name.c_str(), g->flow_label.c_str(), joined,
+                config_.group_size);
+  if (health_.n_instances() > 0) {
+    for (size_t si = 0; si < health_.n_instances(); ++si) {
+      if (!health_.is_healthy(si)) continue;
+      bool present = false;
+      for (const auto& m : g->members)
+        if (m->meta().source == config_.instance_sources[si]) present = true;
+      if (!present) {
+        ++stats_.instance_unreachable;
+        if (health_.record_failure(si)) {
+          ++stats_.quarantines;
+          RDDR_LOG_WARN("%s: instance source '%s' quarantined (absent)",
+                        config_.name.c_str(),
+                        config_.instance_sources[si].c_str());
+        }
+      }
+    }
+  } else {
+    stats_.instance_unreachable += config_.group_size - joined;
+  }
+  g->degraded = true;
+  ++stats_.degraded_sessions;
+  if (joined == 1) {
+    g->failopen = true;
+    ++stats_.passthrough_sessions;
+  }
+  complete_group(g);
 }
 
 void OutgoingProxy::complete_group(const std::shared_ptr<Group>& g) {
@@ -110,6 +249,7 @@ void OutgoingProxy::complete_group(const std::shared_ptr<Group>& g) {
     g->window_event = 0;
   }
   // Pin instance order when sources are configured (filter pair slots).
+  // Works for reduced groups too: present members keep their source order.
   if (!config_.instance_sources.empty()) {
     std::vector<size_t> order;
     for (const auto& want : config_.instance_sources) {
@@ -125,41 +265,27 @@ void OutgoingProxy::complete_group(const std::shared_ptr<Group>& g) {
       std::vector<std::unique_ptr<StreamFramer>> framers;
       std::vector<std::deque<Unit>> queues;
       std::vector<bool> closed;
+      std::vector<bool> participating;
       for (size_t i : order) {
         members.push_back(g->members[i]);
         framers.push_back(std::move(g->framers[i]));
         queues.push_back(std::move(g->queues[i]));
         closed.push_back(g->member_closed[i]);
+        participating.push_back(g->participating[i]);
       }
       // Re-register handlers with the new slot indices.
       g->members = std::move(members);
       g->framers = std::move(framers);
       g->queues = std::move(queues);
       g->member_closed = std::move(closed);
-      for (size_t i = 0; i < g->members.size(); ++i) {
-        auto conn = g->members[i];
-        conn->set_on_data([this, g, i](ByteView data) {
-          if (g->ended) return;
-          auto& framer = *g->framers[i];
-          framer.feed(data);
-          if (framer.failed()) {
-            intervene(g, strformat("instance %zu request framing error", i));
-            return;
-          }
-          for (auto& u : framer.take()) g->queues[i].push_back(std::move(u));
-          pump(g);
-        });
-        conn->set_on_close([this, g, i] {
-          if (g->ended) return;
-          g->member_closed[i] = true;
-          bool all_closed = true;
-          for (bool c : g->member_closed)
-            if (!c) all_closed = false;
-          if (all_closed) teardown(g);
-          else pump(g);
-        });
-      }
+      g->participating = std::move(participating);
+      for (size_t i = 0; i < g->members.size(); ++i) register_handlers(g, i);
     }
+    g->pair_ok = g->members.size() >= 2 &&
+                 g->members[0]->meta().source == config_.instance_sources[0] &&
+                 g->members[1]->meta().source == config_.instance_sources[1];
+  } else {
+    g->pair_ok = g->members.size() == config_.group_size;
   }
 
   g->backend = net_.connect(config_.backend_address,
@@ -171,36 +297,126 @@ void OutgoingProxy::complete_group(const std::shared_ptr<Group>& g) {
   }
   // Backend responses are replicated verbatim to every instance.
   g->backend->set_on_data([g](ByteView data) {
-    for (auto& m : g->members)
-      if (m->is_open()) m->send(data);
+    for (size_t i = 0; i < g->members.size(); ++i)
+      if (g->participating[i] && g->members[i]->is_open())
+        g->members[i]->send(data);
   });
   g->backend->set_on_close([this, g] {
     if (!g->ended) teardown(g);
   });
+  if (g->failopen) {
+    enter_failopen(g);
+    return;
+  }
   pump(g);
 }
 
+void OutgoingProxy::enter_failopen(const std::shared_ptr<Group>& g) {
+  g->failopen = true;
+  size_t sole = SIZE_MAX;
+  for (size_t i = 0; i < g->members.size(); ++i)
+    if (g->participating[i]) sole = i;
+  RDDR_LOG_WARN("%s: flow '%s' FAIL-OPEN: forwarding sole instance "
+                "uncompared",
+                config_.name.c_str(), g->flow_label.c_str());
+  if (sole == SIZE_MAX) {
+    teardown(g);
+    return;
+  }
+  if (g->unit_timeout_event) {
+    net_.simulator().cancel(g->unit_timeout_event);
+    g->unit_timeout_event = 0;
+  }
+  // Everything already framed or buffered for the survivor goes to the
+  // backend raw from here on.
+  for (auto& u : g->queues[sole])
+    if (g->backend && g->backend->is_open()) g->backend->send(u.data);
+  g->queues[sole].clear();
+  if (g->framers[sole]) {
+    Bytes rest = g->framers[sole]->unconsumed();
+    if (!rest.empty() && g->backend && g->backend->is_open())
+      g->backend->send(rest);
+  }
+  if (g->member_closed[sole]) teardown(g);
+}
+
+bool OutgoingProxy::drop_member(const std::shared_ptr<Group>& g, size_t i,
+                                const std::string& why) {
+  if (g->ended) return false;
+  if (!g->participating[i]) return true;
+  RDDR_LOG_WARN("%s: flow '%s': dropping instance %zu (%s)",
+                config_.name.c_str(), g->flow_label.c_str(), i, why.c_str());
+  g->participating[i] = false;
+  if (g->members[i] && g->members[i]->is_open()) g->members[i]->close();
+  g->queues[i].clear();
+  if (!g->degraded) {
+    g->degraded = true;
+    ++stats_.degraded_sessions;
+  }
+  size_t si = source_index(g->members[i]->meta().source);
+  if (si != SIZE_MAX && health_.record_failure(si)) {
+    ++stats_.quarantines;
+    RDDR_LOG_WARN("%s: instance source '%s' quarantined", config_.name.c_str(),
+                  config_.instance_sources[si].c_str());
+  }
+  const size_t live = g->live();
+  if (live >= 2) return true;
+  if (live == 1 && config_.policy == DegradationPolicy::kFailOpen) {
+    ++stats_.passthrough_sessions;
+    enter_failopen(g);
+    return false;  // pump must not compare a fail-open group
+  }
+  if (live == 0) {
+    teardown(g);
+    return false;
+  }
+  // kQuorum with a single member left: nothing to verify against — fail
+  // closed (this also tells the incoming proxy via the bus).
+  intervene(g, strformat("flow '%s': quorum lost, one instance left",
+                         g->flow_label.c_str()));
+  return false;
+}
+
 void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
-  if (!g->complete || g->busy || g->ended) return;
-  bool all_ready = true;
-  bool any_ready = false;
-  for (size_t i = 0; i < g->queues.size(); ++i) {
-    if (g->queues[i].empty()) {
-      all_ready = false;
-      if (g->member_closed[i]) {
-        bool peer_has_output = false;
-        for (const auto& q : g->queues)
-          if (!q.empty()) peer_has_output = true;
-        if (peer_has_output) {
+  if (!g->complete || g->busy || g->ended || g->failopen) return;
+  const bool strict = config_.policy == DegradationPolicy::kStrict;
+
+  bool rescan = true;
+  while (rescan) {
+    rescan = false;
+    for (size_t i = 0; i < g->queues.size(); ++i) {
+      if (!g->participating[i] || !g->queues[i].empty()) continue;
+      if (!g->member_closed[i]) continue;
+      bool peer_has_output = false;
+      for (size_t j = 0; j < g->queues.size(); ++j)
+        if (g->participating[j] && !g->queues[j].empty())
+          peer_has_output = true;
+      if (peer_has_output) {
+        if (strict) {
           intervene(g, strformat("instance %zu closed while peers kept "
                                  "sending to the backend",
                                  i));
           return;
         }
+        ++stats_.instance_unreachable;
+        if (!drop_member(g, i, "closed while peers kept sending")) return;
+        rescan = true;
+        break;
       }
-    } else {
-      any_ready = true;
+      bool all_closed = true;
+      for (size_t j = 0; j < g->member_closed.size(); ++j)
+        if (g->participating[j] && !g->member_closed[j]) all_closed = false;
+      if (all_closed) teardown(g);
+      return;
     }
+  }
+
+  bool all_ready = true;
+  bool any_ready = false;
+  for (size_t i = 0; i < g->queues.size(); ++i) {
+    if (!g->participating[i]) continue;
+    if (g->queues[i].empty()) all_ready = false;
+    else any_ready = true;
   }
   if (!all_ready) {
     // Divergence-by-silence guard (§IV-D): some instance has a request
@@ -209,17 +425,25 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
       g->unit_timeout_event =
           net_.simulator().schedule(config_.unit_timeout, [this, g] {
             g->unit_timeout_event = 0;
-            if (g->ended) return;
-            bool still_waiting = false;
+            if (g->ended || g->failopen) return;
+            std::vector<size_t> silent;
             bool still_have = false;
-            for (const auto& q : g->queues) {
-              if (q.empty()) still_waiting = true;
+            for (size_t i = 0; i < g->queues.size(); ++i) {
+              if (!g->participating[i]) continue;
+              if (g->queues[i].empty()) silent.push_back(i);
               else still_have = true;
             }
-            if (still_waiting && still_have) {
-              ++stats_.timeouts;
+            if (silent.empty() || !still_have) return;
+            ++stats_.timeouts;
+            if (config_.policy == DegradationPolicy::kStrict) {
               intervene(g, "instance request timeout at the backend merge");
+              return;
             }
+            for (size_t i : silent) {
+              ++stats_.instance_unreachable;
+              if (!drop_member(g, i, "request timeout")) return;
+            }
+            pump(g);
           });
     }
     return;
@@ -229,31 +453,64 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
     g->unit_timeout_event = 0;
   }
   auto units = std::make_shared<std::vector<Unit>>();
+  std::vector<size_t> idxmap;  // unit position -> member slot
   size_t bytes = 0;
-  for (auto& q : g->queues) {
-    bytes += q.front().data.size();
-    units->push_back(std::move(q.front()));
-    q.pop_front();
+  for (size_t i = 0; i < g->queues.size(); ++i) {
+    if (!g->participating[i]) continue;
+    bytes += g->queues[i].front().data.size();
+    units->push_back(std::move(g->queues[i].front()));
+    g->queues[i].pop_front();
+    idxmap.push_back(i);
   }
   g->busy = true;
   double cost = config_.cpu_per_unit +
                 static_cast<double>(bytes) * config_.cpu_per_byte;
-  host_.run_task(cost, [this, g, units] {
+  host_.run_task(cost, [this, g, units, idxmap = std::move(idxmap)] {
     g->busy = false;
     if (g->ended) return;
     ++stats_.units_compared;
     CompareContext ctx;
-    ctx.filter_pair = config_.filter_pair;
+    ctx.filter_pair = config_.filter_pair && g->pair_ok &&
+                      idxmap.size() >= 2 && idxmap[0] == 0 && idxmap[1] == 1;
     ctx.variance = &config_.variance;
     ctx.session = &g->state;
-    DiffOutcome outcome = config_.plugin->compare(*units, ctx);
-    if (outcome.divergent) {
-      intervene(g, outcome.reason);
-      return;
+    size_t fwd = 0;  // unit position whose bytes reach the backend
+    if (config_.policy == DegradationPolicy::kStrict) {
+      DiffOutcome outcome = config_.plugin->compare(*units, ctx);
+      if (outcome.divergent) {
+        intervene(g, outcome.reason);
+        return;
+      }
+    } else {
+      QuorumVote vote = quorum_vote(*config_.plugin, *units, ctx);
+      if (!vote.agreed) {
+        intervene(g, vote.reason);
+        return;
+      }
+      if (vote.outlier != SIZE_MAX) {
+        size_t slot = idxmap[vote.outlier];
+        ++stats_.quorum_outvotes;
+        RDDR_LOG_WARN("%s: flow '%s': instance %zu outvoted by quorum "
+                      "(%zu-of-%zu agree); dropping it",
+                      config_.name.c_str(), g->flow_label.c_str(), slot,
+                      units->size() - 1, units->size());
+        units->erase(units->begin() +
+                     static_cast<std::ptrdiff_t>(vote.outlier));
+        size_t si = source_index(g->members[slot]->meta().source);
+        bool ok = drop_member(g, slot, "outvoted by quorum");
+        // Divergence is evidence, not unavailability: no re-admission.
+        if (si != SIZE_MAX) health_.mark_dead(si);
+        if (!ok) return;
+      } else if (health_.n_instances() > 0) {
+        for (size_t i : idxmap) {
+          size_t si = source_index(g->members[i]->meta().source);
+          if (si != SIZE_MAX) health_.record_success(si);
+        }
+      }
     }
     ++stats_.units_replicated;
     if (g->backend && g->backend->is_open())
-      g->backend->send((*units)[0].data);
+      g->backend->send((*units)[fwd].data);
     pump(g);
   });
 }
@@ -283,6 +540,18 @@ void OutgoingProxy::teardown(const std::shared_ptr<Group>& g) {
     if (m && m->is_open()) m->close();
   if (g->backend && g->backend->is_open()) g->backend->close();
   groups_.erase(g->id);
+}
+
+void OutgoingProxy::abort_all_sessions(const std::string& reason) {
+  // Copy out: teardown mutates the map.
+  std::vector<std::shared_ptr<Group>> active;
+  for (auto& [id, g] : groups_) active.push_back(g);
+  for (auto& g : active) {
+    ++stats_.divergences;
+    RDDR_LOG_INFO("%s: aborting flow '%s': %s", config_.name.c_str(),
+                  g->flow_label.c_str(), reason.c_str());
+    teardown(g);
+  }
 }
 
 }  // namespace rddr::core

@@ -8,6 +8,12 @@
 // Divergence (including an instance that never dials in before the group
 // window expires) is reported on the DivergenceBus so the incoming proxy
 // can abort the client session.
+//
+// Under a non-strict DegradationPolicy an absent or crashed instance is a
+// fault, not an attack: groups complete with the instances that did show
+// up (down to `min_group_size`, or a single uncompared member under
+// kFailOpen), mid-stream losses drop the member instead of the flow, and
+// a kQuorum majority outvotes a single divergent minority.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 #include "netsim/host.h"
 #include "netsim/network.h"
 #include "rddr/divergence.h"
+#include "rddr/health.h"
 #include "rddr/incoming_proxy.h"  // ProxyStats
 #include "rddr/plugin.h"
 
@@ -44,6 +51,17 @@ class OutgoingProxy {
     /// Per-unit wait for lagging instances (0 = off, the paper's DoS
     /// limitation).
     sim::Time unit_timeout = 0;
+    /// Graceful degradation under instance failure (§IV-D). See
+    /// IncomingProxy::Config::policy.
+    DegradationPolicy policy = DegradationPolicy::kStrict;
+    /// Smallest group a non-strict policy will still verify (kFailOpen
+    /// additionally passes a single surviving member through uncompared).
+    size_t min_group_size = 2;
+    /// Quarantine bookkeeping, indexed like `instance_sources` (which must
+    /// be set for per-instance health tracking to engage). Reconnect
+    /// fields are unused here: instances dial in, so a quarantined source
+    /// is re-admitted the moment it shows up in a new group.
+    HealthTracker::Options health;
     double cpu_per_unit = 15e-6;
     double cpu_per_byte = 2e-9;
     int64_t base_memory_bytes = 16LL << 20;
@@ -61,19 +79,38 @@ class OutgoingProxy {
   const ProxyStats& stats() const { return stats_; }
   const Config& config() const { return config_; }
 
+  /// Per-instance health view (meaningful when `instance_sources` is set).
+  const HealthTracker& health() const { return health_; }
+
+  /// Aborts every active flow group (invoked via the DivergenceBus when a
+  /// sibling proxy detects divergence).
+  void abort_all_sessions(const std::string& reason);
+
  private:
   struct Group;
   void on_accept(sim::ConnPtr conn);
-  void pump(const std::shared_ptr<Group>& g);
+  void register_handlers(const std::shared_ptr<Group>& g, size_t i);
+  void on_window_expired(const std::shared_ptr<Group>& g);
   void complete_group(const std::shared_ptr<Group>& g);
+  void pump(const std::shared_ptr<Group>& g);
   void intervene(const std::shared_ptr<Group>& g, const std::string& reason);
   void teardown(const std::shared_ptr<Group>& g);
+  /// Removes member i from the group (non-strict policies); returns false
+  /// when the group could not continue and was ended.
+  bool drop_member(const std::shared_ptr<Group>& g, size_t i,
+                   const std::string& why);
+  void enter_failopen(const std::shared_ptr<Group>& g);
+  size_t source_index(const std::string& source) const;
+  /// How many members a new group should wait for: N, minus instances
+  /// currently quarantined/dead (non-strict with health tracking only).
+  size_t expected_members() const;
 
   sim::Network& net_;
   sim::Host& host_;
   Config config_;
   DivergenceBus* bus_;
   ProxyStats stats_;
+  HealthTracker health_;
   uint64_t next_group_id_ = 1;
   std::map<uint64_t, std::shared_ptr<Group>> groups_;
 };

@@ -1,0 +1,38 @@
+#include "rddr/quorum.h"
+
+namespace rddr::core {
+
+QuorumVote quorum_vote(const ProtocolPlugin& plugin,
+                       const std::vector<Unit>& units,
+                       const CompareContext& ctx) {
+  QuorumVote vote;
+  DiffOutcome full = plugin.compare(units, ctx);
+  if (!full.divergent) {
+    vote.unanimous = true;
+    vote.agreed = true;
+    return vote;
+  }
+  vote.reason = full.reason;
+  if (units.size() < 3) return vote;  // no majority possible
+  size_t candidate = SIZE_MAX;
+  for (size_t o = 0; o < units.size(); ++o) {
+    std::vector<Unit> rest;
+    rest.reserve(units.size() - 1);
+    for (size_t i = 0; i < units.size(); ++i)
+      if (i != o) rest.push_back(units[i]);
+    CompareContext sub = ctx;
+    // The de-noise mask is built from units 0 and 1; excluding either
+    // breaks the pair, so fall back to exact comparison for that subset.
+    sub.filter_pair = ctx.filter_pair && o > 1;
+    if (!plugin.compare(rest, sub).divergent) {
+      if (candidate != SIZE_MAX) return vote;  // ambiguous: several outliers
+      candidate = o;
+    }
+  }
+  if (candidate == SIZE_MAX) return vote;  // nobody's removal restores accord
+  vote.agreed = true;
+  vote.outlier = candidate;
+  return vote;
+}
+
+}  // namespace rddr::core

@@ -1,0 +1,37 @@
+// Majority vote over per-instance protocol units (DegradationPolicy::kQuorum).
+//
+// The strict diff is binary: any mismatch is an intervention. The quorum
+// vote asks a finer question — is there a single outlier the majority can
+// outvote? It reuses the protocol plugin's own compare (so de-noising and
+// known-variance rules still apply) rather than raw byte equality.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rddr/plugin.h"
+
+namespace rddr::core {
+
+struct QuorumVote {
+  /// All units agreed under the plugin's compare.
+  bool unanimous = false;
+  /// Unanimous, or a strict majority agreed with exactly one outlier.
+  bool agreed = false;
+  /// Index (into `units`) of the outvoted instance; SIZE_MAX when none.
+  size_t outlier = SIZE_MAX;
+  /// Divergence reason when !agreed (the full-group compare's reason).
+  std::string reason;
+};
+
+/// Votes over units[0..n). With n >= 3 and exactly one instance whose
+/// removal makes the remainder agree, that instance is the outlier and the
+/// vote carries; ambiguous disagreement (no single outlier, or several
+/// candidates) fails the vote. The filter pair (indices 0/1) is only used
+/// for masking when both of its members remain in the majority.
+QuorumVote quorum_vote(const ProtocolPlugin& plugin,
+                       const std::vector<Unit>& units,
+                       const CompareContext& ctx);
+
+}  // namespace rddr::core

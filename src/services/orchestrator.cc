@@ -50,10 +50,8 @@ void Orchestrator::deploy(const std::string& container_name,
                   std::hash<std::string>()(container_name);
   Deployed d;
   d.object = img->second(spec);
-  d.image = image;
-  d.tag = tag;
+  d.spec = spec;
   d.host = host_name;
-  d.address = spec.address;
   containers_.emplace(container_name, std::move(d));
 }
 
@@ -72,7 +70,46 @@ std::vector<std::string> Orchestrator::deploy_replicas(
 }
 
 void Orchestrator::stop(const std::string& container_name) {
+  auto it = containers_.find(container_name);
+  if (it != containers_.end() && it->second.crashed)
+    net_.restart_node(sim::Network::node_of(it->second.spec.address));
   containers_.erase(container_name);
+}
+
+void Orchestrator::crash(const std::string& container_name) {
+  auto it = containers_.find(container_name);
+  if (it == containers_.end())
+    throw std::runtime_error("unknown container: " + container_name);
+  Deployed& d = it->second;
+  if (d.crashed) return;
+  d.crashed = true;
+  d.object.reset();  // process gone: in-memory state and listener lost
+  net_.crash_node(sim::Network::node_of(d.spec.address));
+  if (restart_policy_.auto_restart) {
+    sim_.schedule(restart_policy_.restart_delay,
+                  [this, container_name] {
+                    if (containers_.count(container_name) > 0)
+                      restart(container_name);
+                  });
+  }
+}
+
+void Orchestrator::restart(const std::string& container_name) {
+  auto it = containers_.find(container_name);
+  if (it == containers_.end())
+    throw std::runtime_error("unknown container: " + container_name);
+  Deployed& d = it->second;
+  if (!d.crashed) return;
+  net_.restart_node(sim::Network::node_of(d.spec.address));
+  d.object = images_.at(d.spec.image)(d.spec);
+  d.crashed = false;
+}
+
+bool Orchestrator::crashed(const std::string& container_name) const {
+  auto it = containers_.find(container_name);
+  if (it == containers_.end())
+    throw std::runtime_error("unknown container: " + container_name);
+  return it->second.crashed;
 }
 
 std::vector<std::string> Orchestrator::container_names() const {

@@ -70,6 +70,24 @@ class Orchestrator {
   /// Tears a container down (service object destroyed, listener freed).
   void stop(const std::string& container_name);
 
+  /// Crash/restart semantics for fault experiments. `crash` destroys the
+  /// service object (in-memory state lost, listener gone) AND marks the
+  /// container's network node down, severing live connections with
+  /// crash semantics (netsim abort). `restart` brings the node back and
+  /// re-runs the image factory with the original spec — including the
+  /// original rng_seed, so a restart is deterministic.
+  void crash(const std::string& container_name);
+  void restart(const std::string& container_name);
+  bool crashed(const std::string& container_name) const;
+
+  /// Kubernetes-style restartPolicy: when enabled, a crashed container is
+  /// automatically restarted `restart_delay` after the crash.
+  struct RestartPolicy {
+    bool auto_restart = false;
+    sim::Time restart_delay = 2 * sim::kSecond;
+  };
+  void set_restart_policy(RestartPolicy policy) { restart_policy_ = policy; }
+
   /// Fetches the deployed service object (caller supplies the type).
   template <typename T>
   std::shared_ptr<T> get(const std::string& container_name) {
@@ -88,10 +106,9 @@ class Orchestrator {
  private:
   struct Deployed {
     std::shared_ptr<void> object;
-    std::string image;
-    std::string tag;
+    ContainerSpec spec;  // remembered so crash → restart can re-run the factory
     std::string host;
-    std::string address;
+    bool crashed = false;
   };
 
   sim::Simulator& sim_;
@@ -101,6 +118,7 @@ class Orchestrator {
   std::map<std::string, std::unique_ptr<sim::Host>> hosts_;
   std::map<std::string, Factory> images_;
   std::map<std::string, Deployed> containers_;
+  RestartPolicy restart_policy_;
 };
 
 }  // namespace rddr::services

@@ -262,5 +262,139 @@ TEST_F(HostTest, MeanUtilization) {
   EXPECT_NEAR(host.mean_utilization(), 0.25, 1e-6);
 }
 
+TEST_F(HostTest, FailedHostDropsWork) {
+  Host host(sim, "h", 1, 1LL << 30);
+  bool done = false;
+  host.run_task(1.0, [&] { done = true; });
+  sim.schedule(from_seconds(0.5), [&] { host.fail(); });
+  sim.run_until_idle();
+  EXPECT_FALSE(done);  // the in-flight task died with the host
+  EXPECT_TRUE(host.failed());
+  host.restore();
+  host.run_task(0.1, [&] { done = true; });
+  sim.run_until_idle();
+  EXPECT_TRUE(done);
+}
+
+// ---------- fault injection ----------
+
+class FaultNetTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+  Network net{sim, 10 * kMicrosecond};
+
+  /// Echo listener at `address`; returns a counter of accepted conns.
+  std::shared_ptr<int> listen_echo(const std::string& address) {
+    auto accepted = std::make_shared<int>(0);
+    net.listen(address, [accepted](ConnPtr c) {
+      ++*accepted;
+      c->set_on_data([c](ByteView d) { c->send(Bytes(d)); });
+    });
+    return accepted;
+  }
+};
+
+TEST_F(FaultNetTest, CrashSeversConnectionsAndRefusesNewOnes) {
+  listen_echo("srv:1");
+  auto conn = net.connect("srv:1", {.source = "cli", .flow_label = ""});
+  ASSERT_NE(conn, nullptr);
+  bool closed = false;
+  conn->set_on_close([&] { closed = true; });
+  sim.run_until_idle();
+
+  net.crash_node("srv");
+  sim.run_until_idle();
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(net.node_down("srv"));
+  EXPECT_EQ(net.connect("srv:1", {.source = "cli", .flow_label = ""}),
+            nullptr);
+  EXPECT_EQ(net.live_connections("srv"), 0u);
+
+  net.restart_node("srv");
+  EXPECT_NE(net.connect("srv:1", {.source = "cli", .flow_label = ""}),
+            nullptr);
+}
+
+TEST_F(FaultNetTest, CrashLosesInFlightBytes) {
+  Bytes got;
+  ConnPtr server_side;
+  net.listen("srv:1", [&](ConnPtr c) {
+    server_side = c;
+    c->set_on_data([&got](ByteView d) { got += Bytes(d); });
+  });
+  auto conn = net.connect("srv:1", {.source = "cli", .flow_label = ""});
+  sim.run_until_idle();
+  // Bytes sent but not yet delivered when the sender's node crashes are
+  // lost (abort, not graceful close).
+  conn->send("lost");
+  net.crash_node("cli");
+  sim.run_until_idle();
+  EXPECT_EQ(got, "");
+}
+
+TEST_F(FaultNetTest, RefusedAddressBlocksOnlyThatAddress) {
+  listen_echo("srv:1");
+  listen_echo("srv:2");
+  net.refuse_address("srv:1", true);
+  EXPECT_EQ(net.connect("srv:1", {.source = "cli", .flow_label = ""}),
+            nullptr);
+  EXPECT_NE(net.connect("srv:2", {.source = "cli", .flow_label = ""}),
+            nullptr);
+  net.refuse_address("srv:1", false);
+  EXPECT_NE(net.connect("srv:1", {.source = "cli", .flow_label = ""}),
+            nullptr);
+}
+
+TEST_F(FaultNetTest, ExtraLatencyDelaysDelivery) {
+  listen_echo("srv:1");
+  auto conn = net.connect("srv:1", {.source = "cli", .flow_label = ""});
+  sim.run_until_idle();
+  net.set_node_extra_latency("srv", kMillisecond);
+  Time sent_at = sim.now();
+  Time got_at = 0;
+  conn->set_on_data([&](ByteView) { got_at = sim.now(); });
+  conn->send("ping");
+  sim.run_until_idle();
+  // Round trip: 2 hops of base latency, each inflated by the spike.
+  EXPECT_EQ(got_at - sent_at, 2 * (10 * kMicrosecond + kMillisecond));
+}
+
+TEST_F(FaultNetTest, EgressStallHoldsBytesUntilDeadline) {
+  Bytes got;
+  ConnPtr server_side;
+  net.listen("srv:1", [&](ConnPtr c) {
+    server_side = c;
+    c->set_on_data([&got](ByteView d) { got += Bytes(d); });
+  });
+  auto conn = net.connect("srv:1", {.source = "cli", .flow_label = ""});
+  sim.run_until_idle();
+  net.stall_node_egress_until("cli", 5 * kMillisecond);
+  conn->send("late");
+  sim.run_until(4 * kMillisecond);
+  EXPECT_EQ(got, "");  // still stalled
+  sim.run_until_idle();
+  EXPECT_EQ(got, "late");
+  EXPECT_GE(sim.now(), 5 * kMillisecond);
+}
+
+TEST_F(FaultNetTest, PartitionBlocksCrossGroupAndHeals) {
+  listen_echo("a:1");
+  listen_echo("b:1");
+  auto cross = net.connect("b:1", {.source = "a", .flow_label = ""});
+  ASSERT_NE(cross, nullptr);
+  bool cross_closed = false;
+  cross->set_on_close([&] { cross_closed = true; });
+  sim.run_until_idle();
+
+  net.partition({"a", "c"});
+  sim.run_until_idle();
+  EXPECT_TRUE(cross_closed);  // severed: a and b are now on opposite sides
+  EXPECT_EQ(net.connect("b:1", {.source = "a", .flow_label = ""}), nullptr);
+  EXPECT_NE(net.connect("a:1", {.source = "c", .flow_label = ""}), nullptr);
+
+  net.heal_partition();
+  EXPECT_NE(net.connect("b:1", {.source = "a", .flow_label = ""}), nullptr);
+}
+
 }  // namespace
 }  // namespace rddr::sim

@@ -92,21 +92,28 @@ TEST_F(ProxyTest, DivergenceBlockedWithInterventionPage) {
   ASSERT_EQ(bus.count(), 1u);
 }
 
-TEST_F(ProxyTest, InstanceConnectionRefusedIsIntervention) {
+TEST_F(ProxyTest, InstanceConnectionRefusedIsUnavailabilityNotDivergence) {
   auto i0 = make_instance("svc-0:80", "x");
-  // svc-1:80 does not exist.
+  // svc-1:80 does not exist. An unreachable instance is a fault, not an
+  // attack: the client is still refused (kStrict cannot verify), but it is
+  // counted as unavailability and nothing is reported on the bus.
   IncomingProxy::Config cfg;
   cfg.listen_address = "svc:80";
   cfg.instance_addresses = {"svc-0:80", "svc-1:80"};
   cfg.plugin = std::make_shared<HttpPlugin>();
-  IncomingProxy proxy(net, host, cfg);
+  DivergenceBus bus(sim);
+  IncomingProxy proxy(net, host, cfg, &bus);
 
   int status = -2;
   HttpClient client(net, "client");
   client.get("svc:80", "/", [&](int s, const http::Response*) { status = s; });
   sim.run_until_idle();
   EXPECT_EQ(status, 403);  // intervention page
-  EXPECT_EQ(proxy.stats().divergences, 1u);
+  EXPECT_EQ(proxy.stats().divergences, 0u);
+  EXPECT_EQ(proxy.stats().instance_unreachable, 1u);
+  EXPECT_EQ(bus.count(), 0u);
+  // The upstream opened to svc-0 before the refusal must not leak.
+  EXPECT_EQ(net.live_connections("svc-0"), 0u);
 }
 
 TEST_F(ProxyTest, TimeoutDisabledByDefaultHangs) {
@@ -449,6 +456,38 @@ TEST_F(ProxyTest, BusAbortsIncomingSessionsOnOutgoingDivergence) {
   sim.run_until_idle();
   EXPECT_EQ(status, 403);
   EXPECT_NE(body.find("RDDR intervened"), Bytes::npos);
+}
+
+TEST_F(ProxyTest, BusAbortsOutgoingGroupsOnIncomingDivergence) {
+  // The reverse direction: the outgoing proxy holds an active flow group
+  // when the incoming proxy reports divergence — the group (instance legs
+  // and backend leg) must be torn down so nothing tainted reaches the
+  // backend.
+  auto db = std::make_shared<sqldb::Database>(sqldb::minipg_info("13.0"));
+  sqldb::SqlServer::Options so;
+  so.address = "backend:5432";
+  sqldb::SqlServer backend(net, host, db, so);
+
+  OutgoingProxy::Config cfg;
+  cfg.listen_address = "rddr-out:5432";
+  cfg.backend_address = "backend:5432";
+  cfg.group_size = 2;
+  cfg.plugin = std::make_shared<PgPlugin>();
+  DivergenceBus bus(sim);
+  OutgoingProxy proxy(net, host, cfg, &bus);
+
+  sqldb::PgClient a(net, "inst-0", "rddr-out:5432", "app", "flow-1");
+  sqldb::PgClient b(net, "inst-1", "rddr-out:5432", "app", "flow-1");
+  sim.run_until(20 * sim::kMillisecond);
+  ASSERT_FALSE(a.broken());
+  ASSERT_FALSE(b.broken());
+
+  bus.report("rddr-in", "client response diverged");
+  sim.run_until_idle();
+  EXPECT_TRUE(a.broken());
+  EXPECT_TRUE(b.broken());
+  EXPECT_EQ(proxy.stats().divergences, 1u);
+  EXPECT_EQ(net.live_connections("backend"), 0u);
 }
 
 }  // namespace
