@@ -187,7 +187,7 @@ int main() {
     cfg.listen_address = "svc:80";
     cfg.instance_addresses = {"svc-0:80", "svc-1:80"};
     cfg.plugin = std::make_shared<core::HttpPlugin>();
-    cfg.instance_timeout = timeout;
+    cfg.unit_timeout = timeout;
     core::DivergenceBus bus(simulator);
     core::IncomingProxy proxy(net, host, cfg, &bus);
     int status = -2;

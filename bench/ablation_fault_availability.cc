@@ -61,7 +61,6 @@ Outcome run_one(core::DegradationPolicy policy, int crashes) {
   sim::Simulator simulator;
   sim::Network net(simulator, 10 * sim::kMicrosecond);
   sim::Host host(simulator, "server", 32, 16LL << 30);
-  sim::FaultPlan faults(net);
 
   std::vector<std::shared_ptr<sqldb::Database>> dbs;
   std::vector<std::unique_ptr<sqldb::SqlServer>> servers;
@@ -78,23 +77,29 @@ Outcome run_one(core::DegradationPolicy policy, int crashes) {
         std::make_unique<sqldb::SqlServer>(net, host, db, so));
   }
 
-  core::NVersionDeployment::Options opts;
-  opts.incoming.listen_address = "front:5432";
-  opts.incoming.instance_addresses = {"pg-0:5432", "pg-1:5432", "pg-2:5432"};
-  opts.incoming.plugin = std::make_shared<core::PgPlugin>();
-  opts.incoming.filter_pair = true;
-  opts.incoming.policy = policy;
-  opts.incoming.health.reconnect_jitter = 0;  // deterministic across runs
-  core::NVersionDeployment deployment(net, host, opts);
-
-  // Crash k: instance (2, 1, 0, 2, 1, 0, ...) down for kDowntime starting
-  // kFirstCrash + k * kCrashSpacing. Spacing < downtime, so consecutive
-  // crashes overlap: two instances down at once from the second crash on.
-  for (int k = 0; k < crashes; ++k) {
-    std::string node = "pg-" + std::to_string(2 - (k % 3));
-    faults.crash_for(kFirstCrash + static_cast<sim::Time>(k) * kCrashSpacing,
-                     kDowntime, node);
-  }
+  core::HealthTracker::Options health;
+  health.reconnect_jitter = 0;  // deterministic across runs
+  auto deployment =
+      core::NVersionDeployment::Builder()
+          .listen("front:5432")
+          .versions({"pg-0:5432", "pg-1:5432", "pg-2:5432"})
+          .plugin(std::make_shared<core::PgPlugin>())
+          .filter_pair()
+          .degradation(policy)
+          .health(health)
+          // Crash k: instance (2, 1, 0, 2, 1, 0, ...) down for kDowntime
+          // starting kFirstCrash + k * kCrashSpacing. Spacing < downtime,
+          // so consecutive crashes overlap: two instances down at once
+          // from the second crash on.
+          .faults([crashes](sim::FaultPlan& faults) {
+            for (int k = 0; k < crashes; ++k) {
+              std::string node = "pg-" + std::to_string(2 - (k % 3));
+              faults.crash_for(
+                  kFirstCrash + static_cast<sim::Time>(k) * kCrashSpacing,
+                  kDowntime, node);
+            }
+          })
+          .build(net, host);
 
   workloads::ClientPoolOptions pool;
   pool.address = "front:5432";
@@ -109,8 +114,8 @@ Outcome run_one(core::DegradationPolicy policy, int crashes) {
   Outcome o;
   o.completed = result.completed;
   o.failed = result.failed;
-  o.stats = deployment.aggregate_stats();
-  o.bus_events = deployment.divergences();
+  o.stats = deployment->aggregate_stats();
+  o.bus_events = deployment->divergences();
   return o;
 }
 

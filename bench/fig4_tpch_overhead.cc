@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
+#include "obs/metrics.h"
 #include "rddr/divergence.h"
 #include "rddr/incoming_proxy.h"
 #include "rddr/plugins.h"
@@ -70,7 +71,11 @@ RunMetrics run_deployment(int n_instances, int clients) {
     address = "db:5432";
   }
 
+  // Host resource maxima and pool aggregates are read from the registry:
+  // the host's sampler feeds "server.*" gauges, the client pool "pool.*".
+  obs::MetricsRegistry registry;
   host.reset_metrics();
+  host.bind_metrics(&registry, "server");
   host.start_sampling(20 * sim::kMillisecond);
 
   const auto& queries = workloads::tpch_queries();
@@ -81,21 +86,23 @@ RunMetrics run_deployment(int n_instances, int clients) {
   opts.address = address;
   opts.clients = clients;
   opts.transactions_per_client = static_cast<int>(queries.size());
+  opts.metrics = &registry;
+  opts.metrics_prefix = "pool";
   opts.next_query = [&queries](Rng&, int, int tx) { return queries[static_cast<size_t>(tx)]; };
   opts.on_tx_complete = [&metrics](int, int tx, double ms) {
     metrics.per_query_latency[static_cast<size_t>(tx)].add(ms);
   };
-  auto result = workloads::run_client_pool(simulator, net, opts);
+  workloads::run_client_pool(simulator, net, opts);
   host.stop_sampling();
 
-  if (result.failed > 0)
+  uint64_t failed = registry.counter("pool.tx_failed")->value();
+  if (failed > 0)
     std::fprintf(stderr, "WARNING: %llu failed transactions\n",
-                 static_cast<unsigned long long>(result.failed));
-  for (const auto& s : host.samples())
-    metrics.cpu_max_cores =
-        std::max(metrics.cpu_max_cores, s.cpu_pct / 100.0 * kCores);
-  metrics.mem_max_gb = host.max_memory_bytes() / 1e9;
-  metrics.elapsed_s = sim::to_seconds(result.elapsed);
+                 static_cast<unsigned long long>(failed));
+  metrics.cpu_max_cores =
+      registry.gauge("server.cpu_pct")->max_value() / 100.0 * kCores;
+  metrics.mem_max_gb = registry.gauge("server.mem_bytes")->max_value() / 1e9;
+  metrics.elapsed_s = registry.gauge("pool.elapsed_s")->value();
   return metrics;
 }
 

@@ -12,6 +12,7 @@
 
 #include "netsim/host.h"
 #include "netsim/network.h"
+#include "obs/metrics.h"
 #include "rddr/divergence.h"
 #include "rddr/incoming_proxy.h"
 #include "rddr/plugins.h"
@@ -29,6 +30,8 @@ constexpr double kCpuPerQuery = 2e-3;
 
 struct Series {
   std::vector<sim::ResourceSample> samples;
+  double peak_cpu_pct = 0;  // registry gauge maxima (same sampler feed)
+  double peak_mem_gb = 0;
 };
 
 Series run_series(int n_instances, bool envoy_front, int clients,
@@ -80,7 +83,9 @@ Series run_series(int n_instances, bool envoy_front, int clients,
     address = "front:5432";
   }
 
+  obs::MetricsRegistry registry;
   host.reset_metrics();
+  host.bind_metrics(&registry, "server");
   host.start_sampling(250 * sim::kMillisecond);
 
   workloads::ClientPoolOptions opts;
@@ -96,6 +101,8 @@ Series run_series(int n_instances, bool envoy_front, int clients,
 
   Series s;
   s.samples = host.samples();
+  s.peak_cpu_pct = registry.gauge("server.cpu_pct")->max_value();
+  s.peak_mem_gb = registry.gauge("server.mem_bytes")->max_value() / 1e9;
   return s;
 }
 
@@ -128,14 +135,9 @@ void print_block(int clients, int tx_per_client) {
                 sim::to_seconds(r.time), r.cpu_pct, r.mem_bytes / 1e9,
                 e.cpu_pct, e.mem_bytes / 1e9, b.cpu_pct, b.mem_bytes / 1e9);
   }
-  // Peak summary.
+  // Peak summary, read back from the per-run registry gauges.
   auto peak = [](const Series& s) {
-    double cpu = 0, mem = 0;
-    for (const auto& x : s.samples) {
-      cpu = std::max(cpu, x.cpu_pct);
-      mem = std::max(mem, x.mem_bytes);
-    }
-    return std::pair<double, double>(cpu, mem / 1e9);
+    return std::pair<double, double>(s.peak_cpu_pct, s.peak_mem_gb);
   };
   auto [rc, rm] = peak(rddr);
   auto [ec, em] = peak(envoy);

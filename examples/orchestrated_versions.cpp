@@ -13,8 +13,7 @@
 
 #include "netsim/host.h"
 #include "netsim/network.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
+#include "rddr/deployment.h"
 #include "rddr/plugins.h"
 #include "services/http_service.h"
 #include "services/orchestrator.h"
@@ -49,13 +48,14 @@ int main() {
     std::printf(" %s", name.c_str());
   std::printf("\n\n");
 
-  core::IncomingProxy::Config cfg;
-  cfg.listen_address = "web:80";
-  cfg.instance_addresses = addresses;
-  cfg.plugin = std::make_shared<core::HttpPlugin>();  // "Server" header is
-  cfg.filter_pair = true;                             // known variance
-  core::DivergenceBus bus(simulator);
-  core::IncomingProxy rddr(net, *&orch.host("worker-1"), cfg, &bus);
+  // "Server" header differs per version: run the filter pair so it counts
+  // as known variance instead of a divergence.
+  auto rddr = core::NVersionDeployment::Builder()
+                  .listen("web:80")
+                  .versions(addresses)
+                  .plugin(std::make_shared<core::HttpPlugin>())
+                  .filter_pair()
+                  .build(net, orch.host("worker-1"));
 
   auto fetch = [&](const char* label, const char* range) {
     http::Request req;
@@ -86,8 +86,8 @@ int main() {
               "1.13.2 pair's arithmetic ==\n");
   fetch("GET Range: bytes=-9000", "bytes=-9000");
 
-  std::printf("\ninterventions: %zu\n", bus.count());
-  for (const auto& ev : bus.events())
+  std::printf("\ninterventions: %zu\n", rddr->bus().count());
+  for (const auto& ev : rddr->bus().events())
     std::printf("  %s\n", ev.reason.c_str());
 
   std::printf("\nRolling the deployment forward is one line: deploy tags "

@@ -8,14 +8,17 @@
 //     before the malicious bytes reach the client.
 //
 // Everything runs on the deterministic network simulator, so the output
-// is identical on every run.
+// is identical on every run — including the trace: the run is recorded
+// with obs::Tracer and written to quickstart_trace.json, which loads in
+// chrome://tracing (or https://ui.perfetto.dev) and shows the exploit
+// request's diff span ending in an intervention.
 #include <cstdio>
 
 #include "netsim/host.h"
 #include "netsim/network.h"
+#include "obs/trace.h"
 #include "proto/json/json.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
+#include "rddr/deployment.h"
 #include "rddr/plugins.h"
 #include "services/http_service.h"
 #include "services/rest_service.h"
@@ -40,12 +43,13 @@ int main() {
   services::RestLibraryService instance1(net, host, b);
 
   // --- RDDR: replicate, de-noise, diff, respond --------------------------
-  core::IncomingProxy::Config cfg;
-  cfg.listen_address = "render:80";  // the address clients use
-  cfg.instance_addresses = {"render-0:80", "render-1:80"};
-  cfg.plugin = std::make_shared<core::HttpPlugin>();
-  core::DivergenceBus bus(simulator);
-  core::IncomingProxy rddr(net, host, cfg, &bus);
+  obs::Tracer tracer([&simulator] { return simulator.now(); }, 7);
+  auto rddr = core::NVersionDeployment::Builder()
+                  .listen("render:80")  // the address clients use
+                  .versions({"render-0:80", "render-1:80"})
+                  .plugin(std::make_shared<core::HttpPlugin>())
+                  .trace(&tracer)
+                  .build(net, host);
 
   // --- a client ----------------------------------------------------------
   auto render = [&](const char* label, const std::string& markdown) {
@@ -74,9 +78,19 @@ int main() {
               "control character) ==\n");
   render("exploit", "[click me](java\x0bscript:alert(1))");
 
-  std::printf("\nRDDR interventions: %zu\n", bus.count());
-  for (const auto& ev : bus.events())
+  std::printf("\nRDDR interventions: %zu\n", rddr->bus().count());
+  for (const auto& ev : rddr->bus().events())
     std::printf("  t=%.3fms  %s: %s\n", sim::to_seconds(ev.time) * 1e3,
                 ev.proxy.c_str(), ev.reason.c_str());
+
+  // The whole run was traced; open the file in chrome://tracing and look
+  // for the diff span whose verdict tag says "divergent".
+  std::string trace = tracer.export_chrome();
+  if (std::FILE* f = std::fopen("quickstart_trace.json", "w")) {
+    std::fwrite(trace.data(), 1, trace.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote quickstart_trace.json (%zu spans)\n",
+                tracer.spans().size());
+  }
   return 0;
 }

@@ -17,11 +17,13 @@ double SampleStats::mean() const {
 
 double SampleStats::min() const {
   if (samples_.empty()) return 0.0;
+  if (sorted_) return samples_.front();
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double SampleStats::max() const {
   if (samples_.empty()) return 0.0;
+  if (sorted_) return samples_.back();
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
@@ -30,6 +32,7 @@ double SampleStats::percentile(double p) const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
+    ++sort_count_;
   }
   if (p <= 0) return samples_.front();
   if (p >= 100) return samples_.back();

@@ -20,9 +20,15 @@ class SampleStats {
   double min() const;
   double max() const;
   /// Nearest-rank percentile; `p` in [0, 100]. Returns 0 when empty.
+  /// Sorts lazily: the first call after add() sorts once, and the sorted
+  /// order is reused by later percentile/min/max calls until the next add.
   double percentile(double p) const;
   /// Sample standard deviation (0 when fewer than 2 samples).
   double stddev() const;
+
+  /// How many times the sample vector has actually been sorted (regression
+  /// guard for the lazy-sort contract above).
+  uint64_t sort_count() const { return sort_count_; }
 
   const std::vector<double>& samples() const { return samples_; }
   void clear();
@@ -30,6 +36,7 @@ class SampleStats {
  private:
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
+  mutable uint64_t sort_count_ = 0;
   double sum_ = 0;
 };
 

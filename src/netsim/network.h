@@ -45,6 +45,11 @@ struct ConnectMeta {
   /// connections that carry the same label (paper §IV-B: "merge requests to
   /// downstream microservices").
   std::string flow_label;
+  /// Optional trace context carried across the connect (obs/trace.h ids;
+  /// plain integers here so netsim stays independent of the obs types).
+  /// 0 means "no trace": the accepting service starts its own if it traces.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 
 /// One endpoint of a duplex byte-stream connection. Obtained from

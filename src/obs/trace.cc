@@ -1,0 +1,94 @@
+#include "obs/trace.h"
+
+#include "common/strutil.h"
+#include "proto/json/json.h"
+
+namespace rddr::obs {
+
+Tracer::Tracer(std::function<TimeNs()> clock, uint64_t seed)
+    : clock_(std::move(clock)), rng_(Rng(seed).fork(/*label=*/0x7ace)) {}
+
+TraceId Tracer::new_trace() {
+  uint64_t id = rng_.next();
+  while (id == 0) id = rng_.next();
+  return id;
+}
+
+SpanId Tracer::begin(TraceId trace, SpanId parent, std::string name,
+                     std::string category) {
+  Span s;
+  s.id = spans_.size() + 1;
+  s.parent = parent;
+  s.trace = trace;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.start = clock_();
+  spans_.push_back(std::move(s));
+  ++open_;
+  return spans_.back().id;
+}
+
+void Tracer::tag(SpanId span, std::string key, std::string value) {
+  if (span == 0 || span > spans_.size()) return;
+  spans_[span - 1].tags.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::end(SpanId span) {
+  if (span == 0 || span > spans_.size()) return;
+  Span& s = spans_[span - 1];
+  if (!s.open()) return;
+  s.end = clock_();
+  --open_;
+}
+
+SpanId Tracer::event(TraceId trace, SpanId parent, std::string name,
+                     std::string category) {
+  SpanId id = begin(trace, parent, std::move(name), std::move(category));
+  end(id);
+  return id;
+}
+
+const Span* Tracer::find(SpanId span) const {
+  if (span == 0 || span > spans_.size()) return nullptr;
+  return &spans_[span - 1];
+}
+
+std::string Tracer::export_chrome() const {
+  // Hand-assembled rather than json::Value so event order (= span
+  // creation order) is preserved; json::Object would re-sort keys but
+  // also cannot hold the heterogeneous event list in creation order.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans_) {
+    if (!first) out += ",";
+    first = false;
+    const TimeNs end = s.open() ? s.start : s.end;
+    out += strformat(
+        // tid groups a trace's spans on one row; the low 32 bits keep the
+        // number inside JS-safe integer range for chrome://tracing.
+        "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":1,\"tid\":%llu,\"args\":{\"trace\":\"%016llx\","
+        "\"span\":%llu,\"parent\":%llu",
+        ("\"" + json::escape(s.name) + "\"").c_str(),
+        ("\"" + json::escape(s.category) + "\"").c_str(),
+        static_cast<double>(s.start) / 1e3,
+        static_cast<double>(end - s.start) / 1e3,
+        static_cast<unsigned long long>(s.trace & 0xffffffffULL),
+        static_cast<unsigned long long>(s.trace),
+        static_cast<unsigned long long>(s.id),
+        static_cast<unsigned long long>(s.parent));
+    for (const auto& [k, v] : s.tags)
+      out += ",\"" + json::escape(k) + "\":\"" + json::escape(v) + "\"";
+    if (s.open()) out += ",\"unclosed\":\"true\"";
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  open_ = 0;
+}
+
+}  // namespace rddr::obs

@@ -1,11 +1,30 @@
 // NVersionDeployment: wires the RDDR proxies around a protected
 // microservice's instances — the "add RDDR to a deployment" step the
 // paper reports taking about an hour of configuration (§V-C1).
+//
+// Two ways to configure one:
+//  * fill an Options struct by hand (full control, both proxies), or
+//  * use NVersionDeployment::Builder, a fluent one-liner for the common
+//    shapes:
+//
+//      auto rddr = core::NVersionDeployment::Builder()
+//                      .listen("render:80")
+//                      .versions({"render-0:80", "render-1:80"})
+//                      .plugin(std::make_shared<core::HttpPlugin>())
+//                      .trace(&tracer)
+//                      .build(net, host);
+//
+// Builder-set shared knobs (plugin, variance, degradation, health,
+// unit_timeout, observability sinks) apply to the incoming proxy AND to
+// every backend() added, so the two sides never disagree on policy.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "netsim/fault.h"
 #include "rddr/divergence.h"
 #include "rddr/incoming_proxy.h"
 #include "rddr/outgoing_proxy.h"
@@ -22,6 +41,55 @@ class NVersionDeployment {
     std::vector<OutgoingProxy::Config> outgoing;
   };
 
+  class Builder {
+   public:
+    /// Name of the incoming proxy (metric prefix / bus identity).
+    Builder& name(std::string n);
+    /// Address clients dial.
+    Builder& listen(std::string address);
+    /// The N diverse instances, replacing any added so far.
+    Builder& versions(std::vector<std::string> addresses);
+    /// Appends one instance address.
+    Builder& add_version(std::string address);
+    Builder& plugin(std::shared_ptr<ProtocolPlugin> p);
+    Builder& filter_pair(bool on = true);
+    Builder& variance(KnownVariance v);
+    Builder& degradation(DegradationPolicy p);
+    Builder& health(HealthTracker::Options h);
+    Builder& unit_timeout(sim::Time t);
+    Builder& signature_blocking(bool on, uint32_t threshold = 1);
+    /// Adds an outgoing proxy between the instances and one real backend.
+    /// `listen_address` is what the instances believe the backend to be.
+    /// Shared knobs plus group_size/instance_sources (derived from the
+    /// version list) are filled in at build time; use the Config overload
+    /// to override them.
+    Builder& backend(std::string listen_address, std::string backend_address);
+    Builder& backend(OutgoingProxy::Config cfg);
+    /// Observability sinks, applied to every proxy (not owned).
+    Builder& metrics(obs::MetricsRegistry* reg);
+    Builder& trace(obs::Tracer* tracer);
+    /// Schedules deterministic faults against the deployment's network.
+    /// The callback runs once inside build(); the FaultPlan it receives is
+    /// owned by the deployment (see fault_plan()).
+    Builder& faults(std::function<void(sim::FaultPlan&)> fn);
+
+    /// The fully resolved Options this builder would deploy (shared knobs
+    /// propagated into each outgoing config).
+    Options options() const;
+
+    std::unique_ptr<NVersionDeployment> build(sim::Network& net,
+                                              sim::Host& proxy_host) const;
+
+   private:
+    IncomingProxy::Config incoming_;
+    struct PendingBackend {
+      OutgoingProxy::Config cfg;
+      bool inherit = false;  // fill shared knobs from the builder
+    };
+    std::vector<PendingBackend> backends_;
+    std::function<void(sim::FaultPlan&)> faults_;
+  };
+
   /// All proxies run on `proxy_host` and share one DivergenceBus.
   NVersionDeployment(sim::Network& net, sim::Host& proxy_host,
                      Options options);
@@ -30,6 +98,9 @@ class NVersionDeployment {
   IncomingProxy& incoming() { return *incoming_; }
   OutgoingProxy& outgoing(size_t i = 0) { return *outgoing_.at(i); }
   size_t outgoing_count() const { return outgoing_.size(); }
+
+  /// The fault plan scheduled via Builder::faults (null when none).
+  sim::FaultPlan* fault_plan() { return fault_plan_.get(); }
 
   /// Total interventions across all proxies.
   uint64_t divergences() const { return bus_.count(); }
@@ -40,9 +111,12 @@ class NVersionDeployment {
   ProxyStats aggregate_stats() const;
 
  private:
+  friend class Builder;
+
   DivergenceBus bus_;
   std::unique_ptr<IncomingProxy> incoming_;
   std::vector<std::unique_ptr<OutgoingProxy>> outgoing_;
+  std::unique_ptr<sim::FaultPlan> fault_plan_;
 };
 
 }  // namespace rddr::core

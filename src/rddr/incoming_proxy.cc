@@ -34,6 +34,11 @@ struct IncomingProxy::Session {
   uint64_t last_unit_fingerprint = 0;
   bool has_fingerprint = false;
 
+  // Trace context (zero when no tracer is configured).
+  obs::TraceId trace = 0;
+  obs::SpanId root_span = 0;
+  std::vector<obs::SpanId> upstream_spans;
+
   size_t live() const {
     size_t n = 0;
     for (bool p : participating)
@@ -53,6 +58,13 @@ IncomingProxy::IncomingProxy(sim::Network& net, sim::Host& host,
         h.n_instances = config_.instance_addresses.size();
         return h;
       }()) {
+  if (config_.metrics) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  counters_.bind(*metrics_, config_.name);
   token_state_.n_instances = config_.instance_addresses.size();
   token_state_.delete_tokens_after_use = config_.delete_tokens_after_use;
   probe_events_.assign(config_.instance_addresses.size(), 0);
@@ -79,10 +91,16 @@ IncomingProxy::~IncomingProxy() {
     if (ev) net_.simulator().cancel(ev);
 }
 
+void IncomingProxy::end_session_spans(const std::shared_ptr<Session>& s) {
+  if (!config_.tracer) return;
+  for (obs::SpanId sp : s->upstream_spans) config_.tracer->end(sp);
+  config_.tracer->end(s->root_span);
+}
+
 void IncomingProxy::note_instance_failure(size_t i) {
-  if (config_.policy == DegradationPolicy::kStrict) return;
+  if (config_.degradation == DegradationPolicy::kStrict) return;
   if (health_.record_failure(i)) {
-    ++stats_.quarantines;
+    counters_.quarantines->inc();
     RDDR_LOG_WARN("%s: instance %zu (%s) quarantined", config_.name.c_str(),
                   i, config_.instance_addresses[i].c_str());
     schedule_reconnect(i);
@@ -113,7 +131,7 @@ void IncomingProxy::schedule_reconnect(size_t i) {
     }
     probe->close();
     health_.readmit(i);
-    ++stats_.reconnects;
+    counters_.reconnects->inc();
     RDDR_LOG_INFO("%s: instance %zu (%s) re-admitted after reconnect",
                   config_.name.c_str(), i,
                   config_.instance_addresses[i].c_str());
@@ -125,25 +143,43 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
   s->id = next_session_id_++;
   s->client = std::move(conn);
   s->client_framer = config_.plugin->make_framer(Direction::kClientToServer);
-  ++stats_.sessions;
+  counters_.sessions->inc();
+
+  obs::Tracer* tracer = config_.tracer;
+  if (tracer) {
+    // Reuse the caller's trace when the connection carries one (the
+    // workload driver tags its client connects); else this request starts
+    // a fresh trace.
+    s->trace = s->client->meta().trace_id ? s->client->meta().trace_id
+                                          : tracer->new_trace();
+    s->root_span = tracer->begin(s->trace, s->client->meta().parent_span,
+                                 "session", config_.name);
+    if (!s->client->meta().source.empty())
+      tracer->tag(s->root_span, "client", s->client->meta().source);
+  }
 
   const size_t n = config_.instance_addresses.size();
-  const bool strict = config_.policy == DegradationPolicy::kStrict;
+  const bool strict = config_.degradation == DegradationPolicy::kStrict;
   s->queues.resize(n);
   s->upstream_closed.resize(n, false);
   s->participating.assign(n, false);
   s->upstreams.resize(n);
   s->upstream_framers.resize(n);
+  s->upstream_spans.assign(n, 0);
   for (size_t i = 0; i < n; ++i) {
     if (!strict && !health_.is_healthy(i)) continue;  // quarantined: skip
-    auto up = net_.connect(config_.instance_addresses[i],
-                           {.source = config_.name,
-                            .flow_label = strformat("in-%llu", static_cast<unsigned long long>(s->id))});
+    sim::ConnectMeta meta;
+    meta.source = config_.name;
+    meta.flow_label =
+        strformat("in-%llu", static_cast<unsigned long long>(s->id));
+    meta.trace_id = s->trace;
+    meta.parent_span = s->root_span;
+    auto up = net_.connect(config_.instance_addresses[i], meta);
     if (!up) {
       RDDR_LOG_WARN("%s: instance %zu (%s) refused connection",
                     config_.name.c_str(), i,
                     config_.instance_addresses[i].c_str());
-      ++stats_.instance_unreachable;
+      counters_.instance_unreachable->inc();
       if (strict) {
         // Unavailability is not an attack: refuse the client without a
         // divergence count or bus report, and tear down the upstream
@@ -155,6 +191,8 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
         Bytes page = config_.plugin->intervention_response();
         if (!page.empty() && s->client->is_open()) s->client->send(page);
         if (s->client->is_open()) s->client->close();
+        if (tracer) tracer->tag(s->root_span, "refused", "instance unreachable");
+        end_session_spans(s);
         return;
       }
       note_instance_failure(i);
@@ -164,14 +202,21 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
     s->upstream_framers[i] =
         config_.plugin->make_framer(Direction::kServerToClient);
     s->participating[i] = true;
+    if (tracer) {
+      s->upstream_spans[i] =
+          tracer->begin(s->trace, s->root_span, "upstream", config_.name);
+      tracer->tag(s->upstream_spans[i], "instance", strformat("%zu", i));
+      tracer->tag(s->upstream_spans[i], "address",
+                  config_.instance_addresses[i]);
+    }
   }
 
   const size_t live = s->live();
   if (live < n) {
     s->degraded = true;
-    ++stats_.degraded_sessions;
+    counters_.degraded_sessions->inc();
   }
-  const bool failopen_ok = config_.policy == DegradationPolicy::kFailOpen;
+  const bool failopen_ok = config_.degradation == DegradationPolicy::kFailOpen;
   if (live == 0 || (live == 1 && !failopen_ok)) {
     // Nothing to serve (or a single instance we are not allowed to trust
     // unverified): refuse the client. Not a divergence.
@@ -180,6 +225,8 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
     Bytes page = config_.plugin->intervention_response();
     if (!page.empty() && s->client->is_open()) s->client->send(page);
     if (s->client->is_open()) s->client->close();
+    if (tracer) tracer->tag(s->root_span, "refused", "too few healthy instances");
+    end_session_spans(s);
     return;
   }
 
@@ -207,7 +254,7 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
       // back to raw replication so the instances decide (their responses
       // are still diffed).
       s->client_passthrough = true;
-      ++stats_.passthrough_sessions;
+      counters_.passthrough_sessions->inc();
       Bytes rest = s->client_framer->unconsumed();
       for (auto& up : s->upstreams)
         if (up && up->is_open()) up->send(rest);
@@ -225,9 +272,14 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
             hit->second >= config_.signature_threshold) {
           // Known-bad input: refuse at the proxy; the instances never see
           // the request (the §IV-D repeated-divergence DoS mitigation).
-          ++stats_.signature_blocks;
+          counters_.signature_blocks->inc();
           RDDR_LOG_INFO("%s: refused request matching divergence signature",
                         config_.name.c_str());
+          if (config_.tracer) {
+            obs::SpanId ev = config_.tracer->event(s->trace, s->root_span,
+                                                   "replicate", config_.name);
+            config_.tracer->tag(ev, "blocked", "divergence signature");
+          }
           Bytes page = config_.plugin->intervention_response();
           if (!page.empty() && s->client->is_open()) s->client->send(page);
           teardown(s);
@@ -236,7 +288,13 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
         s->last_unit_fingerprint = fp;
         s->has_fingerprint = true;
       }
-      ++stats_.units_replicated;
+      counters_.units_replicated->inc();
+      if (config_.tracer) {
+        obs::SpanId ev = config_.tracer->event(s->trace, s->root_span,
+                                               "replicate", config_.name);
+        config_.tracer->tag(ev, "fanout", strformat("%zu", s->live()));
+        config_.tracer->tag(ev, "bytes", strformat("%zu", u.data.size()));
+      }
       for (size_t i = 0; i < s->upstreams.size(); ++i) {
         if (!s->participating[i] || !s->upstreams[i]) continue;
         Bytes rewritten = config_.plugin->rewrite_for_instance(u, i, ctx);
@@ -262,7 +320,7 @@ void IncomingProxy::attach_upstream(const std::shared_ptr<Session>& s,
     auto& framer = *s->upstream_framers[i];
     framer.feed(data);
     if (framer.failed()) {
-      if (config_.policy == DegradationPolicy::kStrict) {
+      if (config_.degradation == DegradationPolicy::kStrict) {
         intervene(s, strformat("instance %zu response framing error", i),
                   true);
       } else if (drop_instance(s, i, "response framing error")) {
@@ -292,7 +350,9 @@ void IncomingProxy::enter_failopen(const std::shared_ptr<Session>& s,
   s->failopen = true;
   s->failopen_idx = sole;
   s->client_passthrough = true;
-  ++stats_.passthrough_sessions;
+  counters_.passthrough_sessions->inc();
+  if (config_.tracer) config_.tracer->tag(s->root_span, "failopen",
+                                          strformat("instance %zu", sole));
   RDDR_LOG_WARN("%s: session %llu FAIL-OPEN: forwarding instance %zu "
                 "uncompared (fewer than 2 healthy instances)",
                 config_.name.c_str(),
@@ -323,13 +383,17 @@ bool IncomingProxy::drop_instance(const std::shared_ptr<Session>& s, size_t i,
   if (s->upstreams[i] && s->upstreams[i]->is_open()) s->upstreams[i]->close();
   s->upstreams[i] = nullptr;
   s->queues[i].clear();
+  if (config_.tracer && s->upstream_spans[i]) {
+    config_.tracer->tag(s->upstream_spans[i], "dropped", why);
+    config_.tracer->end(s->upstream_spans[i]);
+  }
   if (!s->degraded) {
     s->degraded = true;
-    ++stats_.degraded_sessions;
+    counters_.degraded_sessions->inc();
   }
   const size_t live = s->live();
   if (live >= 2) return true;
-  if (live == 1 && config_.policy == DegradationPolicy::kFailOpen) {
+  if (live == 1 && config_.degradation == DegradationPolicy::kFailOpen) {
     size_t sole = 0;
     for (size_t j = 0; j < s->participating.size(); ++j)
       if (s->participating[j]) sole = j;
@@ -346,7 +410,7 @@ bool IncomingProxy::drop_instance(const std::shared_ptr<Session>& s, size_t i,
 }
 
 void IncomingProxy::arm_timeout(const std::shared_ptr<Session>& s) {
-  if (config_.instance_timeout <= 0 || s->ended || s->failopen) return;
+  if (config_.unit_timeout <= 0 || s->ended || s->failopen) return;
   bool some = false, all = true;
   for (size_t i = 0; i < s->queues.size(); ++i) {
     if (!s->participating[i]) continue;
@@ -355,7 +419,7 @@ void IncomingProxy::arm_timeout(const std::shared_ptr<Session>& s) {
   }
   if (some && !all && !s->timeout_event) {
     s->timeout_event = net_.simulator().schedule(
-        config_.instance_timeout, [this, s] {
+        config_.unit_timeout, [this, s] {
           s->timeout_event = 0;
           if (s->ended || s->failopen) return;
           std::vector<size_t> silent;
@@ -366,14 +430,14 @@ void IncomingProxy::arm_timeout(const std::shared_ptr<Session>& s) {
             else have_output = true;
           }
           if (silent.empty() || !have_output) return;
-          ++stats_.timeouts;
-          if (config_.policy == DegradationPolicy::kStrict) {
+          counters_.timeouts->inc();
+          if (config_.degradation == DegradationPolicy::kStrict) {
             intervene(s, "instance response timeout", true);
             return;
           }
           // Non-strict: the silent instances are lost, not the session.
           for (size_t i : silent) {
-            ++stats_.instance_unreachable;
+            counters_.instance_unreachable->inc();
             note_instance_failure(i);
             if (!drop_instance(s, i, "response timeout")) return;
           }
@@ -384,7 +448,7 @@ void IncomingProxy::arm_timeout(const std::shared_ptr<Session>& s) {
 
 void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
   if (s->busy || s->ended || s->failopen) return;
-  const bool strict = config_.policy == DegradationPolicy::kStrict;
+  const bool strict = config_.degradation == DegradationPolicy::kStrict;
 
   bool rescan = true;
   while (rescan) {
@@ -407,7 +471,7 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
                     true);
           return;
         }
-        ++stats_.instance_unreachable;
+        counters_.instance_unreachable->inc();
         note_instance_failure(i);
         if (!drop_instance(s, i, "closed while peers responded")) return;
         rescan = true;
@@ -442,12 +506,34 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
     idxmap.push_back(i);
   }
   s->busy = true;
+  obs::SpanId diff_span = 0;
+  const sim::Time diff_start = net_.simulator().now();
+  if (config_.tracer) {
+    diff_span =
+        config_.tracer->begin(s->trace, s->root_span, "diff", config_.name);
+    config_.tracer->tag(diff_span, "instances",
+                        strformat("%zu", idxmap.size()));
+  }
   double cost = config_.cpu_per_unit +
                 static_cast<double>(bytes) * config_.cpu_per_byte;
-  host_.run_task(cost, [this, s, units, idxmap = std::move(idxmap)] {
+  host_.run_task(cost, [this, s, units, idxmap = std::move(idxmap), diff_span,
+                        diff_start] {
     s->busy = false;
-    if (s->ended) return;
-    ++stats_.units_compared;
+    counters_.compare_ms->observe(
+        static_cast<double>(net_.simulator().now() - diff_start) / 1e6);
+    obs::Tracer* tracer = config_.tracer;
+    if (tracer) {
+      // The de-noise pass runs inside the plugin's compare; a marker span
+      // keeps it visible in the taxonomy.
+      obs::SpanId dn = tracer->event(s->trace, diff_span, "denoise",
+                                     config_.name);
+      tracer->tag(dn, "filter_pair", config_.filter_pair ? "true" : "false");
+    }
+    if (s->ended) {
+      if (tracer) tracer->end(diff_span);
+      return;
+    }
+    counters_.units_compared->inc();
     const size_t n = config_.instance_addresses.size();
     CompareContext ctx;
     // The de-noise mask needs the filter pair in slots 0/1; a degraded
@@ -459,29 +545,51 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
     // for degraded groups (pre-harvested tokens still rewrite fine).
     ctx.session = idxmap.size() == n ? &token_state_ : nullptr;
 
+    auto verdict = [&](const char* v) -> obs::SpanId {
+      if (!tracer) return 0;
+      obs::SpanId sp = tracer->event(s->trace, diff_span, "verdict",
+                                     config_.name);
+      tracer->tag(sp, "verdict", v);
+      return sp;
+    };
+
     Bytes fwd;
-    if (config_.policy == DegradationPolicy::kStrict) {
+    if (config_.degradation == DegradationPolicy::kStrict) {
       DiffOutcome outcome = config_.plugin->compare(*units, ctx);
       if (outcome.divergent) {
+        obs::SpanId sp = verdict("divergent");
+        if (tracer) {
+          tracer->tag(sp, "reason", outcome.reason);
+          tracer->end(diff_span);
+        }
         intervene(s, outcome.reason, true);
         return;
       }
+      verdict("agree");
       fwd = config_.plugin->on_forward_downstream(*units, ctx);
     } else {
       QuorumVote vote = quorum_vote(*config_.plugin, *units, ctx);
       if (!vote.agreed) {
+        obs::SpanId sp = verdict("divergent");
+        if (tracer) {
+          tracer->tag(sp, "reason", vote.reason);
+          tracer->end(diff_span);
+        }
         intervene(s, vote.reason, true);
         return;
       }
       if (vote.outlier != SIZE_MAX) {
         size_t inst = idxmap[vote.outlier];
-        ++stats_.quorum_outvotes;
+        counters_.quorum_outvotes->inc();
+        obs::SpanId sp = verdict("outvoted");
+        if (tracer)
+          tracer->tag(sp, "outvoted_instance", strformat("%zu", inst));
         RDDR_LOG_WARN("%s: session %llu: instance %zu outvoted by quorum "
                       "(%zu-of-%zu agree); quarantining it",
                       config_.name.c_str(),
                       static_cast<unsigned long long>(s->id), inst,
                       units->size() - 1, units->size());
-        if (health_.quarantine(inst)) ++stats_.quarantines;
+        if (health_.quarantine(inst)) counters_.quarantines->inc();
         // A divergent answer is evidence of compromise, not transient
         // unavailability: no automatic re-admission (probes only test
         // reachability, which an outvoted instance still has).
@@ -490,12 +598,17 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
                      static_cast<std::ptrdiff_t>(vote.outlier));
         ctx.filter_pair = ctx.filter_pair && vote.outlier > 1;
         ctx.session = nullptr;  // degraded group: see above
-        if (!drop_instance(s, inst, "outvoted by quorum")) return;
+        if (!drop_instance(s, inst, "outvoted by quorum")) {
+          if (tracer) tracer->end(diff_span);
+          return;
+        }
       } else {
         for (size_t i : idxmap) health_.record_success(i);
+        verdict("agree");
       }
       fwd = config_.plugin->on_forward_downstream(*units, ctx);
     }
+    if (tracer) tracer->end(diff_span);
     if (s->client->is_open()) s->client->send(fwd);
     pump(s);
     arm_timeout(s);
@@ -505,9 +618,10 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
 void IncomingProxy::intervene(const std::shared_ptr<Session>& s,
                               const std::string& reason, bool report) {
   if (s->ended) return;
-  ++stats_.divergences;
+  counters_.divergences->inc();
   RDDR_LOG_INFO("%s: intervention on session %llu: %s", config_.name.c_str(),
                 static_cast<unsigned long long>(s->id), reason.c_str());
+  if (config_.tracer) config_.tracer->tag(s->root_span, "intervention", reason);
   if (config_.signature_blocking && s->has_fingerprint)
     ++signatures_[s->last_unit_fingerprint];
   if (report && bus_) bus_->report(config_.name, reason);
@@ -527,6 +641,7 @@ void IncomingProxy::teardown(const std::shared_ptr<Session>& s) {
   if (s->client && s->client->is_open()) s->client->close();
   for (auto& up : s->upstreams)
     if (up && up->is_open()) up->close();
+  end_session_spans(s);
   sessions_.erase(s->id);
 }
 
@@ -535,12 +650,14 @@ void IncomingProxy::abort_all_sessions(const std::string& reason) {
   std::vector<std::shared_ptr<Session>> active;
   for (auto& [id, s] : sessions_) active.push_back(s);
   for (auto& s : active) {
-    ++stats_.divergences;
+    counters_.divergences->inc();
     Bytes page = config_.plugin->intervention_response();
     if (!page.empty() && s->client && s->client->is_open())
       s->client->send(page);
     RDDR_LOG_INFO("%s: aborting session %llu: %s", config_.name.c_str(),
                   static_cast<unsigned long long>(s->id), reason.c_str());
+    if (config_.tracer)
+      config_.tracer->tag(s->root_span, "intervention", reason);
     teardown(s);
   }
 }

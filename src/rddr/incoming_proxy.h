@@ -7,6 +7,13 @@
 // protocol plugin, and Responds — forwarding instance 0's bytes on
 // agreement, or emitting the intervention response and closing everything
 // on divergence.
+//
+// Observability: counters live in a metrics registry (ProxyCounters;
+// `stats()` is the compatibility snapshot) and, when a Tracer is
+// configured, every client session becomes a trace — root "session" span,
+// one "upstream" span per instance, "replicate" markers per request unit
+// and "diff"/"denoise"/"verdict" spans per comparison. Upstream connects
+// carry the trace context onward via ConnectMeta.
 #pragma once
 
 #include <cstdint>
@@ -19,77 +26,29 @@
 #include "netsim/network.h"
 #include "rddr/divergence.h"
 #include "rddr/health.h"
+#include "rddr/options.h"
 #include "rddr/plugin.h"
 
 namespace rddr::core {
 
-struct ProxyStats {
-  uint64_t sessions = 0;
-  uint64_t units_replicated = 0;  // client->instances units
-  uint64_t units_compared = 0;    // instance->client comparisons
-  uint64_t divergences = 0;
-  uint64_t timeouts = 0;
-  uint64_t passthrough_sessions = 0;
-  uint64_t signature_blocks = 0;  // requests refused by known signature
-  // Availability-path counters (fault tolerance, §IV-D limitations):
-  uint64_t instance_unreachable = 0;  // refused connects / lost instances
-  uint64_t quarantines = 0;           // instances moved to quarantine
-  uint64_t reconnects = 0;            // quarantined instances re-admitted
-  uint64_t degraded_sessions = 0;     // sessions served by < N instances
-  uint64_t quorum_outvotes = 0;       // divergent minorities outvoted
-
-  ProxyStats& operator+=(const ProxyStats& o) {
-    sessions += o.sessions;
-    units_replicated += o.units_replicated;
-    units_compared += o.units_compared;
-    divergences += o.divergences;
-    timeouts += o.timeouts;
-    passthrough_sessions += o.passthrough_sessions;
-    signature_blocks += o.signature_blocks;
-    instance_unreachable += o.instance_unreachable;
-    quarantines += o.quarantines;
-    reconnects += o.reconnects;
-    degraded_sessions += o.degraded_sessions;
-    quorum_outvotes += o.quorum_outvotes;
-    return *this;
-  }
-};
-
 class IncomingProxy {
  public:
-  struct Config {
-    std::string name = "rddr-in";
+  struct Config : ProxyOptions {
+    Config() { name = "rddr-in"; }
+
     std::string listen_address;
     /// Addresses of the N protected-microservice instances. With
     /// `filter_pair`, instances 0 and 1 must be the identical-image pair.
     std::vector<std::string> instance_addresses;
-    std::shared_ptr<ProtocolPlugin> plugin;
-    KnownVariance variance;
-    bool filter_pair = false;
     bool delete_tokens_after_use = true;
-    /// 0 disables the per-unit instance timeout — reproducing the paper's
-    /// §IV-D DoS limitation; a positive value is the suggested mitigation.
-    sim::Time instance_timeout = 0;
-    /// §IV-D's other suggested mitigation ("automated signature
-    /// generation to defeat an attacker who repetitively triggers
-    /// divergence"): when enabled, the client request that preceded a
-    /// divergence is fingerprinted, and once a fingerprint has triggered
+    /// §IV-D's suggested mitigation ("automated signature generation to
+    /// defeat an attacker who repetitively triggers divergence"): when
+    /// enabled, the client request that preceded a divergence is
+    /// fingerprinted, and once a fingerprint has triggered
     /// `signature_threshold` divergences, matching requests are refused at
     /// the proxy without ever reaching the instances.
     bool signature_blocking = false;
     uint32_t signature_threshold = 1;
-    /// Graceful degradation under instance failure (§IV-D): kStrict is
-    /// the paper's unanimity; kQuorum keeps serving on a majority of
-    /// healthy instances; kFailOpen additionally passes through (with
-    /// alert counters) when fewer than 2 healthy instances remain.
-    DegradationPolicy policy = DegradationPolicy::kStrict;
-    /// Quarantine threshold and reconnect backoff (ignored under kStrict).
-    /// `health.n_instances` is filled from `instance_addresses`.
-    HealthTracker::Options health;
-    /// CPU model for the de-noise+diff work.
-    double cpu_per_unit = 15e-6;
-    double cpu_per_byte = 2e-9;
-    int64_t base_memory_bytes = 24LL << 20;
   };
 
   IncomingProxy(sim::Network& net, sim::Host& host, Config config,
@@ -98,8 +57,13 @@ class IncomingProxy {
   IncomingProxy(const IncomingProxy&) = delete;
   IncomingProxy& operator=(const IncomingProxy&) = delete;
 
-  const ProxyStats& stats() const { return stats_; }
+  /// Counter snapshot out of the metrics registry (compatibility view).
+  ProxyStats stats() const { return counters_.snapshot(); }
   const Config& config() const { return config_; }
+
+  /// Registry the proxy publishes into (the configured one, else the
+  /// proxy-private fallback).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
 
   /// Per-instance health view (quarantine state, for tests/operators).
   const HealthTracker& health() const { return health_; }
@@ -124,12 +88,15 @@ class IncomingProxy {
   void note_instance_failure(size_t i);
   void schedule_reconnect(size_t i);
   void enter_failopen(const std::shared_ptr<Session>& s, size_t live_idx);
+  void end_session_spans(const std::shared_ptr<Session>& s);
 
   sim::Network& net_;
   sim::Host& host_;
   Config config_;
   DivergenceBus* bus_;
-  ProxyStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // fallback registry
+  obs::MetricsRegistry* metrics_;
+  ProxyCounters counters_;
   HealthTracker health_;
   /// Pending reconnect-probe event per instance (0 = none).
   std::vector<uint64_t> probe_events_;

@@ -1,0 +1,40 @@
+#include "rddr/options.h"
+
+namespace rddr::core {
+
+void ProxyCounters::bind(obs::MetricsRegistry& reg,
+                         const std::string& prefix) {
+  sessions = reg.counter(prefix + ".sessions");
+  units_replicated = reg.counter(prefix + ".units_replicated");
+  units_compared = reg.counter(prefix + ".units_compared");
+  divergences = reg.counter(prefix + ".divergences");
+  timeouts = reg.counter(prefix + ".timeouts");
+  passthrough_sessions = reg.counter(prefix + ".passthrough_sessions");
+  signature_blocks = reg.counter(prefix + ".signature_blocks");
+  instance_unreachable = reg.counter(prefix + ".instance_unreachable");
+  quarantines = reg.counter(prefix + ".quarantines");
+  reconnects = reg.counter(prefix + ".reconnects");
+  degraded_sessions = reg.counter(prefix + ".degraded_sessions");
+  quorum_outvotes = reg.counter(prefix + ".quorum_outvotes");
+  compare_ms = reg.histogram(prefix + ".compare_ms");
+}
+
+ProxyStats ProxyCounters::snapshot() const {
+  ProxyStats s;
+  if (!sessions) return s;  // never bound (proxy not constructed)
+  s.sessions = sessions->value();
+  s.units_replicated = units_replicated->value();
+  s.units_compared = units_compared->value();
+  s.divergences = divergences->value();
+  s.timeouts = timeouts->value();
+  s.passthrough_sessions = passthrough_sessions->value();
+  s.signature_blocks = signature_blocks->value();
+  s.instance_unreachable = instance_unreachable->value();
+  s.quarantines = quarantines->value();
+  s.reconnects = reconnects->value();
+  s.degraded_sessions = degraded_sessions->value();
+  s.quorum_outvotes = quorum_outvotes->value();
+  return s;
+}
+
+}  // namespace rddr::core

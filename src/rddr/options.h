@@ -1,0 +1,120 @@
+// Shared proxy configuration and the registry-backed stats surface.
+//
+// `ProxyOptions` factors the fields the incoming and outgoing proxies
+// used to duplicate (plugin, variance, degradation policy, health knobs,
+// CPU model, observability sinks); each proxy's `Config` extends it with
+// the fields specific to its direction. `ProxyStats` remains as a plain
+// compatibility view over the registry-backed counters that now do the
+// actual counting (see ProxyCounters).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "netsim/simulator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rddr/health.h"
+#include "rddr/plugin.h"
+
+namespace rddr::core {
+
+/// Configuration shared by both RDDR proxies. Defaults are the paper's
+/// strict deployment with the seed repo's CPU model.
+struct ProxyOptions {
+  std::string name = "rddr";
+  std::shared_ptr<ProtocolPlugin> plugin;
+  /// Manually configured benign divergence (paper §IV-B4).
+  KnownVariance variance;
+  /// Instances 0 and 1 are an identical-image filter pair (§IV-B2).
+  bool filter_pair = false;
+  /// What happens when instances fail or disagree (§IV-D). Canonical
+  /// spelling; `policy()` below is the deprecated alias. Default: the
+  /// paper's unanimity-or-intervene.
+  DegradationPolicy degradation = DegradationPolicy::kStrict;
+  /// Quarantine threshold and reconnect backoff (ignored under kStrict).
+  /// `health.n_instances` is filled by the proxy from its instance list.
+  HealthTracker::Options health;
+  /// Per-unit wait for lagging instances; 0 (default) disables the
+  /// timeout, reproducing the paper's §IV-D DoS limitation. Canonical
+  /// spelling for what the incoming proxy called `instance_timeout`.
+  sim::Time unit_timeout = 0;
+  /// CPU model for the de-noise+diff work, charged to the proxy host.
+  double cpu_per_unit = 15e-6;
+  double cpu_per_byte = 2e-9;
+  int64_t base_memory_bytes = 24LL << 20;
+  /// Observability sinks (optional, not owned). With `metrics` unset the
+  /// proxy keeps a private registry; with `tracer` unset no spans are
+  /// recorded.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+
+  // ---- deprecated spellings (kept as aliases for one release) ----
+  [[deprecated("spell it `degradation`")]] DegradationPolicy& policy() {
+    return degradation;
+  }
+  [[deprecated("spell it `unit_timeout`")]] sim::Time& instance_timeout() {
+    return unit_timeout;
+  }
+};
+
+/// Element-wise counter snapshot of one proxy (or, via
+/// NVersionDeployment::aggregate_stats, a whole deployment). Kept as the
+/// stable stats API; values are read out of the metrics registry.
+struct ProxyStats {
+  uint64_t sessions = 0;
+  uint64_t units_replicated = 0;  // client->instances units
+  uint64_t units_compared = 0;    // instance->client comparisons
+  uint64_t divergences = 0;
+  uint64_t timeouts = 0;
+  uint64_t passthrough_sessions = 0;
+  uint64_t signature_blocks = 0;  // requests refused by known signature
+  // Availability-path counters (fault tolerance, §IV-D limitations):
+  uint64_t instance_unreachable = 0;  // refused connects / lost instances
+  uint64_t quarantines = 0;           // instances moved to quarantine
+  uint64_t reconnects = 0;            // quarantined instances re-admitted
+  uint64_t degraded_sessions = 0;     // sessions served by < N instances
+  uint64_t quorum_outvotes = 0;       // divergent minorities outvoted
+
+  ProxyStats& operator+=(const ProxyStats& o) {
+    sessions += o.sessions;
+    units_replicated += o.units_replicated;
+    units_compared += o.units_compared;
+    divergences += o.divergences;
+    timeouts += o.timeouts;
+    passthrough_sessions += o.passthrough_sessions;
+    signature_blocks += o.signature_blocks;
+    instance_unreachable += o.instance_unreachable;
+    quarantines += o.quarantines;
+    reconnects += o.reconnects;
+    degraded_sessions += o.degraded_sessions;
+    quorum_outvotes += o.quorum_outvotes;
+    return *this;
+  }
+};
+
+/// The registry handles behind one proxy's ProxyStats view, resolved once
+/// at proxy construction under "<name>." so a shared registry keeps the
+/// per-proxy series apart. Incrementing is one 64-bit add.
+struct ProxyCounters {
+  obs::Counter* sessions = nullptr;
+  obs::Counter* units_replicated = nullptr;
+  obs::Counter* units_compared = nullptr;
+  obs::Counter* divergences = nullptr;
+  obs::Counter* timeouts = nullptr;
+  obs::Counter* passthrough_sessions = nullptr;
+  obs::Counter* signature_blocks = nullptr;
+  obs::Counter* instance_unreachable = nullptr;
+  obs::Counter* quarantines = nullptr;
+  obs::Counter* reconnects = nullptr;
+  obs::Counter* degraded_sessions = nullptr;
+  obs::Counter* quorum_outvotes = nullptr;
+  /// Virtual-time cost of each de-noise+diff batch, in milliseconds.
+  obs::Histogram* compare_ms = nullptr;
+
+  void bind(obs::MetricsRegistry& reg, const std::string& prefix);
+  ProxyStats snapshot() const;
+};
+
+}  // namespace rddr::core

@@ -28,6 +28,13 @@ struct OutgoingProxy::Group {
   uint64_t unit_timeout_event = 0;
   SessionState state;  // unused by current plugins upstream, kept uniform
 
+  // Trace context (zero when no tracer is configured). Instances do not
+  // propagate trace ids, so each flow group roots its own trace, tagged
+  // with the flow label; the backend connect carries the context onward.
+  obs::TraceId trace = 0;
+  obs::SpanId root_span = 0;
+  std::vector<obs::SpanId> member_spans;
+
   size_t live() const {
     size_t n = 0;
     for (bool p : participating)
@@ -47,6 +54,13 @@ OutgoingProxy::OutgoingProxy(sim::Network& net, sim::Host& host,
         h.n_instances = config_.instance_sources.size();
         return h;
       }()) {
+  if (config_.metrics) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  counters_.bind(*metrics_, config_.name);
   host_.charge_memory(config_.base_memory_bytes);
   net_.listen(config_.listen_address,
               [this](sim::ConnPtr c) { on_accept(std::move(c)); });
@@ -76,7 +90,7 @@ size_t OutgoingProxy::source_index(const std::string& source) const {
 }
 
 size_t OutgoingProxy::expected_members() const {
-  if (config_.policy == DegradationPolicy::kStrict ||
+  if (config_.degradation == DegradationPolicy::kStrict ||
       health_.n_instances() == 0)
     return config_.group_size;
   return std::min(health_.healthy_count(), config_.group_size);
@@ -85,7 +99,7 @@ size_t OutgoingProxy::expected_members() const {
 void OutgoingProxy::on_accept(sim::ConnPtr conn) {
   // A quarantined instance dialing in again is back on its feet; instances
   // connect outward, so this is the outgoing side's "reconnect".
-  if (config_.policy != DegradationPolicy::kStrict &&
+  if (config_.degradation != DegradationPolicy::kStrict &&
       health_.n_instances() > 0) {
     size_t si = source_index(conn->meta().source);
     // kDead (outvoted, or written off) stays out; only instances that went
@@ -93,7 +107,7 @@ void OutgoingProxy::on_accept(sim::ConnPtr conn) {
     if (si != SIZE_MAX &&
         health_.state(si) == HealthTracker::State::kQuarantined) {
       health_.readmit(si);
-      ++stats_.reconnects;
+      counters_.reconnects->inc();
       RDDR_LOG_INFO("%s: instance source '%s' re-admitted (dialed in)",
                     config_.name.c_str(), conn->meta().source.c_str());
     }
@@ -113,7 +127,13 @@ void OutgoingProxy::on_accept(sim::ConnPtr conn) {
     g->id = next_group_id_++;
     g->flow_label = label;
     groups_[g->id] = g;
-    ++stats_.sessions;
+    counters_.sessions->inc();
+    if (config_.tracer) {
+      g->trace = config_.tracer->new_trace();
+      g->root_span =
+          config_.tracer->begin(g->trace, 0, "flow", config_.name);
+      config_.tracer->tag(g->root_span, "flow_label", label);
+    }
     g->window_event = net_.simulator().schedule(
         config_.group_window, [this, g] {
           g->window_event = 0;
@@ -127,6 +147,14 @@ void OutgoingProxy::on_accept(sim::ConnPtr conn) {
   g->queues.emplace_back();
   g->member_closed.push_back(false);
   g->participating.push_back(true);
+  if (config_.tracer) {
+    obs::SpanId sp =
+        config_.tracer->begin(g->trace, g->root_span, "upstream", config_.name);
+    config_.tracer->tag(sp, "source", conn->meta().source);
+    g->member_spans.push_back(sp);
+  } else {
+    g->member_spans.push_back(0);
+  }
   register_handlers(g, idx);
 
   if (g->members.size() >= config_.group_size) {
@@ -137,17 +165,17 @@ void OutgoingProxy::on_accept(sim::ConnPtr conn) {
   // instances known to be down: all currently-healthy instances present is
   // as complete as this group will get.
   size_t expected = expected_members();
-  if (config_.policy != DegradationPolicy::kStrict &&
+  if (config_.degradation != DegradationPolicy::kStrict &&
       expected < config_.group_size && g->members.size() >= expected) {
-    size_t min_needed = config_.policy == DegradationPolicy::kFailOpen
+    size_t min_needed = config_.degradation == DegradationPolicy::kFailOpen
                             ? size_t{1}
                             : config_.min_group_size;
     if (g->members.size() >= min_needed) {
       g->degraded = true;
-      ++stats_.degraded_sessions;
+      counters_.degraded_sessions->inc();
       if (g->members.size() == 1) {
         g->failopen = true;
-        ++stats_.passthrough_sessions;
+        counters_.passthrough_sessions->inc();
       }
       complete_group(g);
     }
@@ -166,7 +194,7 @@ void OutgoingProxy::register_handlers(const std::shared_ptr<Group>& g,
     auto& framer = *g->framers[i];
     framer.feed(data);
     if (framer.failed()) {
-      if (config_.policy == DegradationPolicy::kStrict) {
+      if (config_.degradation == DegradationPolicy::kStrict) {
         intervene(g, strformat("instance %zu request framing error", i));
       } else if (drop_member(g, i, "request framing error")) {
         pump(g);
@@ -190,8 +218,8 @@ void OutgoingProxy::register_handlers(const std::shared_ptr<Group>& g,
 
 void OutgoingProxy::on_window_expired(const std::shared_ptr<Group>& g) {
   if (g->complete || g->ended) return;
-  ++stats_.timeouts;
-  if (config_.policy == DegradationPolicy::kStrict) {
+  counters_.timeouts->inc();
+  if (config_.degradation == DegradationPolicy::kStrict) {
     intervene(g, strformat("flow '%s': only %zu of %zu instances contacted "
                            "the backend",
                            g->flow_label.c_str(), g->members.size(),
@@ -199,7 +227,7 @@ void OutgoingProxy::on_window_expired(const std::shared_ptr<Group>& g) {
     return;
   }
   size_t joined = g->members.size();
-  size_t min_needed = config_.policy == DegradationPolicy::kFailOpen
+  size_t min_needed = config_.degradation == DegradationPolicy::kFailOpen
                           ? size_t{1}
                           : config_.min_group_size;
   if (joined < min_needed) {
@@ -221,9 +249,9 @@ void OutgoingProxy::on_window_expired(const std::shared_ptr<Group>& g) {
       for (const auto& m : g->members)
         if (m->meta().source == config_.instance_sources[si]) present = true;
       if (!present) {
-        ++stats_.instance_unreachable;
+        counters_.instance_unreachable->inc();
         if (health_.record_failure(si)) {
-          ++stats_.quarantines;
+          counters_.quarantines->inc();
           RDDR_LOG_WARN("%s: instance source '%s' quarantined (absent)",
                         config_.name.c_str(),
                         config_.instance_sources[si].c_str());
@@ -231,13 +259,13 @@ void OutgoingProxy::on_window_expired(const std::shared_ptr<Group>& g) {
       }
     }
   } else {
-    stats_.instance_unreachable += config_.group_size - joined;
+    counters_.instance_unreachable->inc(config_.group_size - joined);
   }
   g->degraded = true;
-  ++stats_.degraded_sessions;
+  counters_.degraded_sessions->inc();
   if (joined == 1) {
     g->failopen = true;
-    ++stats_.passthrough_sessions;
+    counters_.passthrough_sessions->inc();
   }
   complete_group(g);
 }
@@ -266,12 +294,14 @@ void OutgoingProxy::complete_group(const std::shared_ptr<Group>& g) {
       std::vector<std::deque<Unit>> queues;
       std::vector<bool> closed;
       std::vector<bool> participating;
+      std::vector<obs::SpanId> spans;
       for (size_t i : order) {
         members.push_back(g->members[i]);
         framers.push_back(std::move(g->framers[i]));
         queues.push_back(std::move(g->queues[i]));
         closed.push_back(g->member_closed[i]);
         participating.push_back(g->participating[i]);
+        spans.push_back(g->member_spans[i]);
       }
       // Re-register handlers with the new slot indices.
       g->members = std::move(members);
@@ -279,6 +309,7 @@ void OutgoingProxy::complete_group(const std::shared_ptr<Group>& g) {
       g->queues = std::move(queues);
       g->member_closed = std::move(closed);
       g->participating = std::move(participating);
+      g->member_spans = std::move(spans);
       for (size_t i = 0; i < g->members.size(); ++i) register_handlers(g, i);
     }
     g->pair_ok = g->members.size() >= 2 &&
@@ -288,9 +319,12 @@ void OutgoingProxy::complete_group(const std::shared_ptr<Group>& g) {
     g->pair_ok = g->members.size() == config_.group_size;
   }
 
-  g->backend = net_.connect(config_.backend_address,
-                            {.source = config_.name,
-                             .flow_label = g->flow_label});
+  sim::ConnectMeta backend_meta;
+  backend_meta.source = config_.name;
+  backend_meta.flow_label = g->flow_label;
+  backend_meta.trace_id = g->trace;
+  backend_meta.parent_span = g->root_span;
+  g->backend = net_.connect(config_.backend_address, backend_meta);
   if (!g->backend) {
     intervene(g, "backend unreachable: " + config_.backend_address);
     return;
@@ -316,6 +350,8 @@ void OutgoingProxy::enter_failopen(const std::shared_ptr<Group>& g) {
   size_t sole = SIZE_MAX;
   for (size_t i = 0; i < g->members.size(); ++i)
     if (g->participating[i]) sole = i;
+  if (config_.tracer)
+    config_.tracer->tag(g->root_span, "failopen", strformat("slot %zu", sole));
   RDDR_LOG_WARN("%s: flow '%s' FAIL-OPEN: forwarding sole instance "
                 "uncompared",
                 config_.name.c_str(), g->flow_label.c_str());
@@ -349,20 +385,24 @@ bool OutgoingProxy::drop_member(const std::shared_ptr<Group>& g, size_t i,
   g->participating[i] = false;
   if (g->members[i] && g->members[i]->is_open()) g->members[i]->close();
   g->queues[i].clear();
+  if (config_.tracer && g->member_spans[i]) {
+    config_.tracer->tag(g->member_spans[i], "dropped", why);
+    config_.tracer->end(g->member_spans[i]);
+  }
   if (!g->degraded) {
     g->degraded = true;
-    ++stats_.degraded_sessions;
+    counters_.degraded_sessions->inc();
   }
   size_t si = source_index(g->members[i]->meta().source);
   if (si != SIZE_MAX && health_.record_failure(si)) {
-    ++stats_.quarantines;
+    counters_.quarantines->inc();
     RDDR_LOG_WARN("%s: instance source '%s' quarantined", config_.name.c_str(),
                   config_.instance_sources[si].c_str());
   }
   const size_t live = g->live();
   if (live >= 2) return true;
-  if (live == 1 && config_.policy == DegradationPolicy::kFailOpen) {
-    ++stats_.passthrough_sessions;
+  if (live == 1 && config_.degradation == DegradationPolicy::kFailOpen) {
+    counters_.passthrough_sessions->inc();
     enter_failopen(g);
     return false;  // pump must not compare a fail-open group
   }
@@ -379,7 +419,7 @@ bool OutgoingProxy::drop_member(const std::shared_ptr<Group>& g, size_t i,
 
 void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
   if (!g->complete || g->busy || g->ended || g->failopen) return;
-  const bool strict = config_.policy == DegradationPolicy::kStrict;
+  const bool strict = config_.degradation == DegradationPolicy::kStrict;
 
   bool rescan = true;
   while (rescan) {
@@ -398,7 +438,7 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
                                  i));
           return;
         }
-        ++stats_.instance_unreachable;
+        counters_.instance_unreachable->inc();
         if (!drop_member(g, i, "closed while peers kept sending")) return;
         rescan = true;
         break;
@@ -434,13 +474,13 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
               else still_have = true;
             }
             if (silent.empty() || !still_have) return;
-            ++stats_.timeouts;
-            if (config_.policy == DegradationPolicy::kStrict) {
+            counters_.timeouts->inc();
+            if (config_.degradation == DegradationPolicy::kStrict) {
               intervene(g, "instance request timeout at the backend merge");
               return;
             }
             for (size_t i : silent) {
-              ++stats_.instance_unreachable;
+              counters_.instance_unreachable->inc();
               if (!drop_member(g, i, "request timeout")) return;
             }
             pump(g);
@@ -463,33 +503,74 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
     idxmap.push_back(i);
   }
   g->busy = true;
+  obs::SpanId diff_span = 0;
+  const sim::Time diff_start = net_.simulator().now();
+  if (config_.tracer) {
+    diff_span =
+        config_.tracer->begin(g->trace, g->root_span, "diff", config_.name);
+    config_.tracer->tag(diff_span, "instances",
+                        strformat("%zu", idxmap.size()));
+  }
   double cost = config_.cpu_per_unit +
                 static_cast<double>(bytes) * config_.cpu_per_byte;
-  host_.run_task(cost, [this, g, units, idxmap = std::move(idxmap)] {
+  host_.run_task(cost, [this, g, units, idxmap = std::move(idxmap), diff_span,
+                        diff_start] {
     g->busy = false;
-    if (g->ended) return;
-    ++stats_.units_compared;
+    counters_.compare_ms->observe(
+        static_cast<double>(net_.simulator().now() - diff_start) / 1e6);
+    obs::Tracer* tracer = config_.tracer;
+    if (tracer) {
+      obs::SpanId dn =
+          tracer->event(g->trace, diff_span, "denoise", config_.name);
+      tracer->tag(dn, "filter_pair", config_.filter_pair ? "true" : "false");
+    }
+    if (g->ended) {
+      if (tracer) tracer->end(diff_span);
+      return;
+    }
+    counters_.units_compared->inc();
     CompareContext ctx;
     ctx.filter_pair = config_.filter_pair && g->pair_ok &&
                       idxmap.size() >= 2 && idxmap[0] == 0 && idxmap[1] == 1;
     ctx.variance = &config_.variance;
     ctx.session = &g->state;
+    auto verdict = [&](const char* v) -> obs::SpanId {
+      if (!tracer) return 0;
+      obs::SpanId sp =
+          tracer->event(g->trace, diff_span, "verdict", config_.name);
+      tracer->tag(sp, "verdict", v);
+      return sp;
+    };
     size_t fwd = 0;  // unit position whose bytes reach the backend
-    if (config_.policy == DegradationPolicy::kStrict) {
+    if (config_.degradation == DegradationPolicy::kStrict) {
       DiffOutcome outcome = config_.plugin->compare(*units, ctx);
       if (outcome.divergent) {
+        obs::SpanId sp = verdict("divergent");
+        if (tracer) {
+          tracer->tag(sp, "reason", outcome.reason);
+          tracer->end(diff_span);
+        }
         intervene(g, outcome.reason);
         return;
       }
+      verdict("agree");
     } else {
       QuorumVote vote = quorum_vote(*config_.plugin, *units, ctx);
       if (!vote.agreed) {
+        obs::SpanId sp = verdict("divergent");
+        if (tracer) {
+          tracer->tag(sp, "reason", vote.reason);
+          tracer->end(diff_span);
+        }
         intervene(g, vote.reason);
         return;
       }
       if (vote.outlier != SIZE_MAX) {
         size_t slot = idxmap[vote.outlier];
-        ++stats_.quorum_outvotes;
+        counters_.quorum_outvotes->inc();
+        obs::SpanId sp = verdict("outvoted");
+        if (tracer)
+          tracer->tag(sp, "outvoted_instance", strformat("%zu", slot));
         RDDR_LOG_WARN("%s: flow '%s': instance %zu outvoted by quorum "
                       "(%zu-of-%zu agree); dropping it",
                       config_.name.c_str(), g->flow_label.c_str(), slot,
@@ -500,15 +581,22 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
         bool ok = drop_member(g, slot, "outvoted by quorum");
         // Divergence is evidence, not unavailability: no re-admission.
         if (si != SIZE_MAX) health_.mark_dead(si);
-        if (!ok) return;
-      } else if (health_.n_instances() > 0) {
-        for (size_t i : idxmap) {
-          size_t si = source_index(g->members[i]->meta().source);
-          if (si != SIZE_MAX) health_.record_success(si);
+        if (!ok) {
+          if (tracer) tracer->end(diff_span);
+          return;
         }
+      } else {
+        if (health_.n_instances() > 0) {
+          for (size_t i : idxmap) {
+            size_t si = source_index(g->members[i]->meta().source);
+            if (si != SIZE_MAX) health_.record_success(si);
+          }
+        }
+        verdict("agree");
       }
     }
-    ++stats_.units_replicated;
+    if (tracer) tracer->end(diff_span);
+    counters_.units_replicated->inc();
     if (g->backend && g->backend->is_open())
       g->backend->send((*units)[fwd].data);
     pump(g);
@@ -518,11 +606,18 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
 void OutgoingProxy::intervene(const std::shared_ptr<Group>& g,
                               const std::string& reason) {
   if (g->ended) return;
-  ++stats_.divergences;
+  counters_.divergences->inc();
   RDDR_LOG_INFO("%s: intervention on flow '%s': %s", config_.name.c_str(),
                 g->flow_label.c_str(), reason.c_str());
+  if (config_.tracer) config_.tracer->tag(g->root_span, "intervention", reason);
   if (bus_) bus_->report(config_.name, reason);
   teardown(g);
+}
+
+void OutgoingProxy::end_group_spans(const std::shared_ptr<Group>& g) {
+  if (!config_.tracer) return;
+  for (obs::SpanId sp : g->member_spans) config_.tracer->end(sp);
+  config_.tracer->end(g->root_span);
 }
 
 void OutgoingProxy::teardown(const std::shared_ptr<Group>& g) {
@@ -539,6 +634,7 @@ void OutgoingProxy::teardown(const std::shared_ptr<Group>& g) {
   for (auto& m : g->members)
     if (m && m->is_open()) m->close();
   if (g->backend && g->backend->is_open()) g->backend->close();
+  end_group_spans(g);
   groups_.erase(g->id);
 }
 
@@ -547,9 +643,11 @@ void OutgoingProxy::abort_all_sessions(const std::string& reason) {
   std::vector<std::shared_ptr<Group>> active;
   for (auto& [id, g] : groups_) active.push_back(g);
   for (auto& g : active) {
-    ++stats_.divergences;
+    counters_.divergences->inc();
     RDDR_LOG_INFO("%s: aborting flow '%s': %s", config_.name.c_str(),
                   g->flow_label.c_str(), reason.c_str());
+    if (config_.tracer)
+      config_.tracer->tag(g->root_span, "intervention", reason);
     teardown(g);
   }
 }

@@ -26,45 +26,36 @@
 #include "netsim/network.h"
 #include "rddr/divergence.h"
 #include "rddr/health.h"
-#include "rddr/incoming_proxy.h"  // ProxyStats
+#include "rddr/options.h"
 #include "rddr/plugin.h"
 
 namespace rddr::core {
 
 class OutgoingProxy {
  public:
-  struct Config {
-    std::string name = "rddr-out";
+  struct Config : ProxyOptions {
+    Config() {
+      name = "rddr-out";
+      base_memory_bytes = 16LL << 20;
+    }
+
     /// Address the instances dial (their configured "backend").
     std::string listen_address;
     /// The real backend microservice.
     std::string backend_address;
     /// Number of instances expected per flow group (N).
     size_t group_size = 3;
-    std::shared_ptr<ProtocolPlugin> plugin;
-    KnownVariance variance;
-    bool filter_pair = false;
     /// If the group is still incomplete this long after its first member
     /// connected, that is divergence-by-absence (e.g. one proxy variant
     /// refused the request the others forwarded).
     sim::Time group_window = 100 * sim::kMillisecond;
-    /// Per-unit wait for lagging instances (0 = off, the paper's DoS
-    /// limitation).
-    sim::Time unit_timeout = 0;
-    /// Graceful degradation under instance failure (§IV-D). See
-    /// IncomingProxy::Config::policy.
-    DegradationPolicy policy = DegradationPolicy::kStrict;
     /// Smallest group a non-strict policy will still verify (kFailOpen
     /// additionally passes a single surviving member through uncompared).
+    /// `health` reconnect fields are unused here: instances dial in, so a
+    /// quarantined source is re-admitted the moment it shows up in a new
+    /// group; health is indexed like `instance_sources` (which must be set
+    /// for per-instance tracking to engage).
     size_t min_group_size = 2;
-    /// Quarantine bookkeeping, indexed like `instance_sources` (which must
-    /// be set for per-instance health tracking to engage). Reconnect
-    /// fields are unused here: instances dial in, so a quarantined source
-    /// is re-admitted the moment it shows up in a new group.
-    HealthTracker::Options health;
-    double cpu_per_unit = 15e-6;
-    double cpu_per_byte = 2e-9;
-    int64_t base_memory_bytes = 16LL << 20;
     /// Optional: pin instance order by ConnectMeta::source so the filter
     /// pair occupies slots 0 and 1 regardless of arrival order.
     std::vector<std::string> instance_sources;
@@ -76,8 +67,13 @@ class OutgoingProxy {
   OutgoingProxy(const OutgoingProxy&) = delete;
   OutgoingProxy& operator=(const OutgoingProxy&) = delete;
 
-  const ProxyStats& stats() const { return stats_; }
+  /// Counter snapshot out of the metrics registry (compatibility view).
+  ProxyStats stats() const { return counters_.snapshot(); }
   const Config& config() const { return config_; }
+
+  /// Registry the proxy publishes into (the configured one, else the
+  /// proxy-private fallback).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
 
   /// Per-instance health view (meaningful when `instance_sources` is set).
   const HealthTracker& health() const { return health_; }
@@ -104,12 +100,15 @@ class OutgoingProxy {
   /// How many members a new group should wait for: N, minus instances
   /// currently quarantined/dead (non-strict with health tracking only).
   size_t expected_members() const;
+  void end_group_spans(const std::shared_ptr<Group>& g);
 
   sim::Network& net_;
   sim::Host& host_;
   Config config_;
   DivergenceBus* bus_;
-  ProxyStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // fallback registry
+  obs::MetricsRegistry* metrics_;
+  ProxyCounters counters_;
   HealthTracker health_;
   uint64_t next_group_id_ = 1;
   std::map<uint64_t, std::shared_ptr<Group>> groups_;

@@ -6,9 +6,13 @@ namespace rddr::sqldb {
 
 PgClient::PgClient(sim::Network& net, std::string source,
                    const std::string& address, const std::string& user,
-                   std::string flow_label) {
-  conn_ = net.connect(address, {.source = std::move(source),
-                                .flow_label = std::move(flow_label)});
+                   std::string flow_label)
+    : PgClient(net, address, user,
+               sim::ConnectMeta{std::move(source), std::move(flow_label)}) {}
+
+PgClient::PgClient(sim::Network& net, const std::string& address,
+                   const std::string& user, sim::ConnectMeta meta) {
+  conn_ = net.connect(address, std::move(meta));
   if (!conn_) {
     broken_ = true;
     return;

@@ -42,6 +42,11 @@ class PgClient {
   /// is stamped on the netsim connection (outgoing-proxy grouping).
   PgClient(sim::Network& net, std::string source, const std::string& address,
            const std::string& user, std::string flow_label = "");
+
+  /// Same, with full connect metadata (trace context included — the
+  /// accepting proxy/server parents its spans under meta.parent_span).
+  PgClient(sim::Network& net, const std::string& address,
+           const std::string& user, sim::ConnectMeta meta);
   ~PgClient();
   PgClient(const PgClient&) = delete;
   PgClient& operator=(const PgClient&) = delete;

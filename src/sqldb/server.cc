@@ -20,6 +20,11 @@ SqlServer::SqlServer(sim::Network& net, sim::Host& host,
       db_(std::move(db)),
       opts_(std::move(opts)),
       rng_(opts_.rng_seed) {
+  if (opts_.metrics) {
+    std::string node = sim::Network::node_of(opts_.address);
+    query_counter_ = opts_.metrics->counter(node + ".queries");
+    query_ms_ = opts_.metrics->histogram(node + ".query_ms");
+  }
   host_.charge_memory(opts_.base_memory_bytes);
   charged_memory_ = opts_.base_memory_bytes;
   refresh_memory_charge();
@@ -111,6 +116,7 @@ void SqlServer::handle_query(const std::shared_ptr<Conn>& c,
   // virtual CPU cost and deliver when the host grants it.
   ExecResult result = c->session->execute(sql);
   ++queries_served_;
+  if (query_counter_) query_counter_->inc();
   refresh_memory_charge();
   double cost = opts_.cpu_per_query +
                 static_cast<double>(result.rows_scanned) * opts_.cpu_per_row;
@@ -118,8 +124,26 @@ void SqlServer::handle_query(const std::shared_ptr<Conn>& c,
   std::string cmm = to_lower(c->session->setting("client_min_messages"));
   if (cmm == "warning" || cmm == "error") notices_enabled = false;
 
-  host_.run_task(cost, [this, c, result = std::move(result),
-                        notices_enabled] {
+  obs::SpanId span = 0;
+  const sim::Time started = net_.simulator().now();
+  if (opts_.tracer) {
+    // Parent the span to the connect-time trace context, when the dialing
+    // side (a proxy or the workload driver) supplied one.
+    obs::TraceId trace = c->conn->meta().trace_id;
+    if (!trace) trace = opts_.tracer->new_trace();
+    span = opts_.tracer->begin(trace, c->conn->meta().parent_span, "db.query",
+                               sim::Network::node_of(opts_.address));
+    opts_.tracer->tag(span, "rows_scanned",
+                      strformat("%llu", static_cast<unsigned long long>(
+                                            result.rows_scanned)));
+  }
+
+  host_.run_task(cost, [this, c, result = std::move(result), notices_enabled,
+                        span, started] {
+    if (opts_.tracer) opts_.tracer->end(span);
+    if (query_ms_)
+      query_ms_->observe(
+          static_cast<double>(net_.simulator().now() - started) / 1e6);
     if (!c->conn->is_open()) return;
     Bytes out;
     for (const auto& sr : result.statements) {

@@ -13,6 +13,8 @@
 #include "common/rng.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proto/pgwire/pgwire.h"
 #include "sqldb/engine.h"
 
@@ -32,6 +34,12 @@ class SqlServer {
     /// Seed for instance-local randomness (backend pid/secret — the
     /// nondeterminism the paper's filter pair must absorb).
     uint64_t rng_seed = 1;
+    /// Observability sinks (optional, not owned). With a tracer set, each
+    /// query becomes a "db.query" span, parented to the trace context the
+    /// dialing side put in its ConnectMeta (if any). With metrics set, the
+    /// server publishes "<node>.queries" and a "<node>.query_ms" histogram.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
   };
 
   /// Starts listening immediately. The database may be shared between
@@ -67,6 +75,8 @@ class SqlServer {
   int64_t charged_memory_ = 0;
   int64_t last_known_rows_ = -1;
   uint64_t queries_served_ = 0;
+  obs::Counter* query_counter_ = nullptr;
+  obs::Histogram* query_ms_ = nullptr;
 };
 
 }  // namespace rddr::sqldb

@@ -17,6 +17,9 @@ struct PoolState {
   sim::Time first_send = -1;
   sim::Time last_done = 0;
   int clients_remaining = 0;
+  obs::Counter* tx_ok = nullptr;
+  obs::Counter* tx_failed = nullptr;
+  obs::Histogram* latency_hist = nullptr;
 };
 
 struct ClientState {
@@ -39,10 +42,13 @@ void issue_next(const std::shared_ptr<PoolState>& pool,
     sim::Time t1 = pool->sim.now();
     if (out.failed()) {
       ++pool->result.failed;
+      if (pool->tx_failed) pool->tx_failed->inc();
     } else {
       ++pool->result.completed;
       double ms = static_cast<double>(t1 - t0) / 1e6;
       pool->result.latency_ms.add(ms);
+      if (pool->tx_ok) pool->tx_ok->inc();
+      if (pool->latency_hist) pool->latency_hist->observe(ms);
       if (pool->options.on_tx_complete)
         pool->options.on_tx_complete(client_id, c->done, ms);
     }
@@ -50,8 +56,10 @@ void issue_next(const std::shared_ptr<PoolState>& pool,
     ++c->done;
     if (out.connection_lost) {
       // Connection gone (e.g. RDDR intervened): count the rest as failed.
-      pool->result.failed += static_cast<uint64_t>(
+      uint64_t rest = static_cast<uint64_t>(
           pool->options.transactions_per_client - c->done);
+      pool->result.failed += rest;
+      if (pool->tx_failed) pool->tx_failed->inc(rest);
       --pool->clients_remaining;
       return;
     }
@@ -64,13 +72,26 @@ void issue_next(const std::shared_ptr<PoolState>& pool,
 PoolResult run_client_pool(sim::Simulator& sim, sim::Network& net,
                            const ClientPoolOptions& options) {
   auto pool = std::make_shared<PoolState>(PoolState{sim, options, {}, -1, 0});
+  if (options.metrics) {
+    const std::string& p = options.metrics_prefix;
+    pool->tx_ok = options.metrics->counter(p + ".tx_ok");
+    pool->tx_failed = options.metrics->counter(p + ".tx_failed");
+    pool->latency_hist = options.metrics->histogram(p + ".latency_ms");
+  }
   std::vector<std::shared_ptr<ClientState>> clients;
   Rng seeder(options.seed);
   for (int i = 0; i < options.clients; ++i) {
     auto c = std::make_shared<ClientState>();
     c->rng = seeder.fork(static_cast<uint64_t>(i) + 1);
-    c->client = std::make_unique<sqldb::PgClient>(
-        net, strformat("bench-client-%d", i), options.address, options.user);
+    sim::ConnectMeta meta;
+    meta.source = strformat("bench-client-%d", i);
+    if (options.tracer) {
+      // One trace per client connection; everything the servers/proxies
+      // record for this client's requests hangs off this id.
+      meta.trace_id = options.tracer->new_trace();
+    }
+    c->client = std::make_unique<sqldb::PgClient>(net, options.address,
+                                                  options.user, meta);
     clients.push_back(c);
   }
   pool->clients_remaining = options.clients;
@@ -82,6 +103,18 @@ PoolResult run_client_pool(sim::Simulator& sim, sim::Network& net,
   }
   pool->result.elapsed =
       pool->first_send >= 0 ? pool->last_done - pool->first_send : 0;
+  if (options.metrics) {
+    // Publish the EXACT aggregates of this run (same doubles PoolResult
+    // reports), so registry consumers print identical numbers.
+    const std::string& p = options.metrics_prefix;
+    const PoolResult& r = pool->result;
+    options.metrics->gauge(p + ".tps")->set(r.throughput_tps());
+    options.metrics->gauge(p + ".latency_mean_ms")->set(r.latency_ms.mean());
+    options.metrics->gauge(p + ".latency_p50_ms")
+        ->set(r.latency_ms.percentile(50));
+    options.metrics->gauge(p + ".elapsed_s")
+        ->set(static_cast<double>(r.elapsed) / 1e9);
+  }
   return pool->result;
 }
 

@@ -10,6 +10,8 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "netsim/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rddr::workloads {
 
@@ -25,6 +27,17 @@ struct ClientPoolOptions {
   std::function<void(int client_id, int tx_index, double latency_ms)>
       on_tx_complete;
   uint64_t seed = 1;
+  /// Optional registry: the pool publishes "<prefix>.tx_ok"/".tx_failed"
+  /// counters, a "<prefix>.latency_ms" histogram, and — at completion —
+  /// gauges holding the exact PoolResult aggregates ("<prefix>.tps",
+  /// ".latency_mean_ms", ".latency_p50_ms", ".elapsed_s"), so figure
+  /// drivers can read the registry instead of re-deriving numbers.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "pool";
+  /// Optional tracer: each client connection becomes one trace whose id is
+  /// carried to the server/proxy via ConnectMeta, linking the pool's
+  /// requests to "session" and "db.query" spans downstream.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct PoolResult {

@@ -175,6 +175,22 @@ TEST(SampleStats, Percentiles) {
   EXPECT_DOUBLE_EQ(s.percentile(100), 100);
 }
 
+TEST(SampleStats, PercentileSortsLazilyAndOnce) {
+  SampleStats s;
+  for (int i = 10; i >= 1; --i) s.add(i);
+  EXPECT_EQ(s.sort_count(), 0u);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5);
+  // Repeated queries reuse the sorted order instead of re-sorting.
+  EXPECT_DOUBLE_EQ(s.percentile(90), 9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);  // O(1) off the sorted vector
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_EQ(s.sort_count(), 1u);
+  // A new sample invalidates the order; the next percentile re-sorts.
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.5);
+  EXPECT_EQ(s.sort_count(), 2u);
+}
+
 TEST(TimeWeightedValue, IntegralAndMax) {
   TimeWeightedValue v;
   v.update(0, 2.0);

@@ -1,0 +1,207 @@
+// Observability layer: deterministic tracing and the metrics registry.
+//
+// The load-bearing property is byte-identical replay — the same seed must
+// produce the same trace export — plus the divergence-localization
+// contract: when quorum outvotes an instance, the trace says which one.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "proto/http/coding.h"
+#include "proto/json/json.h"
+#include "rddr/deployment.h"
+#include "rddr/plugins.h"
+#include "services/http_service.h"
+
+namespace rddr {
+namespace {
+
+using services::HttpClient;
+using services::HttpServer;
+
+std::unique_ptr<HttpServer> make_instance(sim::Network& net, sim::Host& host,
+                                          const std::string& address,
+                                          const std::string& body) {
+  HttpServer::Options o;
+  o.address = address;
+  auto server = std::make_unique<HttpServer>(net, host, o);
+  server->set_handler([body](const http::Request&, services::Responder r) {
+    r(http::make_response(200, body));
+  });
+  return server;
+}
+
+struct RunArtifacts {
+  std::string trace_json;
+  std::string metrics_json;
+  std::vector<obs::Span> spans;
+  size_t open = 0;
+};
+
+/// One seeded kQuorum run with a divergent third instance; two requests so
+/// both the outvote and the degraded follow-up land in the trace.
+RunArtifacts divergent_quorum_run(uint64_t seed) {
+  sim::Simulator simulator;
+  sim::Network net(simulator, 10 * sim::kMicrosecond);
+  sim::Host host(simulator, "node", 8, 4LL << 30);
+
+  auto i0 = make_instance(net, host, "svc-0:80", "public data");
+  auto i1 = make_instance(net, host, "svc-1:80", "public data");
+  auto i2 = make_instance(net, host, "svc-2:80", "public data LEAKED");
+
+  obs::Tracer tracer([&simulator] { return simulator.now(); }, seed);
+  obs::MetricsRegistry registry;
+  auto deployment = core::NVersionDeployment::Builder()
+                        .listen("svc:80")
+                        .versions({"svc-0:80", "svc-1:80", "svc-2:80"})
+                        .plugin(std::make_shared<core::HttpPlugin>())
+                        .degradation(core::DegradationPolicy::kQuorum)
+                        .metrics(&registry)
+                        .trace(&tracer)
+                        .build(net, host);
+
+  HttpClient client(net, "client");
+  for (int k = 0; k < 2; ++k) {
+    simulator.schedule(k * 5 * sim::kMillisecond, [&] {
+      client.get("svc:80", "/", [](int, const http::Response*) {});
+    });
+  }
+  simulator.run_until_idle();
+
+  RunArtifacts a;
+  a.trace_json = tracer.export_chrome();
+  a.metrics_json = registry.dump_json();
+  a.spans = tracer.spans();
+  a.open = tracer.open_spans();
+  return a;
+}
+
+TEST(Trace, SameSeedByteIdenticalExport) {
+  RunArtifacts first = divergent_quorum_run(42);
+  RunArtifacts second = divergent_quorum_run(42);
+  EXPECT_EQ(first.trace_json, second.trace_json);
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+  // A different seed relabels the trace ids but preserves the span count.
+  RunArtifacts other = divergent_quorum_run(7);
+  EXPECT_NE(other.trace_json, first.trace_json);
+  EXPECT_EQ(other.spans.size(), first.spans.size());
+}
+
+TEST(Trace, VerdictCarriesOutvotedInstance) {
+  RunArtifacts run = divergent_quorum_run(42);
+  EXPECT_EQ(run.open, 0u) << "spans left open at simulation end";
+
+  std::string outvoted;
+  for (const auto& span : run.spans)
+    for (const auto& [key, value] : span.tags)
+      if (key == "outvoted_instance") outvoted = value;
+  EXPECT_EQ(outvoted, "2");
+
+  // The dropped instance's upstream span records why it was cut loose.
+  bool dropped_tagged = false;
+  for (const auto& span : run.spans) {
+    if (span.name != "upstream") continue;
+    for (const auto& [key, value] : span.tags)
+      if (key == "dropped" && value.find("outvoted") != std::string::npos)
+        dropped_tagged = true;
+  }
+  EXPECT_TRUE(dropped_tagged);
+}
+
+TEST(Trace, ExportIsValidChromeJson) {
+  RunArtifacts run = divergent_quorum_run(42);
+  auto doc = json::parse(run.trace_json);
+  ASSERT_TRUE(doc.has_value());
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_EQ(events->as_array().size(), run.spans.size());
+  for (const auto& ev : events->as_array()) {
+    ASSERT_TRUE(ev.is_object());
+    EXPECT_EQ(ev.find("ph")->as_string(), "X");
+    EXPECT_NE(ev.find("ts"), nullptr);
+    EXPECT_NE(ev.find("dur"), nullptr);
+  }
+}
+
+TEST(Trace, SpanLifecycleAndIdempotentEnd) {
+  int64_t now = 0;
+  obs::Tracer tracer([&now] { return now; }, 1);
+  obs::TraceId t = tracer.new_trace();
+  ASSERT_NE(t, 0u);
+  obs::SpanId root = tracer.begin(t, 0, "session", "test");
+  now = 1000;
+  obs::SpanId child = tracer.begin(t, root, "diff", "test");
+  EXPECT_EQ(tracer.open_spans(), 2u);
+  now = 2000;
+  tracer.end(child);
+  tracer.end(child);  // idempotent
+  tracer.end(root);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  const obs::Span* c = tracer.find(child);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->parent, root);
+  EXPECT_EQ(c->start, 1000);
+  EXPECT_EQ(c->end, 2000);
+  // Marker events are closed on creation.
+  tracer.event(t, root, "verdict", "test");
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Metrics, HistogramBoundsRoundTripThroughJson) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.histogram("lat_ms", {1, 5, 25, 125});
+  h->observe(0.5);
+  h->observe(3);
+  h->observe(30);
+  h->observe(1e9);  // overflow bucket
+
+  auto doc = json::parse(registry.dump_json());
+  ASSERT_TRUE(doc.has_value());
+  const json::Value* hist = doc->find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const json::Value* lat = hist->find("lat_ms");
+  ASSERT_NE(lat, nullptr);
+
+  const json::Value* bounds = lat->find("bounds");
+  ASSERT_NE(bounds, nullptr);
+  ASSERT_EQ(bounds->as_array().size(), h->bounds().size());
+  for (size_t i = 0; i < h->bounds().size(); ++i)
+    EXPECT_DOUBLE_EQ(bounds->as_array()[i].as_number(), h->bounds()[i]);
+
+  const json::Value* counts = lat->find("counts");
+  ASSERT_NE(counts, nullptr);
+  ASSERT_EQ(counts->as_array().size(), h->counts().size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < h->counts().size(); ++i) {
+    EXPECT_DOUBLE_EQ(counts->as_array()[i].as_number(),
+                     static_cast<double>(h->counts()[i]));
+    total += h->counts()[i];
+  }
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(Metrics, CountersAndGaugesAreStableHandles) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.counter("hits");
+  c->inc();
+  c->inc(4);
+  EXPECT_EQ(registry.counter("hits"), c);  // same handle on re-lookup
+  EXPECT_EQ(c->value(), 5u);
+
+  obs::Gauge* g = registry.gauge("depth");
+  g->set(3.0);
+  g->set(9.0);
+  g->set(2.0);
+  EXPECT_DOUBLE_EQ(g->value(), 2.0);
+  EXPECT_DOUBLE_EQ(g->max_value(), 9.0);
+}
+
+}  // namespace
+}  // namespace rddr

@@ -66,7 +66,7 @@ class FaultTest : public ::testing::Test {
     cfg.instance_addresses = {"pg-0:5432", "pg-1:5432", "pg-2:5432"};
     cfg.plugin = std::make_shared<PgPlugin>();
     cfg.filter_pair = true;
-    cfg.policy = policy;
+    cfg.degradation = policy;
     cfg.health.reconnect_jitter = 0;  // deterministic probe times
     return cfg;
   }
@@ -190,7 +190,7 @@ TEST_F(FaultTest, QuorumOutvotesDivergentInstance) {
   cfg.listen_address = "svc:80";
   cfg.instance_addresses = {"svc-0:80", "svc-1:80", "svc-2:80"};
   cfg.plugin = std::make_shared<HttpPlugin>();
-  cfg.policy = DegradationPolicy::kQuorum;
+  cfg.degradation = DegradationPolicy::kQuorum;
   DivergenceBus bus(sim);
   IncomingProxy proxy(net, host, cfg, &bus);
 
@@ -223,7 +223,7 @@ TEST_F(FaultTest, QuorumStillIntervenesWhenNoMajority) {
   cfg.listen_address = "svc:80";
   cfg.instance_addresses = {"svc-0:80", "svc-1:80", "svc-2:80"};
   cfg.plugin = std::make_shared<HttpPlugin>();
-  cfg.policy = DegradationPolicy::kQuorum;
+  cfg.degradation = DegradationPolicy::kQuorum;
   DivergenceBus bus(sim);
   IncomingProxy proxy(net, host, cfg, &bus);
 
@@ -248,7 +248,7 @@ TEST_F(FaultTest, FailOpenServesUncomparedWithAlertCounters) {
   cfg.listen_address = "svc:80";
   cfg.instance_addresses = {"svc-0:80", "svc-1:80", "svc-2:80"};
   cfg.plugin = std::make_shared<HttpPlugin>();
-  cfg.policy = DegradationPolicy::kFailOpen;
+  cfg.degradation = DegradationPolicy::kFailOpen;
   DivergenceBus bus(sim);
   IncomingProxy proxy(net, host, cfg, &bus);
 
@@ -283,7 +283,7 @@ TEST_F(FaultTest, QuorumRefusesBelowTwoHealthy) {
   cfg.listen_address = "svc:80";
   cfg.instance_addresses = {"svc-0:80", "svc-1:80", "svc-2:80"};
   cfg.plugin = std::make_shared<HttpPlugin>();
-  cfg.policy = DegradationPolicy::kQuorum;
+  cfg.degradation = DegradationPolicy::kQuorum;
   DivergenceBus bus(sim);
   IncomingProxy proxy(net, host, cfg, &bus);
 
@@ -415,7 +415,7 @@ class FaultAvailabilityTest : public ::testing::Test {
     cfg.instance_addresses = {"pg-0:5432", "pg-1:5432", "pg-2:5432"};
     cfg.plugin = std::make_shared<PgPlugin>();
     cfg.filter_pair = true;
-    cfg.policy = policy;
+    cfg.degradation = policy;
     cfg.health.reconnect_jitter = 0;
     DivergenceBus bus(sim);
     IncomingProxy proxy(net, host, cfg, &bus);

@@ -152,7 +152,7 @@ TEST_F(ProxyTest, TimeoutMitigationAborts) {
   cfg.listen_address = "svc:80";
   cfg.instance_addresses = {"svc-0:80", "svc-1:80"};
   cfg.plugin = std::make_shared<HttpPlugin>();
-  cfg.instance_timeout = sim::kSecond;
+  cfg.unit_timeout = sim::kSecond;
   IncomingProxy proxy(net, host, cfg);
 
   int status = -2;

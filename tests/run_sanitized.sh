@@ -22,3 +22,9 @@ cmake --build --preset asan -j "$(nproc)"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
+
+# Observability smoke under the sanitizers: a seeded divergence run must
+# close every span and tag the outvoted instance (exits nonzero if not).
+smoke_dir="$(mktemp -d)"
+(cd "$smoke_dir" && "$repo/build-asan/bench/trace_smoke")
+rm -rf "$smoke_dir"
