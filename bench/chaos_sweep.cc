@@ -1,0 +1,56 @@
+// Seeded chaos sweep: runs the self-healing chaos harness over N seeds
+// and emits one JSON summary line for CI dashboards:
+//
+//   {"seeds_run":20,"invariant_failures":0,"mean_recovery_ms":412.3}
+//
+// Usage: chaos_sweep [n_seeds] [first_seed]
+// Exits 1 when any seed violates an invariant; the failing seeds (with
+// their shrunk minimal repro) are printed to stderr so a single line
+// reproduces the failure: run_chaos_seed(<seed>, {}).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "chaos/chaos.h"
+
+int main(int argc, char** argv) {
+  using namespace rddr::chaos;
+  int n_seeds = argc > 1 ? std::atoi(argv[1]) : 20;
+  uint64_t first_seed = argc > 2
+                            ? static_cast<uint64_t>(std::atoll(argv[2]))
+                            : 1;
+  if (n_seeds <= 0) {
+    std::fprintf(stderr, "usage: %s [n_seeds] [first_seed]\n", argv[0]);
+    return 2;
+  }
+
+  ChaosOptions opts;
+  int failures = 0;
+  double recovery_ms_sum = 0;
+  int recovered = 0;
+  for (int k = 0; k < n_seeds; ++k) {
+    uint64_t seed = first_seed + static_cast<uint64_t>(k);
+    ChaosReport rep = run_chaos_seed(seed, opts);
+    if (rep.recovery_time >= 0) {
+      recovery_ms_sum +=
+          static_cast<double>(rep.recovery_time) / rddr::sim::kMillisecond;
+      ++recovered;
+    }
+    if (rep.ok) continue;
+    ++failures;
+    std::fprintf(stderr, "seed %llu FAILED:\n%s%s\n",
+                 static_cast<unsigned long long>(seed),
+                 describe(rep.plan).c_str(), rep.summary().c_str());
+    ShrinkResult shrunk = shrink_fault_plan(rep.plan, opts, seed);
+    std::fprintf(stderr, "minimal repro (%zu fault%s, %zu runs):\n%s",
+                 shrunk.plan.size(), shrunk.plan.size() == 1 ? "" : "s",
+                 shrunk.runs, describe(shrunk.plan).c_str());
+  }
+
+  double mean_recovery_ms = recovered > 0 ? recovery_ms_sum / recovered : -1;
+  std::printf(
+      "{\"seeds_run\":%d,\"invariant_failures\":%d,"
+      "\"mean_recovery_ms\":%.1f}\n",
+      n_seeds, failures, mean_recovery_ms);
+  return failures == 0 ? 0 : 1;
+}

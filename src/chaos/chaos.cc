@@ -1,0 +1,372 @@
+#include "chaos/chaos.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/strutil.h"
+#include "netsim/network.h"
+#include "rddr/deployment.h"
+#include "rddr/plugins.h"
+#include "services/orchestrator.h"
+#include "sqldb/client.h"
+#include "sqldb/server.h"
+#include "workloads/pgbench.h"
+
+namespace rddr::chaos {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashRestart: return "crash-restart";
+    case FaultKind::kCrashReplace: return "crash-replace";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kLatencySpike: return "latency-spike";
+  }
+  return "?";
+}
+
+std::string describe(const FaultSpec& fault) {
+  std::string s = strformat(
+      "%s @%.2fs +%.2fs on instance %zu", fault_kind_name(fault.kind),
+      static_cast<double>(fault.at) / sim::kSecond,
+      static_cast<double>(fault.duration) / sim::kSecond, fault.instance);
+  if (fault.kind == FaultKind::kLatencySpike)
+    s += strformat(" (+%.1fms)", static_cast<double>(fault.extra) / sim::kMillisecond);
+  return s;
+}
+
+std::string describe(const std::vector<FaultSpec>& plan) {
+  std::string s;
+  for (const FaultSpec& f : plan) {
+    s += describe(f);
+    s += '\n';
+  }
+  return s;
+}
+
+std::string ChaosReport::summary() const {
+  std::string s = strformat(
+      "%s: %llu issued = %llu served + %llu refused + %llu lost; "
+      "%llu interventions, %llu outvotes, %zu/%zu healthy at end",
+      ok ? "OK" : "VIOLATION",
+      static_cast<unsigned long long>(issued),
+      static_cast<unsigned long long>(served),
+      static_cast<unsigned long long>(refused),
+      static_cast<unsigned long long>(lost),
+      static_cast<unsigned long long>(interventions),
+      static_cast<unsigned long long>(quorum_outvotes), healthy_at_end,
+      n_instances);
+  if (recovery_time >= 0)
+    s += strformat("; recovered %.0fms after last fault",
+                   static_cast<double>(recovery_time) / sim::kMillisecond);
+  for (const std::string& v : violations) s += "\n  violation: " + v;
+  return s;
+}
+
+std::vector<FaultSpec> generate_fault_plan(uint64_t seed,
+                                           const ChaosOptions& opts) {
+  Rng root(seed);
+  Rng r = root.fork(0xC4A05);
+  std::vector<FaultSpec> plan;
+  size_t n_faults = 1 + r.next() % std::max<size_t>(opts.max_faults, 1);
+  const sim::Time window =
+      std::max<sim::Time>(opts.fault_window_end - opts.fault_window_start, 1);
+  for (size_t k = 0; k < n_faults; ++k) {
+    FaultSpec f;
+    switch (r.next() % 5) {
+      case 0: f.kind = FaultKind::kCrashRestart; break;
+      case 1: f.kind = FaultKind::kCrashReplace; break;
+      case 2: f.kind = FaultKind::kStall; break;
+      case 3: f.kind = FaultKind::kPartition; break;
+      default: f.kind = FaultKind::kLatencySpike; break;
+    }
+    f.at = opts.fault_window_start +
+           static_cast<sim::Time>(r.next() % static_cast<uint64_t>(window));
+    f.duration = 200 * sim::kMillisecond +
+                 static_cast<sim::Time>(r.next() % (1300ULL * sim::kMillisecond));
+    f.extra = 5 * sim::kMillisecond +
+              static_cast<sim::Time>(r.next() % (45ULL * sim::kMillisecond));
+    f.instance = r.next() % std::max<size_t>(opts.n_instances, 1);
+    plan.push_back(f);
+  }
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+ChaosReport run_chaos(const std::vector<FaultSpec>& plan,
+                      const ChaosOptions& opts, uint64_t seed) {
+  ChaosReport rep;
+  rep.plan = plan;
+  rep.n_instances = opts.n_instances;
+
+  sim::Simulator sim;
+  sim::Network net{sim, 10 * sim::kMicrosecond};
+  services::Orchestrator orch(sim, net, seed);
+  orch.add_host("db-host", 8, 8LL << 30);
+  orch.add_host("proxy-host", 4, 4LL << 30);
+
+  // Every replica loads identical pgbench data (same data seed) but gets
+  // its own rng_seed from the orchestrator (per-instance nondeterminism).
+  orch.register_image("minipg", [&](const services::ContainerSpec& spec) {
+    auto db = std::make_shared<sqldb::Database>(sqldb::minipg_info(spec.tag));
+    workloads::load_pgbench(*db, opts.accounts, /*seed=*/9);
+    sqldb::SqlServer::Options so;
+    so.address = spec.address;
+    so.rng_seed = spec.rng_seed;
+    return std::make_shared<sqldb::SqlServer>(net, *spec.host, db, so);
+  });
+
+  std::vector<std::string> tags(opts.n_instances, "13.0");
+  std::vector<std::string> addresses =
+      orch.deploy_replicas("pg", "minipg", tags, "db-host", 5432);
+  // Slot -> current container/node name (updated on replacement).
+  std::vector<std::string> names;
+  for (const std::string& a : addresses)
+    names.push_back(sim::Network::node_of(a));
+
+  std::unique_ptr<core::NVersionDeployment> dep;
+
+  core::ResyncOptions resync;
+  resync.enabled = opts.resync_enabled;
+  resync.catch_up_sessions = opts.resync_enabled;
+  resync.warm = [&](size_t i) -> int64_t {
+    auto target = orch.get<sqldb::SqlServer>(names[i]);
+    if (!target || !dep) return -1;
+    const core::HealthTracker& health = dep->incoming().health();
+    for (size_t j = 0; j < names.size(); ++j) {
+      if (j == i || !health.is_healthy(j)) continue;
+      auto source = orch.get<sqldb::SqlServer>(names[j]);
+      if (!source) continue;
+      std::string snap = source->dump_snapshot();
+      if (!target->load_snapshot(snap)) return -1;
+      return static_cast<int64_t>(snap.size());
+    }
+    return -1;  // no trusted peer right now; quarantine retries later
+  };
+
+  auto do_replace = [&](size_t slot) {
+    if (!dep) return;
+    std::string new_address;
+    try {
+      new_address = orch.replace(names[slot]);
+    } catch (const std::exception&) {
+      return;  // container already gone
+    }
+    names[slot] = sim::Network::node_of(new_address);
+    dep->replace_instance(slot, new_address);
+  };
+
+  core::HealthTracker::Options health;
+  health.failure_threshold = 1;
+  health.reconnect_base_delay = 50 * sim::kMillisecond;
+  health.reconnect_max_delay = 1 * sim::kSecond;
+  health.reconnect_max_attempts = 0;  // probe forever; faults always heal
+  health.reconnect_jitter = 0.2;
+  health.seed = seed ^ 0x9e170000ULL;
+
+  dep = core::NVersionDeployment::Builder()
+            .name("chaos")
+            .listen("front:5432")
+            .versions(addresses)
+            .plugin(std::make_shared<core::PgPlugin>())
+            .filter_pair(true)
+            .degradation(core::DegradationPolicy::kQuorum)
+            .health(health)
+            .unit_timeout(250 * sim::kMillisecond)
+            .resync(resync)
+            .on_instance_dead(
+                [&](size_t slot, const std::string&) { do_replace(slot); })
+            .build(net, orch.host("proxy-host"));
+
+  // ---- fault schedule ----
+  sim::Time last_fault_end = 0;
+  for (const FaultSpec& f : plan) {
+    const size_t slot = f.instance % opts.n_instances;
+    last_fault_end = std::max(last_fault_end, f.at + f.duration);
+    switch (f.kind) {
+      case FaultKind::kCrashRestart:
+        sim.schedule_at(f.at, [&, slot] {
+          try { orch.crash(names[slot]); } catch (const std::exception&) {}
+        });
+        sim.schedule_at(f.at + f.duration, [&, slot] {
+          try { orch.restart(names[slot]); } catch (const std::exception&) {}
+        });
+        break;
+      case FaultKind::kCrashReplace:
+        sim.schedule_at(f.at, [&, slot] {
+          try { orch.crash(names[slot]); } catch (const std::exception&) {}
+        });
+        sim.schedule_at(f.at + f.duration, [&, slot] {
+          try {
+            if (orch.crashed(names[slot])) do_replace(slot);
+          } catch (const std::exception&) {}
+        });
+        break;
+      case FaultKind::kStall:
+        sim.schedule_at(f.at, [&, slot, end = f.at + f.duration] {
+          net.stall_node_egress_until(names[slot], end);
+        });
+        break;
+      case FaultKind::kPartition:
+        sim.schedule_at(f.at, [&, slot] { net.partition({names[slot]}); });
+        sim.schedule_at(f.at + f.duration, [&] { net.heal_partition(); });
+        break;
+      case FaultKind::kLatencySpike:
+        sim.schedule_at(f.at, [&, slot, extra = f.extra] {
+          net.set_node_extra_latency(names[slot], extra);
+        });
+        sim.schedule_at(f.at + f.duration, [&, slot] {
+          net.set_node_extra_latency(names[slot], 0);
+        });
+        break;
+    }
+  }
+
+  // ---- workload: per-client query loops with periodic reconnects ----
+  struct Client {
+    std::unique_ptr<sqldb::PgClient> pg;
+    size_t issued = 0;
+    Rng rng{0};
+  };
+  auto clients = std::make_shared<std::vector<Client>>(opts.clients);
+  {
+    Rng root(seed);
+    for (size_t c = 0; c < opts.clients; ++c)
+      (*clients)[c].rng = root.fork(100 + c);
+  }
+  auto step = std::make_shared<std::function<void(size_t)>>();
+  *step = [&, clients, step](size_t c) {
+    Client& cl = (*clients)[c];
+    if (cl.issued >= opts.queries_per_client) {
+      if (cl.pg) cl.pg->close();
+      return;
+    }
+    const bool fresh_session =
+        !cl.pg || cl.pg->broken() ||
+        (opts.queries_per_session > 0 &&
+         cl.issued % opts.queries_per_session == 0);
+    if (fresh_session) {
+      if (cl.pg) cl.pg->close();
+      cl.pg = std::make_unique<sqldb::PgClient>(
+          net, strformat("client-%zu", c), "front:5432", "postgres");
+    }
+    const size_t qi = cl.issued++;
+    std::string sql;
+    if (opts.update_every > 0 && qi % opts.update_every == 0) {
+      int aid = 1 + static_cast<int>(cl.rng.next() %
+                                     static_cast<uint64_t>(opts.accounts));
+      int delta = 1 + static_cast<int>(cl.rng.next() % 100);
+      sql = strformat(
+          "UPDATE pgbench_accounts SET abalance = abalance + %d WHERE aid = %d",
+          delta, aid);
+    } else {
+      sql = workloads::pgbench_select_tx(cl.rng, opts.accounts);
+    }
+    ++rep.issued;
+    cl.pg->query(sql, [&rep](sqldb::QueryOutcome o) {
+      if (o.failed()) ++rep.refused;
+      else ++rep.served;
+    });
+    sim.schedule(opts.client_spacing, [step, c] { (*step)(c); });
+  };
+  for (size_t c = 0; c < opts.clients; ++c) {
+    sim.schedule_at(10 * sim::kMillisecond +
+                        static_cast<sim::Time>(c) * sim::kMillisecond,
+                    [step, c] { (*step)(c); });
+  }
+
+  // ---- recovery watcher: first moment back at full N after last fault ----
+  auto watch = std::make_shared<std::function<void()>>();
+  *watch = [&, watch] {
+    if (dep->incoming().health().healthy_count() == opts.n_instances) {
+      if (rep.recovery_time < 0) rep.recovery_time = sim.now() - last_fault_end;
+      return;
+    }
+    sim.schedule(50 * sim::kMillisecond, [watch] { (*watch)(); });
+  };
+  sim.schedule_at(last_fault_end, [watch] { (*watch)(); });
+
+  const sim::Time workload_span =
+      static_cast<sim::Time>(opts.queries_per_client) * opts.client_spacing +
+      sim::kSecond;
+  sim.run_until(std::max(last_fault_end, workload_span) + opts.settle);
+
+  // ---- invariants ----
+  rep.stats = dep->incoming().stats();
+  rep.interventions = rep.stats.divergences;
+  rep.quorum_outvotes = rep.stats.quorum_outvotes;
+  rep.healthy_at_end = dep->incoming().health().healthy_count();
+  rep.lost = rep.issued - rep.served - rep.refused;
+  if (rep.interventions > 0)
+    rep.violations.push_back(strformat(
+        "benign schedule triggered %llu intervention(s)",
+        static_cast<unsigned long long>(rep.interventions)));
+  if (rep.quorum_outvotes > 0)
+    rep.violations.push_back(strformat(
+        "%llu quorum outvote(s): a replica served stale or divergent state",
+        static_cast<unsigned long long>(rep.quorum_outvotes)));
+  if (rep.lost > 0)
+    rep.violations.push_back(strformat(
+        "%llu client quer%s vanished without an answer or a refusal",
+        static_cast<unsigned long long>(rep.lost), rep.lost == 1 ? "y" : "ies"));
+  if (rep.healthy_at_end < opts.n_instances)
+    rep.violations.push_back(strformat(
+        "deployment ended at %zu/%zu healthy instances", rep.healthy_at_end,
+        opts.n_instances));
+  rep.ok = rep.violations.empty();
+  return rep;
+}
+
+ChaosReport run_chaos_seed(uint64_t seed, const ChaosOptions& opts) {
+  return run_chaos(generate_fault_plan(seed, opts), opts, seed);
+}
+
+ShrinkResult shrink_fault_plan(const std::vector<FaultSpec>& failing_plan,
+                               const ChaosOptions& opts, uint64_t seed) {
+  ShrinkResult res;
+  auto still_fails = [&](const std::vector<FaultSpec>& candidate) {
+    ++res.runs;
+    return !run_chaos(candidate, opts, seed).ok;
+  };
+  std::vector<FaultSpec> cur = failing_plan;
+  // Pass 1: drop whole faults while the plan still fails.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < cur.size(); ++i) {
+      std::vector<FaultSpec> candidate = cur;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        cur = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  // Pass 2: halve surviving durations while failure persists.
+  progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < cur.size(); ++i) {
+      if (cur[i].duration < 100 * sim::kMillisecond) continue;
+      std::vector<FaultSpec> candidate = cur;
+      candidate[i].duration /= 2;
+      if (still_fails(candidate)) {
+        cur = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+  res.report = run_chaos(cur, opts, seed);
+  ++res.runs;
+  res.plan = std::move(cur);
+  return res;
+}
+
+}  // namespace rddr::chaos

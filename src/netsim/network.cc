@@ -64,11 +64,17 @@ void Connection::abort() {
   auto self = shared_from_this();
   auto peer = peer_.lock();
   open_ = false;
+  aborted_ = true;
+  pending_.clear();
   // Crash semantics: both halves observe the break "now"; anything still
-  // in flight is lost (deliver() is a no-op after close_delivered_).
+  // in flight is lost (deliver() drops data once aborted_ is set — even a
+  // delivery already queued for this very tick, which would otherwise run
+  // before the deliver_close scheduled below).
   sim_.schedule(0, [self] { self->deliver_close(); });
   if (peer) {
     peer->open_ = false;
+    peer->aborted_ = true;
+    peer->pending_.clear();
     sim_.schedule(0, [peer] { peer->deliver_close(); });
   }
 }
@@ -90,7 +96,7 @@ void Connection::set_on_close(CloseHandler h) {
 }
 
 void Connection::deliver(Bytes data) {
-  if (close_delivered_) return;
+  if (close_delivered_ || aborted_) return;
   pending_.append(data);
   flush_pending();
 }
@@ -207,6 +213,10 @@ void Network::sever_matching(
 void Network::crash_node(const std::string& node) {
   down_nodes_.insert(node);
   RDDR_LOG_INFO("fault: node %s crashed", node.c_str());
+  sever_node(node);
+}
+
+void Network::sever_node(const std::string& node) {
   sever_matching([&](const Connection& a, const Connection& b) {
     return a.local_node() == node || b.local_node() == node;
   });

@@ -117,6 +117,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   Network* net_ = nullptr;   // set by Network; faults consulted per send
   std::weak_ptr<Connection> peer_;
   bool open_ = true;
+  bool aborted_ = false;  // break observed "now"; drop same-tick arrivals
   bool close_delivered_ = false;
   bool close_pending_ = false;
   Time last_arrival_ = 0;  // per-direction FIFO watermark (arrivals at peer)
@@ -171,6 +172,12 @@ class Network {
   void crash_node(const std::string& node);
   void restart_node(const std::string& node);
   bool node_down(const std::string& node) const;
+
+  /// Severs every live connection touching `node` without marking the
+  /// node down — the teardown half of crash_node(), for a container that
+  /// is stopped deliberately (its sockets die, but the node name is not
+  /// refused for reuse).
+  void sever_node(const std::string& node);
 
   /// Refuses new connections to one specific address (listener kept).
   void refuse_address(const std::string& address, bool refuse);

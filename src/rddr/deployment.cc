@@ -15,6 +15,13 @@ NVersionDeployment::NVersionDeployment(sim::Network& net,
                                               options.incoming, &bus_);
 }
 
+void NVersionDeployment::replace_instance(size_t i,
+                                          const std::string& new_address) {
+  incoming_->replace_instance(i, new_address);
+  for (auto& out : outgoing_)
+    out->replace_instance(i, sim::Network::node_of(new_address));
+}
+
 ProxyStats NVersionDeployment::aggregate_stats() const {
   ProxyStats total = incoming_->stats();
   for (const auto& out : outgoing_) total += out->stats();
@@ -86,6 +93,18 @@ NVersionDeployment::Builder& NVersionDeployment::Builder::signature_blocking(
     bool on, uint32_t threshold) {
   incoming_.signature_blocking = on;
   incoming_.signature_threshold = threshold;
+  return *this;
+}
+
+NVersionDeployment::Builder& NVersionDeployment::Builder::resync(
+    ResyncOptions r) {
+  incoming_.resync = std::move(r);
+  return *this;
+}
+
+NVersionDeployment::Builder& NVersionDeployment::Builder::on_instance_dead(
+    std::function<void(size_t, const std::string&)> fn) {
+  incoming_.on_instance_dead = std::move(fn);
   return *this;
 }
 

@@ -58,6 +58,13 @@ class NVersionDeployment {
     Builder& health(HealthTracker::Options h);
     Builder& unit_timeout(sim::Time t);
     Builder& signature_blocking(bool on, uint32_t threshold = 1);
+    /// Recovery: resync quarantined instances from a trusted peer before
+    /// readmission (incoming proxy only; see ResyncOptions).
+    Builder& resync(ResyncOptions r);
+    /// Hook fired when an instance is declared dead (for auto-replacement
+    /// via an orchestrator; see IncomingProxy::Config::on_instance_dead).
+    Builder& on_instance_dead(
+        std::function<void(size_t, const std::string&)> fn);
     /// Adds an outgoing proxy between the instances and one real backend.
     /// `listen_address` is what the instances believe the backend to be.
     /// Shared knobs plus group_size/instance_sources (derived from the
@@ -101,6 +108,12 @@ class NVersionDeployment {
 
   /// The fault plan scheduled via Builder::faults (null when none).
   sim::FaultPlan* fault_plan() { return fault_plan_.get(); }
+
+  /// Swaps instance slot `i` to a replacement replica at `new_address`
+  /// across every proxy: the incoming proxy re-probes (and resyncs) the
+  /// new address; each outgoing proxy re-pins the slot to the new
+  /// replica's node name.
+  void replace_instance(size_t i, const std::string& new_address);
 
   /// Total interventions across all proxies.
   uint64_t divergences() const { return bus_.count(); }

@@ -56,6 +56,25 @@ void HealthTracker::readmit(size_t i) {
   in.attempts = 0;
 }
 
+bool HealthTracker::begin_resync(size_t i) {
+  auto& in = inst_.at(i);
+  if (in.state != State::kQuarantined) return false;
+  in.state = State::kResyncing;
+  return true;
+}
+
+void HealthTracker::resync_failed(size_t i) {
+  auto& in = inst_.at(i);
+  if (in.state == State::kResyncing) in.state = State::kQuarantined;
+}
+
+void HealthTracker::reset_replaced(size_t i) {
+  auto& in = inst_.at(i);
+  in.state = State::kQuarantined;
+  in.consecutive_failures = 0;
+  in.attempts = 0;
+}
+
 sim::Time HealthTracker::next_backoff(size_t i) {
   auto& in = inst_.at(i);
   uint32_t attempt = in.attempts++;

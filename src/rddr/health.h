@@ -42,6 +42,8 @@ class HealthTracker {
   enum class State {
     kHealthy,      // participating in sessions
     kQuarantined,  // excluded; reconnect probes pending
+    kResyncing,    // reachable again; state transfer in progress, still
+                   // excluded from new sessions until readmit()
     kDead,         // reconnect attempts exhausted; permanently excluded
   };
 
@@ -78,8 +80,22 @@ class HealthTracker {
   /// instance was healthy before.
   bool quarantine(size_t i);
 
-  /// Successful reconnect: quarantined -> healthy, counters reset.
+  /// Successful reconnect: quarantined/resyncing -> healthy, counters
+  /// reset.
   void readmit(size_t i);
+
+  /// Reachable but not yet trusted: quarantined -> resyncing (state
+  /// transfer runs before admission). Returns false unless quarantined.
+  bool begin_resync(size_t i);
+
+  /// The transfer failed or the journal overflowed: resyncing ->
+  /// quarantined, so the backoff probe schedule takes over again.
+  void resync_failed(size_t i);
+
+  /// Instance i was replaced by a fresh replica: any state (dead
+  /// included) -> quarantined with all counters reset, ready for the
+  /// probe -> resync -> readmit pipeline.
+  void reset_replaced(size_t i);
 
   /// Next backoff delay for instance i; increments its attempt counter.
   sim::Time next_backoff(size_t i);

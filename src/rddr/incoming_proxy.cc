@@ -1,5 +1,6 @@
 #include "rddr/incoming_proxy.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "common/log.h"
@@ -21,6 +22,9 @@ struct IncomingProxy::Session {
   std::vector<std::deque<Unit>> queues;
   std::vector<bool> upstream_closed;
   std::vector<bool> participating;
+  // Catch-up connections to readmitted instances that are not part of this
+  // session (lazily dialled; responses are discarded, never compared).
+  std::vector<sim::ConnPtr> shadows;
 
   bool busy = false;          // a compare task is on the host
   bool ended = false;
@@ -68,6 +72,8 @@ IncomingProxy::IncomingProxy(sim::Network& net, sim::Host& host,
   token_state_.n_instances = config_.instance_addresses.size();
   token_state_.delete_tokens_after_use = config_.delete_tokens_after_use;
   probe_events_.assign(config_.instance_addresses.size(), 0);
+  dead_events_.assign(config_.instance_addresses.size(), 0);
+  resync_.resize(config_.instance_addresses.size());
   host_.charge_memory(config_.base_memory_bytes);
   net_.listen(config_.listen_address,
               [this](sim::ConnPtr c) { on_accept(std::move(c)); });
@@ -89,6 +95,10 @@ IncomingProxy::~IncomingProxy() {
   }
   for (uint64_t ev : probe_events_)
     if (ev) net_.simulator().cancel(ev);
+  for (uint64_t ev : dead_events_)
+    if (ev) net_.simulator().cancel(ev);
+  for (auto& rs : resync_)
+    if (rs.complete_event) net_.simulator().cancel(rs.complete_event);
 }
 
 void IncomingProxy::end_session_spans(const std::shared_ptr<Session>& s) {
@@ -103,6 +113,20 @@ void IncomingProxy::note_instance_failure(size_t i) {
     counters_.quarantines->inc();
     RDDR_LOG_WARN("%s: instance %zu (%s) quarantined", config_.name.c_str(),
                   i, config_.instance_addresses[i].c_str());
+    // A quarantined instance no longer receives client units, so a live
+    // session still comparing it would read ever-staler state and outvote
+    // it over what is really transient unavailability. Withdraw it from
+    // every session (deferred — the caller may be mid-pump on one of
+    // them); the resync snapshot covers everything it misses.
+    net_.simulator().schedule(0, [this, i] {
+      if (health_.state(i) != HealthTracker::State::kQuarantined) return;
+      std::vector<std::shared_ptr<Session>> live;
+      for (auto& [id, s] : sessions_) live.push_back(s);
+      for (auto& s : live) {
+        if (s->ended || !s->participating[i]) continue;
+        if (drop_instance(s, i, "quarantined")) pump(s);
+      }
+    });
     schedule_reconnect(i);
   }
 }
@@ -111,11 +135,11 @@ void IncomingProxy::schedule_reconnect(size_t i) {
   if (probe_events_[i]) return;
   if (health_.state(i) != HealthTracker::State::kQuarantined) return;
   if (health_.attempts_exhausted(i)) {
-    health_.mark_dead(i);
     RDDR_LOG_WARN("%s: instance %zu (%s) declared dead after %u failed "
                   "reconnect attempts",
                   config_.name.c_str(), i,
                   config_.instance_addresses[i].c_str(), health_.attempts(i));
+    notify_dead(i, "reconnect attempts exhausted");
     return;
   }
   sim::Time delay = health_.next_backoff(i);
@@ -130,12 +154,201 @@ void IncomingProxy::schedule_reconnect(size_t i) {
       return;
     }
     probe->close();
+    if (config_.resync.enabled && config_.resync.warm) {
+      begin_resync(i);
+      return;
+    }
     health_.readmit(i);
     counters_.reconnects->inc();
     RDDR_LOG_INFO("%s: instance %zu (%s) re-admitted after reconnect",
                   config_.name.c_str(), i,
                   config_.instance_addresses[i].c_str());
   });
+}
+
+void IncomingProxy::notify_dead(size_t i, const std::string& reason) {
+  health_.mark_dead(i);
+  if (!config_.on_instance_dead || dead_events_[i]) return;
+  // Deferred to a fresh event: the hook typically replaces the instance,
+  // which rewrites proxy state — never reenter mid-pump.
+  dead_events_[i] = net_.simulator().schedule(0, [this, i, reason] {
+    dead_events_[i] = 0;
+    if (health_.state(i) == HealthTracker::State::kDead)
+      config_.on_instance_dead(i, reason);
+  });
+}
+
+void IncomingProxy::begin_resync(size_t i) {
+  if (!health_.begin_resync(i)) return;
+  counters_.resyncs->inc();
+  ResyncState& rs = resync_[i];
+  rs = ResyncState{};
+  if (config_.tracer) {
+    rs.trace = config_.tracer->new_trace();
+    rs.span = config_.tracer->begin(rs.trace, 0, "resync", config_.name);
+    config_.tracer->tag(rs.span, "instance", strformat("%zu", i));
+    config_.tracer->tag(rs.span, "address", config_.instance_addresses[i]);
+  }
+  int64_t bytes = config_.resync.warm(i);
+  if (bytes < 0) {
+    fail_resync(i, "state transfer failed");
+    return;
+  }
+  rs.active = true;
+  rs.bytes = bytes;
+  if (config_.tracer)
+    config_.tracer->tag(rs.span, "bytes",
+                        strformat("%lld", static_cast<long long>(bytes)));
+  sim::Time window = std::max(
+      config_.resync.min_transfer_time,
+      static_cast<sim::Time>(static_cast<double>(bytes) *
+                             config_.resync.transfer_seconds_per_byte *
+                             static_cast<double>(sim::kSecond)));
+  RDDR_LOG_INFO("%s: instance %zu (%s) resyncing: %lld bytes warmed, "
+                "journaling writes for %lld ns",
+                config_.name.c_str(), i, config_.instance_addresses[i].c_str(),
+                static_cast<long long>(bytes),
+                static_cast<long long>(window));
+  rs.complete_event = net_.simulator().schedule(window, [this, i] {
+    resync_[i].complete_event = 0;
+    finish_resync(i);
+  });
+}
+
+void IncomingProxy::fail_resync(size_t i, const std::string& why) {
+  ResyncState& rs = resync_[i];
+  if (rs.complete_event) {
+    net_.simulator().cancel(rs.complete_event);
+    rs.complete_event = 0;
+  }
+  rs.active = false;
+  rs.journal.clear();
+  if (config_.tracer && rs.span) {
+    config_.tracer->tag(rs.span, "failed", why);
+    config_.tracer->end(rs.span);
+    rs.span = 0;
+  }
+  RDDR_LOG_WARN("%s: instance %zu (%s) resync failed (%s); back to "
+                "quarantine",
+                config_.name.c_str(), i, config_.instance_addresses[i].c_str(),
+                why.c_str());
+  health_.resync_failed(i);
+  schedule_reconnect(i);
+}
+
+void IncomingProxy::finish_resync(size_t i) {
+  ResyncState& rs = resync_[i];
+  if (!rs.active) return;
+  if (rs.overflow) {
+    fail_resync(i, strformat("journal overflow (> %zu units)",
+                             config_.resync.journal_max_units));
+    return;
+  }
+  size_t replayed = 0;
+  if (!rs.journal.empty()) {
+    sim::ConnectMeta meta;
+    meta.source = config_.name;
+    meta.flow_label = "resync-replay";
+    meta.trace_id = rs.trace;
+    meta.parent_span = rs.span;
+    auto conn = net_.connect(config_.instance_addresses[i], meta);
+    if (!conn) {
+      fail_resync(i, "instance unreachable at journal replay");
+      return;
+    }
+    Bytes preamble = config_.plugin->resync_preamble();
+    if (!preamble.empty()) conn->send(preamble);
+    CompareContext ctx;
+    ctx.filter_pair = config_.filter_pair;
+    ctx.variance = &config_.variance;
+    ctx.session = &token_state_;
+    for (const Unit& u : rs.journal) {
+      conn->send(config_.plugin->rewrite_for_instance(u, i, ctx));
+      counters_.journal_replayed_requests->inc();
+      ++replayed;
+    }
+    conn->close();  // graceful: queued bytes are delivered first
+  }
+  rs.journal.clear();
+  rs.active = false;
+  if (config_.tracer && rs.span) {
+    config_.tracer->tag(rs.span, "journal_replayed", strformat("%zu", replayed));
+    config_.tracer->end(rs.span);
+    rs.span = 0;
+  }
+  health_.readmit(i);
+  counters_.reconnects->inc();
+  RDDR_LOG_INFO("%s: instance %zu (%s) resynced and re-admitted (%zu "
+                "journaled units replayed)",
+                config_.name.c_str(), i, config_.instance_addresses[i].c_str(),
+                replayed);
+}
+
+void IncomingProxy::journal_unit(size_t i, const Unit& u) {
+  ResyncState& rs = resync_[i];
+  if (rs.overflow) return;
+  if (rs.journal.size() >= config_.resync.journal_max_units) {
+    rs.overflow = true;  // finish_resync aborts; a later probe starts over
+    return;
+  }
+  rs.journal.push_back(u);
+}
+
+void IncomingProxy::shadow_unit(const std::shared_ptr<Session>& s, size_t i,
+                                const Unit& u, const CompareContext& ctx) {
+  auto& sh = s->shadows[i];
+  if (sh && !sh->is_open()) sh = nullptr;  // stale (crash or replacement)
+  if (!sh) {
+    sim::ConnectMeta meta;
+    meta.source = config_.name;
+    meta.flow_label =
+        strformat("catchup-%llu", static_cast<unsigned long long>(s->id));
+    meta.trace_id = s->trace;
+    meta.parent_span = s->root_span;
+    sh = net_.connect(config_.instance_addresses[i], meta);
+    if (!sh) return;  // flapped again; the health machinery will notice
+    Bytes preamble = config_.plugin->resync_preamble();
+    if (!preamble.empty()) sh->send(preamble);
+  }
+  sh->send(config_.plugin->rewrite_for_instance(u, i, ctx));
+  counters_.journal_replayed_requests->inc();
+}
+
+void IncomingProxy::replace_instance(size_t i,
+                                     const std::string& new_address) {
+  if (probe_events_[i]) {
+    net_.simulator().cancel(probe_events_[i]);
+    probe_events_[i] = 0;
+  }
+  if (dead_events_[i]) {
+    net_.simulator().cancel(dead_events_[i]);
+    dead_events_[i] = 0;
+  }
+  ResyncState& rs = resync_[i];
+  if (rs.complete_event) {
+    net_.simulator().cancel(rs.complete_event);
+    rs.complete_event = 0;
+  }
+  if (config_.tracer && rs.span) {
+    config_.tracer->tag(rs.span, "aborted", "instance replaced");
+    config_.tracer->end(rs.span);
+  }
+  rs = ResyncState{};
+  // Catch-up connections of live sessions still point at the old replica;
+  // drop them so the next shadowed unit dials the new address.
+  for (auto& [id, s] : sessions_) {
+    if (i < s->shadows.size() && s->shadows[i]) {
+      if (s->shadows[i]->is_open()) s->shadows[i]->close();
+      s->shadows[i] = nullptr;
+    }
+  }
+  config_.instance_addresses[i] = new_address;
+  health_.reset_replaced(i);
+  counters_.replacements->inc();
+  RDDR_LOG_INFO("%s: instance %zu replaced; now %s (quarantined until "
+                "probe + resync)",
+                config_.name.c_str(), i, new_address.c_str());
+  schedule_reconnect(i);
 }
 
 void IncomingProxy::on_accept(sim::ConnPtr conn) {
@@ -166,6 +379,7 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
   s->upstreams.resize(n);
   s->upstream_framers.resize(n);
   s->upstream_spans.assign(n, 0);
+  s->shadows.resize(n);
   for (size_t i = 0; i < n; ++i) {
     if (!strict && !health_.is_healthy(i)) continue;  // quarantined: skip
     sim::ConnectMeta meta;
@@ -296,9 +510,23 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
         config_.tracer->tag(ev, "bytes", strformat("%zu", u.data.size()));
       }
       for (size_t i = 0; i < s->upstreams.size(); ++i) {
-        if (!s->participating[i] || !s->upstreams[i]) continue;
-        Bytes rewritten = config_.plugin->rewrite_for_instance(u, i, ctx);
-        s->upstreams[i]->send(rewritten);
+        if (s->participating[i] && s->upstreams[i]) {
+          Bytes rewritten = config_.plugin->rewrite_for_instance(u, i, ctx);
+          s->upstreams[i]->send(rewritten);
+          continue;
+        }
+        // Instance absent from this session. Mid-resync its copy of this
+        // unit is journaled; once readmitted, catch-up shadowing keeps it
+        // from drifting while this (pre-readmission) session lives on.
+        // Quarantined instances get neither: the resync snapshot covers
+        // everything they miss. Session-lifecycle units never replay.
+        if (!config_.plugin->replayable(u)) continue;
+        if (resync_[i].active) {
+          journal_unit(i, u);
+        } else if (config_.resync.enabled && config_.resync.catch_up_sessions &&
+                   health_.is_healthy(i)) {
+          shadow_unit(s, i, u, ctx);
+        }
       }
     }
   });
@@ -592,8 +820,9 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
         if (health_.quarantine(inst)) counters_.quarantines->inc();
         // A divergent answer is evidence of compromise, not transient
         // unavailability: no automatic re-admission (probes only test
-        // reachability, which an outvoted instance still has).
-        health_.mark_dead(inst);
+        // reachability, which an outvoted instance still has). With an
+        // orchestrator attached, on_instance_dead replaces the replica.
+        notify_dead(inst, "outvoted by quorum");
         units->erase(units->begin() +
                      static_cast<std::ptrdiff_t>(vote.outlier));
         ctx.filter_pair = ctx.filter_pair && vote.outlier > 1;
@@ -641,6 +870,8 @@ void IncomingProxy::teardown(const std::shared_ptr<Session>& s) {
   if (s->client && s->client->is_open()) s->client->close();
   for (auto& up : s->upstreams)
     if (up && up->is_open()) up->close();
+  for (auto& sh : s->shadows)
+    if (sh && sh->is_open()) sh->close();
   end_session_spans(s);
   sessions_.erase(s->id);
 }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -30,6 +31,39 @@
 #include "rddr/plugin.h"
 
 namespace rddr::core {
+
+/// Recovery knobs for the incoming proxy (DESIGN.md "Recovery & resync").
+/// With `enabled` and a `warm` hook set, a quarantined instance that
+/// answers a reconnect probe is not readmitted directly: it enters
+/// HealthTracker::State::kResyncing, `warm` copies state from a trusted
+/// peer (for sqldb: snapshot_database of the lowest healthy replica),
+/// request units arriving during the modelled transfer window are
+/// journaled (bounded) and replayed to the instance afterwards, and only
+/// then is the instance admitted to new sessions. Sessions that started
+/// while it was away keep it state-consistent via catch-up shadowing (see
+/// ResyncOptions::catch_up_sessions).
+struct ResyncOptions {
+  bool enabled = false;
+  /// Performs the state transfer into instance `i`. Returns the number of
+  /// bytes transferred (>= 0), or -1 when no trusted source was available
+  /// or the load failed (the instance goes back to quarantine and a later
+  /// probe retries).
+  std::function<int64_t(size_t instance)> warm;
+  /// Virtual-time model of the copy; admission is delayed by
+  /// max(min_transfer_time, bytes * transfer_seconds_per_byte) and the
+  /// journal covers writes landing inside that window.
+  double transfer_seconds_per_byte = 1e-9;  // ~1 GB/s
+  sim::Time min_transfer_time = sim::kMillisecond;
+  /// Journal capacity in units; overflow aborts the resync (back to
+  /// quarantine; the next probe starts over with a fresher snapshot).
+  size_t journal_max_units = 256;
+  /// After readmission, client units of sessions that opened while the
+  /// instance was away are shadow-forwarded to it (responses discarded),
+  /// so long-lived write sessions cannot silently diverge its state.
+  /// Leave off for deployments with outgoing proxies: shadow traffic
+  /// would show up as extra backend flows.
+  bool catch_up_sessions = true;
+};
 
 class IncomingProxy {
  public:
@@ -49,6 +83,15 @@ class IncomingProxy {
     /// the proxy without ever reaching the instances.
     bool signature_blocking = false;
     uint32_t signature_threshold = 1;
+    /// Recovery behaviour for quarantined instances (see ResyncOptions).
+    ResyncOptions resync;
+    /// Invoked (on a fresh simulator event, never reentrantly) when an
+    /// instance transitions to kDead — reconnect attempts exhausted or
+    /// outvoted by the quorum. An orchestrator hooks this to replace the
+    /// instance (Orchestrator::replace + replace_instance below), closing
+    /// the self-healing loop.
+    std::function<void(size_t instance, const std::string& reason)>
+        on_instance_dead;
   };
 
   IncomingProxy(sim::Network& net, sim::Host& host, Config config,
@@ -72,8 +115,25 @@ class IncomingProxy {
   /// via the DivergenceBus when a sibling proxy detects divergence).
   void abort_all_sessions(const std::string& reason);
 
+  /// Swaps instance slot `i` to a freshly deployed replica at
+  /// `new_address`. The slot starts quarantined with clean backoff state;
+  /// the normal probe → resync → readmit path brings it into service.
+  /// Any in-flight resync or probe for the old instance is abandoned.
+  void replace_instance(size_t i, const std::string& new_address);
+
  private:
   struct Session;
+  /// Per-instance resync progress (only instances in kResyncing are
+  /// `active`).
+  struct ResyncState {
+    bool active = false;
+    bool overflow = false;
+    std::vector<Unit> journal;
+    uint64_t complete_event = 0;  // pending transfer-done event (0 = none)
+    int64_t bytes = 0;
+    obs::TraceId trace = 0;
+    obs::SpanId span = 0;
+  };
   void on_accept(sim::ConnPtr conn);
   void attach_upstream(const std::shared_ptr<Session>& s, size_t i);
   void pump(const std::shared_ptr<Session>& s);
@@ -89,6 +149,23 @@ class IncomingProxy {
   void schedule_reconnect(size_t i);
   void enter_failopen(const std::shared_ptr<Session>& s, size_t live_idx);
   void end_session_spans(const std::shared_ptr<Session>& s);
+  /// Marks instance i dead and (deferred, on a fresh event) fires the
+  /// on_instance_dead hook.
+  void notify_dead(size_t i, const std::string& reason);
+  /// kQuarantined -> kResyncing: warm from a trusted peer, start the
+  /// journal window and the transfer timer.
+  void begin_resync(size_t i);
+  /// Transfer window elapsed: replay the journal and readmit (or fail on
+  /// overflow / unreachability).
+  void finish_resync(size_t i);
+  /// Abandons an in-progress resync: back to quarantine, backoff retry.
+  void fail_resync(size_t i, const std::string& why);
+  /// Buffers one client unit for an instance mid-resync (bounded).
+  void journal_unit(size_t i, const Unit& u);
+  /// Catch-up shadowing: forwards a unit of an established session to a
+  /// readmitted instance that is not part of the session.
+  void shadow_unit(const std::shared_ptr<Session>& s, size_t i, const Unit& u,
+                   const CompareContext& ctx);
 
   sim::Network& net_;
   sim::Host& host_;
@@ -100,6 +177,9 @@ class IncomingProxy {
   HealthTracker health_;
   /// Pending reconnect-probe event per instance (0 = none).
   std::vector<uint64_t> probe_events_;
+  /// Pending deferred on_instance_dead event per instance (0 = none).
+  std::vector<uint64_t> dead_events_;
+  std::vector<ResyncState> resync_;
   /// Ephemeral-token table. Proxy-global (not per client connection):
   /// tokens are issued on one connection and presented on another (a
   /// browser does not pin CSRF round-trips to a socket), and values are

@@ -16,6 +16,9 @@ void ProxyCounters::bind(obs::MetricsRegistry& reg,
   reconnects = reg.counter(prefix + ".reconnects");
   degraded_sessions = reg.counter(prefix + ".degraded_sessions");
   quorum_outvotes = reg.counter(prefix + ".quorum_outvotes");
+  resyncs = reg.counter(prefix + ".resyncs");
+  replacements = reg.counter(prefix + ".replacements");
+  journal_replayed_requests = reg.counter(prefix + ".journal_replayed_requests");
   compare_ms = reg.histogram(prefix + ".compare_ms");
 }
 
@@ -34,6 +37,9 @@ ProxyStats ProxyCounters::snapshot() const {
   s.reconnects = reconnects->value();
   s.degraded_sessions = degraded_sessions->value();
   s.quorum_outvotes = quorum_outvotes->value();
+  s.resyncs = resyncs->value();
+  s.replacements = replacements->value();
+  s.journal_replayed_requests = journal_replayed_requests->value();
   return s;
 }
 

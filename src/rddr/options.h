@@ -76,6 +76,10 @@ struct ProxyStats {
   uint64_t reconnects = 0;            // quarantined instances re-admitted
   uint64_t degraded_sessions = 0;     // sessions served by < N instances
   uint64_t quorum_outvotes = 0;       // divergent minorities outvoted
+  // Recovery-path counters (instance replacement + resync):
+  uint64_t resyncs = 0;               // state transfers started
+  uint64_t replacements = 0;          // instances swapped for fresh replicas
+  uint64_t journal_replayed_requests = 0;  // units replayed after transfer
 
   ProxyStats& operator+=(const ProxyStats& o) {
     sessions += o.sessions;
@@ -90,6 +94,9 @@ struct ProxyStats {
     reconnects += o.reconnects;
     degraded_sessions += o.degraded_sessions;
     quorum_outvotes += o.quorum_outvotes;
+    resyncs += o.resyncs;
+    replacements += o.replacements;
+    journal_replayed_requests += o.journal_replayed_requests;
     return *this;
   }
 };
@@ -110,6 +117,9 @@ struct ProxyCounters {
   obs::Counter* reconnects = nullptr;
   obs::Counter* degraded_sessions = nullptr;
   obs::Counter* quorum_outvotes = nullptr;
+  obs::Counter* resyncs = nullptr;
+  obs::Counter* replacements = nullptr;
+  obs::Counter* journal_replayed_requests = nullptr;
   /// Virtual-time cost of each de-noise+diff batch, in milliseconds.
   obs::Histogram* compare_ms = nullptr;
 

@@ -652,4 +652,13 @@ void OutgoingProxy::abort_all_sessions(const std::string& reason) {
   }
 }
 
+void OutgoingProxy::replace_instance(size_t i, const std::string& source_node) {
+  if (i < config_.instance_sources.size())
+    config_.instance_sources[i] = source_node;
+  health_.reset_replaced(i);
+  counters_.replacements->inc();
+  RDDR_LOG_INFO("%s: instance %zu replaced; now dialling in from %s",
+                config_.name.c_str(), i, source_node.c_str());
+}
+
 }  // namespace rddr::core

@@ -82,6 +82,12 @@ class OutgoingProxy {
   /// sibling proxy detects divergence).
   void abort_all_sessions(const std::string& reason);
 
+  /// Swaps instance slot `i` to a replacement replica dialling in from
+  /// `source_node` (requires `instance_sources`). The slot starts
+  /// quarantined with clean health state and is re-admitted the moment the
+  /// new replica shows up in a group — the dial-in IS the liveness probe.
+  void replace_instance(size_t i, const std::string& source_node);
+
  private:
   struct Group;
   void on_accept(sim::ConnPtr conn);

@@ -118,9 +118,25 @@ class ProtocolPlugin {
     return unit.data;
   }
 
+  /// Whether a client->server unit may be re-sent on a fresh connection
+  /// when journal-replaying or catch-up shadowing a recovering instance.
+  /// Session establishment/teardown units must not be: the replay
+  /// connection opens with resync_preamble() and closes on its own.
+  /// Default: every unit replays.
+  virtual bool replayable(const Unit& unit) const {
+    (void)unit;
+    return true;
+  }
+
   /// Bytes to send to the client when RDDR intervenes. Empty => just
   /// close the connection (the pgwire behaviour).
   virtual Bytes intervention_response() const { return {}; }
+
+  /// Opening bytes for a proxy-originated connection to one instance (the
+  /// resync journal replay): whatever the protocol requires before
+  /// request units are accepted — a pgwire startup packet, nothing for
+  /// HTTP. Empty (default) means units can be sent immediately.
+  virtual Bytes resync_preamble() const { return {}; }
 };
 
 }  // namespace rddr::core

@@ -410,6 +410,19 @@ Bytes PgPlugin::intervention_response() const {
                          "connection aborted to prevent information leak");
 }
 
+Bytes PgPlugin::resync_preamble() const {
+  // The journal holds mid-session Query units; a fresh replay connection
+  // needs the handshake the original client performed long ago.
+  return pg::build_startup({{"user", "postgres"}, {"database", "app"}});
+}
+
+bool PgPlugin::replayable(const Unit& unit) const {
+  // A client that handshakes or disconnects while an instance is away
+  // must not inject a second startup (which desyncs pgwire framing) or a
+  // Terminate (which would cut the replay stream short) mid-replay.
+  return unit.kind != "pg:startup" && unit.kind != "pg:X";
+}
+
 // ---------- JsonLinesPlugin ----------
 
 std::unique_ptr<StreamFramer> JsonLinesPlugin::make_framer(Direction) const {

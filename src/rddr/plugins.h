@@ -69,6 +69,11 @@ class PgPlugin : public ProtocolPlugin {
   DiffOutcome compare(const std::vector<Unit>& units,
                       const CompareContext& ctx) const override;
   Bytes intervention_response() const override;
+  /// Startup packet so a replayed journal lands in a valid session.
+  Bytes resync_preamble() const override;
+  /// Startup and Terminate belong to the original client connection, not
+  /// the replay stream.
+  bool replayable(const Unit& unit) const override;
 };
 
 /// Newline-delimited JSON documents over raw TCP. Units are lines;

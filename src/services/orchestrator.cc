@@ -71,8 +71,13 @@ std::vector<std::string> Orchestrator::deploy_replicas(
 
 void Orchestrator::stop(const std::string& container_name) {
   auto it = containers_.find(container_name);
-  if (it != containers_.end() && it->second.crashed)
-    net_.restart_node(sim::Network::node_of(it->second.spec.address));
+  if (it == containers_.end()) return;
+  std::string node = sim::Network::node_of(it->second.spec.address);
+  if (it->second.crashed) net_.restart_node(node);
+  // A stopped container's sockets die with it: sever its connections
+  // before destroying the object, or an in-flight delivery would land in
+  // a handler that captures the freed service. (crash() already severs.)
+  net_.sever_node(node);
   containers_.erase(container_name);
 }
 
@@ -85,7 +90,17 @@ void Orchestrator::crash(const std::string& container_name) {
   d.crashed = true;
   d.object.reset();  // process gone: in-memory state and listener lost
   net_.crash_node(sim::Network::node_of(d.spec.address));
-  if (restart_policy_.auto_restart) {
+  if (replacement_policy_.auto_replace) {
+    sim_.schedule(replacement_policy_.replace_delay, [this, container_name] {
+      auto rit = containers_.find(container_name);
+      if (rit == containers_.end() || !rit->second.crashed) return;
+      std::string new_address = replace(container_name);
+      if (replacement_policy_.on_replaced)
+        replacement_policy_.on_replaced(container_name,
+                                        sim::Network::node_of(new_address),
+                                        new_address);
+    });
+  } else if (restart_policy_.auto_restart) {
     sim_.schedule(restart_policy_.restart_delay,
                   [this, container_name] {
                     if (containers_.count(container_name) > 0)
@@ -101,8 +116,42 @@ void Orchestrator::restart(const std::string& container_name) {
   Deployed& d = it->second;
   if (!d.crashed) return;
   net_.restart_node(sim::Network::node_of(d.spec.address));
-  d.object = images_.at(d.spec.image)(d.spec);
+  // A fresh incarnation must not replay its previous life's randomness:
+  // fork the base seed by the restart count (deterministic across runs,
+  // distinct across incarnations). d.spec keeps the base seed.
+  ++d.incarnation;
+  ContainerSpec spec = d.spec;
+  Rng remix(d.spec.rng_seed);
+  spec.rng_seed = remix.fork(d.incarnation).next();
+  d.object = images_.at(d.spec.image)(spec);
   d.crashed = false;
+}
+
+std::string Orchestrator::replace(const std::string& container_name) {
+  auto it = containers_.find(container_name);
+  if (it == containers_.end())
+    throw std::runtime_error("unknown container: " + container_name);
+  const Deployed& old = it->second;
+  // Lineage base: strip an existing "-r<k>" suffix so repeated
+  // replacement stays "<base>-r1", "<base>-r2", ... forever.
+  std::string base = old.spec.container_name;
+  size_t pos = base.rfind("-r");
+  if (pos != std::string::npos && pos + 2 < base.size() &&
+      base.find_first_not_of("0123456789", pos + 2) == std::string::npos)
+    base = base.substr(0, pos);
+  uint64_t k = ++replace_counts_[base];
+  std::string new_name =
+      strformat("%s-r%llu", base.c_str(), static_cast<unsigned long long>(k));
+  size_t colon = old.spec.address.rfind(':');
+  std::string port =
+      colon == std::string::npos ? ":80" : old.spec.address.substr(colon);
+  std::string new_address = new_name + port;
+  std::string image = old.spec.image;
+  std::string tag = old.spec.tag;
+  std::string host_name = old.host;
+  stop(container_name);  // restores the old node if it crashed
+  deploy(new_name, image, tag, host_name, new_address);
+  return new_address;
 }
 
 bool Orchestrator::crashed(const std::string& container_name) const {

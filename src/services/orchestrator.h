@@ -74,11 +74,25 @@ class Orchestrator {
   /// service object (in-memory state lost, listener gone) AND marks the
   /// container's network node down, severing live connections with
   /// crash semantics (netsim abort). `restart` brings the node back and
-  /// re-runs the image factory with the original spec — including the
-  /// original rng_seed, so a restart is deterministic.
+  /// re-runs the image factory with the original spec, except that the
+  /// rng_seed is re-derived per incarnation (base seed forked by restart
+  /// count): a restarted process must not replay the randomness of its
+  /// previous life, but the same crash/restart schedule still reproduces
+  /// the same seeds.
   void crash(const std::string& container_name);
   void restart(const std::string& container_name);
   bool crashed(const std::string& container_name) const;
+
+  /// Replaces a container with a freshly named replica of the same
+  /// image:tag on the same host — the self-healing move for instances an
+  /// RDDR proxy declared dead (restart is useless there: a compromised or
+  /// diverged replica needs a new identity and a clean seed). The new
+  /// container is "<base>-r<k>" (k increments per lineage; an existing
+  /// -r<k> suffix is stripped first, so pg-1 → pg-1-r1 → pg-1-r2), bound
+  /// to "<new name>:<old port>", with a fresh deterministic seed. The old
+  /// container is stopped (its node restored if crashed). Returns the new
+  /// container's address.
+  std::string replace(const std::string& container_name);
 
   /// Kubernetes-style restartPolicy: when enabled, a crashed container is
   /// automatically restarted `restart_delay` after the crash.
@@ -87,6 +101,23 @@ class Orchestrator {
     sim::Time restart_delay = 2 * sim::kSecond;
   };
   void set_restart_policy(RestartPolicy policy) { restart_policy_ = policy; }
+
+  /// Deployment-style replacement: when enabled, a crashed container is
+  /// automatically replaced (see `replace`) `replace_delay` after the
+  /// crash. Takes precedence over RestartPolicy when both are enabled.
+  /// `on_replaced` lets the wiring layer re-point proxies at the new
+  /// address (NVersionDeployment::replace_instance).
+  struct ReplacementPolicy {
+    bool auto_replace = false;
+    sim::Time replace_delay = 2 * sim::kSecond;
+    std::function<void(const std::string& old_name,
+                       const std::string& new_name,
+                       const std::string& new_address)>
+        on_replaced;
+  };
+  void set_replacement_policy(ReplacementPolicy policy) {
+    replacement_policy_ = std::move(policy);
+  }
 
   /// Fetches the deployed service object (caller supplies the type).
   template <typename T>
@@ -109,6 +140,7 @@ class Orchestrator {
     ContainerSpec spec;  // remembered so crash → restart can re-run the factory
     std::string host;
     bool crashed = false;
+    uint64_t incarnation = 0;  // restarts so far (seed derivation input)
   };
 
   sim::Simulator& sim_;
@@ -119,6 +151,9 @@ class Orchestrator {
   std::map<std::string, Factory> images_;
   std::map<std::string, Deployed> containers_;
   RestartPolicy restart_policy_;
+  ReplacementPolicy replacement_policy_;
+  /// Replacements per lineage base name ("pg-1" for pg-1, pg-1-r1, ...).
+  std::map<std::string, uint64_t> replace_counts_;
 };
 
 }  // namespace rddr::services

@@ -42,6 +42,9 @@ void PgClient::close() {
     conn_->send(pg::build_terminate());
     conn_->close();
   }
+  // Queries still awaiting a response will never get one on a closed
+  // connection: fail their callbacks now rather than dropping them.
+  on_close();
 }
 
 void PgClient::maybe_send_next() {

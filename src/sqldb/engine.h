@@ -155,8 +155,13 @@ class Database {
     return operators_;
   }
 
+  /// Read access for the snapshot writer (sqldb/snapshot.h).
+  const std::map<std::string, TableData>& tables() const { return tables_; }
+
  private:
   friend class Session;
+  friend bool restore_database(Database& db, std::string_view snapshot,
+                               std::string* error);
   EngineInfo info_;
   std::map<std::string, TableData> tables_;
   std::map<std::string, FunctionDef> functions_;

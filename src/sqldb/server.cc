@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "common/strutil.h"
+#include "sqldb/snapshot.h"
 
 namespace rddr::sqldb {
 
@@ -9,8 +10,16 @@ struct SqlServer::Conn {
   sim::ConnPtr conn;
   pg::MessageReader reader{/*expect_startup=*/true};
   std::unique_ptr<Session> session;
-  bool busy = false;           // a query task is running on the host
-  std::vector<std::string> queued;  // queries received while busy
+  /// A fully-executed query whose response still awaits its host CPU
+  /// grant. Responses go out FIFO per connection.
+  struct PendingResponse {
+    Bytes out;
+    double cost = 0;
+    obs::SpanId span = 0;
+    sim::Time started = 0;
+  };
+  bool busy = false;  // a response task is running on the host
+  std::vector<PendingResponse> queued;
 };
 
 SqlServer::SqlServer(sim::Network& net, sim::Host& host,
@@ -43,6 +52,15 @@ void SqlServer::refresh_memory_charge() {
   int64_t want = opts_.base_memory_bytes + db_->approx_bytes();
   host_.charge_memory(want - charged_memory_);
   charged_memory_ = want;
+}
+
+std::string SqlServer::dump_snapshot() const { return snapshot_database(*db_); }
+
+bool SqlServer::load_snapshot(std::string_view snapshot, std::string* error) {
+  bool ok = restore_database(*db_, snapshot, error);
+  last_known_rows_ = -1;  // force a re-charge even if row counts match
+  refresh_memory_charge();
+  return ok;
 }
 
 void SqlServer::on_accept(sim::ConnPtr conn) {
@@ -96,10 +114,6 @@ void SqlServer::on_message(const std::shared_ptr<Conn>& c,
       c->conn->send(pg::build_ready_for_query());
       return;
     }
-    if (c->busy) {
-      c->queued.push_back(*sql);
-      return;
-    }
     handle_query(c, *sql);
     return;
   }
@@ -111,62 +125,68 @@ void SqlServer::on_message(const std::shared_ptr<Conn>& c,
 
 void SqlServer::handle_query(const std::shared_ptr<Conn>& c,
                              const std::string& sql) {
-  c->busy = true;
-  // Execute against the engine now (results are deterministic); charge the
-  // virtual CPU cost and deliver when the host grants it.
+  // Execute against the engine immediately: state mutates in network
+  // delivery order across *all* connections, pipelined or not, so e.g. a
+  // resync journal replay that has been delivered is visible to queries
+  // arriving later on other connections. Only the response waits for the
+  // host to grant the virtual CPU cost, FIFO per connection.
   ExecResult result = c->session->execute(sql);
   ++queries_served_;
   if (query_counter_) query_counter_->inc();
   refresh_memory_charge();
-  double cost = opts_.cpu_per_query +
-                static_cast<double>(result.rows_scanned) * opts_.cpu_per_row;
   bool notices_enabled = true;
   std::string cmm = to_lower(c->session->setting("client_min_messages"));
   if (cmm == "warning" || cmm == "error") notices_enabled = false;
 
-  obs::SpanId span = 0;
-  const sim::Time started = net_.simulator().now();
+  Conn::PendingResponse p;
+  p.cost = opts_.cpu_per_query +
+           static_cast<double>(result.rows_scanned) * opts_.cpu_per_row;
+  p.started = net_.simulator().now();
   if (opts_.tracer) {
     // Parent the span to the connect-time trace context, when the dialing
     // side (a proxy or the workload driver) supplied one.
     obs::TraceId trace = c->conn->meta().trace_id;
     if (!trace) trace = opts_.tracer->new_trace();
-    span = opts_.tracer->begin(trace, c->conn->meta().parent_span, "db.query",
-                               sim::Network::node_of(opts_.address));
-    opts_.tracer->tag(span, "rows_scanned",
+    p.span = opts_.tracer->begin(trace, c->conn->meta().parent_span,
+                                 "db.query",
+                                 sim::Network::node_of(opts_.address));
+    opts_.tracer->tag(p.span, "rows_scanned",
                       strformat("%llu", static_cast<unsigned long long>(
                                             result.rows_scanned)));
   }
+  for (const auto& sr : result.statements) {
+    if (notices_enabled)
+      for (const auto& n : sr.notices) p.out += pg::build_notice(n);
+    if (sr.failed()) {
+      p.out += pg::build_error(*sr.error_sqlstate, sr.error_message);
+      break;  // remaining statements were aborted by the engine
+    }
+    if (sr.is_rowset) {
+      p.out += pg::build_row_description(sr.columns);
+      for (const auto& row : sr.rows) p.out += pg::build_data_row(row);
+    }
+    p.out += pg::build_command_complete(sr.command_tag);
+  }
+  p.out += pg::build_ready_for_query();
+  c->queued.push_back(std::move(p));
+  if (!c->busy) pump_responses(c);
+}
 
-  host_.run_task(cost, [this, c, result = std::move(result), notices_enabled,
-                        span, started] {
-    if (opts_.tracer) opts_.tracer->end(span);
+void SqlServer::pump_responses(const std::shared_ptr<Conn>& c) {
+  if (c->queued.empty()) return;
+  c->busy = true;
+  Conn::PendingResponse p = std::move(c->queued.front());
+  c->queued.erase(c->queued.begin());
+  host_.run_task(p.cost, [this, c, p] {
+    if (opts_.tracer) opts_.tracer->end(p.span);
     if (query_ms_)
       query_ms_->observe(
-          static_cast<double>(net_.simulator().now() - started) / 1e6);
-    if (!c->conn->is_open()) return;
-    Bytes out;
-    for (const auto& sr : result.statements) {
-      if (notices_enabled)
-        for (const auto& n : sr.notices) out += pg::build_notice(n);
-      if (sr.failed()) {
-        out += pg::build_error(*sr.error_sqlstate, sr.error_message);
-        break;  // remaining statements were aborted by the engine
-      }
-      if (sr.is_rowset) {
-        out += pg::build_row_description(sr.columns);
-        for (const auto& row : sr.rows) out += pg::build_data_row(row);
-      }
-      out += pg::build_command_complete(sr.command_tag);
-    }
-    out += pg::build_ready_for_query();
-    c->conn->send(out);
+          static_cast<double>(net_.simulator().now() - p.started) / 1e6);
+    // The query already executed at delivery; a response to a closed
+    // connection is simply dropped.
+    if (c->conn->is_open()) c->conn->send(p.out);
     c->busy = false;
-    if (!c->queued.empty()) {
-      std::string next = std::move(c->queued.front());
-      c->queued.erase(c->queued.begin());
-      handle_query(c, next);
-    }
+    pump_responses(c);
   });
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/rng.h"
 #include "netsim/host.h"
@@ -58,6 +59,15 @@ class SqlServer {
   /// loads that bypass SQL).
   void refresh_memory_charge();
 
+  /// Serializes this instance's database (sqldb/snapshot.h) — the dump
+  /// side of replacement warm-up.
+  std::string dump_snapshot() const;
+
+  /// Replaces the database contents from a snapshot taken on a healthy
+  /// peer and refreshes the host memory charge. Returns false (and leaves
+  /// the database cleared) on a malformed snapshot.
+  bool load_snapshot(std::string_view snapshot, std::string* error = nullptr);
+
   /// Total queries served (diagnostics / tests).
   uint64_t queries_served() const { return queries_served_; }
 
@@ -66,6 +76,7 @@ class SqlServer {
   void on_accept(sim::ConnPtr conn);
   void on_message(const std::shared_ptr<Conn>& c, const pg::Message& msg);
   void handle_query(const std::shared_ptr<Conn>& c, const std::string& sql);
+  void pump_responses(const std::shared_ptr<Conn>& c);
 
   sim::Network& net_;
   sim::Host& host_;

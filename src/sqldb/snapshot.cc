@@ -1,0 +1,316 @@
+#include "sqldb/snapshot.h"
+
+#include <cstdlib>
+
+#include "common/strutil.h"
+#include "sqldb/parser.h"
+
+namespace rddr::sqldb {
+
+namespace {
+
+// Field escaping: the format is line- and tab-delimited, so those two
+// characters (plus the escape itself and \r for safety) are encoded.
+std::string escape_field(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    switch (s[++i]) {
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+// Datum encoding: N | B:t | B:f | I:<int> | F:<hexfloat> | T:<escaped>.
+// Hexfloat keeps doubles bit-exact through the text round trip.
+std::string encode_datum(const Datum& d) {
+  switch (d.type()) {
+    case Type::kNull: return "N";
+    case Type::kBool: return d.as_bool() ? "B:t" : "B:f";
+    case Type::kInt:
+      return strformat("I:%lld", static_cast<long long>(d.as_int()));
+    case Type::kFloat: return strformat("F:%a", d.as_float());
+    case Type::kText: return "T:" + escape_field(d.as_text());
+  }
+  return "N";
+}
+
+bool decode_datum(std::string_view s, Datum* out) {
+  if (s == "N") {
+    *out = Datum::null();
+    return true;
+  }
+  if (s.size() < 2 || s[1] != ':') return false;
+  std::string_view body = s.substr(2);
+  switch (s[0]) {
+    case 'B':
+      *out = Datum::boolean(body == "t");
+      return true;
+    case 'I': {
+      auto n = parse_i64(body);
+      if (!n) return false;
+      *out = Datum::integer(*n);
+      return true;
+    }
+    case 'F': {
+      std::string text(body);
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str()) return false;
+      *out = Datum::floating(v);
+      return true;
+    }
+    case 'T':
+      *out = Datum::text(unescape_field(body));
+      return true;
+  }
+  return false;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::string snapshot_database(const Database& db) {
+  std::string out = "RDDRSNAP 1\n";
+  out += "# engine " + db.info().product + " " + db.info().version + "\n";
+  for (const auto& [name, t] : db.tables()) {
+    out += "T " + escape_field(name) + "\t" + escape_field(t.owner) + "\t" +
+           (t.rls_enabled ? "1" : "0") + "\n";
+    for (const auto& c : t.columns)
+      out += strformat("C %s\t%d\n", escape_field(c.name).c_str(),
+                       static_cast<int>(c.type));
+    for (const auto& [priv, users] : t.grants)
+      for (const auto& u : users)
+        out += "G " + escape_field(priv) + "\t" + escape_field(u) + "\n";
+    for (const auto& p : t.policies)
+      out += "P " + escape_field(p.name) + "\t" + escape_field(p.role) + "\t" +
+             escape_field(p.using_expr ? p.using_expr->to_string() : "") +
+             "\n";
+    for (const auto& [col, index] : t.hash_indexes) {
+      (void)index;
+      if (col >= 0 && static_cast<size_t>(col) < t.columns.size())
+        out += "X " + escape_field(t.columns[static_cast<size_t>(col)].name) +
+               "\n";
+    }
+    for (const auto& row : t.rows) {
+      out += "R ";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i) out += '\t';
+        out += encode_datum(row[i]);
+      }
+      out += '\n';
+    }
+  }
+  for (const auto& [name, fn] : db.functions()) {
+    out += "F " + escape_field(name) +
+           strformat("\t%zu\t%d\t", fn.nargs, fn.notice_format ? 1 : 0) +
+           escape_field(fn.notice_format ? *fn.notice_format : "") +
+           strformat("\t%zu", fn.notice_args.size());
+    for (const auto& a : fn.notice_args)
+      out += "\t" + escape_field(a->to_string());
+    out += strformat("\t%d\t", fn.return_expr ? 1 : 0) +
+           escape_field(fn.return_expr ? fn.return_expr->to_string() : "") +
+           "\n";
+  }
+  for (const auto& [symbol, op] : db.operators()) {
+    out += "O " + escape_field(symbol) + "\t" + escape_field(op.procedure) +
+           "\t" + escape_field(op.restrict_estimator) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+bool restore_into(Database& db, std::map<std::string, FunctionDef>& functions,
+                  std::map<std::string, OperatorDef>& operators,
+                  std::string_view snapshot, std::string* error);
+
+}  // namespace
+
+bool restore_database(Database& db, std::string_view snapshot,
+                      std::string* error) {
+  db.tables_.clear();
+  db.functions_.clear();
+  db.operators_.clear();
+  if (restore_into(db, db.functions_, db.operators_, snapshot, error))
+    return true;
+  // A failed restore must not leave a half-warmed mix of old and new
+  // state: clear everything so the caller sees an empty instance.
+  db.tables_.clear();
+  db.functions_.clear();
+  db.operators_.clear();
+  return false;
+}
+
+namespace {
+
+bool restore_into(Database& db, std::map<std::string, FunctionDef>& functions,
+                  std::map<std::string, OperatorDef>& operators,
+                  std::string_view snapshot, std::string* error) {
+  TableData* table = nullptr;
+  // Index builds are deferred until all rows are in.
+  std::vector<std::pair<std::string, std::string>> indexes;  // table, column
+
+  auto lines = split_lines(snapshot);
+  if (lines.empty() || lines[0] != "RDDRSNAP 1")
+    return fail(error, "snapshot: bad header");
+  for (size_t ln = 1; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    if (line.empty() || line[0] == '#') continue;
+    if (line.size() < 2 || line[1] != ' ')
+      return fail(error, strformat("snapshot line %zu: bad record", ln + 1));
+    const char rec = line[0];
+    auto fields = split(std::string_view(line).substr(2), '\t');
+    switch (rec) {
+      case 'T': {
+        if (fields.size() != 3)
+          return fail(error, strformat("snapshot line %zu: bad table", ln + 1));
+        table = db.create_table(unescape_field(fields[0]), {});
+        table->owner = unescape_field(fields[1]);
+        table->rls_enabled = fields[2] == "1";
+        break;
+      }
+      case 'C': {
+        if (!table || fields.size() != 2)
+          return fail(error, strformat("snapshot line %zu: bad column", ln + 1));
+        auto code = parse_i64(fields[1]);
+        if (!code || *code < 0 || *code > static_cast<int>(Type::kText))
+          return fail(error, strformat("snapshot line %zu: bad type", ln + 1));
+        table->columns.push_back(
+            Column{unescape_field(fields[0]), static_cast<Type>(*code)});
+        break;
+      }
+      case 'G': {
+        if (!table || fields.size() != 2)
+          return fail(error, strformat("snapshot line %zu: bad grant", ln + 1));
+        table->grants[unescape_field(fields[0])].insert(
+            unescape_field(fields[1]));
+        break;
+      }
+      case 'P': {
+        if (!table || fields.size() != 3)
+          return fail(error, strformat("snapshot line %zu: bad policy", ln + 1));
+        Policy p;
+        p.name = unescape_field(fields[0]);
+        p.role = unescape_field(fields[1]);
+        std::string expr = unescape_field(fields[2]);
+        if (!expr.empty()) {
+          auto parsed = parse_expression(expr);
+          if (!parsed.ok())
+            return fail(error, "snapshot: policy expr: " + parsed.error());
+          p.using_expr = parsed.take();
+        }
+        table->policies.push_back(std::move(p));
+        break;
+      }
+      case 'X': {
+        if (!table || fields.size() != 1)
+          return fail(error, strformat("snapshot line %zu: bad index", ln + 1));
+        indexes.emplace_back(table->name, unescape_field(fields[0]));
+        break;
+      }
+      case 'R': {
+        if (!table)
+          return fail(error, strformat("snapshot line %zu: row before table",
+                                       ln + 1));
+        if (fields.size() != table->columns.size())
+          return fail(error, strformat("snapshot line %zu: row arity", ln + 1));
+        Row row;
+        row.reserve(fields.size());
+        for (const auto& f : fields) {
+          Datum d;
+          if (!decode_datum(f, &d))
+            return fail(error, strformat("snapshot line %zu: bad datum",
+                                         ln + 1));
+          row.push_back(std::move(d));
+        }
+        table->rows.push_back(std::move(row));
+        break;
+      }
+      case 'F': {
+        if (fields.size() < 5)
+          return fail(error, strformat("snapshot line %zu: bad function",
+                                       ln + 1));
+        if (!db.info().supports_udf) break;  // roachdb target: skip, no error
+        FunctionDef fn;
+        fn.name = unescape_field(fields[0]);
+        auto nargs = parse_i64(fields[1]);
+        auto n_notice = parse_i64(fields[4]);
+        if (!nargs || !n_notice ||
+            fields.size() != 7 + static_cast<size_t>(*n_notice))
+          return fail(error, strformat("snapshot line %zu: bad function",
+                                       ln + 1));
+        fn.nargs = static_cast<size_t>(*nargs);
+        if (fields[2] == "1") fn.notice_format = unescape_field(fields[3]);
+        for (int64_t i = 0; i < *n_notice; ++i) {
+          auto parsed =
+              parse_expression(unescape_field(fields[5 + static_cast<size_t>(i)]));
+          if (!parsed.ok())
+            return fail(error, "snapshot: notice expr: " + parsed.error());
+          fn.notice_args.push_back(parsed.take());
+        }
+        size_t ret_flag = 5 + static_cast<size_t>(*n_notice);
+        if (fields[ret_flag] == "1") {
+          auto parsed = parse_expression(unescape_field(fields[ret_flag + 1]));
+          if (!parsed.ok())
+            return fail(error, "snapshot: return expr: " + parsed.error());
+          fn.return_expr = parsed.take();
+        }
+        functions[fn.name] = std::move(fn);
+        break;
+      }
+      case 'O': {
+        if (fields.size() != 3)
+          return fail(error, strformat("snapshot line %zu: bad operator",
+                                       ln + 1));
+        if (!db.info().supports_udf) break;
+        OperatorDef op;
+        op.symbol = unescape_field(fields[0]);
+        op.procedure = unescape_field(fields[1]);
+        op.restrict_estimator = unescape_field(fields[2]);
+        operators[op.symbol] = std::move(op);
+        break;
+      }
+      default:
+        return fail(error,
+                    strformat("snapshot line %zu: unknown record '%c'", ln + 1,
+                              rec));
+    }
+  }
+  for (const auto& [tname, column] : indexes) {
+    TableData* t = db.find_table(tname);
+    if (t) t->build_index(column);
+  }
+  return true;
+}
+
+}  // namespace
+
+}  // namespace rddr::sqldb

@@ -1,0 +1,154 @@
+// Chaos harness tests: many seeded random fault schedules must all
+// recover cleanly; a deliberately broken deployment (resync disabled
+// under writes) must be caught by the invariants and shrink to a minimal
+// deterministic repro.
+#include <gtest/gtest.h>
+
+#include "chaos/chaos.h"
+
+namespace rddr::chaos {
+namespace {
+
+/// Trimmed workload so a single seed runs fast; faults + recovery math
+/// are unchanged.
+ChaosOptions quick_options() {
+  ChaosOptions o;
+  o.queries_per_client = 40;
+  o.fault_window_end = 4 * sim::kSecond;
+  o.settle = 15 * sim::kSecond;
+  return o;
+}
+
+TEST(ChaosPlanTest, SameSeedSamePlan) {
+  ChaosOptions opts;
+  for (uint64_t seed : {1ULL, 7ULL, 99ULL, 123456789ULL}) {
+    auto a = generate_fault_plan(seed, opts);
+    auto b = generate_fault_plan(seed, opts);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].kind, b[i].kind);
+      EXPECT_EQ(a[i].at, b[i].at);
+      EXPECT_EQ(a[i].duration, b[i].duration);
+      EXPECT_EQ(a[i].extra, b[i].extra);
+      EXPECT_EQ(a[i].instance, b[i].instance);
+    }
+  }
+}
+
+TEST(ChaosPlanTest, PlansVaryAcrossSeedsAndStayInWindow) {
+  ChaosOptions opts;
+  bool any_difference = false;
+  auto first = generate_fault_plan(1, opts);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto plan = generate_fault_plan(seed, opts);
+    ASSERT_GE(plan.size(), 1u);
+    ASSERT_LE(plan.size(), opts.max_faults);
+    for (size_t i = 0; i < plan.size(); ++i) {
+      EXPECT_GE(plan[i].at, opts.fault_window_start);
+      EXPECT_LT(plan[i].at, opts.fault_window_end);
+      EXPECT_LT(plan[i].instance, opts.n_instances);
+      if (i > 0) {
+        EXPECT_GE(plan[i].at, plan[i - 1].at);  // sorted
+      }
+      if (plan.size() != first.size() || plan[i].at != first[i].at)
+        any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ChaosRunTest, TwentySeedsRecoverCleanly) {
+  ChaosOptions opts = quick_options();
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosReport rep = run_chaos_seed(seed, opts);
+    EXPECT_TRUE(rep.ok) << "seed " << seed << ":\n"
+                        << describe(rep.plan) << rep.summary();
+    EXPECT_EQ(rep.healthy_at_end, opts.n_instances) << "seed " << seed;
+    EXPECT_EQ(rep.lost, 0u) << "seed " << seed;
+    EXPECT_GT(rep.served, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ChaosRunTest, SameSeedSameReport) {
+  ChaosOptions opts = quick_options();
+  ChaosReport a = run_chaos_seed(5, opts);
+  ChaosReport b = run_chaos_seed(5, opts);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.issued, b.issued);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.refused, b.refused);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.interventions, b.interventions);
+  EXPECT_EQ(a.quorum_outvotes, b.quorum_outvotes);
+  EXPECT_EQ(a.healthy_at_end, b.healthy_at_end);
+  EXPECT_EQ(a.recovery_time, b.recovery_time);
+}
+
+/// The harness's self-test: disable resync and a restarted replica comes
+/// back stale under a write workload — the invariants must catch it.
+TEST(ChaosShrinkTest, ResyncAblationIsCaughtAndShrunk) {
+  ChaosOptions opts = quick_options();
+  opts.resync_enabled = false;
+
+  // Two benign faults around the one that needs resync to stay safe.
+  std::vector<FaultSpec> plan;
+  FaultSpec spike;
+  spike.kind = FaultKind::kLatencySpike;
+  spike.at = 600 * sim::kMillisecond;
+  spike.duration = 300 * sim::kMillisecond;
+  spike.extra = 20 * sim::kMillisecond;
+  spike.instance = 0;
+  plan.push_back(spike);
+  FaultSpec crash;
+  crash.kind = FaultKind::kCrashRestart;
+  crash.at = 1 * sim::kSecond;
+  crash.duration = 800 * sim::kMillisecond;
+  crash.instance = 2;
+  plan.push_back(crash);
+  FaultSpec spike2 = spike;
+  spike2.at = 2500 * sim::kMillisecond;
+  spike2.instance = 1;
+  plan.push_back(spike2);
+
+  ChaosReport broken = run_chaos(plan, opts, /*seed=*/5);
+  ASSERT_FALSE(broken.ok) << broken.summary();
+  EXPECT_FALSE(broken.violations.empty());
+
+  // The same schedule with resync on recovers cleanly: it is the missing
+  // state transfer that breaks, not the schedule.
+  ChaosOptions fixed = opts;
+  fixed.resync_enabled = true;
+  EXPECT_TRUE(run_chaos(plan, fixed, 5).ok);
+
+  // Shrinking drops the benign spikes and keeps a still-failing repro.
+  ShrinkResult shrunk = shrink_fault_plan(plan, opts, 5);
+  ASSERT_FALSE(shrunk.report.ok);
+  ASSERT_LE(shrunk.plan.size(), plan.size());
+  ASSERT_EQ(shrunk.plan.size(), 1u) << describe(shrunk.plan);
+  EXPECT_EQ(shrunk.plan[0].kind, FaultKind::kCrashRestart);
+  EXPECT_GT(shrunk.runs, 0u);
+
+  // Deterministic: shrinking twice lands on the identical repro.
+  ShrinkResult again = shrink_fault_plan(plan, opts, 5);
+  ASSERT_EQ(again.plan.size(), shrunk.plan.size());
+  EXPECT_EQ(again.plan[0].kind, shrunk.plan[0].kind);
+  EXPECT_EQ(again.plan[0].at, shrunk.plan[0].at);
+  EXPECT_EQ(again.plan[0].duration, shrunk.plan[0].duration);
+  EXPECT_EQ(again.runs, shrunk.runs);
+  EXPECT_EQ(again.report.summary(), shrunk.report.summary());
+}
+
+TEST(ChaosDescribeTest, HumanReadablePlan) {
+  FaultSpec f;
+  f.kind = FaultKind::kCrashReplace;
+  f.at = 1200 * sim::kMillisecond;
+  f.duration = 500 * sim::kMillisecond;
+  f.instance = 2;
+  std::string s = describe(f);
+  EXPECT_NE(s.find("crash-replace"), std::string::npos);
+  EXPECT_NE(s.find("@1.20s"), std::string::npos);
+  EXPECT_NE(s.find("instance 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rddr::chaos

@@ -1,0 +1,173 @@
+// HealthTracker unit tests: backoff arithmetic (exponential growth, cap,
+// jitter bounds), the probe-forever mode, and the quarantine -> resync ->
+// readmit / replace state machine that instance replacement relies on.
+#include <gtest/gtest.h>
+
+#include "rddr/health.h"
+
+namespace rddr::core {
+namespace {
+
+using State = HealthTracker::State;
+
+HealthTracker::Options base_options() {
+  HealthTracker::Options o;
+  o.n_instances = 3;
+  o.failure_threshold = 1;
+  o.reconnect_base_delay = 100 * sim::kMillisecond;
+  o.reconnect_max_delay = 10 * sim::kSecond;
+  o.reconnect_max_attempts = 10;
+  o.seed = 42;
+  return o;
+}
+
+TEST(HealthBackoffTest, ExponentialGrowthWithinJitterBounds) {
+  auto o = base_options();
+  o.reconnect_jitter = 0.2;
+  HealthTracker h(o);
+  h.quarantine(0);
+  for (uint32_t attempt = 0; attempt < 6; ++attempt) {
+    sim::Time nominal = o.reconnect_base_delay << attempt;
+    sim::Time delay = h.next_backoff(0);
+    EXPECT_GE(delay, static_cast<sim::Time>(nominal * 0.8))
+        << "attempt " << attempt;
+    EXPECT_LE(delay, static_cast<sim::Time>(nominal * 1.2))
+        << "attempt " << attempt;
+  }
+  EXPECT_EQ(h.attempts(0), 6u);
+}
+
+TEST(HealthBackoffTest, DelayCapsAtMax) {
+  auto o = base_options();
+  o.reconnect_jitter = 0;  // cap must be exact without jitter
+  o.reconnect_max_attempts = 0;
+  HealthTracker h(o);
+  h.quarantine(1);
+  sim::Time last = 0;
+  for (int k = 0; k < 20; ++k) last = h.next_backoff(1);
+  EXPECT_EQ(last, o.reconnect_max_delay);
+
+  // With jitter the capped delay still stays within the jitter band.
+  o.reconnect_jitter = 0.2;
+  HealthTracker hj(o);
+  hj.quarantine(1);
+  for (int k = 0; k < 20; ++k) {
+    sim::Time d = hj.next_backoff(1);
+    EXPECT_LE(d, static_cast<sim::Time>(o.reconnect_max_delay * 1.2));
+  }
+}
+
+TEST(HealthBackoffTest, ZeroMaxAttemptsProbesForever) {
+  auto o = base_options();
+  o.reconnect_max_attempts = 0;
+  HealthTracker h(o);
+  h.quarantine(0);
+  for (int k = 0; k < 1000; ++k) {
+    h.next_backoff(0);
+    EXPECT_FALSE(h.attempts_exhausted(0));
+  }
+}
+
+TEST(HealthBackoffTest, AttemptBudgetExhausts) {
+  auto o = base_options();
+  o.reconnect_max_attempts = 3;
+  HealthTracker h(o);
+  h.quarantine(0);
+  EXPECT_FALSE(h.attempts_exhausted(0));
+  h.next_backoff(0);
+  h.next_backoff(0);
+  EXPECT_FALSE(h.attempts_exhausted(0));
+  h.next_backoff(0);
+  EXPECT_TRUE(h.attempts_exhausted(0));
+  // Other instances keep their own budgets.
+  EXPECT_FALSE(h.attempts_exhausted(1));
+}
+
+TEST(HealthBackoffTest, SameSeedSameJitterSequence) {
+  auto o = base_options();
+  HealthTracker a(o), b(o);
+  a.quarantine(0);
+  b.quarantine(0);
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(a.next_backoff(0), b.next_backoff(0));
+}
+
+TEST(HealthStateTest, FailureThresholdQuarantines) {
+  auto o = base_options();
+  o.failure_threshold = 3;
+  HealthTracker h(o);
+  EXPECT_FALSE(h.record_failure(0));
+  EXPECT_FALSE(h.record_failure(0));
+  EXPECT_EQ(h.state(0), State::kHealthy);
+  EXPECT_TRUE(h.record_failure(0));
+  EXPECT_EQ(h.state(0), State::kQuarantined);
+  EXPECT_EQ(h.healthy_count(), 2u);
+  // A success between failures resets the streak.
+  h.record_failure(1);
+  h.record_success(1);
+  h.record_failure(1);
+  h.record_failure(1);
+  EXPECT_EQ(h.state(1), State::kHealthy);
+}
+
+TEST(HealthStateTest, ResyncLifecycle) {
+  HealthTracker h(base_options());
+  // begin_resync is only legal from quarantine.
+  EXPECT_FALSE(h.begin_resync(0));
+  EXPECT_EQ(h.state(0), State::kHealthy);
+
+  h.quarantine(0);
+  EXPECT_TRUE(h.begin_resync(0));
+  EXPECT_EQ(h.state(0), State::kResyncing);
+  // Resyncing instances are excluded from sessions until readmitted.
+  EXPECT_FALSE(h.is_healthy(0));
+  EXPECT_EQ(h.healthy_count(), 2u);
+  // Not quarantined => a second begin_resync is rejected.
+  EXPECT_FALSE(h.begin_resync(0));
+
+  // Failure path: back to quarantine so backoff probing resumes.
+  h.resync_failed(0);
+  EXPECT_EQ(h.state(0), State::kQuarantined);
+
+  // Success path: readmit clears counters.
+  EXPECT_TRUE(h.begin_resync(0));
+  h.readmit(0);
+  EXPECT_EQ(h.state(0), State::kHealthy);
+  EXPECT_EQ(h.attempts(0), 0u);
+  EXPECT_EQ(h.healthy_count(), 3u);
+}
+
+TEST(HealthStateTest, ResyncFailedOutsideResyncIsNoOp) {
+  HealthTracker h(base_options());
+  h.resync_failed(0);
+  EXPECT_EQ(h.state(0), State::kHealthy);
+  h.mark_dead(1);
+  h.resync_failed(1);
+  EXPECT_EQ(h.state(1), State::kDead);
+}
+
+TEST(HealthStateTest, ReplacementResetsAnyState) {
+  HealthTracker h(base_options());
+  // From dead: replacement revives the slot into the probe pipeline.
+  h.quarantine(0);
+  h.next_backoff(0);
+  h.next_backoff(0);
+  h.mark_dead(0);
+  EXPECT_EQ(h.state(0), State::kDead);
+  h.reset_replaced(0);
+  EXPECT_EQ(h.state(0), State::kQuarantined);
+  EXPECT_EQ(h.attempts(0), 0u);
+
+  // From healthy: the fresh replica still has to earn admission.
+  h.reset_replaced(1);
+  EXPECT_EQ(h.state(1), State::kQuarantined);
+
+  // From resyncing: the transfer target vanished; start over.
+  h.quarantine(2);
+  ASSERT_TRUE(h.begin_resync(2));
+  h.reset_replaced(2);
+  EXPECT_EQ(h.state(2), State::kQuarantined);
+  EXPECT_TRUE(h.begin_resync(2));
+}
+
+}  // namespace
+}  // namespace rddr::core

@@ -1,19 +1,17 @@
 #!/usr/bin/env bash
-# Build and run the test suite under AddressSanitizer + UBSan.
+# Build and run the test suite under the sanitizer presets.
 #
 #   tests/run_sanitized.sh [ctest-args...]
 #
-# Uses the `asan` CMake preset (build dir: build-asan/). Any extra
-# arguments are passed through to ctest. Note that ctest sees the
-# gtest-discovered *test* names (Suite.Case), not binary names, e.g.
+# Uses the `asan` (ASan+UBSan) and `ubsan` (UBSan only) CMake presets
+# (build dirs: build-asan/, build-ubsan/). Any extra arguments are passed
+# through to ctest. Note that ctest sees the gtest-discovered *test*
+# names (Suite.Case), not binary names, e.g.
 #   tests/run_sanitized.sh -R 'FaultTest|FaultNetTest'
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
-
-cmake --preset asan
-cmake --build --preset asan -j "$(nproc)"
 
 # Leak checking is off by default: netsim Connections are kept alive by
 # self-referential on_data handlers (a deliberate lifetime idiom in the
@@ -21,10 +19,20 @@ cmake --build --preset asan -j "$(nproc)"
 #   ASAN_OPTIONS=detect_leaks=1 tests/run_sanitized.sh
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
-ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
 
-# Observability smoke under the sanitizers: a seeded divergence run must
-# close every span and tag the outvoted instance (exits nonzero if not).
-smoke_dir="$(mktemp -d)"
-(cd "$smoke_dir" && "$repo/build-asan/bench/trace_smoke")
-rm -rf "$smoke_dir"
+for preset in asan ubsan; do
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --test-dir "build-$preset" --output-on-failure -j "$(nproc)" "$@"
+
+  # Observability smoke under the sanitizers: a seeded divergence run must
+  # close every span and tag the outvoted instance (exits nonzero if not).
+  smoke_dir="$(mktemp -d)"
+  (cd "$smoke_dir" && "$repo/build-$preset/bench/trace_smoke")
+  rm -rf "$smoke_dir"
+
+  # Chaos smoke: a few seeded fault schedules against the self-healing
+  # deployment; exits nonzero (with a shrunk repro on stderr) on any
+  # recovery-invariant violation.
+  "$repo/build-$preset/bench/chaos_sweep" 3
+done

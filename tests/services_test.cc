@@ -495,6 +495,31 @@ TEST_F(ServicesTest, OrchestratorStopFreesAddress) {
   EXPECT_EQ(orch.container_count(), 0u);
 }
 
+TEST_F(ServicesTest, OrchestratorStopSeversLiveConnections) {
+  // A stopped container's sockets die with it. A request already in
+  // flight toward the stopped service must be dropped, not delivered into
+  // the destroyed object (use-after-free regression), and the client must
+  // observe the close.
+  Orchestrator orch(simulator, net);
+  orch.add_host("m1", 8, 8LL << 30);
+  orch.register_image("api", [&](const ContainerSpec& spec) {
+    SimpleApiService::Options o;
+    o.address = spec.address;
+    return std::make_shared<SimpleApiService>(net, *spec.host, o);
+  });
+  orch.deploy("api-1", "api", "v1", "m1", "api:80");
+  auto conn = net.connect("api:80", {.source = "t"});
+  simulator.run_until_idle();
+  ASSERT_TRUE(conn->is_open());
+  bool closed = false;
+  conn->set_on_close([&] { closed = true; });
+  conn->send("GET / HTTP/1.1\r\nHost: api\r\n\r\n");  // in flight at stop
+  orch.stop("api-1");
+  simulator.run_until_idle();
+  EXPECT_TRUE(closed);
+  EXPECT_FALSE(conn->is_open());
+}
+
 TEST_F(ServicesTest, OrchestratorRejectsUnknownImageAndDuplicates) {
   Orchestrator orch(simulator, net);
   orch.add_host("m1", 8, 8LL << 30);
@@ -508,6 +533,84 @@ TEST_F(ServicesTest, OrchestratorRejectsUnknownImageAndDuplicates) {
   EXPECT_THROW(orch.deploy("x", "api", "v1", "m1"), std::runtime_error);
   EXPECT_THROW(orch.deploy("y", "api", "v1", "ghost-host"),
                std::runtime_error);
+}
+
+TEST_F(ServicesTest, OrchestratorRestartDerivesFreshIncarnationSeeds) {
+  // A restarted process must not replay its previous life's randomness:
+  // each incarnation gets a distinct (but deterministic) seed.
+  auto seeds_for = [&](uint64_t orch_seed) {
+    Orchestrator orch(simulator, net, orch_seed);
+    orch.add_host("m1", 8, 8LL << 30);
+    std::vector<uint64_t> seeds;
+    orch.register_image("rec", [&](const ContainerSpec& spec) {
+      seeds.push_back(spec.rng_seed);
+      return std::make_shared<int>(0);
+    });
+    orch.deploy("svc", "rec", "v1", "m1", "svc:80");
+    for (int k = 0; k < 2; ++k) {
+      orch.crash("svc");
+      orch.restart("svc");
+    }
+    return seeds;
+  };
+  auto seeds = seeds_for(11);
+  ASSERT_EQ(seeds.size(), 3u);  // initial + two restarts
+  EXPECT_NE(seeds[0], seeds[1]);
+  EXPECT_NE(seeds[1], seeds[2]);
+  EXPECT_NE(seeds[0], seeds[2]);
+  // Deterministic: the same schedule reproduces the same seed sequence.
+  EXPECT_EQ(seeds_for(11), seeds);
+  EXPECT_NE(seeds_for(12), seeds);
+}
+
+TEST_F(ServicesTest, OrchestratorReplaceCreatesFreshLineage) {
+  Orchestrator orch(simulator, net, 5);
+  orch.add_host("m1", 8, 8LL << 30);
+  std::map<std::string, uint64_t> seeds;
+  orch.register_image("rec", [&](const ContainerSpec& spec) {
+    seeds[spec.container_name] = spec.rng_seed;
+    return std::make_shared<int>(0);
+  });
+  orch.deploy("pg-1", "rec", "13.0", "m1", "pg-1:5432");
+
+  std::string a1 = orch.replace("pg-1");
+  EXPECT_EQ(a1, "pg-1-r1:5432");  // lineage suffix, port preserved
+  EXPECT_EQ(orch.container_count(), 1u);  // the old container is gone
+  EXPECT_THROW(orch.crashed("pg-1"), std::runtime_error);
+
+  // Replacing the replacement continues the lineage, not pg-1-r1-r1.
+  std::string a2 = orch.replace("pg-1-r1");
+  EXPECT_EQ(a2, "pg-1-r2:5432");
+  EXPECT_EQ(orch.host_of("pg-1-r2"), "m1");
+  // Every generation got its own seed.
+  EXPECT_NE(seeds.at("pg-1"), seeds.at("pg-1-r1"));
+  EXPECT_NE(seeds.at("pg-1-r1"), seeds.at("pg-1-r2"));
+}
+
+TEST_F(ServicesTest, OrchestratorAutoReplacementPolicy) {
+  Orchestrator orch(simulator, net);
+  orch.add_host("m1", 8, 8LL << 30);
+  orch.register_image("rec", [&](const ContainerSpec&) {
+    return std::make_shared<int>(0);
+  });
+  orch.deploy("svc", "rec", "v1", "m1", "svc:80");
+
+  std::string replaced_with;
+  Orchestrator::ReplacementPolicy policy;
+  policy.auto_replace = true;
+  policy.replace_delay = 100 * sim::kMillisecond;
+  policy.on_replaced = [&](const std::string& old_name,
+                           const std::string& new_name, const std::string&) {
+    EXPECT_EQ(old_name, "svc");
+    replaced_with = new_name;
+  };
+  orch.set_replacement_policy(policy);
+
+  orch.crash("svc");
+  simulator.run_until(1 * sim::kSecond);
+  EXPECT_EQ(replaced_with, "svc-r1");
+  EXPECT_FALSE(orch.crashed("svc-r1"));
+  EXPECT_THROW(orch.crashed("svc"), std::runtime_error);
 }
 
 }  // namespace
