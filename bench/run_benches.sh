@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Perf trajectory harness: builds the default preset and emits
+#   BENCH_simloop.json  — simulator core events/sec, fan-out copy ratio,
+#                         and fig5-driver wall time (vs recorded baselines)
+#   BENCH_hotpaths.json — google-benchmark JSON for the micro hot paths
+# at the repo root. Committed snapshots of both document the perf
+# trajectory PR over PR.
+#
+#   bench/run_benches.sh          full run (a few minutes)
+#   bench/run_benches.sh --smoke  fast regression gate only: fails if the
+#                                 simulator core drops below the events/sec
+#                                 floor (RDDR_SIMLOOP_FLOOR, default 1e6).
+#                                 Used by tests/run_sanitized.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+BUILD="${RDDR_BENCH_BUILD_DIR:-$ROOT/build}"
+
+if [ ! -d "$BUILD" ]; then
+  cmake --preset default >/dev/null
+fi
+cmake --build "$BUILD" -j --target simloop_throughput micro_hotpaths \
+    fig5_throughput_latency >/dev/null
+
+if [ "${1:-}" = "--smoke" ]; then
+  exec "$BUILD/bench/simloop_throughput" --smoke
+fi
+
+echo "== simulator core + data plane =="
+SIMLOOP_JSON="$("$BUILD/bench/simloop_throughput")"
+echo "$SIMLOOP_JSON"
+
+# Wall time of the full fig5 driver: the end-to-end number a person feels
+# when regenerating the paper figures. Baseline measured at the seed
+# commit, same build type, same machine class as the other baselines.
+echo "== fig5 driver wall time =="
+FIG5_BASELINE_S=3.245
+start=$(date +%s.%N)
+"$BUILD/bench/fig5_throughput_latency" >/dev/null
+end=$(date +%s.%N)
+FIG5_WALL_S=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+FIG5_SPEEDUP=$(awk -v w="$FIG5_WALL_S" -v b="$FIG5_BASELINE_S" \
+    'BEGIN { printf "%.2f", b / w }')
+echo "fig5 driver: ${FIG5_WALL_S}s (baseline ${FIG5_BASELINE_S}s, ${FIG5_SPEEDUP}x)"
+
+cat > "$ROOT/BENCH_simloop.json" <<EOF
+{
+  "bench": $SIMLOOP_JSON,
+  "fig5_driver": {
+    "wall_s": $FIG5_WALL_S,
+    "baseline_wall_s": $FIG5_BASELINE_S,
+    "speedup": $FIG5_SPEEDUP
+  }
+}
+EOF
+echo "wrote BENCH_simloop.json"
+
+echo "== micro hot paths =="
+"$BUILD/bench/micro_hotpaths" --benchmark_format=json \
+    --benchmark_out="$ROOT/BENCH_hotpaths.json" \
+    --benchmark_out_format=json >/dev/null
+echo "wrote BENCH_hotpaths.json"

@@ -1,0 +1,152 @@
+// Move-only callable with small-buffer-optimised inline storage.
+//
+// `std::function` heap-allocates for any capture beyond ~2 pointers and
+// requires copyability; simulator events are scheduled millions of times
+// per run and their captures (a shared_ptr or two, a few ints) almost
+// always fit in a few dozen bytes. `InlineFunction` stores such callables
+// inline — no allocation on the schedule path — and falls back to a single
+// heap cell for oversized or throwing-move captures. Move-only captures
+// (e.g. a moved-in buffer) are supported.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rddr {
+
+template <size_t kInlineSize = 48>
+class InlineFunction {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT: match std::function
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFunction(F&& f) {  // NOLINT: implicit like std::function
+    constexpr bool fits = sizeof(D) <= kInlineSize &&
+                          alignof(D) <= alignof(std::max_align_t) &&
+                          std::is_nothrow_move_constructible_v<D>;
+    if constexpr (fits && std::is_trivially_copyable_v<D> &&
+                  std::is_trivially_destructible_v<D>) {
+      // The common simulator capture (references, pointers, ints): moves
+      // become a straight fixed-size memcpy, destruction is free.
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = trivial_ops<D>();
+    } else if constexpr (fits) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = inline_ops<D>();
+    } else {
+      D* heap = new D(std::forward<F>(f));
+      std::memcpy(buf_, &heap, sizeof(heap));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct the callable at `dst` from the one at `src`, then
+    // destroy the source (relocation). Both point at buf_ storage.
+    // nullptr: the callable is trivially relocatable (plain memcpy).
+    void (*relocate)(void* dst, void* src) noexcept;
+    // nullptr: trivially destructible, nothing to do.
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static const Ops* trivial_ops() {
+    static constexpr Ops ops = {
+        [](void* p) { (*static_cast<D*>(p))(); },
+        nullptr,
+        nullptr,
+    };
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops = {
+        [](void* p) { (*static_cast<D*>(p))(); },
+        [](void* dst, void* src) noexcept {
+          D* s = static_cast<D*>(src);
+          ::new (dst) D(std::move(*s));
+          s->~D();
+        },
+        [](void* p) noexcept { static_cast<D*>(p)->~D(); },
+    };
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops = {
+        [](void* p) {
+          D* heap;
+          std::memcpy(&heap, p, sizeof(heap));
+          (*heap)();
+        },
+        [](void* dst, void* src) noexcept {
+          std::memcpy(dst, src, sizeof(D*));  // pointer relocation only
+        },
+        [](void* p) noexcept {
+          D* heap;
+          std::memcpy(&heap, p, sizeof(heap));
+          delete heap;
+        },
+    };
+    return &ops;
+  }
+
+  void take(InlineFunction& other) noexcept {
+    if (other.ops_) {
+      ops_ = other.ops_;
+      if (ops_->relocate)
+        ops_->relocate(buf_, other.buf_);
+      else
+        std::memcpy(buf_, other.buf_, kInlineSize);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_) {
+      if (ops_->destroy) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rddr

@@ -72,7 +72,7 @@ void Host::reschedule() {
 void Host::on_completion_event() {
   completion_event_ = 0;
   settle();
-  std::vector<std::function<void()>> finished;
+  std::vector<EventFn> finished;
   for (auto it = tasks_.begin(); it != tasks_.end();) {
     if (it->remaining <= kWorkEpsilon) {
       finished.push_back(std::move(it->done));
@@ -87,7 +87,7 @@ void Host::on_completion_event() {
     if (fn) fn();
 }
 
-void Host::run_task(double cpu_seconds, std::function<void()> done) {
+void Host::run_task(double cpu_seconds, EventFn done) {
   if (failed_) return;  // crashed machine: the work is lost
   settle();
   tasks_.push_back(Task{std::max(cpu_seconds, 0.0), std::move(done)});

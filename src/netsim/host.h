@@ -44,10 +44,10 @@ class Host {
   int cores() const { return cores_; }
 
   /// Runs a CPU task needing `cpu_seconds` of one core; `done` fires when
-  /// the task completes under processor sharing. Zero-cost tasks complete
-  /// on the next event. On a failed host the task is silently dropped —
-  /// its completion never fires (crash semantics).
-  void run_task(double cpu_seconds, std::function<void()> done);
+  /// the task completes under processor sharing (nullptr: fire-and-forget).
+  /// Zero-cost tasks complete on the next event. On a failed host the task
+  /// is silently dropped — its completion never fires (crash semantics).
+  void run_task(double cpu_seconds, EventFn done);
 
   /// Machine crash: every in-flight CPU task is lost (completions never
   /// fire) and new tasks are dropped until restore(). Memory levels are
@@ -94,7 +94,7 @@ class Host {
  private:
   struct Task {
     double remaining;  // core-seconds of work left
-    std::function<void()> done;
+    EventFn done;
   };
 
   void settle();       // accrue progress at the current rate up to now

@@ -36,6 +36,16 @@ Time Connection::next_arrival(Network* net) {
 
 void Connection::send(ByteView data) {
   if (!open_ || data.empty()) return;
+  if (net_) net_->payload_bytes_copied_ += data.size();
+  send_shared(SharedBytes(data));
+}
+
+void Connection::send(SharedBytes data) {
+  if (!open_ || data.empty()) return;
+  send_shared(std::move(data));
+}
+
+void Connection::send_shared(SharedBytes data) {
   auto peer = peer_.lock();
   if (!peer) return;
   if (net_) {
@@ -43,11 +53,27 @@ void Connection::send(ByteView data) {
     // connection itself is severed separately; this guards the window
     // between the fault firing and the close delivery.
     if (!net_->link_up(local_node_, peer->local_node_)) return;
+    net_->payload_bytes_sent_ += data.size();
   }
   // FIFO per direction: never deliver earlier than a previous delivery.
   Time arrival = next_arrival(net_);
-  sim_.schedule_at(arrival, [peer, buf = Bytes(data)]() mutable {
-    peer->deliver(std::move(buf));
+  // Batch into the open delivery event iff appending cannot change what
+  // any observer sees: the batch hasn't fired, it arrives at the same
+  // instant, and — decisive — its event is still the simulator's most
+  // recently scheduled one, so no event's sequence number lies between the
+  // batch and the event this send would otherwise have created.
+  if (outbox_ && !outbox_->fired && outbox_arrival_ == arrival &&
+      sim_.last_scheduled_id() == outbox_event_) {
+    outbox_->chunks.push_back(std::move(data));
+    return;
+  }
+  auto batch = std::make_shared<OutBatch>();
+  batch->chunks.push_back(std::move(data));
+  outbox_ = batch;
+  outbox_arrival_ = arrival;
+  outbox_event_ = sim_.schedule_at(arrival, [peer, batch] {
+    batch->fired = true;
+    peer->deliver_batch(*batch);
   });
 }
 
@@ -95,9 +121,14 @@ void Connection::set_on_close(CloseHandler h) {
   }
 }
 
-void Connection::deliver(Bytes data) {
+void Connection::deliver_batch(OutBatch& batch) {
   if (close_delivered_ || aborted_) return;
-  pending_.append(data);
+  if (pending_.empty()) {
+    pending_.swap(batch.chunks);
+  } else {
+    for (auto& c : batch.chunks) pending_.push_back(std::move(c));
+    batch.chunks.clear();
+  }
   flush_pending();
 }
 
@@ -111,11 +142,20 @@ void Connection::deliver_close() {
 void Connection::flush_pending() {
   if (close_delivered_) return;
   if (!pending_.empty() && on_data_) {
-    Bytes chunk;
-    chunk.swap(pending_);
     // Handler may re-enter (e.g. respond synchronously); keep state sane by
     // swapping out first.
-    on_data_(chunk);
+    std::vector<SharedBytes> chunks;
+    chunks.swap(pending_);
+    if (chunks.size() == 1) {
+      on_data_(chunks.front().view());  // common case: zero-copy handoff
+    } else {
+      Bytes joined;
+      size_t total = 0;
+      for (const auto& c : chunks) total += c.size();
+      joined.reserve(total);
+      for (const auto& c : chunks) joined.append(c.view());
+      on_data_(joined);
+    }
   }
   if (close_pending_ && pending_.empty()) {
     close_delivered_ = true;

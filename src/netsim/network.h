@@ -13,6 +13,15 @@
 //  * Data sent before the receiving side installs a handler is buffered and
 //    delivered when the handler is installed.
 //
+// Data plane (see DESIGN.md "Data plane & memory"): payloads travel as
+// ref-counted SharedBytes. send(SharedBytes) puts a buffer on the wire
+// without copying it — the same buffer can be in flight on many
+// connections at once (the proxies' N-way fan-out). send(ByteView) is the
+// compatibility path that materialises one copy on entry. Same-tick sends
+// on one connection are batched into a single delivery event when doing so
+// provably cannot reorder anything (no other event was scheduled in
+// between), so a burst of writes costs one event, not one per write.
+//
 // Fault injection: the network additionally models node crashes, refused
 // addresses, per-node latency spikes, one-sided egress stalls, and
 // partitions (see netsim/fault.h for the virtual-clock scheduling layer).
@@ -30,6 +39,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/shared_bytes.h"
 #include "netsim/simulator.h"
 
 namespace rddr::sim {
@@ -61,8 +71,15 @@ class Connection : public std::enable_shared_from_this<Connection> {
   using CloseHandler = std::function<void()>;
 
   /// Sends bytes to the peer; delivered after the link latency. No-op after
-  /// close.
+  /// close. This overload copies `data` once into the shared data plane
+  /// (counted in Network::payload_bytes_copied) — senders that own their
+  /// buffer should wrap it in SharedBytes and use the overload below.
   void send(ByteView data);
+
+  /// Zero-copy send: the connection takes a reference to the buffer, no
+  /// bytes move. The same SharedBytes may be sent on any number of
+  /// connections simultaneously (proxy fan-out).
+  void send(SharedBytes data);
 
   /// Gracefully closes both directions. The peer receives all bytes already
   /// sent, then its on_close handler fires. Idempotent.
@@ -99,11 +116,20 @@ class Connection : public std::enable_shared_from_this<Connection> {
  private:
   friend class Network;
 
+  // Same-tick sends accumulate here and ride one delivery event. `fired`
+  // flips when the event runs, so a later send in the same tick (after the
+  // event) opens a fresh batch instead of appending to a dead one.
+  struct OutBatch {
+    std::vector<SharedBytes> chunks;
+    bool fired = false;
+  };
+
   Connection(Simulator& sim, uint64_t id, Time latency, ConnectMeta meta,
              std::string dialed_address, bool is_client_half);
 
-  void deliver(Bytes data);      // runs on the *receiving* half
-  void deliver_close();          // runs on the *receiving* half
+  void send_shared(SharedBytes data);
+  void deliver_batch(OutBatch& batch);  // runs on the *receiving* half
+  void deliver_close();                 // runs on the *receiving* half
   void flush_pending();
   Time next_arrival(Network* net);  // FIFO watermark + fault adjustments
 
@@ -121,7 +147,10 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool close_delivered_ = false;
   bool close_pending_ = false;
   Time last_arrival_ = 0;  // per-direction FIFO watermark (arrivals at peer)
-  Bytes pending_;          // received but not yet handed to on_data
+  std::vector<SharedBytes> pending_;  // received, not yet handed to on_data
+  std::shared_ptr<OutBatch> outbox_;  // open batch on the out direction
+  Time outbox_arrival_ = -1;
+  uint64_t outbox_event_ = 0;  // the batch's delivery event id
   DataHandler on_data_;
   CloseHandler on_close_;
 };
@@ -158,6 +187,16 @@ class Network {
 
   /// Total connections ever opened (diagnostics).
   uint64_t connections_opened() const { return next_conn_id_ - 1; }
+
+  /// Total payload bytes put on the wire by Connection::send (both
+  /// overloads). Diagnostics for the copy-efficiency benchmarks.
+  uint64_t payload_bytes_sent() const { return payload_bytes_sent_; }
+
+  /// Payload bytes that were *copied* to enter the data plane — the
+  /// send(ByteView) path. send(SharedBytes) moves none. Before the
+  /// zero-copy overhaul every sent byte was copied, so
+  /// copied/sent measures the fan-out savings directly.
+  uint64_t payload_bytes_copied() const { return payload_bytes_copied_; }
 
   // ---- fault injection (usually driven via FaultPlan, netsim/fault.h) ----
 
@@ -212,9 +251,13 @@ class Network {
   void sever_matching(
       const std::function<bool(const Connection&, const Connection&)>& pred);
 
+  friend class Connection;
+
   Simulator& sim_;
   Time default_latency_;
   uint64_t next_conn_id_ = 1;
+  uint64_t payload_bytes_sent_ = 0;
+  uint64_t payload_bytes_copied_ = 0;
   std::map<std::string, AcceptHandler> listeners_;
   std::vector<std::weak_ptr<Connection>> registry_;  // client halves
   std::set<std::string> down_nodes_;

@@ -263,7 +263,7 @@ void IncomingProxy::finish_resync(size_t i) {
     ctx.variance = &config_.variance;
     ctx.session = &token_state_;
     for (const Unit& u : rs.journal) {
-      conn->send(config_.plugin->rewrite_for_instance(u, i, ctx));
+      conn->send(SharedBytes(config_.plugin->rewrite_for_instance(u, i, ctx)));
       counters_.journal_replayed_requests->inc();
       ++replayed;
     }
@@ -310,7 +310,7 @@ void IncomingProxy::shadow_unit(const std::shared_ptr<Session>& s, size_t i,
     Bytes preamble = config_.plugin->resync_preamble();
     if (!preamble.empty()) sh->send(preamble);
   }
-  sh->send(config_.plugin->rewrite_for_instance(u, i, ctx));
+  sh->send(SharedBytes(config_.plugin->rewrite_for_instance(u, i, ctx)));
   counters_.journal_replayed_requests->inc();
 }
 
@@ -458,8 +458,10 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
   s->client->set_on_data([this, s](ByteView data) {
     if (s->ended) return;
     if (s->client_passthrough) {
+      // Wrap once; all N upstreams share the buffer.
+      SharedBytes shared{data};
       for (auto& up : s->upstreams)
-        if (up && up->is_open()) up->send(data);
+        if (up && up->is_open()) up->send(shared);
       return;
     }
     s->client_framer->feed(data);
@@ -469,7 +471,7 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
       // are still diffed).
       s->client_passthrough = true;
       counters_.passthrough_sessions->inc();
-      Bytes rest = s->client_framer->unconsumed();
+      SharedBytes rest{Bytes(s->client_framer->unconsumed())};
       for (auto& up : s->upstreams)
         if (up && up->is_open()) up->send(rest);
       return;
@@ -509,10 +511,20 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
         config_.tracer->tag(ev, "fanout", strformat("%zu", s->live()));
         config_.tracer->tag(ev, "bytes", strformat("%zu", u.data.size()));
       }
+      // Identity-rewrite fast path: materialise the unit once and fan the
+      // same refcounted buffer out to every participating instance. Plugins
+      // that restore per-instance tokens (HTTP) take the rewrite path.
+      const bool identity = config_.plugin->rewrites_identity();
+      SharedBytes shared;
+      if (identity) shared = SharedBytes(Bytes(u.data));
       for (size_t i = 0; i < s->upstreams.size(); ++i) {
         if (s->participating[i] && s->upstreams[i]) {
-          Bytes rewritten = config_.plugin->rewrite_for_instance(u, i, ctx);
-          s->upstreams[i]->send(rewritten);
+          if (identity) {
+            s->upstreams[i]->send(shared);
+          } else {
+            s->upstreams[i]->send(
+                SharedBytes(config_.plugin->rewrite_for_instance(u, i, ctx)));
+          }
           continue;
         }
         // Instance absent from this session. Mid-resync its copy of this
@@ -838,7 +850,7 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
       fwd = config_.plugin->on_forward_downstream(*units, ctx);
     }
     if (tracer) tracer->end(diff_span);
-    if (s->client->is_open()) s->client->send(fwd);
+    if (s->client->is_open()) s->client->send(SharedBytes(std::move(fwd)));
     pump(s);
     arm_timeout(s);
   });

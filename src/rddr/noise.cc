@@ -139,7 +139,9 @@ std::vector<EphemeralToken> detect_ephemeral_tokens(
         }
         sfx = line.size() - p;
       }
-      std::string candidate = line.substr(p, line.size() - p - sfx);
+      // Validate through a view; materialise only accepted tokens (this
+      // runs per line on every N-way compare — see BM_DenoiseTokenDetect).
+      ByteView candidate = ByteView(line).substr(p, line.size() - p - sfx);
       // Paper's empirically-determined criterion: alphanumeric, >= 10.
       if (candidate.size() < 10) {
         ok = false;
@@ -150,7 +152,7 @@ std::vector<EphemeralToken> detect_ephemeral_tokens(
           ok = false;
           break;
         }
-      token.per_instance[a] = std::move(candidate);
+      token.per_instance[a] = std::string(candidate);
     }
     if (ok) out.push_back(std::move(token));
   }

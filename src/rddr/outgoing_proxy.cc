@@ -329,11 +329,13 @@ void OutgoingProxy::complete_group(const std::shared_ptr<Group>& g) {
     intervene(g, "backend unreachable: " + config_.backend_address);
     return;
   }
-  // Backend responses are replicated verbatim to every instance.
+  // Backend responses are replicated verbatim to every instance: wrap the
+  // chunk once and let all N member connections share the buffer.
   g->backend->set_on_data([g](ByteView data) {
+    SharedBytes shared{data};
     for (size_t i = 0; i < g->members.size(); ++i)
       if (g->participating[i] && g->members[i]->is_open())
-        g->members[i]->send(data);
+        g->members[i]->send(shared);
   });
   g->backend->set_on_close([this, g] {
     if (!g->ended) teardown(g);

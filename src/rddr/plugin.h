@@ -118,6 +118,15 @@ class ProtocolPlugin {
     return unit.data;
   }
 
+  /// True iff rewrite_for_instance is the identity for EVERY unit, instance
+  /// and session state — the proxy then fans one shared buffer out to all N
+  /// instances instead of materialising N rewrites. A plugin overriding
+  /// rewrite_for_instance MUST leave this false (or return false whenever a
+  /// rewrite could fire); claiming identity while rewriting would silently
+  /// send un-rewritten bytes. Deliberately defaults to false so forgetting
+  /// the flag costs copies, never correctness.
+  virtual bool rewrites_identity() const { return false; }
+
   /// Whether a client->server unit may be re-sent on a fresh connection
   /// when journal-replaying or catch-up shadowing a recovering instance.
   /// Session establishment/teardown units must not be: the replay

@@ -18,6 +18,8 @@ class TcpLinePlugin : public ProtocolPlugin {
   std::unique_ptr<StreamFramer> make_framer(Direction dir) const override;
   DiffOutcome compare(const std::vector<Unit>& units,
                       const CompareContext& ctx) const override;
+  /// No per-instance rewriting: requests fan out as one shared buffer.
+  bool rewrites_identity() const override { return true; }
 };
 
 /// HTTP/1.1. Units are whole messages. Responses are compared line-wise
@@ -74,6 +76,9 @@ class PgPlugin : public ProtocolPlugin {
   /// Startup and Terminate belong to the original client connection, not
   /// the replay stream.
   bool replayable(const Unit& unit) const override;
+  /// pgwire requests carry no ephemeral tokens to restore (BackendKeyData
+  /// flows server->client only), so the fan-out is zero-copy.
+  bool rewrites_identity() const override { return true; }
 };
 
 /// Newline-delimited JSON documents over raw TCP. Units are lines;
@@ -84,6 +89,8 @@ class JsonLinesPlugin : public ProtocolPlugin {
   std::unique_ptr<StreamFramer> make_framer(Direction dir) const override;
   DiffOutcome compare(const std::vector<Unit>& units,
                       const CompareContext& ctx) const override;
+  /// No per-instance rewriting: requests fan out as one shared buffer.
+  bool rewrites_identity() const override { return true; }
 };
 
 }  // namespace rddr::core

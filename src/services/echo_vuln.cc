@@ -47,7 +47,7 @@ void EchoVulnServer::on_accept(sim::ConnPtr conn) {
                              static_cast<unsigned long long>(adjacent_pointer_));
         }
         reply += '\n';
-        conn->send(reply);
+        conn->send(SharedBytes(std::move(reply)));
       });
     }
   });

@@ -57,7 +57,7 @@ void HttpServer::pump(const std::shared_ptr<Conn>& c) {
     ++requests_served_;
     auto respond = [this, c](http::Response resp) {
       if (c->conn->is_open()) {
-        c->conn->send(resp.to_bytes());
+        c->conn->send(SharedBytes(resp.to_bytes()));
         if (opts_.close_after_response) c->conn->close();
       }
       c->busy = false;
@@ -106,7 +106,7 @@ void HttpClient::request(const std::string& address, http::Request req,
       (*cbp)(-1, nullptr);
     }
   });
-  conn->send(req.to_bytes());
+  conn->send(SharedBytes(req.to_bytes()));
 }
 
 void HttpClient::get(const std::string& address, const std::string& target,

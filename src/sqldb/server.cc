@@ -100,7 +100,7 @@ void SqlServer::on_message(const std::shared_ptr<Conn>& c,
         static_cast<uint32_t>(rng_.uniform(1000, 65000)),
         static_cast<uint32_t>(rng_.next() & 0xffffffff));
     out += pg::build_ready_for_query();
-    c->conn->send(out);
+    c->conn->send(SharedBytes(std::move(out)));
     return;
   }
   if (msg.type == 'X') {
@@ -177,14 +177,15 @@ void SqlServer::pump_responses(const std::shared_ptr<Conn>& c) {
   c->busy = true;
   Conn::PendingResponse p = std::move(c->queued.front());
   c->queued.erase(c->queued.begin());
-  host_.run_task(p.cost, [this, c, p] {
+  host_.run_task(p.cost, [this, c, p = std::move(p)]() mutable {
     if (opts_.tracer) opts_.tracer->end(p.span);
     if (query_ms_)
       query_ms_->observe(
           static_cast<double>(net_.simulator().now() - p.started) / 1e6);
     // The query already executed at delivery; a response to a closed
-    // connection is simply dropped.
-    if (c->conn->is_open()) c->conn->send(p.out);
+    // connection is simply dropped. The response buffer moves into the
+    // data plane without a copy.
+    if (c->conn->is_open()) c->conn->send(SharedBytes(std::move(p.out)));
     c->busy = false;
     pump_responses(c);
   });

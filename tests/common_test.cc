@@ -1,9 +1,13 @@
 // Unit tests for src/common: bytes, rng, strutil, stats.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <utility>
 
 #include "common/bytes.h"
+#include "common/inline_function.h"
+#include "common/shared_bytes.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/strutil.h"
@@ -199,6 +203,119 @@ TEST(TimeWeightedValue, IntegralAndMax) {
   EXPECT_DOUBLE_EQ(v.integral(3000), 2.0 * 1000 + 4.0 * 2000);
   EXPECT_DOUBLE_EQ(v.max_value(), 4.0);
   EXPECT_DOUBLE_EQ(v.mean(4000), (2000.0 + 8000.0) / 4000.0);
+}
+
+// ---- SharedBytes: refcounted immutable buffers for the data plane ----
+
+TEST(SharedBytes, WrapsOwnedBytesWithoutCopying) {
+  Bytes src(64, 'x');  // past SSO: the heap storage must move, not copy
+  const char* storage = src.data();
+  SharedBytes sb{std::move(src)};
+  EXPECT_EQ(sb.size(), 64u);
+  EXPECT_EQ(sb.data(), storage);
+  EXPECT_EQ(sb.use_count(), 1);
+}
+
+TEST(SharedBytes, CopiesShareTheBuffer) {
+  SharedBytes a{Bytes("0123456789abcdef0123456789abcdef")};  // > SSO
+  const char* payload = a.data();
+  SharedBytes b = a;
+  SharedBytes c = b;
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_EQ(b.data(), payload);  // aliases, no copy
+  EXPECT_EQ(c.data(), payload);
+  c = SharedBytes();
+  EXPECT_EQ(a.use_count(), 2);
+}
+
+TEST(SharedBytes, SliceSharesAndClamps) {
+  SharedBytes whole{Bytes("0123456789")};
+  SharedBytes mid = whole.slice(2, 5);
+  EXPECT_EQ(mid.view(), "23456");
+  EXPECT_EQ(mid.data(), whole.data() + 2);  // same buffer
+  EXPECT_EQ(whole.use_count(), 2);
+  SharedBytes tail = mid.slice(3);  // open-ended, relative to the slice
+  EXPECT_EQ(tail.view(), "56");
+  EXPECT_EQ(whole.slice(4, 100).view(), "456789");  // length clamped
+  EXPECT_TRUE(whole.slice(10).empty());             // out of range => empty
+  EXPECT_TRUE(whole.slice(99, 2).empty());
+}
+
+TEST(SharedBytes, BufferOutlivesOriginalHandle) {
+  SharedBytes survivor;
+  {
+    SharedBytes original{Bytes("still here")};
+    survivor = original.slice(6);
+  }
+  EXPECT_EQ(survivor.view(), "here");
+  EXPECT_EQ(survivor.use_count(), 1);
+}
+
+TEST(SharedBytes, ViewConstructorMaterialisesOneCopy) {
+  Bytes src = "borrowed";
+  SharedBytes sb{ByteView(src)};
+  src[0] = 'X';  // mutating the source must not affect the shared copy
+  EXPECT_EQ(sb.view(), "borrowed");
+}
+
+// ---- InlineFunction: the simulator's allocation-free event callable ----
+
+TEST(InlineFunction, InvokesInlineCapture) {
+  int hits = 0;
+  InlineFunction<48> fn([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(7);
+  int got = 0;
+  InlineFunction<48> fn([p = std::move(p), &got] { got = *p; });
+  InlineFunction<48> moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));
+  moved();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(InlineFunction, OversizedCaptureFallsBackToHeapAndDestroys) {
+  auto tracker = std::make_shared<int>(0);
+  struct Big {
+    std::shared_ptr<int> t;
+    char pad[64];  // force past the inline buffer
+    void operator()() { ++*t; }
+  };
+  {
+    InlineFunction<48> fn(Big{tracker, {}});
+    EXPECT_EQ(tracker.use_count(), 2);
+    fn();
+  }
+  EXPECT_EQ(*tracker, 1);
+  EXPECT_EQ(tracker.use_count(), 1);  // heap cell destroyed on reset
+}
+
+TEST(InlineFunction, NullptrAndReassignment) {
+  InlineFunction<48> fn(nullptr);
+  EXPECT_FALSE(static_cast<bool>(fn));
+  int runs = 0;
+  fn = InlineFunction<48>([&runs] { ++runs; });
+  fn();
+  fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(InlineFunction, DestroysInlineCaptureExactlyOnce) {
+  auto tracker = std::make_shared<int>(0);
+  {
+    InlineFunction<48> fn([tracker] { ++*tracker; });
+    EXPECT_EQ(tracker.use_count(), 2);
+    InlineFunction<48> second = std::move(fn);
+    EXPECT_EQ(tracker.use_count(), 2);  // relocated, not duplicated
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+  EXPECT_EQ(*tracker, 0);  // never invoked, only destroyed
 }
 
 }  // namespace

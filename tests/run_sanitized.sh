@@ -36,3 +36,8 @@ for preset in asan ubsan; do
   # recovery-invariant violation.
   "$repo/build-$preset/bench/chaos_sweep" 3
 done
+
+# Perf smoke (optimised build, not sanitized — sanitizers skew timing):
+# the simulator core must stay above the events/sec floor. See
+# bench/run_benches.sh for the full trajectory run.
+bench/run_benches.sh --smoke
