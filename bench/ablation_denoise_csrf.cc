@@ -13,9 +13,7 @@
 #include "common/rng.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "services/http_service.h"
 
 using namespace rddr;
@@ -47,13 +45,12 @@ Outcome run_token_traffic(bool filter_pair, int requests) {
     });
     instances.push_back(std::move(s));
   }
-  core::IncomingProxy::Config cfg;
-  cfg.listen_address = "svc:80";
-  cfg.instance_addresses = {"svc-0:80", "svc-1:80", "svc-2:80"};
-  cfg.plugin = std::make_shared<core::HttpPlugin>();
-  cfg.filter_pair = filter_pair;
-  core::DivergenceBus bus(simulator);
-  core::IncomingProxy proxy(net, host, cfg, &bus);
+  auto proxy = core::NVersionDeployment::Builder()
+                   .listen("svc:80")
+                   .versions({"svc-0:80", "svc-1:80", "svc-2:80"})
+                   .plugin(std::make_shared<core::HttpPlugin>())
+                   .filter_pair(filter_pair)
+                   .build(net, host);
 
   Outcome out;
   for (int i = 0; i < requests; ++i) {
@@ -131,13 +128,12 @@ int main() {
     }
     core::HttpPlugin::Options popts;
     popts.handle_ephemeral_state = handle;
-    core::IncomingProxy::Config cfg;
-    cfg.listen_address = "svc:80";
-    cfg.instance_addresses = {"svc-0:80", "svc-1:80", "svc-2:80"};
-    cfg.plugin = std::make_shared<core::HttpPlugin>(popts);
-    cfg.filter_pair = true;
-    core::DivergenceBus bus(simulator);
-    core::IncomingProxy proxy(net, host, cfg, &bus);
+    auto proxy = core::NVersionDeployment::Builder()
+                     .listen("svc:80")
+                     .versions({"svc-0:80", "svc-1:80", "svc-2:80"})
+                     .plugin(std::make_shared<core::HttpPlugin>(popts))
+                     .filter_pair(true)
+                     .build(net, host);
 
     // GET the token, then POST it back.
     Bytes page;
@@ -183,13 +179,12 @@ int main() {
       r(http::make_response(200, "ok"));
     });
     hung.set_handler([](const http::Request&, services::Responder) {});
-    core::IncomingProxy::Config cfg;
-    cfg.listen_address = "svc:80";
-    cfg.instance_addresses = {"svc-0:80", "svc-1:80"};
-    cfg.plugin = std::make_shared<core::HttpPlugin>();
-    cfg.unit_timeout = timeout;
-    core::DivergenceBus bus(simulator);
-    core::IncomingProxy proxy(net, host, cfg, &bus);
+    auto proxy = core::NVersionDeployment::Builder()
+                     .listen("svc:80")
+                     .versions({"svc-0:80", "svc-1:80"})
+                     .plugin(std::make_shared<core::HttpPlugin>())
+                     .unit_timeout(timeout)
+                     .build(net, host);
     int status = -2;
     services::HttpClient client(net, "client");
     client.get("svc:80", "/",
@@ -223,13 +218,12 @@ int main() {
           });
       instances.push_back(std::move(s));
     }
-    core::IncomingProxy::Config cfg;
-    cfg.listen_address = "svc:80";
-    cfg.instance_addresses = {"svc-0:80", "svc-1:80"};
-    cfg.plugin = std::make_shared<core::HttpPlugin>();
-    cfg.signature_blocking = signatures;
-    core::DivergenceBus bus(simulator);
-    core::IncomingProxy proxy(net, host, cfg, &bus);
+    auto proxy = core::NVersionDeployment::Builder()
+                     .listen("svc:80")
+                     .versions({"svc-0:80", "svc-1:80"})
+                     .plugin(std::make_shared<core::HttpPlugin>())
+                     .signature_blocking(signatures)
+                     .build(net, host);
 
     // The attacker hammers the diverging input 100 times.
     for (int i = 0; i < 100; ++i) {
@@ -243,8 +237,9 @@ int main() {
         "    signatures %-4s    : 100 attack repeats -> %llu full diff "
         "cycles, %llu refused at the proxy, instances served %llu requests\n",
         signatures ? "ON" : "OFF",
-        static_cast<unsigned long long>(proxy.stats().divergences),
-        static_cast<unsigned long long>(proxy.stats().signature_blocks),
+        static_cast<unsigned long long>(proxy->incoming().stats().divergences),
+        static_cast<unsigned long long>(
+            proxy->incoming().stats().signature_blocks),
         static_cast<unsigned long long>(instance_work));
   }
   return 0;

@@ -15,9 +15,7 @@
 
 #include "netsim/host.h"
 #include "netsim/network.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "sqldb/server.h"
 #include "workloads/driver.h"
 #include "workloads/pgbench.h"
@@ -57,20 +55,17 @@ double run(bool rddr_enabled, bool distributed, int clients) {
     dbs.push_back(db);
     servers.push_back(std::make_unique<sqldb::SqlServer>(net, host, db, so));
   }
-  std::unique_ptr<core::DivergenceBus> bus;
-  std::unique_ptr<core::IncomingProxy> rddr;
+  std::unique_ptr<core::NVersionDeployment> rddr;
   std::string address = "pg-0:5432";
   if (rddr_enabled) {
     sim::Host& proxy_host = distributed ? add_host("node-proxy") : shared;
-    core::IncomingProxy::Config cfg;
-    cfg.listen_address = "front:5432";
-    cfg.instance_addresses = {"pg-0:5432", "pg-1:5432", "pg-2:5432"};
-    cfg.plugin = std::make_shared<core::PgPlugin>();
-    cfg.filter_pair = true;
-    cfg.cpu_per_unit = 50e-6;
-    bus = std::make_unique<core::DivergenceBus>(simulator);
-    rddr = std::make_unique<core::IncomingProxy>(net, proxy_host, cfg,
-                                                 bus.get());
+    rddr = core::NVersionDeployment::Builder()
+               .listen("front:5432")
+               .versions({"pg-0:5432", "pg-1:5432", "pg-2:5432"})
+               .plugin(std::make_shared<core::PgPlugin>())
+               .filter_pair(true)
+               .cpu_model(50e-6, 2e-9)
+               .build(net, proxy_host);
     address = "front:5432";
   }
   workloads::ClientPoolOptions opts;

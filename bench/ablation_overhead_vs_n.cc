@@ -13,9 +13,7 @@
 
 #include "netsim/host.h"
 #include "netsim/network.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "sqldb/server.h"
 #include "workloads/driver.h"
 #include "workloads/pgbench.h"
@@ -54,19 +52,17 @@ Point run_n(int n) {
       servers.push_back(
           std::make_unique<sqldb::SqlServer>(net, host, db, so));
     }
-    std::unique_ptr<core::DivergenceBus> bus;
-    std::unique_ptr<core::IncomingProxy> rddr;
+    std::unique_ptr<core::NVersionDeployment> rddr;
     std::string address = "pg-0:5432";
     if (n > 1) {
-      core::IncomingProxy::Config cfg;
-      cfg.listen_address = "front:5432";
+      core::NVersionDeployment::Builder b;
+      b.listen("front:5432")
+          .plugin(std::make_shared<core::PgPlugin>())
+          .filter_pair(true)
+          .cpu_model(50e-6, 2e-9);
       for (int i = 0; i < n; ++i)
-        cfg.instance_addresses.push_back("pg-" + std::to_string(i) + ":5432");
-      cfg.plugin = std::make_shared<core::PgPlugin>();
-      cfg.filter_pair = true;
-      cfg.cpu_per_unit = 50e-6;
-      bus = std::make_unique<core::DivergenceBus>(simulator);
-      rddr = std::make_unique<core::IncomingProxy>(net, host, cfg, bus.get());
+        b.add_version("pg-" + std::to_string(i) + ":5432");
+      rddr = b.build(net, host);
       address = "front:5432";
     }
     host.reset_metrics();

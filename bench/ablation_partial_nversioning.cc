@@ -11,9 +11,7 @@
 
 #include "netsim/host.h"
 #include "netsim/network.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "services/gitlab.h"
 #include "sqldb/server.h"
 
@@ -42,17 +40,15 @@ Footprint measure(int db_replicas, int app_copies) {
     dbs.push_back(db);
     servers.push_back(std::make_unique<sqldb::SqlServer>(net, host, db, so));
   }
-  std::unique_ptr<core::DivergenceBus> bus;
-  std::unique_ptr<core::IncomingProxy> proxy;
+  std::unique_ptr<core::NVersionDeployment> proxy;
   if (db_replicas > 1) {
-    core::IncomingProxy::Config cfg;
-    cfg.listen_address = "gitlab-db:5432";
+    core::NVersionDeployment::Builder b;
+    b.listen("gitlab-db:5432")
+        .plugin(std::make_shared<core::PgPlugin>())
+        .filter_pair(true);
     for (int i = 0; i < db_replicas; ++i)
-      cfg.instance_addresses.push_back("pg-" + std::to_string(i) + ":5432");
-    cfg.plugin = std::make_shared<core::PgPlugin>();
-    cfg.filter_pair = true;
-    bus = std::make_unique<core::DivergenceBus>(simulator);
-    proxy = std::make_unique<core::IncomingProxy>(net, host, cfg, bus.get());
+      b.add_version("pg-" + std::to_string(i) + ":5432");
+    proxy = b.build(net, host);
   }
   std::vector<std::unique_ptr<services::GitlabApp>> apps;
   for (int i = 0; i < app_copies; ++i) {

@@ -16,9 +16,7 @@
 #include "netsim/host.h"
 #include "netsim/network.h"
 #include "obs/metrics.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "sqldb/server.h"
 #include "workloads/driver.h"
 #include "workloads/tpch.h"
@@ -56,18 +54,16 @@ RunMetrics run_deployment(int n_instances, int clients) {
     servers.push_back(std::make_unique<sqldb::SqlServer>(net, host, db, so));
   }
 
-  std::unique_ptr<core::IncomingProxy> proxy;
-  std::unique_ptr<core::DivergenceBus> bus;
+  std::unique_ptr<core::NVersionDeployment> proxy;
   std::string address = "pg-0:5432";
   if (n_instances > 1) {
-    core::IncomingProxy::Config cfg;
-    cfg.listen_address = "db:5432";
+    core::NVersionDeployment::Builder b;
+    b.listen("db:5432")
+        .plugin(std::make_shared<core::PgPlugin>())
+        .filter_pair(true);
     for (int i = 0; i < n_instances; ++i)
-      cfg.instance_addresses.push_back("pg-" + std::to_string(i) + ":5432");
-    cfg.plugin = std::make_shared<core::PgPlugin>();
-    cfg.filter_pair = true;
-    bus = std::make_unique<core::DivergenceBus>(simulator);
-    proxy = std::make_unique<core::IncomingProxy>(net, host, cfg, bus.get());
+      b.add_version("pg-" + std::to_string(i) + ":5432");
+    proxy = b.build(net, host);
     address = "db:5432";
   }
 

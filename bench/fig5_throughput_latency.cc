@@ -17,9 +17,7 @@
 #include "netsim/host.h"
 #include "netsim/network.h"
 #include "obs/metrics.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "services/tcp_proxy.h"
 #include "sqldb/server.h"
 #include "workloads/driver.h"
@@ -72,8 +70,7 @@ Measurement run_one(Deployment d, int clients) {
   }
 
   std::unique_ptr<services::TcpProxy> envoy;
-  std::unique_ptr<core::DivergenceBus> bus;
-  std::unique_ptr<core::IncomingProxy> rddr;
+  std::unique_ptr<core::NVersionDeployment> rddr;
   std::string address = "pg-0:5432";
   if (d == Deployment::kEnvoy) {
     services::TcpProxy::Options po;
@@ -82,18 +79,16 @@ Measurement run_one(Deployment d, int clients) {
     envoy = std::make_unique<services::TcpProxy>(net, server_host, po);
     address = "front:5432";
   } else if (d == Deployment::kRddr) {
-    core::IncomingProxy::Config cfg;
-    cfg.listen_address = "front:5432";
-    cfg.instance_addresses = {"pg-0:5432", "pg-1:5432", "pg-2:5432"};
-    cfg.plugin = std::make_shared<core::PgPlugin>();
-    cfg.filter_pair = true;
-    // Models the paper's Python proxy: a few hundred us of tokenize+diff
-    // work per message (calibrated to the ~10% penalty at 8 clients).
-    cfg.cpu_per_unit = 50e-6;
-    cfg.cpu_per_byte = 5e-9;
-    bus = std::make_unique<core::DivergenceBus>(simulator);
-    rddr = std::make_unique<core::IncomingProxy>(net, server_host, cfg,
-                                                 bus.get());
+    // The cpu model matches the paper's Python proxy: a few hundred us of
+    // tokenize+diff work per message (calibrated to the ~10% penalty at 8
+    // clients).
+    rddr = core::NVersionDeployment::Builder()
+               .listen("front:5432")
+               .versions({"pg-0:5432", "pg-1:5432", "pg-2:5432"})
+               .plugin(std::make_shared<core::PgPlugin>())
+               .filter_pair(true)
+               .cpu_model(50e-6, 5e-9)
+               .build(net, server_host);
     address = "front:5432";
   }
 

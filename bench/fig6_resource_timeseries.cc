@@ -13,9 +13,7 @@
 #include "netsim/host.h"
 #include "netsim/network.h"
 #include "obs/metrics.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "services/tcp_proxy.h"
 #include "sqldb/server.h"
 #include "workloads/driver.h"
@@ -58,8 +56,7 @@ Series run_series(int n_instances, bool envoy_front, int clients,
     servers.push_back(std::make_unique<sqldb::SqlServer>(net, host, db, so));
   }
   std::unique_ptr<services::TcpProxy> envoy;
-  std::unique_ptr<core::DivergenceBus> bus;
-  std::unique_ptr<core::IncomingProxy> rddr;
+  std::unique_ptr<core::NVersionDeployment> rddr;
   std::string address = "pg-0:5432";
   if (envoy_front) {
     services::TcpProxy::Options po;
@@ -68,18 +65,16 @@ Series run_series(int n_instances, bool envoy_front, int clients,
     envoy = std::make_unique<services::TcpProxy>(net, host, po);
     address = "front:5432";
   } else if (n_instances > 1) {
-    core::IncomingProxy::Config cfg;
-    cfg.listen_address = "front:5432";
+    core::NVersionDeployment::Builder b;
+    b.listen("front:5432")
+        .plugin(std::make_shared<core::PgPlugin>())
+        .filter_pair(true)
+        // The paper's Python proxy: a few hundred us of tokenize+diff work
+        // per message (calibrated to the ~10% penalty at 8 clients).
+        .cpu_model(50e-6, 5e-9);
     for (int i = 0; i < n_instances; ++i)
-      cfg.instance_addresses.push_back("pg-" + std::to_string(i) + ":5432");
-    cfg.plugin = std::make_shared<core::PgPlugin>();
-    cfg.filter_pair = true;
-    // Models the paper's Python proxy: a few hundred us of tokenize+diff
-    // work per message (calibrated to the ~10% penalty at 8 clients).
-    cfg.cpu_per_unit = 50e-6;
-    cfg.cpu_per_byte = 5e-9;
-    bus = std::make_unique<core::DivergenceBus>(simulator);
-    rddr = std::make_unique<core::IncomingProxy>(net, host, cfg, bus.get());
+      b.add_version("pg-" + std::to_string(i) + ":5432");
+    rddr = b.build(net, host);
     address = "front:5432";
   }
 

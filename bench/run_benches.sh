@@ -3,8 +3,10 @@
 #   BENCH_simloop.json  — simulator core events/sec, fan-out copy ratio,
 #                         and fig5-driver wall time (vs recorded baselines)
 #   BENCH_hotpaths.json — google-benchmark JSON for the micro hot paths
-# at the repo root. Committed snapshots of both document the perf
-# trajectory PR over PR.
+#   BENCH_scaleout.json — sharded-frontier sweep (goodput vs offered load,
+#                         shed latency; self-checks exit nonzero)
+# at the repo root. Committed snapshots document the perf trajectory PR
+# over PR.
 #
 #   bench/run_benches.sh          full run (a few minutes)
 #   bench/run_benches.sh --smoke  fast regression gate only: fails if the
@@ -21,7 +23,7 @@ if [ ! -d "$BUILD" ]; then
   cmake --preset default >/dev/null
 fi
 cmake --build "$BUILD" -j --target simloop_throughput micro_hotpaths \
-    fig5_throughput_latency >/dev/null
+    fig5_throughput_latency fig5_scaleout >/dev/null
 
 if [ "${1:-}" = "--smoke" ]; then
   exec "$BUILD/bench/simloop_throughput" --smoke
@@ -61,3 +63,10 @@ echo "== micro hot paths =="
     --benchmark_out="$ROOT/BENCH_hotpaths.json" \
     --benchmark_out_format=json >/dev/null
 echo "wrote BENCH_hotpaths.json"
+
+# Scale-out sweep: goodput vs offered load for 1 vs 4 frontier shards,
+# with admission-control self-checks (the bench exits nonzero if the
+# scale-out ratio, shed latency, shed protocol, or determinism regress).
+echo "== scale-out front tier =="
+"$BUILD/bench/fig5_scaleout" > "$ROOT/BENCH_scaleout.json"
+echo "wrote BENCH_scaleout.json"

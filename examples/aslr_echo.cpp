@@ -10,9 +10,7 @@
 
 #include "netsim/host.h"
 #include "netsim/network.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "services/echo_vuln.h"
 
 using namespace rddr;
@@ -37,12 +35,12 @@ void run_deployment(bool aslr) {
               static_cast<unsigned long long>(e0.leaked_pointer()),
               static_cast<unsigned long long>(e1.leaked_pointer()));
 
-  core::IncomingProxy::Config cfg;
-  cfg.listen_address = "echo:7";
-  cfg.instance_addresses = {"echo-0:7", "echo-1:7"};
-  cfg.plugin = std::make_shared<core::TcpLinePlugin>();
-  core::DivergenceBus bus(simulator);
-  core::IncomingProxy rddr(net, host, cfg, &bus);
+  auto rddr = core::NVersionDeployment::Builder()
+                  .name("aslr-echo")
+                  .listen("echo:7")
+                  .versions({"echo-0:7", "echo-1:7"})
+                  .plugin(std::make_shared<core::TcpLinePlugin>())
+                  .build(net, host);
 
   auto send = [&](const char* label, const Bytes& payload) {
     auto conn = net.connect("echo:7", {.source = "attacker"});
@@ -60,7 +58,7 @@ void run_deployment(bool aslr) {
 
   send("benign echo", "hello from the paper\n");
   send("overflow (exploit)", Bytes(80, 'A') + "\n");
-  std::printf("  interventions: %zu\n", bus.count());
+  std::printf("  interventions: %zu\n", rddr->bus().count());
 }
 
 }  // namespace

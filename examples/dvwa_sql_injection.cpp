@@ -21,8 +21,7 @@
 #include "common/strutil.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
-#include "rddr/deployment.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "services/dvwa.h"
 #include "services/http_service.h"
 #include "sqldb/server.h"
@@ -92,12 +91,8 @@ int main() {
     apps.push_back(std::make_unique<services::DvwaApp>(net, host, o));
   }
 
-  // RDDR around them.
-  core::NVersionDeployment::Options dep;
-  dep.incoming.listen_address = "dvwa:80";
-  dep.incoming.instance_addresses = {"dvwa-0:80", "dvwa-1:80", "dvwa-2:80"};
-  dep.incoming.plugin = std::make_shared<core::HttpPlugin>();
-  dep.incoming.filter_pair = true;
+  // RDDR around them. The outgoing proxy speaks pgwire (not the incoming
+  // side's HTTP), so it takes a full Config instead of the inherit form.
   core::OutgoingProxy::Config out;
   out.listen_address = "dvwa-dbvirt:5432";
   out.backend_address = "dvwa-db:5432";
@@ -105,8 +100,13 @@ int main() {
   out.plugin = std::make_shared<core::PgPlugin>();
   out.filter_pair = true;
   out.instance_sources = {"dvwa-0", "dvwa-1", "dvwa-2"};
-  dep.outgoing.push_back(out);
-  core::NVersionDeployment rddr(net, host, dep);
+  auto rddr = core::NVersionDeployment::Builder()
+                  .listen("dvwa:80")
+                  .versions({"dvwa-0:80", "dvwa-1:80", "dvwa-2:80"})
+                  .plugin(std::make_shared<core::HttpPlugin>())
+                  .filter_pair(true)
+                  .backend(out)
+                  .build(net, host);
 
   std::printf("== 1. fetch the SQLi form ==\n");
   http::Request get;
@@ -157,7 +157,7 @@ int main() {
                   : "no");
 
   std::printf("\n== RDDR interventions ==\n");
-  for (const auto& ev : rddr.bus().events())
+  for (const auto& ev : rddr->bus().events())
     std::printf("   [%s] %s\n", ev.proxy.c_str(), ev.reason.c_str());
   std::printf("\nThe divergence was detected at the OUTGOING proxy — the\n"
               "malicious query never reached the database (backend served "

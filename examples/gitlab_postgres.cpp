@@ -10,9 +10,7 @@
 #include "common/strutil.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "services/gitlab.h"
 #include "services/http_service.h"
 #include "sqldb/client.h"
@@ -48,14 +46,14 @@ int main() {
     servers.push_back(std::make_unique<sqldb::SqlServer>(net, host, db, so));
   }
 
-  core::IncomingProxy::Config cfg;
-  cfg.listen_address = "gitlab-db:5432";
-  cfg.instance_addresses = {"gitlab-pg-0:5432", "gitlab-pg-1:5432",
-                            "gitlab-pg-2:5432"};
-  cfg.plugin = std::make_shared<core::PgPlugin>();  // knows server_version
-  cfg.filter_pair = true;                           // is benign variance
-  core::DivergenceBus bus(simulator);
-  core::IncomingProxy rddr(net, host, cfg, &bus);
+  auto rddr = core::NVersionDeployment::Builder()
+                  .name("gitlab-db")
+                  .listen("gitlab-db:5432")
+                  .versions({"gitlab-pg-0:5432", "gitlab-pg-1:5432",
+                             "gitlab-pg-2:5432"})
+                  .plugin(std::make_shared<core::PgPlugin>())  // server_version
+                  .filter_pair(true)  // 10.7/10.7 is benign variance
+                  .build(net, host);
 
   // --- the rest of GitLab, unmodified except for its DB address ----------
   services::GitlabApp::Options gopts;
@@ -113,7 +111,7 @@ int main() {
   attack("SELECT * FROM protected_rows WHERE col_to_leak <<< 1000;");
 
   std::printf("\n== interventions ==\n");
-  for (const auto& ev : bus.events())
+  for (const auto& ev : rddr->bus().events())
     std::printf("  [%s] %s\n", ev.proxy.c_str(), ev.reason.c_str());
 
   // GitLab still works afterwards.

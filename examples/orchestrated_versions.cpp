@@ -13,8 +13,7 @@
 
 #include "netsim/host.h"
 #include "netsim/network.h"
-#include "rddr/deployment.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "services/http_service.h"
 #include "services/orchestrator.h"
 #include "services/static_server.h"

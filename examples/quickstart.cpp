@@ -18,8 +18,7 @@
 #include "netsim/network.h"
 #include "obs/trace.h"
 #include "proto/json/json.h"
-#include "rddr/deployment.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "services/http_service.h"
 #include "services/rest_service.h"
 

@@ -11,8 +11,7 @@
 
 #include "netsim/host.h"
 #include "netsim/network.h"
-#include "rddr/deployment.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "services/http_service.h"
 #include "services/reverse_proxy.h"
 #include "services/simple_api.h"
@@ -52,18 +51,20 @@ int main() {
   ngx_o.instance_name = "ngx";
   services::ReverseProxy ngx(net, host, ngx_o);
 
-  core::NVersionDeployment::Options dep;
-  dep.incoming.listen_address = "edge:80";
-  dep.incoming.instance_addresses = {"proxy-0:80", "proxy-1:80"};
-  dep.incoming.plugin = std::make_shared<core::HttpPlugin>();
+  // The outgoing proxy needs a wider group window than the default, so it
+  // takes a full Config instead of the inherit form.
   core::OutgoingProxy::Config out;
   out.listen_address = "s1:80";
   out.backend_address = "s1-real:80";
   out.group_size = 2;
   out.plugin = std::make_shared<core::HttpPlugin>();
   out.group_window = 50 * sim::kMillisecond;
-  dep.outgoing.push_back(out);
-  core::NVersionDeployment rddr(net, host, dep);
+  auto rddr = core::NVersionDeployment::Builder()
+                  .listen("edge:80")
+                  .versions({"proxy-0:80", "proxy-1:80"})
+                  .plugin(std::make_shared<core::HttpPlugin>())
+                  .backend(out)
+                  .build(net, host);
   std::printf(
       "Setup note: the paper reports adding ngx as the diverse proxy took\n"
       "174 lines of configuration and about an hour (§V-C1); here it is the\n"
@@ -105,7 +106,7 @@ int main() {
   }
 
   std::printf("\n== interventions ==\n");
-  for (const auto& ev : rddr.bus().events())
+  for (const auto& ev : rddr->bus().events())
     std::printf("  [%s] %s\n", ev.proxy.c_str(), ev.reason.c_str());
   return 0;
 }

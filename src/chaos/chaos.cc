@@ -7,8 +7,9 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/strutil.h"
+#include "netsim/host.h"
 #include "netsim/network.h"
-#include "rddr/deployment.h"
+#include "rddr/frontier.h"
 #include "rddr/plugins.h"
 #include "services/orchestrator.h"
 #include "sqldb/client.h"
@@ -367,6 +368,170 @@ ShrinkResult shrink_fault_plan(const std::vector<FaultSpec>& failing_plan,
   ++res.runs;
   res.plan = std::move(cur);
   return res;
+}
+
+// ---- shard kill ----
+
+std::string ShardKillReport::summary() const {
+  std::string s = strformat(
+      "%s: %llu issued = %llu served + %llu refused + %llu lost; "
+      "%llu refused during outage, %llu sessions after readmit, "
+      "killed shard %zu healthy at end",
+      ok ? "OK" : "VIOLATION", static_cast<unsigned long long>(issued),
+      static_cast<unsigned long long>(served),
+      static_cast<unsigned long long>(refused),
+      static_cast<unsigned long long>(lost),
+      static_cast<unsigned long long>(refused_during_outage),
+      static_cast<unsigned long long>(sessions_after_readmit),
+      killed_shard_healthy_at_end);
+  if (readmit_time >= 0)
+    s += strformat("; readmitted %.0fms after restart",
+                   static_cast<double>(readmit_time) / sim::kMillisecond);
+  for (const std::string& v : violations) s += "\n  violation: " + v;
+  return s;
+}
+
+ShardKillReport run_shard_kill(const ShardKillOptions& opts, uint64_t seed) {
+  ShardKillReport rep;
+  sim::Simulator sim;
+  sim::Network net{sim, 10 * sim::kMicrosecond};
+  sim::Host db_host(sim, "db-host", 16, 32LL << 30);
+  sim::Host proxy_host(sim, "proxy-host", 8, 8LL << 30);
+
+  // Per-shard pools: shard k fronts instances "pg-s<k>-<i>:5432", all
+  // loaded with identical pgbench data but per-instance rng seeds.
+  std::vector<std::vector<std::string>> pools(opts.shards);
+  std::vector<std::shared_ptr<sqldb::SqlServer>> servers;
+  for (size_t k = 0; k < opts.shards; ++k) {
+    for (size_t i = 0; i < opts.instances_per_shard; ++i) {
+      std::string address = strformat("pg-s%zu-%zu:5432", k, i);
+      auto db = std::make_shared<sqldb::Database>(sqldb::minipg_info("13.0"));
+      workloads::load_pgbench(*db, opts.accounts, /*seed=*/9);
+      sqldb::SqlServer::Options so;
+      so.address = address;
+      so.rng_seed = seed ^ (k * 100 + i + 1);
+      servers.push_back(
+          std::make_shared<sqldb::SqlServer>(net, db_host, db, so));
+      pools[k].push_back(std::move(address));
+    }
+  }
+
+  core::HealthTracker::Options health;
+  health.failure_threshold = 1;
+  health.reconnect_base_delay = 50 * sim::kMillisecond;
+  health.reconnect_max_delay = 1 * sim::kSecond;
+  health.reconnect_max_attempts = 0;  // probe forever; the pool comes back
+  health.reconnect_jitter = 0.2;
+  health.seed = seed ^ 0x9e170000ULL;
+
+  auto front = core::NVersionDeployment::Builder()
+                   .name("skill")
+                   .listen("front:5432")
+                   .plugin(std::make_shared<core::PgPlugin>())
+                   .filter_pair(true)
+                   .degradation(core::DegradationPolicy::kQuorum)
+                   .health(health)
+                   .unit_timeout(250 * sim::kMillisecond)
+                   .shard_versions(pools)
+                   .build_frontier(net, proxy_host);
+
+  const size_t kill = opts.kill_shard % opts.shards;
+  sim.schedule_at(opts.kill_at, [&] {
+    for (const std::string& a : pools[kill])
+      net.crash_node(sim::Network::node_of(a));
+  });
+  sim.schedule_at(opts.restart_at, [&] {
+    for (const std::string& a : pools[kill])
+      net.restart_node(sim::Network::node_of(a));
+  });
+
+  // Readmit watcher: first moment the killed shard's pool is back at full
+  // health after the restart.
+  auto watch = std::make_shared<std::function<void()>>();
+  *watch = [&, watch] {
+    if (front->shard(kill).incoming().health().healthy_count() ==
+        opts.instances_per_shard) {
+      if (rep.readmit_time < 0) rep.readmit_time = sim.now() - opts.restart_at;
+      return;
+    }
+    sim.schedule(25 * sim::kMillisecond, [watch] { (*watch)(); });
+  };
+  sim.schedule_at(opts.restart_at, [watch] { (*watch)(); });
+  uint64_t killed_sessions_at_restart = 0;
+  sim.schedule_at(opts.restart_at, [&] {
+    killed_sessions_at_restart = front->shard(kill).incoming().stats().sessions;
+  });
+
+  // Detection grace: refusals of sessions opened this soon after the kill
+  // are the expected sacrificial probe that flips the pool unhealthy.
+  const sim::Time detect_grace = 100 * sim::kMillisecond;
+  uint64_t refused_after_detection = 0;
+
+  struct Client {
+    std::unique_ptr<sqldb::PgClient> pg;
+  };
+  auto clients = std::make_shared<std::vector<Client>>(opts.sessions);
+  Rng root(seed);
+  for (size_t s = 0; s < opts.sessions; ++s) {
+    sim::Time open_at = 10 * sim::kMillisecond +
+                        static_cast<sim::Time>(s) * opts.session_spacing;
+    sim.schedule_at(open_at, [&, s, open_at] {
+      Client& cl = (*clients)[s];
+      cl.pg = std::make_unique<sqldb::PgClient>(
+          net, strformat("skc-%zu", s), "front:5432", "postgres");
+      Rng rng = root.fork(1000 + s);
+      for (size_t q = 0; q < opts.queries_per_session; ++q) {
+        std::string sql = workloads::pgbench_select_tx(rng, opts.accounts);
+        ++rep.issued;
+        cl.pg->query(sql, [&, s, open_at, q](sqldb::QueryOutcome o) {
+          if (o.failed()) {
+            ++rep.refused;
+            if (open_at >= opts.kill_at && open_at < opts.restart_at) {
+              ++rep.refused_during_outage;
+              if (open_at >= opts.kill_at + detect_grace)
+                ++refused_after_detection;
+            }
+          } else {
+            ++rep.served;
+          }
+          if (q + 1 == opts.queries_per_session && cl.pg) cl.pg->close();
+        });
+      }
+    });
+  }
+
+  const sim::Time workload_end =
+      10 * sim::kMillisecond +
+      static_cast<sim::Time>(opts.sessions) * opts.session_spacing;
+  sim.run_until(std::max(workload_end, opts.restart_at) + opts.settle);
+
+  rep.lost = rep.issued - rep.served - rep.refused;
+  rep.killed_shard_healthy_at_end =
+      front->shard(kill).incoming().health().healthy_count();
+  rep.sessions_after_readmit =
+      front->shard(kill).incoming().stats().sessions -
+      killed_sessions_at_restart;
+
+  if (rep.lost > 0)
+    rep.violations.push_back(strformat(
+        "%llu quer%s vanished without an answer or a refusal",
+        static_cast<unsigned long long>(rep.lost), rep.lost == 1 ? "y" : "ies"));
+  if (refused_after_detection > 0)
+    rep.violations.push_back(strformat(
+        "%llu refusal(s) of sessions opened after the detection window: "
+        "the router kept sending sessions to the dead shard",
+        static_cast<unsigned long long>(refused_after_detection)));
+  if (rep.readmit_time < 0)
+    rep.violations.push_back("killed shard never returned to full health");
+  if (rep.killed_shard_healthy_at_end < opts.instances_per_shard)
+    rep.violations.push_back(strformat(
+        "killed shard ended at %zu/%zu healthy instances",
+        rep.killed_shard_healthy_at_end, opts.instances_per_shard));
+  if (rep.sessions_after_readmit == 0)
+    rep.violations.push_back(
+        "killed shard served no sessions after readmission");
+  rep.ok = rep.violations.empty();
+  return rep;
 }
 
 }  // namespace rddr::chaos

@@ -120,4 +120,53 @@ struct ShrinkResult {
 ShrinkResult shrink_fault_plan(const std::vector<FaultSpec>& failing_plan,
                                const ChaosOptions& opts, uint64_t seed);
 
+// ---- front-tier shard-kill scenario (rddr/frontier.h) ----
+
+struct ShardKillOptions {
+  size_t shards = 3;
+  size_t instances_per_shard = 3;
+  int accounts = 20;
+  /// Client sessions opened over the run, one every `session_spacing`,
+  /// each issuing `queries_per_session` queries on a fresh connection
+  /// with a distinct source (so consistent hashing spreads them).
+  size_t sessions = 150;
+  size_t queries_per_session = 2;
+  sim::Time session_spacing = 20 * sim::kMillisecond;
+  /// Which shard's whole pool is crashed, and when / for how long.
+  size_t kill_shard = 1;
+  sim::Time kill_at = 600 * sim::kMillisecond;
+  sim::Time restart_at = 1500 * sim::kMillisecond;
+  /// Extra drain time after the last session for probes to readmit.
+  sim::Time settle = 15 * sim::kSecond;
+};
+
+struct ShardKillReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+  uint64_t issued = 0;   // queries sent
+  uint64_t served = 0;
+  uint64_t refused = 0;  // failed or connection lost
+  uint64_t lost = 0;     // never answered nor refused
+  /// Refusals of sessions opened while the shard was down. Expected: a
+  /// brief detection burst right after the kill, then zero — the router
+  /// re-routes around the dead shard.
+  uint64_t refused_during_outage = 0;
+  /// Sessions the killed shard served after the pool restarted (proves
+  /// readmission returned it to the rotation).
+  uint64_t sessions_after_readmit = 0;
+  size_t killed_shard_healthy_at_end = 0;
+  /// restart -> the killed shard's pool back at full health (-1 = never).
+  sim::Time readmit_time = -1;
+
+  std::string summary() const;
+};
+
+/// Deploys an S-shard Frontier (per-shard minipg pools, kQuorum health),
+/// crashes one shard's entire pool mid-workload, restarts it, and checks:
+/// (1) no query is silently lost; (2) after a bounded detection window the
+/// router sheds nothing and re-routes every new session to live shards;
+/// (3) the restarted pool is probed, readmitted, and serves sessions
+/// again. Fully deterministic per seed.
+ShardKillReport run_shard_kill(const ShardKillOptions& opts, uint64_t seed);
+
 }  // namespace rddr::chaos

@@ -199,6 +199,15 @@ ConnPtr Network::connect(const std::string& address, ConnectMeta meta) {
                    src_node.c_str(), address.c_str());
     return nullptr;
   }
+  auto depth_it = accept_queue_depth_.find(address);
+  if (depth_it != accept_queue_depth_.end() && depth_it->second > 0 &&
+      pending_accepts_[address] >= depth_it->second) {
+    ++accepts_refused_;
+    RDDR_LOG_DEBUG("connect to %s refused (accept queue full at %zu)",
+                   address.c_str(), depth_it->second);
+    return nullptr;
+  }
+  ++pending_accepts_[address];
   uint64_t id = next_conn_id_++;
   auto client = std::shared_ptr<Connection>(new Connection(
       sim_, id, default_latency_, meta, address, /*is_client_half=*/true));
@@ -213,6 +222,8 @@ ConnPtr Network::connect(const std::string& address, ConnectMeta meta) {
   // state then so a service that stopped (or crashed) in the meantime
   // refuses cleanly.
   sim_.schedule(default_latency_, [this, address, server] {
+    auto pend = pending_accepts_.find(address);
+    if (pend != pending_accepts_.end() && pend->second > 0) --pend->second;
     auto lit = listeners_.find(address);
     if (lit == listeners_.end() || node_down(node_of(address))) {
       server->close();
@@ -221,6 +232,17 @@ ConnPtr Network::connect(const std::string& address, ConnectMeta meta) {
     lit->second(server);
   });
   return client;
+}
+
+void Network::set_accept_queue_depth(const std::string& address,
+                                     size_t depth) {
+  if (depth > 0) accept_queue_depth_[address] = depth;
+  else accept_queue_depth_.erase(address);
+}
+
+size_t Network::accept_queue_len(const std::string& address) const {
+  auto it = pending_accepts_.find(address);
+  return it == pending_accepts_.end() ? 0 : it->second;
 }
 
 // ---- fault injection ----

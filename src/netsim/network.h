@@ -175,9 +175,24 @@ class Network {
   bool has_listener(const std::string& address) const;
 
   /// Dials `address`. Returns the client half, or nullptr if nothing
-  /// listens there (connection refused). The listener's accept handler is
+  /// listens there (connection refused), the address's accept queue is
+  /// full, or a fault refuses it. The listener's accept handler is
   /// invoked after one link latency with the server half.
   ConnPtr connect(const std::string& address, ConnectMeta meta = {});
+
+  /// Bounds the listener's accept queue (the SYN-backlog analogue): at
+  /// most `depth` connections may be dialed-but-not-yet-accepted at once;
+  /// further connects are refused deterministically (connect() returns
+  /// nullptr and `accepts_refused()` counts it). 0 (the default) restores
+  /// the historical unbounded behaviour. Survives listener replacement.
+  void set_accept_queue_depth(const std::string& address, size_t depth);
+
+  /// Connections currently dialed but not yet delivered to the accept
+  /// handler of `address`.
+  size_t accept_queue_len(const std::string& address) const;
+
+  /// Total connects refused because an accept queue was full.
+  uint64_t accepts_refused() const { return accepts_refused_; }
 
   /// Link latency applied to each direction of new connections.
   void set_default_latency(Time latency) { default_latency_ = latency; }
@@ -258,7 +273,10 @@ class Network {
   uint64_t next_conn_id_ = 1;
   uint64_t payload_bytes_sent_ = 0;
   uint64_t payload_bytes_copied_ = 0;
+  uint64_t accepts_refused_ = 0;
   std::map<std::string, AcceptHandler> listeners_;
+  std::map<std::string, size_t> accept_queue_depth_;  // 0/absent = unbounded
+  std::map<std::string, size_t> pending_accepts_;
   std::vector<std::weak_ptr<Connection>> registry_;  // client halves
   std::set<std::string> down_nodes_;
   std::set<std::string> refused_addresses_;

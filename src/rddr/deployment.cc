@@ -89,6 +89,19 @@ NVersionDeployment::Builder& NVersionDeployment::Builder::unit_timeout(
   return *this;
 }
 
+NVersionDeployment::Builder& NVersionDeployment::Builder::cpu_model(
+    double cpu_per_unit, double cpu_per_byte) {
+  incoming_.cpu_per_unit = cpu_per_unit;
+  incoming_.cpu_per_byte = cpu_per_byte;
+  return *this;
+}
+
+NVersionDeployment::Builder& NVersionDeployment::Builder::delete_tokens(
+    bool on) {
+  incoming_.delete_tokens_after_use = on;
+  return *this;
+}
+
 NVersionDeployment::Builder& NVersionDeployment::Builder::signature_blocking(
     bool on, uint32_t threshold) {
   incoming_.signature_blocking = on;
@@ -139,6 +152,24 @@ NVersionDeployment::Builder& NVersionDeployment::Builder::trace(
 NVersionDeployment::Builder& NVersionDeployment::Builder::faults(
     std::function<void(sim::FaultPlan&)> fn) {
   faults_ = std::move(fn);
+  return *this;
+}
+
+NVersionDeployment::Builder& NVersionDeployment::Builder::shards(size_t s) {
+  incoming_.shards = s;
+  return *this;
+}
+
+NVersionDeployment::Builder& NVersionDeployment::Builder::admission(
+    AdmissionOptions a) {
+  incoming_.admission = a;
+  return *this;
+}
+
+NVersionDeployment::Builder& NVersionDeployment::Builder::shard_versions(
+    std::vector<std::vector<std::string>> pools) {
+  shard_versions_ = std::move(pools);
+  if (!shard_versions_.empty()) incoming_.shards = shard_versions_.size();
   return *this;
 }
 

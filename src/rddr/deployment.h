@@ -31,6 +31,8 @@
 
 namespace rddr::core {
 
+class Frontier;
+
 class NVersionDeployment {
  public:
   struct Options {
@@ -57,6 +59,10 @@ class NVersionDeployment {
     Builder& degradation(DegradationPolicy p);
     Builder& health(HealthTracker::Options h);
     Builder& unit_timeout(sim::Time t);
+    /// CPU model for the de-noise+diff work (per compared unit / byte).
+    Builder& cpu_model(double cpu_per_unit, double cpu_per_byte);
+    /// Whether ephemeral tokens are deleted after first use (default on).
+    Builder& delete_tokens(bool on = true);
     Builder& signature_blocking(bool on, uint32_t threshold = 1);
     /// Recovery: resync quarantined instances from a trusted peer before
     /// readmission (incoming proxy only; see ResyncOptions).
@@ -80,12 +86,32 @@ class NVersionDeployment {
     /// owned by the deployment (see fault_plan()).
     Builder& faults(std::function<void(sim::FaultPlan&)> fn);
 
+    // -- scale-out (consumed by build_frontier; build() ignores them) --
+
+    /// Number of front-tier shards (see rddr/frontier.h).
+    Builder& shards(size_t s);
+    /// Admission control / load shedding for the front tier.
+    Builder& admission(AdmissionOptions a);
+    /// Per-shard instance pools: pools[k] is shard k's version list. When
+    /// set it overrides versions() and implies shards(pools.size());
+    /// without it every shard fronts the shared versions() pool.
+    Builder& shard_versions(std::vector<std::vector<std::string>> pools);
+
     /// The fully resolved Options this builder would deploy (shared knobs
     /// propagated into each outgoing config).
     Options options() const;
 
     std::unique_ptr<NVersionDeployment> build(sim::Network& net,
                                               sim::Host& proxy_host) const;
+
+    /// Deploys the scale-out front tier: S independent proxy shards behind
+    /// one public listener with consistent-hash routing, admission control
+    /// and load shedding. All shards run on `proxy_host`; the vector
+    /// overload pins shard k's proxies to shard_hosts[k % size].
+    std::unique_ptr<Frontier> build_frontier(sim::Network& net,
+                                             sim::Host& proxy_host) const;
+    std::unique_ptr<Frontier> build_frontier(
+        sim::Network& net, const std::vector<sim::Host*>& shard_hosts) const;
 
    private:
     IncomingProxy::Config incoming_;
@@ -94,6 +120,7 @@ class NVersionDeployment {
       bool inherit = false;  // fill shared knobs from the builder
     };
     std::vector<PendingBackend> backends_;
+    std::vector<std::vector<std::string>> shard_versions_;
     std::function<void(sim::FaultPlan&)> faults_;
   };
 

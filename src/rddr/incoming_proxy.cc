@@ -75,8 +75,9 @@ IncomingProxy::IncomingProxy(sim::Network& net, sim::Host& host,
   dead_events_.assign(config_.instance_addresses.size(), 0);
   resync_.resize(config_.instance_addresses.size());
   host_.charge_memory(config_.base_memory_bytes);
-  net_.listen(config_.listen_address,
-              [this](sim::ConnPtr c) { on_accept(std::move(c)); });
+  if (!config_.listen_address.empty())
+    net_.listen(config_.listen_address,
+                [this](sim::ConnPtr c) { on_accept(std::move(c)); });
   if (bus_) {
     bus_->subscribe([this](const DivergenceEvent& ev) {
       // A sibling proxy (the outgoing one) saw divergence: the client
@@ -88,7 +89,7 @@ IncomingProxy::IncomingProxy(sim::Network& net, sim::Host& host,
 }
 
 IncomingProxy::~IncomingProxy() {
-  net_.unlisten(config_.listen_address);
+  if (!config_.listen_address.empty()) net_.unlisten(config_.listen_address);
   host_.release_memory(config_.base_memory_bytes);
   for (auto& [id, s] : sessions_) {
     if (s->timeout_event) net_.simulator().cancel(s->timeout_event);
@@ -99,6 +100,12 @@ IncomingProxy::~IncomingProxy() {
     if (ev) net_.simulator().cancel(ev);
   for (auto& rs : resync_)
     if (rs.complete_event) net_.simulator().cancel(rs.complete_event);
+}
+
+void IncomingProxy::note_units_consumed(uint64_t n) {
+  if (n == 0) return;
+  queued_units_ = queued_units_ >= n ? queued_units_ - n : 0;
+  if (config_.on_load_change) config_.on_load_change();
 }
 
 void IncomingProxy::end_session_spans(const std::shared_ptr<Session>& s) {
@@ -568,7 +575,10 @@ void IncomingProxy::attach_upstream(const std::shared_ptr<Session>& s,
       }
       return;
     }
-    for (auto& u : framer.take()) s->queues[i].push_back(std::move(u));
+    for (auto& u : framer.take()) {
+      s->queues[i].push_back(std::move(u));
+      ++queued_units_;
+    }
     arm_timeout(s);
     pump(s);
   });
@@ -601,6 +611,7 @@ void IncomingProxy::enter_failopen(const std::shared_ptr<Session>& s,
   // to the client from here on.
   for (auto& u : s->queues[sole])
     if (s->client->is_open()) s->client->send(u.data);
+  note_units_consumed(s->queues[sole].size());
   s->queues[sole].clear();
   if (s->upstream_framers[sole]) {
     Bytes rest = s->upstream_framers[sole]->unconsumed();
@@ -622,6 +633,7 @@ bool IncomingProxy::drop_instance(const std::shared_ptr<Session>& s, size_t i,
   s->participating[i] = false;
   if (s->upstreams[i] && s->upstreams[i]->is_open()) s->upstreams[i]->close();
   s->upstreams[i] = nullptr;
+  note_units_consumed(s->queues[i].size());
   s->queues[i].clear();
   if (config_.tracer && s->upstream_spans[i]) {
     config_.tracer->tag(s->upstream_spans[i], "dropped", why);
@@ -745,6 +757,7 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
     s->queues[i].pop_front();
     idxmap.push_back(i);
   }
+  note_units_consumed(idxmap.size());
   s->busy = true;
   obs::SpanId diff_span = 0;
   const sim::Time diff_start = net_.simulator().now();
@@ -886,6 +899,12 @@ void IncomingProxy::teardown(const std::shared_ptr<Session>& s) {
     if (sh && sh->is_open()) sh->close();
   end_session_spans(s);
   sessions_.erase(s->id);
+  uint64_t still_queued = 0;
+  for (const auto& q : s->queues) still_queued += q.size();
+  note_units_consumed(still_queued);
+  // Session count dropped: wake a backpressured front tier even when no
+  // units were pending.
+  if (still_queued == 0 && config_.on_load_change) config_.on_load_change();
 }
 
 void IncomingProxy::abort_all_sessions(const std::string& reason) {

@@ -70,6 +70,8 @@ class IncomingProxy {
   struct Config : ProxyOptions {
     Config() { name = "rddr-in"; }
 
+    /// Public address the proxy listens on. Empty => the proxy registers
+    /// no listener and is fed connections via accept() (a Frontier shard).
     std::string listen_address;
     /// Addresses of the N protected-microservice instances. With
     /// `filter_pair`, instances 0 and 1 must be the identical-image pair.
@@ -92,6 +94,11 @@ class IncomingProxy {
     /// the self-healing loop.
     std::function<void(size_t instance, const std::string& reason)>
         on_instance_dead;
+    /// Queue-limit hook for a front tier: fired whenever this proxy's load
+    /// drops (a compare batch was dispatched, a session ended, queued
+    /// units were discarded), so backpressured admission can resume. May
+    /// fire mid-pump — defer real work to a fresh simulator event.
+    std::function<void()> on_load_change;
   };
 
   IncomingProxy(sim::Network& net, sim::Host& host, Config config,
@@ -110,6 +117,19 @@ class IncomingProxy {
 
   /// Per-instance health view (quarantine state, for tests/operators).
   const HealthTracker& health() const { return health_; }
+
+  /// Hands the proxy one server-half connection, exactly as if it had
+  /// arrived on the listener — the direct-handoff path a Frontier uses to
+  /// route an admitted connection to this shard without an extra hop.
+  void accept(sim::ConnPtr conn) { on_accept(std::move(conn)); }
+
+  /// Live client sessions (backpressure signal).
+  size_t active_sessions() const { return sessions_.size(); }
+
+  /// Response units received from instances but not yet consumed by a
+  /// compare batch, summed over all sessions — the queue a saturated pool
+  /// grows. The other backpressure signal.
+  uint64_t pending_units() const { return queued_units_; }
 
   /// Aborts every active session with the intervention response (invoked
   /// via the DivergenceBus when a sibling proxy detects divergence).
@@ -135,6 +155,8 @@ class IncomingProxy {
     obs::SpanId span = 0;
   };
   void on_accept(sim::ConnPtr conn);
+  /// Drops `n` units from the pending count and fires on_load_change.
+  void note_units_consumed(uint64_t n);
   void attach_upstream(const std::shared_ptr<Session>& s, size_t i);
   void pump(const std::shared_ptr<Session>& s);
   void intervene(const std::shared_ptr<Session>& s, const std::string& reason,
@@ -189,6 +211,7 @@ class IncomingProxy {
   /// divergence (the §IV-D DoS mitigation).
   std::map<uint64_t, uint32_t> signatures_;
   uint64_t next_session_id_ = 1;
+  uint64_t queued_units_ = 0;  // see pending_units()
   std::map<uint64_t, std::shared_ptr<Session>> sessions_;
 };
 

@@ -19,7 +19,10 @@ void ProxyCounters::bind(obs::MetricsRegistry& reg,
   resyncs = reg.counter(prefix + ".resyncs");
   replacements = reg.counter(prefix + ".replacements");
   journal_replayed_requests = reg.counter(prefix + ".journal_replayed_requests");
+  admitted = reg.counter(prefix + ".admitted");
+  shed = reg.counter(prefix + ".shed");
   compare_ms = reg.histogram(prefix + ".compare_ms");
+  queued_ms = reg.histogram(prefix + ".queued_ms");
 }
 
 ProxyStats ProxyCounters::snapshot() const {
@@ -40,6 +43,8 @@ ProxyStats ProxyCounters::snapshot() const {
   s.resyncs = resyncs->value();
   s.replacements = replacements->value();
   s.journal_replayed_requests = journal_replayed_requests->value();
+  s.admitted = admitted->value();
+  s.shed = shed->value();
   return s;
 }
 

@@ -20,6 +20,33 @@
 
 namespace rddr::core {
 
+/// Admission-control knobs for a front tier (Frontier) shard. One
+/// canonical spelling each; all zeros mean "admit everything" (the
+/// pre-scale-out behaviour).
+struct AdmissionOptions {
+  /// Token-bucket admission rate in sessions/second (0 = unlimited).
+  double rate_per_s = 0;
+  /// Bucket depth: how many sessions may be admitted in a burst.
+  double burst = 32;
+  /// Bounded per-shard queue of connections waiting for admission; a
+  /// connection arriving at a full queue is shed immediately.
+  size_t queue_limit = 64;
+  /// A queued connection not admitted within this deadline is shed with
+  /// the plugin's overload response (fast, protocol-correct rejection).
+  sim::Time shed_deadline = 5 * sim::kMillisecond;
+  /// netsim listener accept-queue depth for the public address (0 =
+  /// unbounded); overflow is refused at the (simulated) kernel, before
+  /// the proxy ever sees the connection.
+  size_t accept_queue = 0;
+  /// Backpressure: stop admitting to a shard holding this many concurrent
+  /// sessions (0 = unbounded).
+  size_t max_sessions = 0;
+  /// Backpressure: stop admitting to a shard whose proxies have this many
+  /// response units queued but not yet compared (0 = off). A saturated
+  /// pool therefore slows admission instead of growing unbounded queues.
+  size_t queued_units_watermark = 0;
+};
+
 /// Configuration shared by both RDDR proxies. Defaults are the paper's
 /// strict deployment with the seed repo's CPU model.
 struct ProxyOptions {
@@ -29,8 +56,7 @@ struct ProxyOptions {
   KnownVariance variance;
   /// Instances 0 and 1 are an identical-image filter pair (§IV-B2).
   bool filter_pair = false;
-  /// What happens when instances fail or disagree (§IV-D). Canonical
-  /// spelling; `policy()` below is the deprecated alias. Default: the
+  /// What happens when instances fail or disagree (§IV-D). Default: the
   /// paper's unanimity-or-intervene.
   DegradationPolicy degradation = DegradationPolicy::kStrict;
   /// Quarantine threshold and reconnect backoff (ignored under kStrict).
@@ -49,14 +75,13 @@ struct ProxyOptions {
   /// recorded.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
-
-  // ---- deprecated spellings (kept as aliases for one release) ----
-  [[deprecated("spell it `degradation`")]] DegradationPolicy& policy() {
-    return degradation;
-  }
-  [[deprecated("spell it `unit_timeout`")]] sim::Time& instance_timeout() {
-    return unit_timeout;
-  }
+  /// Scale-out: number of independent proxy shards a Frontier deploys in
+  /// front of the pool(s). 1 (default) is the paper's single proxy pair;
+  /// the plain proxies ignore this field.
+  size_t shards = 1;
+  /// Admission control / load shedding for the front tier (Frontier).
+  /// The plain proxies ignore this field.
+  AdmissionOptions admission;
 };
 
 /// Element-wise counter snapshot of one proxy (or, via
@@ -80,6 +105,9 @@ struct ProxyStats {
   uint64_t resyncs = 0;               // state transfers started
   uint64_t replacements = 0;          // instances swapped for fresh replicas
   uint64_t journal_replayed_requests = 0;  // units replayed after transfer
+  // Front-tier counters (zero unless a Frontier fronts the proxies):
+  uint64_t admitted = 0;  // connections passed through admission control
+  uint64_t shed = 0;      // connections rejected by the front tier
 
   ProxyStats& operator+=(const ProxyStats& o) {
     sessions += o.sessions;
@@ -97,6 +125,8 @@ struct ProxyStats {
     resyncs += o.resyncs;
     replacements += o.replacements;
     journal_replayed_requests += o.journal_replayed_requests;
+    admitted += o.admitted;
+    shed += o.shed;
     return *this;
   }
 };
@@ -120,8 +150,13 @@ struct ProxyCounters {
   obs::Counter* resyncs = nullptr;
   obs::Counter* replacements = nullptr;
   obs::Counter* journal_replayed_requests = nullptr;
+  obs::Counter* admitted = nullptr;
+  obs::Counter* shed = nullptr;
   /// Virtual-time cost of each de-noise+diff batch, in milliseconds.
   obs::Histogram* compare_ms = nullptr;
+  /// Admission-queue wait of each admitted connection, in milliseconds
+  /// (only a Frontier observes into this).
+  obs::Histogram* queued_ms = nullptr;
 
   void bind(obs::MetricsRegistry& reg, const std::string& prefix);
   ProxyStats snapshot() const;

@@ -141,6 +141,13 @@ class ProtocolPlugin {
   /// close the connection (the pgwire behaviour).
   virtual Bytes intervention_response() const { return {}; }
 
+  /// Bytes to send to a client the front tier sheds under overload — a
+  /// fast, protocol-correct rejection ("try again later"), distinct from
+  /// the security intervention above. Defaults to the intervention
+  /// response; protocols with a native overload signal override (HTTP
+  /// 503, pgwire SQLSTATE 53300).
+  virtual Bytes overload_response() const { return intervention_response(); }
+
   /// Opening bytes for a proxy-originated connection to one instance (the
   /// resync journal replay): whatever the protocol requires before
   /// request units are accepted — a pgwire startup packet, nothing for

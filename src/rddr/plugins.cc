@@ -353,6 +353,18 @@ Bytes HttpPlugin::intervention_response() const {
   return resp.to_bytes();
 }
 
+Bytes HttpPlugin::overload_response() const {
+  http::Response resp = http::make_response(
+      503,
+      "<html><head><title>RDDR</title></head><body>"
+      "<h1>503 Service Unavailable</h1>"
+      "<p>The front tier is at capacity; the request was shed before "
+      "reaching the service. Retry shortly.</p></body></html>");
+  resp.headers.set("Connection", "close");
+  resp.headers.set("Retry-After", "1");
+  return resp.to_bytes();
+}
+
 // ---------- PgPlugin ----------
 
 std::unique_ptr<StreamFramer> PgPlugin::make_framer(Direction dir) const {
@@ -408,6 +420,12 @@ Bytes PgPlugin::intervention_response() const {
   return pg::build_error("RDDRX",
                          "RDDR intervened: instance responses diverged; "
                          "connection aborted to prevent information leak");
+}
+
+Bytes PgPlugin::overload_response() const {
+  return pg::build_error("53300",
+                         "RDDR front tier at capacity: connection shed "
+                         "before reaching the instances; retry shortly");
 }
 
 Bytes PgPlugin::resync_preamble() const {

@@ -50,6 +50,8 @@ class HttpPlugin : public ProtocolPlugin {
   Bytes rewrite_for_instance(const Unit& unit, size_t instance,
                              const CompareContext& ctx) const override;
   Bytes intervention_response() const override;
+  /// 503 Service Unavailable with Retry-After (front-tier load shedding).
+  Bytes overload_response() const override;
 
   /// Comparison form of a response (exposed for tests): start line +
   /// non-ignored header lines + decoded body lines.
@@ -71,6 +73,8 @@ class PgPlugin : public ProtocolPlugin {
   DiffOutcome compare(const std::vector<Unit>& units,
                       const CompareContext& ctx) const override;
   Bytes intervention_response() const override;
+  /// ErrorResponse with SQLSTATE 53300 (too_many_connections).
+  Bytes overload_response() const override;
   /// Startup packet so a replayed journal lands in a valid session.
   Bytes resync_preamble() const override;
   /// Startup and Terminate belong to the original client connection, not

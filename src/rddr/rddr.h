@@ -1,0 +1,29 @@
+// Umbrella header: the whole public RDDR deployment API in one include.
+//
+// Examples and embedders should include this (only this) and build
+// deployments through NVersionDeployment::Builder — the single supported
+// construction path:
+//
+//   #include "rddr/rddr.h"
+//
+//   auto rddr = rddr::core::NVersionDeployment::Builder()
+//                   .listen("svc:5432")
+//                   .versions({"pg-0:5432", "pg-1:5432", "pg-2:5432"})
+//                   .plugin(std::make_shared<rddr::core::PgPlugin>())
+//                   .build(net, host);
+//
+// Scale-out deployments swap build() for build_frontier() (see
+// rddr/frontier.h for the sharding / admission-control model).
+#pragma once
+
+#include "rddr/deployment.h"
+#include "rddr/divergence.h"
+#include "rddr/frontier.h"
+#include "rddr/health.h"
+#include "rddr/incoming_proxy.h"
+#include "rddr/noise.h"
+#include "rddr/options.h"
+#include "rddr/outgoing_proxy.h"
+#include "rddr/plugin.h"
+#include "rddr/plugins.h"
+#include "rddr/quorum.h"

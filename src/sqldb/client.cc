@@ -139,7 +139,10 @@ void PgClient::on_close() {
   // Fail any in-flight and queued queries.
   std::deque<std::pair<std::string, QueryCallback>> pending;
   pending.swap(queue_);
-  bool first = in_flight_;
+  // An ErrorResponse that arrived before the close (e.g. an admission shed
+  // during startup: SQLSTATE 53300, then disconnect) belongs to the first
+  // pending query even if it was never sent.
+  bool first = in_flight_ || current_.error_sqlstate.has_value();
   in_flight_ = false;
   for (auto& [sql, cb] : pending) {
     QueryOutcome out;

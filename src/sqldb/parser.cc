@@ -361,7 +361,7 @@ class Parser {
     if (match_kw("table")) return parse_create_table();
     if (match_kw("function")) return parse_create_function();
     if (match_kw("operator")) return parse_create_operator();
-    if (match_kw("policy")) return parse_create_policy();
+    if (match_kw("policy")) return parse_create_policy_stmt();
     if (match_kw("or")) {
       // CREATE OR REPLACE FUNCTION
       if (!match_kw("replace")) return unexpected("REPLACE");
@@ -534,7 +534,7 @@ class Parser {
     return st;
   }
 
-  Result<Statement> parse_create_policy() {
+  Result<Statement> parse_create_policy_stmt() {
     auto nm = expect_ident("policy name");
     if (!nm.ok()) return Err(nm.error());
     CreatePolicyStmt pol;

@@ -118,4 +118,110 @@ PoolResult run_client_pool(sim::Simulator& sim, sim::Network& net,
   return pool->result;
 }
 
+// ---- open loop ----
+
+namespace {
+
+struct OpenLoopState {
+  sim::Simulator& sim;
+  sim::Network& net;
+  const OpenLoopOptions& options;
+  OpenLoopResult result;
+  sim::Time first_send = -1;
+  sim::Time last_done = 0;
+  int scheduled = 0;    // arrivals generated so far
+  int outstanding = 0;  // requests in flight
+  Rng rng{0};
+  /// Keeps each arrival's client alive until its outcome lands.
+  std::map<int, std::unique_ptr<sqldb::PgClient>> clients;
+  obs::Counter* ok = nullptr;
+  obs::Counter* rejected = nullptr;
+  obs::Histogram* latency_hist = nullptr;
+};
+
+void open_loop_arrival(const std::shared_ptr<OpenLoopState>& st) {
+  int idx = st->scheduled++;
+  ++st->result.offered;
+  ++st->outstanding;
+  sim::ConnectMeta meta;
+  meta.source = strformat("%s-%d", st->options.source_prefix.c_str(), idx);
+  if (st->options.tracer) meta.trace_id = st->options.tracer->new_trace();
+  auto client = std::make_unique<sqldb::PgClient>(
+      st->net, st->options.address, st->options.user, meta);
+  auto* raw = client.get();
+  st->clients.emplace(idx, std::move(client));
+  std::string sql = st->options.next_query
+                        ? st->options.next_query(st->rng, idx)
+                        : "SELECT 1;";
+  sim::Time t0 = st->sim.now();
+  if (st->first_send < 0) st->first_send = t0;
+  raw->query(sql, [st, idx, t0](sqldb::QueryOutcome out) {
+    sim::Time t1 = st->sim.now();
+    double ms = static_cast<double>(t1 - t0) / 1e6;
+    if (out.failed()) {
+      ++st->result.rejected;
+      st->result.rejection_ms.add(ms);
+      if (st->rejected) st->rejected->inc();
+    } else {
+      ++st->result.completed;
+      st->result.latency_ms.add(ms);
+      if (st->ok) st->ok->inc();
+      if (st->latency_hist) st->latency_hist->observe(ms);
+    }
+    st->last_done = std::max(st->last_done, t1);
+    --st->outstanding;
+    // Close + free the client on a fresh event: the outcome callback runs
+    // inside the client's own data/close handler.
+    st->sim.schedule(0, [st, idx] {
+      auto it = st->clients.find(idx);
+      if (it == st->clients.end()) return;
+      it->second->close();
+      st->clients.erase(it);
+    });
+  });
+}
+
+}  // namespace
+
+OpenLoopResult run_open_loop(sim::Simulator& sim, sim::Network& net,
+                             const OpenLoopOptions& options) {
+  auto st =
+      std::make_shared<OpenLoopState>(OpenLoopState{sim, net, options, {}});
+  st->rng = Rng(options.seed);
+  if (options.metrics) {
+    const std::string& p = options.metrics_prefix;
+    st->ok = options.metrics->counter(p + ".ok");
+    st->rejected = options.metrics->counter(p + ".rejected");
+    st->latency_hist = options.metrics->histogram(p + ".latency_ms");
+  }
+  // Self-scheduling arrival chain: each arrival schedules the next after a
+  // seeded exponential gap, independent of service completions (open loop).
+  auto fire = std::make_shared<std::function<void()>>();
+  *fire = [st, fire] {
+    open_loop_arrival(st);
+    if (st->scheduled >= st->options.requests) return;
+    double gap_s = st->rng.exponential(1.0 / st->options.rate_per_s);
+    auto gap = static_cast<sim::Time>(gap_s * 1e9);
+    st->sim.schedule(gap > 0 ? gap : 1, [fire] { (*fire)(); });
+  };
+  if (options.requests > 0) (*fire)();
+  while ((st->outstanding > 0 || st->scheduled < options.requests) &&
+         sim.step()) {
+  }
+  st->result.elapsed =
+      st->first_send >= 0 ? st->last_done - st->first_send : 0;
+  if (options.metrics) {
+    const std::string& p = options.metrics_prefix;
+    const OpenLoopResult& r = st->result;
+    options.metrics->gauge(p + ".goodput_tps")->set(r.goodput_tps());
+    options.metrics->gauge(p + ".latency_p50_ms")
+        ->set(r.latency_ms.percentile(50));
+    options.metrics->gauge(p + ".rejection_p50_ms")
+        ->set(r.rejection_ms.percentile(50));
+    options.metrics->gauge(p + ".elapsed_s")
+        ->set(static_cast<double>(r.elapsed) / 1e9);
+  }
+  return st->result;
+}
+
 }  // namespace rddr::workloads

@@ -57,4 +57,55 @@ struct PoolResult {
 PoolResult run_client_pool(sim::Simulator& sim, sim::Network& net,
                            const ClientPoolOptions& options);
 
+/// Open-loop Poisson driver: arrivals follow a seeded exponential
+/// inter-arrival process at `rate_per_s`, each arrival opening a fresh
+/// connection and issuing one query — arrivals do NOT wait for previous
+/// requests, so offered load stays fixed as the system saturates. This is
+/// the right harness for the overload experiments (fig5_scaleout): a
+/// closed-loop pool self-throttles and can never drive a server past its
+/// capacity, hiding exactly the regime admission control exists for.
+struct OpenLoopOptions {
+  std::string address;
+  std::string user = "postgres";
+  /// Mean arrival rate (requests/second of virtual time).
+  double rate_per_s = 1000;
+  /// Total arrivals to generate.
+  int requests = 1000;
+  /// SQL for arrival `req_index` (called once per arrival).
+  std::function<std::string(Rng&, int req_index)> next_query;
+  uint64_t seed = 1;
+  /// ConnectMeta::source per arrival: "<source_prefix>-<req_index>".
+  /// Distinct sources spread sessions across a Frontier's shards.
+  std::string source_prefix = "open-client";
+  /// Optional registry: publishes "<prefix>.ok"/".rejected" counters and a
+  /// "<prefix>.latency_ms" histogram live, plus exact-aggregate gauges at
+  /// completion (".goodput_tps", ".latency_p50_ms", ".rejection_p50_ms",
+  /// ".elapsed_s").
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "openloop";
+  obs::Tracer* tracer = nullptr;
+};
+
+struct OpenLoopResult {
+  uint64_t offered = 0;    // arrivals generated
+  uint64_t completed = 0;  // queries answered successfully
+  /// Arrivals that got an error or lost the connection before an answer —
+  /// shed by the front tier, refused at the accept queue, or failed by the
+  /// pool. A fast rejection is the design goal; `rejection_ms` measures it.
+  uint64_t rejected = 0;
+  SampleStats latency_ms;    // successful requests, send -> answer
+  SampleStats rejection_ms;  // rejected requests, send -> rejection
+  sim::Time elapsed = 0;     // first arrival -> last outcome
+
+  double goodput_tps() const {
+    return elapsed > 0 ? static_cast<double>(completed) /
+                             (static_cast<double>(elapsed) / 1e9)
+                       : 0.0;
+  }
+};
+
+/// Runs all arrivals and waits for every outstanding request to resolve.
+OpenLoopResult run_open_loop(sim::Simulator& sim, sim::Network& net,
+                             const OpenLoopOptions& options);
+
 }  // namespace rddr::workloads

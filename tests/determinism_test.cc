@@ -31,10 +31,7 @@
 #include "netsim/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "rddr/deployment.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "services/http_service.h"
 #include "sqldb/server.h"
 #include "workloads/driver.h"
@@ -93,15 +90,13 @@ Fig5Point run_fig5_rddr_point() {
     servers.push_back(
         std::make_unique<sqldb::SqlServer>(net, server_host, db, so));
   }
-  core::IncomingProxy::Config cfg;
-  cfg.listen_address = "front:5432";
-  cfg.instance_addresses = {"pg-0:5432", "pg-1:5432", "pg-2:5432"};
-  cfg.plugin = std::make_shared<core::PgPlugin>();
-  cfg.filter_pair = true;
-  cfg.cpu_per_unit = 50e-6;
-  cfg.cpu_per_byte = 5e-9;
-  core::DivergenceBus bus(simulator);
-  core::IncomingProxy rddr(net, server_host, cfg, &bus);
+  auto rddr = core::NVersionDeployment::Builder()
+                  .listen("front:5432")
+                  .versions({"pg-0:5432", "pg-1:5432", "pg-2:5432"})
+                  .plugin(std::make_shared<core::PgPlugin>())
+                  .filter_pair(true)
+                  .cpu_model(50e-6, 5e-9)
+                  .build(net, server_host);
 
   obs::MetricsRegistry registry;
   workloads::ClientPoolOptions opts;

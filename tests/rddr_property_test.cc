@@ -13,9 +13,7 @@
 #include "common/rng.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
-#include "rddr/divergence.h"
-#include "rddr/incoming_proxy.h"
-#include "rddr/plugins.h"
+#include "rddr/rddr.h"
 #include "services/http_service.h"
 
 namespace rddr::core {
@@ -75,13 +73,12 @@ class PropertyRig {
       });
       servers_.push_back(std::move(server));
     }
-    IncomingProxy::Config cfg;
-    cfg.listen_address = "svc:80";
-    cfg.instance_addresses = {"svc-0:80", "svc-1:80", "svc-2:80"};
-    cfg.plugin = std::make_shared<HttpPlugin>();
-    cfg.filter_pair = true;
-    bus_ = std::make_unique<DivergenceBus>(sim_);
-    proxy_ = std::make_unique<IncomingProxy>(net_, host_, cfg, bus_.get());
+    proxy_ = NVersionDeployment::Builder()
+                 .listen("svc:80")
+                 .versions({"svc-0:80", "svc-1:80", "svc-2:80"})
+                 .plugin(std::make_shared<HttpPlugin>())
+                 .filter_pair(true)
+                 .build(net_, host_);
   }
 
   struct Outcome {
@@ -100,7 +97,7 @@ class PropertyRig {
     return out;
   }
 
-  size_t divergences() const { return bus_->count(); }
+  size_t divergences() const { return proxy_->bus().count(); }
 
  private:
   sim::Simulator sim_;
@@ -108,8 +105,7 @@ class PropertyRig {
   sim::Host host_{sim_, "node", 8, 8LL << 30};
   Rng shape_rng_;
   std::vector<std::unique_ptr<HttpServer>> servers_;
-  std::unique_ptr<DivergenceBus> bus_;
-  std::unique_ptr<IncomingProxy> proxy_;
+  std::unique_ptr<NVersionDeployment> proxy_;
 };
 
 class RddrProperty : public ::testing::TestWithParam<int> {};

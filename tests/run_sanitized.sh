@@ -35,6 +35,12 @@ for preset in asan ubsan; do
   # deployment; exits nonzero (with a shrunk repro on stderr) on any
   # recovery-invariant violation.
   "$repo/build-$preset/bench/chaos_sweep" 3
+
+  # Scale-out smoke: a reduced fig5_scaleout sweep; exits nonzero if the
+  # scale-out ratio, shed-latency, shed-protocol (SQLSTATE 53300 / HTTP
+  # 503, never a hang) or same-seed-determinism checks fail. JSON goes to
+  # stdout (dropped here); the check log is on stderr.
+  "$repo/build-$preset/bench/fig5_scaleout" --smoke >/dev/null
 done
 
 # Perf smoke (optimised build, not sanitized — sanitizers skew timing):
