@@ -23,9 +23,12 @@ if [ ! -d "$BUILD" ]; then
   cmake --preset default >/dev/null
 fi
 cmake --build "$BUILD" -j --target simloop_throughput micro_hotpaths \
-    fig5_throughput_latency fig5_scaleout >/dev/null
+    fig5_throughput_latency fig5_scaleout storage_recovery >/dev/null
 
 if [ "${1:-}" = "--smoke" ]; then
+  # Storage gate first (deterministic invariants: recovery correctness,
+  # delta-vs-snapshot ratio, trace determinism), then the events/sec floor.
+  "$BUILD/bench/storage_recovery" --smoke
   exec "$BUILD/bench/simloop_throughput" --smoke
 fi
 
@@ -70,3 +73,10 @@ echo "wrote BENCH_hotpaths.json"
 echo "== scale-out front tier =="
 "$BUILD/bench/fig5_scaleout" > "$ROOT/BENCH_scaleout.json"
 echo "wrote BENCH_scaleout.json"
+
+# Durable storage: cold-start redo cost, buffer-pool hit rate vs frame
+# budget, and incremental-vs-full resync bytes; exits nonzero if the
+# recovery/determinism/delta-size self-checks fail.
+echo "== durable storage recovery =="
+"$BUILD/bench/storage_recovery" > "$ROOT/BENCH_storage.json"
+echo "wrote BENCH_storage.json"

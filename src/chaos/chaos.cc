@@ -14,6 +14,7 @@
 #include "services/orchestrator.h"
 #include "sqldb/client.h"
 #include "sqldb/server.h"
+#include "sqldb/storage/storage_engine.h"
 #include "workloads/pgbench.h"
 
 namespace rddr::chaos {
@@ -25,6 +26,10 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kStall: return "stall";
     case FaultKind::kPartition: return "partition";
     case FaultKind::kLatencySpike: return "latency-spike";
+    case FaultKind::kTornWrite: return "torn-write";
+    case FaultKind::kPartialWal: return "partial-wal";
+    case FaultKind::kCrashCheckpoint: return "crash-checkpoint";
+    case FaultKind::kCrashResync: return "crash-resync";
   }
   return "?";
 }
@@ -77,12 +82,18 @@ std::vector<FaultSpec> generate_fault_plan(uint64_t seed,
       std::max<sim::Time>(opts.fault_window_end - opts.fault_window_start, 1);
   for (size_t k = 0; k < n_faults; ++k) {
     FaultSpec f;
-    switch (r.next() % 5) {
+    // Disk kinds join the draw only under the durable profile, so plans
+    // for the in-memory deployment are unchanged seed-for-seed.
+    switch (r.next() % (opts.durable_storage ? 9 : 5)) {
       case 0: f.kind = FaultKind::kCrashRestart; break;
       case 1: f.kind = FaultKind::kCrashReplace; break;
       case 2: f.kind = FaultKind::kStall; break;
       case 3: f.kind = FaultKind::kPartition; break;
-      default: f.kind = FaultKind::kLatencySpike; break;
+      case 4: f.kind = FaultKind::kLatencySpike; break;
+      case 5: f.kind = FaultKind::kTornWrite; break;
+      case 6: f.kind = FaultKind::kPartialWal; break;
+      case 7: f.kind = FaultKind::kCrashCheckpoint; break;
+      default: f.kind = FaultKind::kCrashResync; break;
     }
     f.at = opts.fault_window_start +
            static_cast<sim::Time>(r.next() % static_cast<uint64_t>(window));
@@ -112,14 +123,34 @@ ChaosReport run_chaos(const std::vector<FaultSpec>& plan,
   orch.add_host("db-host", 8, 8LL << 30);
   orch.add_host("proxy-host", 4, 4LL << 30);
 
+  if (opts.durable_storage) {
+    sim::BlockDevice::Options vol;
+    vol.faults = opts.disk_faults;
+    orch.set_volume_options(vol);
+  }
+
   // Every replica loads identical pgbench data (same data seed) but gets
   // its own rng_seed from the orchestrator (per-instance nondeterminism).
+  // Under the durable profile the container also mounts its volume: a
+  // restarted incarnation ignores the freshly loaded image data and
+  // recovers from disk (WAL redo) instead.
   orch.register_image("minipg", [&](const services::ContainerSpec& spec) {
     auto db = std::make_shared<sqldb::Database>(sqldb::minipg_info(spec.tag));
     workloads::load_pgbench(*db, opts.accounts, /*seed=*/9);
     sqldb::SqlServer::Options so;
     so.address = spec.address;
     so.rng_seed = spec.rng_seed;
+    if (opts.durable_storage) {
+      auto& vol = orch.volume(spec.container_name);
+      sqldb::storage::StorageOptions sto;
+      sto.wal_flush_interval = opts.wal_flush_interval;
+      sto.frame_budget = opts.frame_budget;
+      so.storage = std::make_shared<sqldb::storage::StorageEngine>(
+          sim, vol.data, vol.wal, sto);
+      // Shared across replicas: identical bootstrap data + identical
+      // lineage seed is what licenses page/WAL-level resync between them.
+      so.lineage_seed = seed;
+    }
     return std::make_shared<sqldb::SqlServer>(net, *spec.host, db, so);
   });
 
@@ -133,22 +164,61 @@ ChaosReport run_chaos(const std::vector<FaultSpec>& plan,
 
   std::unique_ptr<core::NVersionDeployment> dep;
 
+  // Peer-kill bookkeeping: which slot last served as a warm source, so
+  // the kill_peer_mid_resync watcher knows whom to crash.
+  auto last_warm_source = std::make_shared<size_t>(SIZE_MAX);
+
   core::ResyncOptions resync;
   resync.enabled = opts.resync_enabled;
   resync.catch_up_sessions = opts.resync_enabled;
-  resync.warm = [&](size_t i) -> int64_t {
+  resync.min_transfer_time = opts.resync_min_transfer;
+  using WarmResult = core::ResyncOptions::WarmResult;
+  resync.warm = [&, last_warm_source](size_t i) -> WarmResult {
     auto target = orch.get<sqldb::SqlServer>(names[i]);
-    if (!target || !dep) return -1;
+    if (!target || !dep) return {};
     const core::HealthTracker& health = dep->incoming().health();
     for (size_t j = 0; j < names.size(); ++j) {
       if (j == i || !health.is_healthy(j)) continue;
       auto source = orch.get<sqldb::SqlServer>(names[j]);
       if (!source) continue;
+      *last_warm_source = j;
+      // Incremental first: a delta of the WAL tail or the dirty pages,
+      // when the source can build one for this target's exact LSN and
+      // lineage (durable profile only).
+      if (target->storage() && source->storage()) {
+        sqldb::storage::StorageEngine::DeltaStats ds;
+        auto delta = source->storage()->build_delta(
+            target->storage()->committed_lsn(),
+            target->storage()->lineage_id(), &ds);
+        if (delta) {
+          sqldb::storage::StorageEngine::DeltaStats applied;
+          if (target->storage()->apply_delta(*delta, &applied)) {
+            target->refresh_memory_charge();
+            WarmResult wr;
+            wr.bytes = static_cast<int64_t>(delta->size());
+            wr.pages_shipped = applied.pages_shipped;
+            wr.wal_records = applied.wal_records;
+            wr.wal_bytes = applied.wal_bytes;
+            wr.mode = applied.mode;
+            return wr;
+          }
+          // A failed apply cleared the target; fall through to the full
+          // snapshot, which rebases it onto the source's state.
+        }
+      }
       std::string snap = source->dump_snapshot();
-      if (!target->load_snapshot(snap)) return -1;
-      return static_cast<int64_t>(snap.size());
+      uint64_t src_lsn = 0, src_lineage = 0;
+      if (source->storage()) {
+        src_lsn = source->storage()->committed_lsn();
+        src_lineage = source->storage()->lineage_id();
+      }
+      if (!target->load_snapshot(snap, nullptr, src_lsn, src_lineage))
+        return {};
+      WarmResult wr;
+      wr.bytes = static_cast<int64_t>(snap.size());
+      return wr;
     }
-    return -1;  // no trusted peer right now; quarantine retries later
+    return {};  // no trusted peer right now; quarantine retries later
   };
 
   auto do_replace = [&](size_t slot) {
@@ -187,6 +257,38 @@ ChaosReport run_chaos(const std::vector<FaultSpec>& plan,
 
   // ---- fault schedule ----
   sim::Time last_fault_end = 0;
+
+  // Peer-kill-mid-resync watcher: the first time any instance is observed
+  // in kResyncing, crash the peer that just served as its warm source
+  // (restarted 300ms later). The transfer window is still modeled, the
+  // journal replay targets the resyncing instance, and quarantine retries
+  // cover a warm that never happened — the invariants below then prove
+  // the deployment never readmits partial state.
+  if (opts.kill_peer_mid_resync) {
+    auto killed = std::make_shared<bool>(false);
+    auto pk_watch = std::make_shared<std::function<void()>>();
+    *pk_watch = [&, pk_watch, killed, last_warm_source] {
+      if (*killed) return;
+      const core::HealthTracker& h = dep->incoming().health();
+      for (size_t i = 0; i < names.size(); ++i) {
+        if (h.state(i) != core::HealthTracker::State::kResyncing) continue;
+        size_t victim = *last_warm_source;
+        if (victim == SIZE_MAX || victim == i) continue;
+        *killed = true;
+        std::string victim_name = names[victim];
+        try { orch.crash(victim_name); } catch (const std::exception&) {}
+        last_fault_end =
+            std::max(last_fault_end, sim.now() + 300 * sim::kMillisecond);
+        sim.schedule(300 * sim::kMillisecond, [&, victim_name] {
+          try { orch.restart(victim_name); } catch (const std::exception&) {}
+        });
+        return;
+      }
+      sim.schedule(10 * sim::kMillisecond, [pk_watch] { (*pk_watch)(); });
+    };
+    sim.schedule_at(sim::kMillisecond, [pk_watch] { (*pk_watch)(); });
+  }
+
   for (const FaultSpec& f : plan) {
     const size_t slot = f.instance % opts.n_instances;
     last_fault_end = std::max(last_fault_end, f.at + f.duration);
@@ -226,6 +328,73 @@ ChaosReport run_chaos(const std::vector<FaultSpec>& plan,
           net.set_node_extra_latency(names[slot], 0);
         });
         break;
+      case FaultKind::kTornWrite:
+        // Force the device to tear the newest staged WAL block on crash:
+        // recovery must stop redo at the torn record (valid prefix only)
+        // and resync must make up the difference.
+        sim.schedule_at(f.at, [&, slot] {
+          try {
+            auto s = orch.get<sqldb::SqlServer>(names[slot]);
+            if (s && s->storage())
+              s->storage()->wal_device().force_torn_on_next_crash();
+            orch.crash(names[slot]);
+          } catch (const std::exception&) {}
+        });
+        sim.schedule_at(f.at + f.duration, [&, slot] {
+          try { orch.restart(names[slot]); } catch (const std::exception&) {}
+        });
+        break;
+      case FaultKind::kPartialWal:
+        // Under group commit (wal_flush_interval > 0) a write-heavy
+        // instant always has staged, unsynced WAL records — the crash
+        // subjects them to the device fault model (lost/torn tail).
+        sim.schedule_at(f.at, [&, slot] {
+          try { orch.crash(names[slot]); } catch (const std::exception&) {}
+        });
+        sim.schedule_at(f.at + f.duration, [&, slot] {
+          try { orch.restart(names[slot]); } catch (const std::exception&) {}
+        });
+        break;
+      case FaultKind::kCrashCheckpoint:
+        // Kick a checkpoint, then crash 3ms later — inside the paced
+        // write-out (steps are checkpoint_step_interval apart), so the
+        // staged pages and the not-yet-written root race the crash.
+        sim.schedule_at(f.at, [&, slot] {
+          try {
+            auto s = orch.get<sqldb::SqlServer>(names[slot]);
+            if (s && s->storage()) s->storage()->force_checkpoint();
+          } catch (const std::exception&) {}
+        });
+        sim.schedule_at(f.at + 3 * sim::kMillisecond, [&, slot] {
+          try { orch.crash(names[slot]); } catch (const std::exception&) {}
+        });
+        sim.schedule_at(f.at + f.duration, [&, slot] {
+          try { orch.restart(names[slot]); } catch (const std::exception&) {}
+        });
+        break;
+      case FaultKind::kCrashResync: {
+        // Staggered double crash: the restarted instance resyncs while
+        // its likeliest warm source goes down too.
+        const size_t slot2 = (slot + 1) % opts.n_instances;
+        const sim::Time second_at =
+            f.at + f.duration + 80 * sim::kMillisecond;
+        const sim::Time second_dur =
+            std::max<sim::Time>(f.duration / 2, 200 * sim::kMillisecond);
+        last_fault_end = std::max(last_fault_end, second_at + second_dur);
+        sim.schedule_at(f.at, [&, slot] {
+          try { orch.crash(names[slot]); } catch (const std::exception&) {}
+        });
+        sim.schedule_at(f.at + f.duration, [&, slot] {
+          try { orch.restart(names[slot]); } catch (const std::exception&) {}
+        });
+        sim.schedule_at(second_at, [&, slot2] {
+          try { orch.crash(names[slot2]); } catch (const std::exception&) {}
+        });
+        sim.schedule_at(second_at + second_dur, [&, slot2] {
+          try { orch.restart(names[slot2]); } catch (const std::exception&) {}
+        });
+        break;
+      }
     }
   }
 
@@ -326,6 +495,21 @@ ChaosReport run_chaos(const std::vector<FaultSpec>& plan,
 
 ChaosReport run_chaos_seed(uint64_t seed, const ChaosOptions& opts) {
   return run_chaos(generate_fault_plan(seed, opts), opts, seed);
+}
+
+ChaosReport run_peer_kill_resync(uint64_t seed, ChaosOptions opts) {
+  opts.durable_storage = true;
+  opts.kill_peer_mid_resync = true;
+  // A wide transfer window so the watcher reliably catches the resync
+  // in flight, and enough settle for the double recovery.
+  opts.resync_min_transfer = 150 * sim::kMillisecond;
+  opts.settle = std::max<sim::Time>(opts.settle, 25 * sim::kSecond);
+  FaultSpec f;
+  f.kind = FaultKind::kCrashRestart;
+  f.at = 1 * sim::kSecond;
+  f.duration = 400 * sim::kMillisecond;
+  f.instance = 0;
+  return run_chaos({f}, opts, seed);
 }
 
 ShrinkResult shrink_fault_plan(const std::vector<FaultSpec>& failing_plan,

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "netsim/block_device.h"
 #include "netsim/simulator.h"
 #include "rddr/options.h"
 
@@ -32,6 +33,11 @@ enum class FaultKind {
   kStall,         // egress frozen for `duration` (alive but silent)
   kPartition,     // node isolated from the network for `duration`
   kLatencySpike,  // +`extra` per-direction latency for `duration`
+  // Disk faults (generated only with ChaosOptions::durable_storage):
+  kTornWrite,        // crash tearing the last staged WAL block, restart
+  kPartialWal,       // crash inside the group-commit window, restart
+  kCrashCheckpoint,  // force a checkpoint, crash mid-write-out, restart
+  kCrashResync,      // crash, restart, then crash a peer mid-resync
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -69,6 +75,29 @@ struct ChaosOptions {
   /// Ablation switch: with resync off, a restarted replica rejoins with
   /// stale state and the invariants catch it (the harness's self-test).
   bool resync_enabled = true;
+  /// Durable-storage profile: every replica runs over an orchestrator
+  /// volume (sqldb/storage), restarts recover from disk (WAL redo), and
+  /// resync warms incrementally (WAL tail / dirty pages) with a
+  /// full-snapshot fallback. Enables the disk FaultKinds in generated
+  /// plans.
+  bool durable_storage = false;
+  /// Seeded device fault probabilities applied to every volume (only
+  /// meaningful with durable_storage).
+  sim::DiskFaults disk_faults;
+  /// Group-commit interval for the durable profile (0 = sync every
+  /// commit; the default keeps a WAL tail staged so crash windows exist).
+  sim::Time wal_flush_interval = 5 * sim::kMillisecond;
+  /// Buffer-pool frame budget per replica (durable profile).
+  uint64_t frame_budget = 128;
+  /// Floor of the modeled resync transfer window (wide windows make the
+  /// peer-kill scenario deterministic).
+  sim::Time resync_min_transfer = sim::kMillisecond;
+  /// Peer-kill scenario switch: the first time an instance enters resync,
+  /// crash the peer that served as its warm source mid-window (restarted
+  /// shortly after). The invariants then check the resyncing replica
+  /// completes from another healthy peer or stays quarantined — never
+  /// readmitted with partial state.
+  bool kill_peer_mid_resync = false;
 };
 
 struct ChaosReport {
@@ -107,6 +136,12 @@ ChaosReport run_chaos(const std::vector<FaultSpec>& plan,
 
 /// generate_fault_plan + run_chaos in one call.
 ChaosReport run_chaos_seed(uint64_t seed, const ChaosOptions& opts);
+
+/// Satellite scenario: durable 3-replica deployment, crash+restart one
+/// replica, then kill the trusted peer serving its resync mid-transfer.
+/// Passes when the resyncing replica completes from another healthy peer
+/// (or retries after quarantine) and the usual chaos invariants hold.
+ChaosReport run_peer_kill_resync(uint64_t seed, ChaosOptions opts = {});
 
 struct ShrinkResult {
   std::vector<FaultSpec> plan;  // minimal still-failing schedule

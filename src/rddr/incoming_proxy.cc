@@ -196,16 +196,29 @@ void IncomingProxy::begin_resync(size_t i) {
     config_.tracer->tag(rs.span, "instance", strformat("%zu", i));
     config_.tracer->tag(rs.span, "address", config_.instance_addresses[i]);
   }
-  int64_t bytes = config_.resync.warm(i);
+  ResyncOptions::WarmResult warmed = config_.resync.warm(i);
+  int64_t bytes = warmed.bytes;
   if (bytes < 0) {
     fail_resync(i, "state transfer failed");
     return;
   }
+  counters_.pages_shipped->inc(warmed.pages_shipped);
+  counters_.wal_bytes_replayed->inc(warmed.wal_bytes);
   rs.active = true;
   rs.bytes = bytes;
-  if (config_.tracer)
+  if (config_.tracer) {
     config_.tracer->tag(rs.span, "bytes",
                         strformat("%lld", static_cast<long long>(bytes)));
+    config_.tracer->tag(rs.span, "mode", warmed.mode);
+    if (warmed.pages_shipped)
+      config_.tracer->tag(rs.span, "pages_shipped",
+                          strformat("%llu", static_cast<unsigned long long>(
+                                                warmed.pages_shipped)));
+    if (warmed.wal_records)
+      config_.tracer->tag(rs.span, "wal_records",
+                          strformat("%llu", static_cast<unsigned long long>(
+                                                warmed.wal_records)));
+  }
   sim::Time window = std::max(
       config_.resync.min_transfer_time,
       static_cast<sim::Time>(static_cast<double>(bytes) *

@@ -44,11 +44,22 @@ namespace rddr::core {
 /// ResyncOptions::catch_up_sessions).
 struct ResyncOptions {
   bool enabled = false;
-  /// Performs the state transfer into instance `i`. Returns the number of
-  /// bytes transferred (>= 0), or -1 when no trusted source was available
-  /// or the load failed (the instance goes back to quarantine and a later
-  /// probe retries).
-  std::function<int64_t(size_t instance)> warm;
+  /// What one warm-up transfer did. `bytes` sizes the modeled transfer
+  /// window; the rest describes the mechanism for counters/spans —
+  /// "snapshot" ships the whole database, "pages" only the pages dirtied
+  /// since the target's LSN, "wal" just the statement tail.
+  struct WarmResult {
+    int64_t bytes = -1;  ///< transferred bytes; < 0 = transfer failed
+    uint64_t pages_shipped = 0;
+    uint64_t wal_records = 0;
+    uint64_t wal_bytes = 0;
+    const char* mode = "snapshot";
+  };
+  /// Performs the state transfer into instance `i`. Returns
+  /// `bytes >= 0` on success; a negative `bytes` means no trusted source
+  /// was available or the load failed (the instance goes back to
+  /// quarantine and a later probe retries).
+  std::function<WarmResult(size_t instance)> warm;
   /// Virtual-time model of the copy; admission is delayed by
   /// max(min_transfer_time, bytes * transfer_seconds_per_byte) and the
   /// journal covers writes landing inside that window.

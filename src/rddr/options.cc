@@ -19,6 +19,8 @@ void ProxyCounters::bind(obs::MetricsRegistry& reg,
   resyncs = reg.counter(prefix + ".resyncs");
   replacements = reg.counter(prefix + ".replacements");
   journal_replayed_requests = reg.counter(prefix + ".journal_replayed_requests");
+  pages_shipped = reg.counter(prefix + ".pages_shipped");
+  wal_bytes_replayed = reg.counter(prefix + ".wal_bytes_replayed");
   admitted = reg.counter(prefix + ".admitted");
   shed = reg.counter(prefix + ".shed");
   compare_ms = reg.histogram(prefix + ".compare_ms");
@@ -43,6 +45,8 @@ ProxyStats ProxyCounters::snapshot() const {
   s.resyncs = resyncs->value();
   s.replacements = replacements->value();
   s.journal_replayed_requests = journal_replayed_requests->value();
+  s.pages_shipped = pages_shipped->value();
+  s.wal_bytes_replayed = wal_bytes_replayed->value();
   s.admitted = admitted->value();
   s.shed = shed->value();
   return s;

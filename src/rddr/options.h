@@ -105,6 +105,8 @@ struct ProxyStats {
   uint64_t resyncs = 0;               // state transfers started
   uint64_t replacements = 0;          // instances swapped for fresh replicas
   uint64_t journal_replayed_requests = 0;  // units replayed after transfer
+  uint64_t pages_shipped = 0;         // dirty pages in incremental resyncs
+  uint64_t wal_bytes_replayed = 0;    // WAL tail bytes in incremental resyncs
   // Front-tier counters (zero unless a Frontier fronts the proxies):
   uint64_t admitted = 0;  // connections passed through admission control
   uint64_t shed = 0;      // connections rejected by the front tier
@@ -125,6 +127,8 @@ struct ProxyStats {
     resyncs += o.resyncs;
     replacements += o.replacements;
     journal_replayed_requests += o.journal_replayed_requests;
+    pages_shipped += o.pages_shipped;
+    wal_bytes_replayed += o.wal_bytes_replayed;
     admitted += o.admitted;
     shed += o.shed;
     return *this;
@@ -150,6 +154,8 @@ struct ProxyCounters {
   obs::Counter* resyncs = nullptr;
   obs::Counter* replacements = nullptr;
   obs::Counter* journal_replayed_requests = nullptr;
+  obs::Counter* pages_shipped = nullptr;
+  obs::Counter* wal_bytes_replayed = nullptr;
   obs::Counter* admitted = nullptr;
   obs::Counter* shed = nullptr;
   /// Virtual-time cost of each de-noise+diff batch, in milliseconds.

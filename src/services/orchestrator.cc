@@ -7,9 +7,36 @@
 
 namespace rddr::services {
 
+namespace {
+
+// Local FNV-1a so volume seeds depend only on the orchestrator seed and
+// the container name (stable across runs, not on std::hash).
+uint64_t fnv1a64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char ch : s) {
+    h ^= ch;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
 Orchestrator::Orchestrator(sim::Simulator& sim, sim::Network& net,
                            uint64_t seed)
     : sim_(sim), net_(net), seed_(seed) {}
+
+Orchestrator::Volume& Orchestrator::volume(const std::string& container_name) {
+  auto it = volumes_.find(container_name);
+  if (it != volumes_.end()) return it->second;
+  Volume v;
+  sim::BlockDevice::Options opts = volume_template_;
+  opts.rng_seed = Rng(seed_).fork(fnv1a64(container_name)).next();
+  v.data = std::make_shared<sim::BlockDevice>(opts);
+  opts.rng_seed = Rng(opts.rng_seed).fork(0x57A1ULL).next();
+  v.wal = std::make_shared<sim::BlockDevice>(opts);
+  return volumes_.emplace(container_name, std::move(v)).first->second;
+}
 
 sim::Host& Orchestrator::add_host(const std::string& name, int cores,
                                   int64_t memory_bytes) {
@@ -90,6 +117,13 @@ void Orchestrator::crash(const std::string& container_name) {
   d.crashed = true;
   d.object.reset();  // process gone: in-memory state and listener lost
   net_.crash_node(sim::Network::node_of(d.spec.address));
+  // The volume survives, but anything staged and unsynced is subject to
+  // the device fault model (torn pages, lost writes).
+  auto vit = volumes_.find(container_name);
+  if (vit != volumes_.end()) {
+    vit->second.data->crash();
+    vit->second.wal->crash();
+  }
   if (replacement_policy_.auto_replace) {
     sim_.schedule(replacement_policy_.replace_delay, [this, container_name] {
       auto rit = containers_.find(container_name);

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "netsim/block_device.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
 #include "netsim/simulator.h"
@@ -119,6 +120,31 @@ class Orchestrator {
     replacement_policy_ = std::move(policy);
   }
 
+  /// Persistent volume claim: a pair of block devices (data + WAL) owned
+  /// by the orchestrator and keyed by container name. Unlike the service
+  /// object, a volume survives crash/restart — that is what makes the
+  /// durable-storage recovery path real: the restarted incarnation's
+  /// image factory finds the previous life's blocks. A replacement
+  /// container (new name) lazily gets a fresh, empty volume.
+  struct Volume {
+    std::shared_ptr<sim::BlockDevice> data;
+    std::shared_ptr<sim::BlockDevice> wal;
+  };
+
+  /// Returns the container's volume, creating it (empty, deterministically
+  /// seeded from the orchestrator seed and the name) on first use.
+  Volume& volume(const std::string& container_name);
+  bool has_volume(const std::string& container_name) const {
+    return volumes_.count(container_name) > 0;
+  }
+
+  /// Device template applied to volumes created after this call: fault
+  /// probabilities and latencies for the chaos harness. (rng_seed and
+  /// page_size are still derived per volume.)
+  void set_volume_options(sim::BlockDevice::Options opts) {
+    volume_template_ = opts;
+  }
+
   /// Fetches the deployed service object (caller supplies the type).
   template <typename T>
   std::shared_ptr<T> get(const std::string& container_name) {
@@ -152,6 +178,8 @@ class Orchestrator {
   std::map<std::string, Deployed> containers_;
   RestartPolicy restart_policy_;
   ReplacementPolicy replacement_policy_;
+  std::map<std::string, Volume> volumes_;
+  sim::BlockDevice::Options volume_template_;
   /// Replacements per lineage base name ("pg-1" for pg-1, pg-1-r1, ...).
   std::map<std::string, uint64_t> replace_counts_;
 };

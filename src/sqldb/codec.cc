@@ -1,0 +1,96 @@
+#include "sqldb/codec.h"
+
+#include <cstdlib>
+
+#include "common/strutil.h"
+
+namespace rddr::sqldb {
+
+std::string escape_field(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    switch (s[++i]) {
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string encode_datum(const Datum& d) {
+  switch (d.type()) {
+    case Type::kNull: return "N";
+    case Type::kBool: return d.as_bool() ? "B:t" : "B:f";
+    case Type::kInt:
+      return strformat("I:%lld", static_cast<long long>(d.as_int()));
+    case Type::kFloat: return strformat("F:%a", d.as_float());
+    case Type::kText: return "T:" + escape_field(d.as_text());
+  }
+  return "N";
+}
+
+bool decode_datum(std::string_view s, Datum* out) {
+  if (s == "N") {
+    *out = Datum::null();
+    return true;
+  }
+  if (s.size() < 2 || s[1] != ':') return false;
+  std::string_view body = s.substr(2);
+  switch (s[0]) {
+    case 'B':
+      if (body != "t" && body != "f") return false;
+      *out = Datum::boolean(body == "t");
+      return true;
+    case 'I': {
+      auto n = parse_i64(body);
+      if (!n) return false;
+      *out = Datum::integer(*n);
+      return true;
+    }
+    case 'F': {
+      std::string text(body);
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') return false;
+      *out = Datum::floating(v);
+      return true;
+    }
+    case 'T':
+      *out = Datum::text(unescape_field(body));
+      return true;
+  }
+  return false;
+}
+
+std::string encode_row(const std::vector<Datum>& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out += '\t';
+    out += encode_datum(row[i]);
+  }
+  return out;
+}
+
+}  // namespace rddr::sqldb

@@ -1,0 +1,35 @@
+// Shared text codec for sqldb state serialization.
+//
+// One escaping scheme and one datum encoding, used by every durable text
+// form in the repo: full snapshots (snapshot.cc), storage-engine pages and
+// WAL records (storage/), and incremental resync deltas. Keeping them in
+// one place is what makes "page bytes hash equal across replicas" and
+// "snapshot(restore(x)) is a fixed point" the same property.
+//
+// Formats:
+//  - Field escaping: \\ \t \n \r — the formats are line- and
+//    tab-delimited, so exactly those characters are encoded.
+//  - Datum: N | B:t | B:f | I:<int> | F:<hexfloat> | T:<escaped>.
+//    Hexfloat keeps doubles (including ±inf and NaN payload-free nan)
+//    bit-exact through the text round trip.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqldb/value.h"
+
+namespace rddr::sqldb {
+
+std::string escape_field(std::string_view s);
+std::string unescape_field(std::string_view s);
+
+std::string encode_datum(const Datum& d);
+/// Returns false (out untouched) on malformed input.
+bool decode_datum(std::string_view s, Datum* out);
+
+/// Encodes a whole row tab-delimited (the snapshot/page "R" payload).
+std::string encode_row(const std::vector<Datum>& row);
+
+}  // namespace rddr::sqldb

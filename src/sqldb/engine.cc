@@ -132,6 +132,7 @@ TableData* Database::create_table(const std::string& name,
   t.name = name;
   t.columns = std::move(columns);
   auto [it, _] = tables_.insert_or_assign(name, std::move(t));
+  note_table_created(it->second);
   return &it->second;
 }
 
@@ -946,6 +947,10 @@ StatementResult Session::run_select(const SelectStmt& sel, bool explain_only,
           candidates = index_candidates(*fe.table, sel.where.get());
         size_t scan_count =
             candidates ? candidates->size() : fe.table->rows.size();
+        // Buffer-pool modeling: tell the storage layer which pages this
+        // pass over the table touches (all of them for a heap scan, just
+        // the candidates' pages for an index probe).
+        db_.note_scan(*fe.table, candidates ? &*candidates : nullptr);
         for (size_t scan_i = 0; scan_i < scan_count; ++scan_i) {
           const Row& row =
               fe.table->rows[candidates ? (*candidates)[scan_i] : scan_i];
@@ -1378,6 +1383,10 @@ StatementResult Session::run_insert(const InsertStmt& ins) {
       row[col] = coerce(std::get<Datum>(std::move(v)), t->columns[col].type);
     }
     t->rows.push_back(std::move(row));
+    // Noted per row, not per statement: a later row's eval error aborts
+    // the statement but keeps the rows already appended (engine
+    // semantics), and the storage layer must see those too.
+    db_.note_rows_appended(*t, t->rows.size() - 1);
   }
   t->index_appended(first_new_row);
   out.command_tag = "INSERT 0 " + std::to_string(ins.rows.size());
@@ -1408,6 +1417,7 @@ StatementResult Session::run_update(const UpdateStmt& up) {
     sets.emplace_back(idx, &expr);
   }
   int64_t updated = 0;
+  db_.note_scan(*t, nullptr);  // UPDATE reads the whole heap
   for (auto& row : t->rows) {
     out.rows_scanned += 1;
     EvalCtx ctx;
@@ -1442,6 +1452,7 @@ StatementResult Session::run_update(const UpdateStmt& up) {
                                              t->columns[static_cast<size_t>(idx)].type);
     }
     ++updated;
+    db_.note_row_updated(*t, static_cast<size_t>(&row - t->rows.data()));
   }
   if (updated > 0 && !t->hash_indexes.empty()) t->rebuild_indexes();
   out.command_tag = "UPDATE " + std::to_string(updated);
@@ -1464,6 +1475,8 @@ StatementResult Session::run_delete(const DeleteStmt& del) {
   int64_t deleted = 0;
   std::vector<Row> kept;
   kept.reserve(t->rows.size());
+  size_t first_removed = t->rows.size();
+  db_.note_scan(*t, nullptr);  // DELETE reads the whole heap
   for (auto& row : t->rows) {
     out.rows_scanned += 1;
     bool remove = true;
@@ -1486,10 +1499,16 @@ StatementResult Session::run_delete(const DeleteStmt& del) {
       }
       remove = datum_is_true(std::get<Datum>(v));
     }
-    if (remove) ++deleted;
-    else kept.push_back(std::move(row));
+    if (remove) {
+      if (++deleted == 1)
+        first_removed = static_cast<size_t>(&row - t->rows.data());
+    } else {
+      kept.push_back(std::move(row));
+    }
   }
+  size_t old_row_count = t->rows.size();
   t->rows = std::move(kept);
+  if (deleted > 0) db_.note_rows_compacted(*t, first_removed, old_row_count);
   if (deleted > 0 && !t->hash_indexes.empty()) t->rebuild_indexes();
   out.command_tag = "DELETE " + std::to_string(deleted);
   return out;
@@ -1505,7 +1524,7 @@ StatementResult Session::run_create_table(const CreateTableStmt& ct) {
   std::vector<Column> cols;
   for (const auto& c : ct.columns) cols.push_back(Column{c.name, c.type});
   TableData* t = db_.create_table(ct.table, std::move(cols));
-  t->owner = user_;
+  t->owner = user_;  // covered by create_table's listener notification
   out.command_tag = "CREATE TABLE";
   return out;
 }
@@ -1529,6 +1548,7 @@ StatementResult Session::run_drop_table(const DropTableStmt& d) {
     return out;
   }
   db_.tables_.erase(d.table);
+  db_.note_table_dropped(d.table);
   out.command_tag = "DROP TABLE";
   return out;
 }
@@ -1565,6 +1585,7 @@ StatementResult Session::run_create_function(const CreateFunctionStmt& fn) {
     def.return_expr = std::move(copy.take());
   }
   db_.functions_[def.name] = std::move(def);
+  db_.note_schema_changed();
   out.command_tag = "CREATE FUNCTION";
   return out;
 }
@@ -1587,6 +1608,7 @@ StatementResult Session::run_create_operator(const CreateOperatorStmt& op) {
   def.procedure = op.procedure;
   def.restrict_estimator = op.restrict_estimator;
   db_.operators_[def.symbol] = std::move(def);
+  db_.note_schema_changed();
   out.command_tag = "CREATE OPERATOR";
   return out;
 }
@@ -1630,6 +1652,7 @@ StatementResult Session::run_grant(const GrantStmt& g) {
     return out;
   }
   t->grants[g.privilege].insert(g.grantee);
+  db_.note_catalog_changed(*t);
   out.command_tag = "GRANT";
   return out;
 }
@@ -1648,6 +1671,7 @@ StatementResult Session::run_alter_rls(const AlterTableRlsStmt& a) {
     return out;
   }
   t->rls_enabled = a.enable;
+  db_.note_catalog_changed(*t);
   out.command_tag = "ALTER TABLE";
   return out;
 }
@@ -1676,6 +1700,7 @@ StatementResult Session::run_create_policy(const CreatePolicyStmt& p) {
   }
   pol.using_expr = std::move(copy.take());
   t->policies.push_back(std::move(pol));
+  db_.note_catalog_changed(*t);
   out.command_tag = "CREATE POLICY";
   return out;
 }

@@ -131,6 +131,50 @@ struct ExecResult {
   int64_t rows_scanned = 0;  // total, for the CPU cost model
 };
 
+/// Observer for engine state changes, implemented by the storage engine
+/// (sqldb/storage/) to maintain page-level dirty tracking and the buffer
+/// pool without the executor knowing about pages. Callbacks fire at the
+/// mutation site, inside statement execution; all default to no-ops.
+/// Mutation callbacks also fire for the already-applied part of a
+/// statement that later fails (the engine keeps partial effects), so a
+/// listener sees exactly what the table now contains.
+class MutationListener {
+ public:
+  virtual ~MutationListener() = default;
+  /// Rows [first_new_row, table.rows.size()) were appended.
+  virtual void on_rows_appended(const TableData& table, size_t first_new_row) {
+    (void)table;
+    (void)first_new_row;
+  }
+  /// Row `ordinal` was updated in place.
+  virtual void on_row_updated(const TableData& table, size_t ordinal) {
+    (void)table;
+    (void)ordinal;
+  }
+  /// DELETE compaction: rows from `first_changed` onward moved or went
+  /// away; the table previously held `old_row_count` rows.
+  virtual void on_rows_compacted(const TableData& table, size_t first_changed,
+                                 size_t old_row_count) {
+    (void)table;
+    (void)first_changed;
+    (void)old_row_count;
+  }
+  virtual void on_table_created(const TableData& table) { (void)table; }
+  virtual void on_table_dropped(const std::string& name) { (void)name; }
+  /// Per-table catalog change: grants, RLS flag, policies, indexes.
+  virtual void on_catalog_changed(const TableData& table) { (void)table; }
+  /// Database-level catalog change: functions / operators.
+  virtual void on_schema_changed() {}
+  /// A scan visited `table`: `candidates` lists the row ordinals when an
+  /// index narrowed the scan, null for a full heap scan. Read-only (does
+  /// not advance the mutation epoch).
+  virtual void on_scan(const TableData& table,
+                       const std::vector<size_t>* candidates) {
+    (void)table;
+    (void)candidates;
+  }
+};
+
 /// Shared database state (one per simulated server instance).
 class Database {
  public:
@@ -158,14 +202,60 @@ class Database {
   /// Read access for the snapshot writer (sqldb/snapshot.h).
   const std::map<std::string, TableData>& tables() const { return tables_; }
 
+  /// Attaches/detaches the (single, not owned) mutation listener.
+  void set_mutation_listener(MutationListener* listener) {
+    listener_ = listener;
+  }
+  MutationListener* mutation_listener() const { return listener_; }
+
+  /// Monotonic count of state mutations. The pgwire server compares it
+  /// around Session::execute to decide whether a statement script must be
+  /// logged to the WAL. Scans do not advance it.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
  private:
   friend class Session;
   friend bool restore_database(Database& db, std::string_view snapshot,
                                std::string* error);
+
+  void note_rows_appended(const TableData& t, size_t first) {
+    ++mutation_epoch_;
+    if (listener_) listener_->on_rows_appended(t, first);
+  }
+  void note_row_updated(const TableData& t, size_t ordinal) {
+    ++mutation_epoch_;
+    if (listener_) listener_->on_row_updated(t, ordinal);
+  }
+  void note_rows_compacted(const TableData& t, size_t first, size_t old_rows) {
+    ++mutation_epoch_;
+    if (listener_) listener_->on_rows_compacted(t, first, old_rows);
+  }
+  void note_table_created(const TableData& t) {
+    ++mutation_epoch_;
+    if (listener_) listener_->on_table_created(t);
+  }
+  void note_table_dropped(const std::string& name) {
+    ++mutation_epoch_;
+    if (listener_) listener_->on_table_dropped(name);
+  }
+  void note_catalog_changed(const TableData& t) {
+    ++mutation_epoch_;
+    if (listener_) listener_->on_catalog_changed(t);
+  }
+  void note_schema_changed() {
+    ++mutation_epoch_;
+    if (listener_) listener_->on_schema_changed();
+  }
+  void note_scan(const TableData& t, const std::vector<size_t>* candidates) {
+    if (listener_) listener_->on_scan(t, candidates);
+  }
+
   EngineInfo info_;
   std::map<std::string, TableData> tables_;
   std::map<std::string, FunctionDef> functions_;
   std::map<std::string, OperatorDef> operators_;
+  MutationListener* listener_ = nullptr;
+  uint64_t mutation_epoch_ = 0;
 };
 
 /// One client session: user identity + session settings. Sessions are

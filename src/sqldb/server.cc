@@ -15,6 +15,7 @@ struct SqlServer::Conn {
   struct PendingResponse {
     Bytes out;
     double cost = 0;
+    sim::Time io = 0;  // modeled storage latency (buffer misses + WAL)
     obs::SpanId span = 0;
     sim::Time started = 0;
   };
@@ -28,7 +29,8 @@ SqlServer::SqlServer(sim::Network& net, sim::Host& host,
       host_(host),
       db_(std::move(db)),
       opts_(std::move(opts)),
-      rng_(opts_.rng_seed) {
+      rng_(opts_.rng_seed),
+      alive_(std::make_shared<bool>(true)) {
   if (opts_.metrics) {
     std::string node = sim::Network::node_of(opts_.address);
     query_counter_ = opts_.metrics->counter(node + ".queries");
@@ -36,28 +38,68 @@ SqlServer::SqlServer(sim::Network& net, sim::Host& host,
   }
   host_.charge_memory(opts_.base_memory_bytes);
   charged_memory_ = opts_.base_memory_bytes;
+  recovery_.ok = true;
+  sim::Time startup_io = 0;
+  if (opts_.storage) {
+    if (opts_.storage->has_durable_state()) {
+      // Crash recovery replaces whatever the image factory loaded — the
+      // durable volume is the truth for a restarted container.
+      recovery_ = opts_.storage->recover(*db_);
+      startup_io = recovery_.io_time;
+    } else {
+      startup_io = opts_.storage->bootstrap(*db_, opts_.lineage_seed);
+    }
+  }
   refresh_memory_charge();
-  net_.listen(opts_.address, [this](sim::ConnPtr c) { on_accept(std::move(c)); });
+  if (startup_io > 0) {
+    // A recovering container is not instantly serving: redo happens
+    // before the port opens, exactly like a real DBMS startup.
+    net_.simulator().schedule(startup_io, [this, alive = alive_] {
+      if (!*alive) return;
+      listening_ = true;
+      net_.listen(opts_.address,
+                  [this](sim::ConnPtr c) { on_accept(std::move(c)); });
+    });
+  } else {
+    listening_ = true;
+    net_.listen(opts_.address,
+                [this](sim::ConnPtr c) { on_accept(std::move(c)); });
+  }
 }
 
 SqlServer::~SqlServer() {
-  net_.unlisten(opts_.address);
+  *alive_ = false;
+  if (listening_) net_.unlisten(opts_.address);
+  if (opts_.storage && opts_.storage->attached()) opts_.storage->detach();
   host_.release_memory(charged_memory_);
 }
 
 void SqlServer::refresh_memory_charge() {
-  int64_t rows = db_->total_rows();
-  if (rows == last_known_rows_) return;
-  last_known_rows_ = rows;
-  int64_t want = opts_.base_memory_bytes + db_->approx_bytes();
+  if (!opts_.storage) {
+    int64_t rows = db_->total_rows();
+    if (rows == last_known_rows_) return;
+    last_known_rows_ = rows;
+  }
+  // With storage the resident set is the buffer pool + staged WAL, not
+  // the whole dataset — that bound is the fig6 cache-pressure story.
+  int64_t data_bytes = opts_.storage ? opts_.storage->resident_bytes()
+                                     : db_->approx_bytes();
+  int64_t want = opts_.base_memory_bytes + data_bytes;
+  if (want == charged_memory_) return;
   host_.charge_memory(want - charged_memory_);
   charged_memory_ = want;
 }
 
 std::string SqlServer::dump_snapshot() const { return snapshot_database(*db_); }
 
-bool SqlServer::load_snapshot(std::string_view snapshot, std::string* error) {
+bool SqlServer::load_snapshot(std::string_view snapshot, std::string* error,
+                              uint64_t source_lsn, uint64_t source_lineage) {
   bool ok = restore_database(*db_, snapshot, error);
+  if (opts_.storage) {
+    // Rebase even on failure: the database is cleared either way, and the
+    // durable image must not resurrect the pre-load contents.
+    opts_.storage->rebase(ok ? source_lsn : 0, ok ? source_lineage : 0);
+  }
   last_known_rows_ = -1;  // force a re-charge even if row counts match
   refresh_memory_charge();
   return ok;
@@ -130,7 +172,11 @@ void SqlServer::handle_query(const std::shared_ptr<Conn>& c,
   // resync journal replay that has been delivered is visible to queries
   // arriving later on other connections. Only the response waits for the
   // host to grant the virtual CPU cost, FIFO per connection.
+  if (opts_.storage) opts_.storage->begin_statement();
   ExecResult result = c->session->execute(sql);
+  sim::Time storage_io =
+      opts_.storage ? opts_.storage->end_statement(c->session->user(), sql)
+                    : 0;
   ++queries_served_;
   if (query_counter_) query_counter_->inc();
   refresh_memory_charge();
@@ -141,6 +187,7 @@ void SqlServer::handle_query(const std::shared_ptr<Conn>& c,
   Conn::PendingResponse p;
   p.cost = opts_.cpu_per_query +
            static_cast<double>(result.rows_scanned) * opts_.cpu_per_row;
+  p.io = storage_io;
   p.started = net_.simulator().now();
   if (opts_.tracer) {
     // Parent the span to the connect-time trace context, when the dialing
@@ -178,16 +225,30 @@ void SqlServer::pump_responses(const std::shared_ptr<Conn>& c) {
   Conn::PendingResponse p = std::move(c->queued.front());
   c->queued.erase(c->queued.begin());
   host_.run_task(p.cost, [this, c, p = std::move(p)]() mutable {
-    if (opts_.tracer) opts_.tracer->end(p.span);
-    if (query_ms_)
-      query_ms_->observe(
-          static_cast<double>(net_.simulator().now() - p.started) / 1e6);
-    // The query already executed at delivery; a response to a closed
-    // connection is simply dropped. The response buffer moves into the
-    // data plane without a copy.
-    if (c->conn->is_open()) c->conn->send(SharedBytes(std::move(p.out)));
-    c->busy = false;
-    pump_responses(c);
+    auto deliver = [this, c](Conn::PendingResponse resp) {
+      if (opts_.tracer) opts_.tracer->end(resp.span);
+      if (query_ms_)
+        query_ms_->observe(
+            static_cast<double>(net_.simulator().now() - resp.started) / 1e6);
+      // The query already executed at delivery; a response to a closed
+      // connection is simply dropped. The response buffer moves into the
+      // data plane without a copy.
+      if (c->conn->is_open()) c->conn->send(SharedBytes(std::move(resp.out)));
+      c->busy = false;
+      pump_responses(c);
+    };
+    if (p.io > 0) {
+      // Storage latency (buffer-pool misses, WAL sync) extends the
+      // response time past the CPU grant — still FIFO per connection.
+      net_.simulator().schedule(
+          p.io, [alive = alive_, deliver = std::move(deliver),
+                 p = std::move(p)]() mutable {
+            if (!*alive) return;
+            deliver(std::move(p));
+          });
+      return;
+    }
+    deliver(std::move(p));
   });
 }
 

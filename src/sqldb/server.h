@@ -18,6 +18,7 @@
 #include "obs/trace.h"
 #include "proto/pgwire/pgwire.h"
 #include "sqldb/engine.h"
+#include "sqldb/storage/storage_engine.h"
 
 namespace rddr::sqldb {
 
@@ -35,6 +36,17 @@ class SqlServer {
     /// Seed for instance-local randomness (backend pid/secret — the
     /// nondeterminism the paper's filter pair must absorb).
     uint64_t rng_seed = 1;
+    /// Durable storage engine over this container's volume (optional; the
+    /// in-memory-only configuration stays the default). With storage set
+    /// the constructor recovers from the volume's durable image when one
+    /// exists (deferring listen() by the modeled recovery IO) and
+    /// bootstraps it otherwise, each query pays its buffer-miss + WAL
+    /// latency, and resident memory is bounded by the frame budget
+    /// instead of the full dataset.
+    std::shared_ptr<storage::StorageEngine> storage;
+    /// Lineage seed forwarded to storage bootstrap: replicas that should
+    /// serve each other incremental resync deltas must share it.
+    uint64_t lineage_seed = 0;
     /// Observability sinks (optional, not owned). With a tracer set, each
     /// query becomes a "db.query" span, parented to the trace context the
     /// dialing side put in its ConnectMeta (if any). With metrics set, the
@@ -43,8 +55,10 @@ class SqlServer {
     obs::Tracer* tracer = nullptr;
   };
 
-  /// Starts listening immediately. The database may be shared between
-  /// servers (not done in practice; each instance owns its replica).
+  /// Starts listening immediately (without storage) or after the modeled
+  /// recovery IO (with storage + durable state). The database may be
+  /// shared between servers (not done in practice; each instance owns its
+  /// replica).
   SqlServer(sim::Network& net, sim::Host& host, std::shared_ptr<Database> db,
             Options opts);
   ~SqlServer();
@@ -65,8 +79,25 @@ class SqlServer {
 
   /// Replaces the database contents from a snapshot taken on a healthy
   /// peer and refreshes the host memory charge. Returns false (and leaves
-  /// the database cleared) on a malformed snapshot.
-  bool load_snapshot(std::string_view snapshot, std::string* error = nullptr);
+  /// the database cleared) on a malformed snapshot. With storage
+  /// attached, the durable image is rebased onto the loaded contents:
+  /// pass the source replica's LSN/lineage so incremental resync keeps
+  /// working afterwards (0/0 = unknown source, full snapshots only until
+  /// the next bootstrap).
+  bool load_snapshot(std::string_view snapshot, std::string* error = nullptr,
+                     uint64_t source_lsn = 0, uint64_t source_lineage = 0);
+
+  /// The attached storage engine (null without durable storage).
+  storage::StorageEngine* storage() { return opts_.storage.get(); }
+  const storage::StorageEngine* storage() const {
+    return opts_.storage.get();
+  }
+
+  /// Result of the constructor's crash recovery (ok=true trivially when
+  /// the server bootstrapped fresh or runs without storage).
+  const storage::StorageEngine::RecoveryResult& last_recovery() const {
+    return recovery_;
+  }
 
   /// Total queries served (diagnostics / tests).
   uint64_t queries_served() const { return queries_served_; }
@@ -83,6 +114,11 @@ class SqlServer {
   std::shared_ptr<Database> db_;
   Options opts_;
   Rng rng_;
+  /// Guards simulator events (deferred listen, response IO delays) that
+  /// may fire after this server is destroyed.
+  std::shared_ptr<bool> alive_;
+  storage::StorageEngine::RecoveryResult recovery_;
+  bool listening_ = false;
   int64_t charged_memory_ = 0;
   int64_t last_known_rows_ = -1;
   uint64_t queries_served_ = 0;

@@ -1,94 +1,15 @@
 #include "sqldb/snapshot.h"
 
-#include <cstdlib>
-
 #include "common/strutil.h"
+#include "sqldb/codec.h"
 #include "sqldb/parser.h"
 
 namespace rddr::sqldb {
 
 namespace {
 
-// Field escaping: the format is line- and tab-delimited, so those two
-// characters (plus the escape itself and \r for safety) are encoded.
-std::string escape_field(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case '\t': out += "\\t"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-std::string unescape_field(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] != '\\' || i + 1 == s.size()) {
-      out += s[i];
-      continue;
-    }
-    switch (s[++i]) {
-      case 't': out += '\t'; break;
-      case 'n': out += '\n'; break;
-      case 'r': out += '\r'; break;
-      default: out += s[i];
-    }
-  }
-  return out;
-}
-
-// Datum encoding: N | B:t | B:f | I:<int> | F:<hexfloat> | T:<escaped>.
-// Hexfloat keeps doubles bit-exact through the text round trip.
-std::string encode_datum(const Datum& d) {
-  switch (d.type()) {
-    case Type::kNull: return "N";
-    case Type::kBool: return d.as_bool() ? "B:t" : "B:f";
-    case Type::kInt:
-      return strformat("I:%lld", static_cast<long long>(d.as_int()));
-    case Type::kFloat: return strformat("F:%a", d.as_float());
-    case Type::kText: return "T:" + escape_field(d.as_text());
-  }
-  return "N";
-}
-
-bool decode_datum(std::string_view s, Datum* out) {
-  if (s == "N") {
-    *out = Datum::null();
-    return true;
-  }
-  if (s.size() < 2 || s[1] != ':') return false;
-  std::string_view body = s.substr(2);
-  switch (s[0]) {
-    case 'B':
-      *out = Datum::boolean(body == "t");
-      return true;
-    case 'I': {
-      auto n = parse_i64(body);
-      if (!n) return false;
-      *out = Datum::integer(*n);
-      return true;
-    }
-    case 'F': {
-      std::string text(body);
-      char* end = nullptr;
-      double v = std::strtod(text.c_str(), &end);
-      if (end == text.c_str()) return false;
-      *out = Datum::floating(v);
-      return true;
-    }
-    case 'T':
-      *out = Datum::text(unescape_field(body));
-      return true;
-  }
-  return false;
-}
+// Escaping and datum encoding live in sqldb/codec.h — shared with the
+// storage engine's page/WAL text forms and the resync delta format.
 
 bool fail(std::string* error, const std::string& message) {
   if (error) *error = message;
@@ -156,16 +77,25 @@ bool restore_into(Database& db, std::map<std::string, FunctionDef>& functions,
 
 bool restore_database(Database& db, std::string_view snapshot,
                       std::string* error) {
+  // A restore is a wholesale replacement, not a statement-level mutation:
+  // mute the listener for the duration (the storage engine re-adopts the
+  // contents afterwards via rebase) but still advance the epoch once.
+  MutationListener* saved_listener = db.listener_;
+  db.listener_ = nullptr;
+  db.mutation_epoch_++;
   db.tables_.clear();
   db.functions_.clear();
   db.operators_.clear();
-  if (restore_into(db, db.functions_, db.operators_, snapshot, error))
+  if (restore_into(db, db.functions_, db.operators_, snapshot, error)) {
+    db.listener_ = saved_listener;
     return true;
+  }
   // A failed restore must not leave a half-warmed mix of old and new
   // state: clear everything so the caller sees an empty instance.
   db.tables_.clear();
   db.functions_.clear();
   db.operators_.clear();
+  db.listener_ = saved_listener;
   return false;
 }
 
@@ -179,8 +109,21 @@ bool restore_into(Database& db, std::map<std::string, FunctionDef>& functions,
   std::vector<std::pair<std::string, std::string>> indexes;  // table, column
 
   auto lines = split_lines(snapshot);
-  if (lines.empty() || lines[0] != "RDDRSNAP 1")
+  if (lines.empty())
+    return fail(error, "snapshot: empty input");
+  if (lines[0] != "RDDRSNAP 1") {
+    // Distinguish a future/garbled version stamp from plain garbage: the
+    // operator story differs (upgrade skew vs corrupt transfer).
+    if (lines[0].rfind("RDDRSNAP ", 0) == 0)
+      return fail(error,
+                  "snapshot: unsupported version '" + lines[0] + "'");
     return fail(error, "snapshot: bad header");
+  }
+  // Writers always terminate with a newline, so a missing one means the
+  // transfer was cut mid-record — reject before parsing a half row as a
+  // (smaller, valid-looking) table.
+  if (snapshot.back() != '\n')
+    return fail(error, "snapshot: truncated input");
   for (size_t ln = 1; ln < lines.size(); ++ln) {
     const std::string& line = lines[ln];
     if (line.empty() || line[0] == '#') continue;

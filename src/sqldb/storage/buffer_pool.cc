@@ -1,0 +1,102 @@
+#include "sqldb/storage/buffer_pool.h"
+
+namespace rddr::sqldb::storage {
+
+bool BufferPool::touch(const Key& key, uint64_t bytes) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    stats_.hits++;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return true;
+  }
+  stats_.misses++;
+  install(key, bytes, /*dirty=*/false);
+  return false;
+}
+
+void BufferPool::mark_dirty(const Key& key, uint64_t bytes) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    resident_bytes_ += bytes - it->second.bytes;
+    it->second.bytes = bytes;
+    if (!it->second.dirty) {
+      it->second.dirty = true;
+      dirty_++;
+    }
+    return;
+  }
+  stats_.misses++;
+  install(key, bytes, /*dirty=*/true);
+}
+
+void BufferPool::mark_clean(const Key& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.dirty) return;
+  it->second.dirty = false;
+  dirty_--;
+  evict_for_budget();
+}
+
+void BufferPool::drop(const Key& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  if (it->second.dirty) dirty_--;
+  resident_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void BufferPool::drop_table(const std::string& table) {
+  auto it = entries_.lower_bound(Key{table, 0});
+  while (it != entries_.end() && it->first.first == table) {
+    if (it->second.dirty) dirty_--;
+    resident_bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    it = entries_.erase(it);
+  }
+}
+
+void BufferPool::clear() {
+  lru_.clear();
+  entries_.clear();
+  resident_bytes_ = 0;
+  dirty_ = 0;
+}
+
+void BufferPool::install(const Key& key, uint64_t bytes, bool dirty) {
+  lru_.push_front(key);
+  Entry e;
+  e.lru_it = lru_.begin();
+  e.bytes = bytes;
+  e.dirty = dirty;
+  entries_[key] = e;
+  resident_bytes_ += bytes;
+  if (dirty) dirty_++;
+  evict_for_budget();
+}
+
+void BufferPool::evict_for_budget() {
+  while (entries_.size() > budget_) {
+    // Coldest-first, skipping pinned (dirty) frames.
+    auto victim = lru_.end();
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (!entries_[*it].dirty) {
+        victim = it;
+        break;
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (victim == lru_.end()) {
+      stats_.dirty_overflows++;
+      return;  // everything dirty: overflow until the next checkpoint
+    }
+    auto it = entries_.find(*victim);
+    resident_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.erase(victim);
+    stats_.evictions++;
+  }
+}
+
+}  // namespace rddr::sqldb::storage

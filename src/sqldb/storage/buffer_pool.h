@@ -1,0 +1,86 @@
+// LRU buffer pool (frame metadata) for the sqldb storage engine.
+//
+// MiniRDB-style cache layer (SNIPPETS.md), adapted to the simulator's
+// modeled-resource discipline: the authoritative row data stays in the
+// in-memory Database (the engine substitutes for a real DBMS, not its
+// malloc), so frames track *which* pages are resident and how many bytes
+// they pin — hits are free, misses charge a device read to the query's IO
+// latency, and `resident_bytes` bounds the simulated container footprint
+// (the fig6 cache-pressure knob).
+//
+// Dirty frames are pinned: they cannot be evicted until a checkpoint
+// writes them back (checkpoint-on-pressure lives in StorageEngine). Clean
+// frames evict strictly coldest-first, so eviction order — and therefore
+// every downstream hit/miss trace — is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace rddr::sqldb::storage {
+
+class BufferPool {
+ public:
+  /// (table name, logical page number)
+  using Key = std::pair<std::string, uint64_t>;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    /// Times the pool exceeded its budget because every frame was dirty
+    /// (checkpoint pressure; StorageEngine reacts by checkpointing).
+    uint64_t dirty_overflows = 0;
+  };
+
+  explicit BufferPool(uint64_t frame_budget) : budget_(frame_budget) {}
+
+  /// Read access to a page. Returns true on a hit; on a miss the page is
+  /// faulted in (possibly evicting the coldest clean frame) and false is
+  /// returned so the caller can charge a device read.
+  bool touch(const Key& key, uint64_t bytes);
+
+  /// Write access: the frame is installed if absent (counted as a miss —
+  /// a mutation faults the page in too) and pinned dirty until
+  /// `mark_clean`.
+  void mark_dirty(const Key& key, uint64_t bytes);
+  void mark_clean(const Key& key);
+
+  void drop(const Key& key);
+  void drop_table(const std::string& table);
+  void clear();
+
+  uint64_t frames() const { return entries_.size(); }
+  uint64_t dirty_frames() const { return dirty_; }
+  uint64_t resident_bytes() const { return resident_bytes_; }
+  uint64_t budget() const { return budget_; }
+  const Stats& stats() const { return stats_; }
+  double hit_rate() const {
+    uint64_t total = stats_.hits + stats_.misses;
+    return total ? static_cast<double>(stats_.hits) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+
+ private:
+  struct Entry {
+    std::list<Key>::iterator lru_it;
+    uint64_t bytes = 0;
+    bool dirty = false;
+  };
+
+  void install(const Key& key, uint64_t bytes, bool dirty);
+  void evict_for_budget();
+
+  uint64_t budget_;
+  std::list<Key> lru_;  // front = most recent
+  std::map<Key, Entry> entries_;
+  uint64_t resident_bytes_ = 0;
+  uint64_t dirty_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rddr::sqldb::storage

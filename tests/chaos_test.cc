@@ -162,6 +162,93 @@ TEST(ShardKillTest, FrontierRoutesAroundDeadShardAndReadmitsIt) {
   }
 }
 
+/// Durable-storage chaos profile: replicas persist through orchestrator
+/// volumes, restarts recover from disk, and plans draw the disk fault
+/// kinds (torn WAL, partial group commit, crash mid-checkpoint, crash
+/// during resync) on top of seeded device-level write loss.
+ChaosOptions durable_options() {
+  ChaosOptions o = quick_options();
+  o.durable_storage = true;
+  o.disk_faults.torn_write_prob = 0.05;
+  o.disk_faults.lost_write_prob = 0.05;
+  return o;
+}
+
+TEST(ChaosDurableTest, DiskFaultKindsAppearInGeneratedPlans) {
+  ChaosOptions opts = durable_options();
+  bool disk_kind = false;
+  for (uint64_t seed = 1; seed <= 30 && !disk_kind; ++seed)
+    for (const FaultSpec& f : generate_fault_plan(seed, opts))
+      if (f.kind == FaultKind::kTornWrite || f.kind == FaultKind::kPartialWal ||
+          f.kind == FaultKind::kCrashCheckpoint ||
+          f.kind == FaultKind::kCrashResync)
+        disk_kind = true;
+  EXPECT_TRUE(disk_kind);
+  // The durable switch must not perturb non-durable plans: seed-for-seed,
+  // the classic five kinds draw identically with it off.
+  ChaosOptions base = quick_options();
+  auto a = generate_fault_plan(3, base);
+  auto b = generate_fault_plan(3, ChaosOptions(base));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].kind, b[i].kind);
+}
+
+TEST(ChaosDurableTest, TwentySeedsWithDiskFaultsRecoverCleanly) {
+  ChaosOptions opts = durable_options();
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosReport rep = run_chaos_seed(seed, opts);
+    EXPECT_TRUE(rep.ok) << "seed " << seed << ":\n"
+                        << describe(rep.plan) << rep.summary();
+    EXPECT_EQ(rep.healthy_at_end, opts.n_instances) << "seed " << seed;
+    EXPECT_EQ(rep.lost, 0u) << "seed " << seed;
+    EXPECT_GT(rep.served, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ChaosDurableTest, SameSeedSameReport) {
+  ChaosOptions opts = durable_options();
+  ChaosReport a = run_chaos_seed(9, opts);
+  ChaosReport b = run_chaos_seed(9, opts);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.issued, b.issued);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.refused, b.refused);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.healthy_at_end, b.healthy_at_end);
+  EXPECT_EQ(a.recovery_time, b.recovery_time);
+  EXPECT_EQ(a.stats.pages_shipped, b.stats.pages_shipped);
+  EXPECT_EQ(a.stats.wal_bytes_replayed, b.stats.wal_bytes_replayed);
+}
+
+TEST(ChaosDurableTest, ResyncsWarmIncrementally) {
+  // A single crash+restart under a write workload: the restarted replica
+  // recovers from its volume and the proxy tops it up incrementally —
+  // WAL tail or dirty pages, not a full snapshot.
+  ChaosOptions opts = durable_options();
+  std::vector<FaultSpec> plan;
+  FaultSpec crash;
+  crash.kind = FaultKind::kCrashRestart;
+  crash.at = 1 * sim::kSecond;
+  crash.duration = 500 * sim::kMillisecond;
+  crash.instance = 1;
+  plan.push_back(crash);
+  ChaosReport rep = run_chaos(plan, opts, /*seed=*/4);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+  EXPECT_GE(rep.stats.resyncs, 1u);
+  EXPECT_GT(rep.stats.pages_shipped + rep.stats.wal_bytes_replayed, 0u)
+      << "resync fell back to a full snapshot";
+}
+
+TEST(ChaosDurableTest, PeerKilledMidResyncNeverReadmitsPartialState) {
+  for (uint64_t seed : {1ULL, 5ULL, 12ULL}) {
+    ChaosReport rep = run_peer_kill_resync(seed);
+    EXPECT_TRUE(rep.ok) << "seed " << seed << ":\n"
+                        << describe(rep.plan) << rep.summary();
+    EXPECT_EQ(rep.healthy_at_end, rep.n_instances) << "seed " << seed;
+    EXPECT_EQ(rep.lost, 0u) << "seed " << seed;
+  }
+}
+
 TEST(ChaosDescribeTest, HumanReadablePlan) {
   FaultSpec f;
   f.kind = FaultKind::kCrashReplace;

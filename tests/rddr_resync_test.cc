@@ -53,19 +53,19 @@ class ResyncTest : public ::testing::Test {
     names.clear();
     for (const auto& a : addresses) names.push_back(sim::Network::node_of(a));
 
-    resync.warm = [this](size_t i) -> int64_t {
+    resync.warm = [this](size_t i) -> ResyncOptions::WarmResult {
       auto target = orch.get<sqldb::SqlServer>(names[i]);
-      if (!target || !dep) return -1;
+      if (!target || !dep) return {};
       const HealthTracker& health = dep->incoming().health();
       for (size_t j = 0; j < names.size(); ++j) {
         if (j == i || !health.is_healthy(j)) continue;
         auto source = orch.get<sqldb::SqlServer>(names[j]);
         if (!source) continue;
         std::string snap = source->dump_snapshot();
-        if (!target->load_snapshot(snap)) return -1;
-        return static_cast<int64_t>(snap.size());
+        if (!target->load_snapshot(snap)) return {};
+        return {.bytes = static_cast<int64_t>(snap.size())};
       }
-      return -1;
+      return {};
     };
 
     HealthTracker::Options health;

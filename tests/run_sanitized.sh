@@ -41,6 +41,12 @@ for preset in asan ubsan; do
   # 503, never a hang) or same-seed-determinism checks fail. JSON goes to
   # stdout (dropped here); the check log is on stderr.
   "$repo/build-$preset/bench/fig5_scaleout" --smoke >/dev/null
+
+  # Durable-storage smoke: crash recovery reproduces the pre-crash
+  # snapshot, incremental deltas beat full snapshots by >10x, and the
+  # recovery trace is seed-deterministic — all virtual-time invariants,
+  # so they hold under sanitizers too.
+  "$repo/build-$preset/bench/storage_recovery" --smoke >/dev/null
 done
 
 # Perf smoke (optimised build, not sanitized — sanitizers skew timing):

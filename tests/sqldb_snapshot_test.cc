@@ -4,6 +4,10 @@
 // malformed snapshot must leave the target visibly empty, never half-warm.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
 #include "sqldb/engine.h"
 #include "sqldb/snapshot.h"
 
@@ -208,6 +212,97 @@ TEST(SnapshotTest, MalformedSnapshotFailsAndClears) {
   // Row before any table header.
   EXPECT_FALSE(restore_database(db, "RDDRSNAP 1\nR I:1\n", &err));
   EXPECT_NE(err.find("row before table"), std::string::npos) << err;
+}
+
+TEST(SnapshotTest, TruncatedGarbageAndWrongVersionAreDistinguished) {
+  Database db{minipg_info("13.0")};
+  std::string err;
+
+  EXPECT_FALSE(restore_database(db, "", &err));
+  EXPECT_NE(err.find("empty input"), std::string::npos) << err;
+
+  // A version stamp we don't speak is upgrade skew, not corruption.
+  EXPECT_FALSE(restore_database(db, "RDDRSNAP 2\nT t\tpostgres\t0\n", &err));
+  EXPECT_NE(err.find("unsupported version"), std::string::npos) << err;
+
+  // Binary garbage (NULs included) is just a bad header.
+  EXPECT_FALSE(
+      restore_database(db, std::string("\x00\x7f\xffgarbage", 10), &err));
+  EXPECT_NE(err.find("bad header"), std::string::npos) << err;
+
+  // A transfer cut mid-record: the writer always ends with a newline, so
+  // its absence must be rejected *before* a half row parses as a smaller
+  // valid-looking table.
+  run(db, "CREATE TABLE keep (a int); INSERT INTO keep VALUES (1);");
+  std::string whole = snapshot_database(db);
+  std::string cut = whole.substr(0, whole.size() - 3);
+  ASSERT_NE(cut.back(), '\n');
+  EXPECT_FALSE(restore_database(db, cut, &err));
+  EXPECT_NE(err.find("truncated input"), std::string::npos) << err;
+  EXPECT_TRUE(db.tables().empty());  // cleared, never half-warmed
+}
+
+/// One seeded adversarial datum: delimiter soup, empty strings, hexfloat
+/// edge values, ±inf and NaN — everything the tab/newline-framed text
+/// format could plausibly mangle.
+Datum adversarial_datum(Rng& rng) {
+  switch (rng.next() % 10) {
+    case 0: return Datum::null();
+    case 1: return Datum::text("");
+    case 2: return Datum::text("tab\tnl\nbsl\\cr\rmix\t\\n");
+    case 3: return Datum::text(std::string(1, '\\') + "t is not a tab");
+    case 4: return Datum::integer(rng.next());
+    case 5: return Datum::floating(std::numeric_limits<double>::infinity());
+    case 6: return Datum::floating(-std::numeric_limits<double>::infinity());
+    case 7: return Datum::floating(std::numeric_limits<double>::quiet_NaN());
+    case 8:
+      // Subnormals, max double, negative zero: hexfloat edges.
+      switch (rng.next() % 3) {
+        case 0: return Datum::floating(std::numeric_limits<double>::denorm_min());
+        case 1: return Datum::floating(std::numeric_limits<double>::max());
+        default: return Datum::floating(-0.0);
+      }
+    default: return Datum::floating(rng.uniform01() * 1e307 - 5e306);
+  }
+}
+
+bool datum_equal(const Datum& a, const Datum& b) {
+  if (a.type() != b.type()) return false;
+  if (a.type() == Type::kFloat) {
+    double x = a.as_float(), y = b.as_float();
+    if (std::isnan(x) || std::isnan(y)) return std::isnan(x) && std::isnan(y);
+    // Bit-exact, so -0.0 vs 0.0 and every subnormal must survive.
+    return std::signbit(x) == std::signbit(y) && x == y;
+  }
+  return a == b;
+}
+
+TEST(SnapshotTest, AdversarialDatumsRoundTripOnBothEngines) {
+  for (const EngineInfo& info : {minipg_info("13.0"), roachdb_info()}) {
+    Rng rng(0xADDA7A);
+    Database src{info};
+    TableData* t = src.create_table(
+        "hostile", {{"i", Type::kInt}, {"f", Type::kFloat}, {"s", Type::kText}});
+    for (int row = 0; row < 200; ++row) {
+      Row r;
+      for (int col = 0; col < 3; ++col) r.push_back(adversarial_datum(rng));
+      t->rows.push_back(std::move(r));
+    }
+
+    std::string snap = snapshot_database(src);
+    Database dst{info};
+    std::string err;
+    ASSERT_TRUE(restore_database(dst, snap, &err)) << info.product << ": " << err;
+    const TableData* got = dst.find_table("hostile");
+    ASSERT_NE(got, nullptr);
+    ASSERT_EQ(got->rows.size(), t->rows.size());
+    for (size_t r = 0; r < t->rows.size(); ++r)
+      for (size_t c = 0; c < 3; ++c)
+        EXPECT_TRUE(datum_equal(t->rows[r][c], got->rows[r][c]))
+            << info.product << " row " << r << " col " << c;
+    // And the re-dump is a fixed point: no drift on the second hop.
+    EXPECT_EQ(snapshot_database(dst), snap) << info.product;
+  }
 }
 
 }  // namespace
