@@ -8,7 +8,9 @@
 #include "proto/http/parser.h"
 #include "proto/json/json.h"
 #include "proto/pgwire/pgwire.h"
-#include "rddr/noise.h"
+#include "rddr/arena.h"
+#include "rddr/diff_engine.h"
+#include "rddr/diff_simd.h"
 #include "rddr/plugins.h"
 #include "sqldb/engine.h"
 #include "sqldb/parser.h"
@@ -76,50 +78,20 @@ void BM_Xz77Decompress(benchmark::State& state) {
 }
 BENCHMARK(BM_Xz77Decompress)->Arg(4096)->Arg(65536);
 
-void BM_NoiseMaskAndCompare(benchmark::State& state) {
-  Rng rng(2);
-  std::vector<std::string> a, b, c;
-  for (int i = 0; i < state.range(0); ++i) {
-    std::string line = "line " + std::to_string(i) + " stable";
-    if (i % 10 == 0) {
-      a.push_back("token=" + rng.alnum_token(32));
-      b.push_back("token=" + rng.alnum_token(32));
-      c.push_back("token=" + rng.alnum_token(32));
-    } else {
-      a.push_back(line);
-      b.push_back(line);
-      c.push_back(line);
-    }
-  }
-  for (auto _ : state) {
-    core::NoiseMask mask = core::build_noise_mask(a, b);
-    benchmark::DoNotOptimize(core::masked_compare(a, c, mask));
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_NoiseMaskAndCompare)->Arg(50)->Arg(500);
-
-// Ephemeral-token detection across N=3 instances. detect_ephemeral_tokens
-// used to build a std::string per candidate line before validating it;
-// candidates are now validated through a view and materialised only when
-// accepted. Measured before/after on this benchmark (RelWithDebInfo,
-// 3x500 lines, median of 7): ~36.3us -> ~33.1us per detect with short
-// rejected candidates; within run-to-run noise (+-5%) when rejects are
-// past small-string size — the win is one allocation per rejected
-// candidate, not a large wall-time shift on this mix.
-void BM_DenoiseTokenDetect(benchmark::State& state) {
+// Shared corpus for the de-noise benchmarks: 3 instances, lines/instance
+// = range(0). 1/5 of lines carry a real per-instance token (alnum, >= 10
+// chars, differs everywhere), 1/5 differ everywhere but are rejected as
+// tokens (non-alnum character mid-run), 3/5 are byte-identical. Both
+// benchmarks below report items = lines x 3 instances, so their items/s
+// are directly comparable.
+std::vector<std::vector<std::string>> denoise_corpus(int64_t lines) {
   Rng rng(3);
   std::vector<std::vector<std::string>> instances(3);
-  for (int i = 0; i < state.range(0); ++i) {
+  for (int64_t i = 0; i < lines; ++i) {
     if (i % 5 == 0) {
-      // A real per-instance token: differs everywhere, alnum, >= 10 chars.
       for (auto& inst : instances)
         inst.push_back("csrf=" + rng.alnum_token(32));
     } else if (i % 5 == 1) {
-      // Differs everywhere but contains a non-alnum character: validated
-      // then REJECTED — the path that previously paid a wasted allocation
-      // (the candidate is past small-string size).
       for (auto& inst : instances)
         inst.push_back("t=" + rng.alnum_token(24) + "!x" + rng.alnum_token(8));
     } else {
@@ -127,8 +99,50 @@ void BM_DenoiseTokenDetect(benchmark::State& state) {
       for (auto& inst : instances) inst.push_back(line);
     }
   }
-  for (auto _ : state)
-    benchmark::DoNotOptimize(core::detect_ephemeral_tokens(instances));
+  return instances;
+}
+
+// Mask-and-compare reference: per line, derive the filter-pair mask from
+// instances 0/1 and hold instance 2 to it — the old pairwise
+// build_noise_mask + masked_compare walk, now on the SIMD diff kernels.
+void BM_NoiseMaskAndCompare(benchmark::State& state) {
+  auto inst = denoise_corpus(state.range(0));
+  const core::simd::Ops& ops = core::simd::active_ops();
+  const size_t lines = inst[0].size();
+  for (auto _ : state) {
+    bool ok = true;
+    for (size_t i = 0; i < lines; ++i) {
+      core::diff::LineMask m =
+          core::diff::build_line_mask(inst[0][i], inst[1][i], ops);
+      ok &= core::diff::masked_line_check(inst[0][i], inst[2][i], m, ops)
+                .fail == core::diff::LineFail::kNone;
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 3);
+}
+BENCHMARK(BM_NoiseMaskAndCompare)->Arg(50)->Arg(500);
+
+// Ephemeral-token detection across N=3 instances on the same corpus —
+// diff::detect_tokens over canonical views, scratch arena reset per
+// round, candidates validated in place and materialised only on accept.
+void BM_DenoiseTokenDetect(benchmark::State& state) {
+  auto inst = denoise_corpus(state.range(0));
+  const core::simd::Ops& ops = core::simd::active_ops();
+  core::Arena canon_arena(64 << 10);
+  core::CanonicalUnit* canon = canon_arena.alloc_array<core::CanonicalUnit>(3);
+  for (size_t i = 0; i < 3; ++i) {
+    canon[i] = core::CanonicalUnit{};
+    canon[i].per_line = true;
+    for (const std::string& l : inst[i])
+      canon[i].lines.push_back(canon_arena, ByteView(l));
+  }
+  core::Arena scratch(64 << 10);
+  for (auto _ : state) {
+    scratch.reset();
+    benchmark::DoNotOptimize(core::diff::detect_tokens(canon, 3, scratch, ops));
+  }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           state.range(0) * 3);
 }
@@ -153,6 +167,37 @@ void BM_HttpPluginCompare3(benchmark::State& state) {
     benchmark::DoNotOptimize(plugin.compare(units, ctx));
 }
 BENCHMARK(BM_HttpPluginCompare3);
+
+// The batched data plane end to end: one DiffEngine::compare call
+// canonicalises all 3 HTTP responses into the engine arena and runs the
+// N-way SIMD divergence scan. Steady state allocates nothing (the arena
+// is reset, not freed, between batches).
+void BM_DiffEngineCompare3(benchmark::State& state) {
+  core::HttpPlugin plugin;
+  core::DiffEngine engine;
+  Rng rng(3);
+  auto page = [&](const std::string& tok) {
+    http::Response r = http::make_response(
+        200, "<html><input value=\"" + tok + "\"><p>body body body</p></html>");
+    return core::Unit{r.to_bytes(), "http-resp"};
+  };
+  std::vector<core::Unit> units{page(rng.alnum_token(32)),
+                                page(rng.alnum_token(32)),
+                                page(rng.alnum_token(32))};
+  core::KnownVariance kv;
+  core::CompareContext ctx;
+  ctx.filter_pair = true;
+  ctx.variance = &kv;
+  int64_t bytes = 0;
+  for (const auto& u : units) bytes += static_cast<int64_t>(u.data.size());
+  for (auto _ : state) {
+    core::BatchVerdict v =
+        engine.compare(plugin, units, ctx, core::VoteMode::kStrict);
+    benchmark::DoNotOptimize(v.agreed);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes);
+}
+BENCHMARK(BM_DiffEngineCompare3);
 
 void BM_JsonParseDump(benchmark::State& state) {
   std::string doc = R"({"items":[)";

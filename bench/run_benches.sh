@@ -27,8 +27,28 @@ cmake --build "$BUILD" -j --target simloop_throughput micro_hotpaths \
 
 if [ "${1:-}" = "--smoke" ]; then
   # Storage gate first (deterministic invariants: recovery correctness,
-  # delta-vs-snapshot ratio, trace determinism), then the events/sec floor.
+  # delta-vs-snapshot ratio, trace determinism), then the data-plane and
+  # events/sec floors.
   "$BUILD/bench/storage_recovery" --smoke
+
+  # De-noise + diff floor: BM_DenoiseTokenDetect/500 (items = lines x 3
+  # instances) must stay above RDDR_DENOISE_FLOOR items/s. Default 1.0e8:
+  # 2.5x the pre-SIMD pairwise baseline of ~4.0e7, with ~25% headroom
+  # below the 1.3-1.5e8 the batched engine measures on the reference
+  # machine class (a shared vCPU whose run-to-run spread is ~10%). The
+  # regression class this guards against — losing vectorisation or the
+  # AVX->SSE transition-penalty bug — measured 3.3e7, far below it.
+  DENOISE_FLOOR="${RDDR_DENOISE_FLOOR:-1.0e8}"
+  DENOISE_ITEMS=$("$BUILD/bench/micro_hotpaths" \
+      --benchmark_filter='BM_DenoiseTokenDetect/500$' \
+      --benchmark_format=json 2>/dev/null |
+      awk -F': ' '/"items_per_second"/ { gsub(/[,[:space:]]/, "", $2); v=$2 }
+                  END { print v }')
+  awk -v v="$DENOISE_ITEMS" -v f="$DENOISE_FLOOR" 'BEGIN {
+      printf "denoise+diff: %.3g items/s (floor %.3g)\n", v + 0, f + 0
+      exit (v + 0 >= f + 0) ? 0 : 1
+    }' || { echo "FAIL: denoise+diff items/s below floor" >&2; exit 1; }
+
   exec "$BUILD/bench/simloop_throughput" --smoke
 fi
 

@@ -32,19 +32,27 @@ Host::~Host() {
   if (sample_event_) sim_.cancel(sample_event_);
 }
 
+namespace {
+// Min-heap order on (finish_v, seq) for std::push_heap/pop_heap.
+struct LaterFinish {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    if (a.finish_v != b.finish_v) return a.finish_v > b.finish_v;
+    return a.seq > b.seq;
+  }
+};
+}  // namespace
+
 double Host::per_task_rate() const {
-  if (tasks_.empty()) return 0.0;
-  const double n = static_cast<double>(tasks_.size());
+  if (heap_.empty()) return 0.0;
+  const double n = static_cast<double>(heap_.size());
   return std::min(1.0, static_cast<double>(cores_) / n);
 }
 
 void Host::settle() {
   const Time now = sim_.now();
-  if (now > last_settle_ && !tasks_.empty()) {
-    const double elapsed = to_seconds(now - last_settle_);
-    const double rate = per_task_rate();
-    for (auto& t : tasks_) t.remaining -= elapsed * rate;
-  }
+  if (now > last_settle_ && !heap_.empty())
+    vwork_ += to_seconds(now - last_settle_) * per_task_rate();
   last_settle_ = now;
 }
 
@@ -54,13 +62,10 @@ void Host::reschedule() {
     completion_event_ = 0;
   }
   busy_track_.update(sim_.now(),
-                     std::min<double>(static_cast<double>(tasks_.size()),
+                     std::min<double>(static_cast<double>(heap_.size()),
                                       static_cast<double>(cores_)));
-  if (tasks_.empty()) return;
-  double min_remaining = tasks_.front().remaining;
-  for (const auto& t : tasks_)
-    min_remaining = std::min(min_remaining, t.remaining);
-  min_remaining = std::max(min_remaining, 0.0);
+  if (heap_.empty()) return;
+  const double min_remaining = std::max(heap_.front().finish_v - vwork_, 0.0);
   const double rate = per_task_rate();
   // +1ns guarantees the event lands at-or-after the true completion instant
   // despite integer truncation, so every event makes progress.
@@ -72,25 +77,29 @@ void Host::reschedule() {
 void Host::on_completion_event() {
   completion_event_ = 0;
   settle();
-  std::vector<EventFn> finished;
-  for (auto it = tasks_.begin(); it != tasks_.end();) {
-    if (it->remaining <= kWorkEpsilon) {
-      finished.push_back(std::move(it->done));
-      it = tasks_.erase(it);
-    } else {
-      ++it;
-    }
+  finished_.clear();
+  while (!heap_.empty() && heap_.front().finish_v - vwork_ <= kWorkEpsilon) {
+    std::pop_heap(heap_.begin(), heap_.end(), LaterFinish{});
+    finished_.push_back(std::move(heap_.back()));
+    heap_.pop_back();
   }
   reschedule();
-  // Callbacks run last: they may re-enter run_task and reschedule again.
-  for (auto& fn : finished)
-    if (fn) fn();
+  // Callbacks run last (they may re-enter run_task and reschedule again),
+  // in admission order — the order the old task-list walk produced for
+  // tasks finishing in the same event.
+  std::sort(finished_.begin(), finished_.end(),
+            [](const Task& a, const Task& b) { return a.seq < b.seq; });
+  for (auto& t : finished_)
+    if (t.done) t.done();
+  finished_.clear();
 }
 
 void Host::run_task(double cpu_seconds, EventFn done) {
   if (failed_) return;  // crashed machine: the work is lost
   settle();
-  tasks_.push_back(Task{std::max(cpu_seconds, 0.0), std::move(done)});
+  heap_.push_back(
+      Task{vwork_ + std::max(cpu_seconds, 0.0), task_seq_++, std::move(done)});
+  std::push_heap(heap_.begin(), heap_.end(), LaterFinish{});
   reschedule();
 }
 
@@ -98,7 +107,7 @@ void Host::fail() {
   if (failed_) return;
   settle();
   failed_ = true;
-  tasks_.clear();
+  heap_.clear();
   reschedule();
 }
 
@@ -132,7 +141,7 @@ void Host::reset_metrics() {
   metrics_epoch_ = sim_.now();
   busy_track_ = TimeWeightedValue();
   busy_track_.update(sim_.now(),
-                     std::min<double>(static_cast<double>(tasks_.size()),
+                     std::min<double>(static_cast<double>(heap_.size()),
                                       static_cast<double>(cores_)));
   mem_track_ = TimeWeightedValue();
   mem_track_.update(sim_.now(), static_cast<double>(memory_bytes_));
@@ -141,7 +150,7 @@ void Host::reset_metrics() {
 
 double Host::cpu_pct_now() const {
   return 100.0 *
-         std::min<double>(static_cast<double>(tasks_.size()),
+         std::min<double>(static_cast<double>(heap_.size()),
                           static_cast<double>(cores_)) /
          static_cast<double>(cores_);
 }

@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <string>
 #include <vector>
 
@@ -58,7 +57,7 @@ class Host {
   bool failed() const { return failed_; }
 
   /// Number of currently active CPU tasks.
-  size_t active_tasks() const { return tasks_.size(); }
+  size_t active_tasks() const { return heap_.size(); }
 
   /// Resident memory accounting (per-container charges flow through here).
   void charge_memory(int64_t bytes);
@@ -92,8 +91,17 @@ class Host {
   double cpu_pct_now() const;
 
  private:
+  // Egalitarian processor sharing in virtual work time: every active task
+  // progresses at the SAME instantaneous rate, so instead of decrementing
+  // each task's remaining work on every settle (O(active) per event, which
+  // made dense phases quadratic), a single virtual-work clock `vwork_`
+  // accrues that shared progress and each task stores the clock value at
+  // which it completes. Relative completion order never changes once a
+  // task is admitted, so a min-heap on the finish value yields the next
+  // completion in O(log active).
   struct Task {
-    double remaining;  // core-seconds of work left
+    double finish_v;  // vwork_ value at which the task completes
+    uint64_t seq;     // admission order; callback order for joint finishes
     EventFn done;
   };
 
@@ -110,7 +118,10 @@ class Host {
   int64_t memory_bytes_ = 0;
   bool failed_ = false;
 
-  std::list<Task> tasks_;
+  std::vector<Task> heap_;         // min-heap on (finish_v, seq)
+  std::vector<Task> finished_;     // per-event scratch (capacity reused)
+  double vwork_ = 0;               // virtual work completed per task so far
+  uint64_t task_seq_ = 0;
   Time last_settle_ = 0;
   uint64_t completion_event_ = 0;  // 0 = none pending
 

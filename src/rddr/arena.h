@@ -1,0 +1,173 @@
+// Bump-pointer arena backing the batched diff-and-denoise data plane.
+//
+// One arena lives behind each DiffEngine (one engine per proxy): every
+// canonical form, line table and noise mask for a batch is carved out of
+// it, and `reset()` at the start of the next batch reclaims everything in
+// O(1) while retaining capacity — so after warm-up, steady-state request
+// handling performs no heap allocation in the diff plane at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rddr::core {
+
+class Arena {
+ public:
+  explicit Arena(size_t reserve = 0) {
+    if (reserve > 0) add_chunk(reserve);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialised storage; alignment must be a power of two.
+  void* alloc(size_t n, size_t align = alignof(std::max_align_t)) {
+    char* p = align_up(cur_, align);
+    if (p == nullptr || p + n > end_) return refill(n, align);
+    cur_ = p + n;
+    return p;
+  }
+
+  template <typename T>
+  T* alloc_array(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    return static_cast<T*>(alloc(count * sizeof(T), alignof(T)));
+  }
+
+  /// Copies `b` into the arena and returns a view of the copy.
+  ByteView copy(ByteView b) {
+    if (b.empty()) return ByteView();
+    char* p = static_cast<char*>(alloc(b.size(), 1));
+    std::memcpy(p, b.data(), b.size());
+    return ByteView(p, b.size());
+  }
+
+  /// Reclaims every allocation while keeping capacity. If the last cycle
+  /// spilled into more than one chunk, they are coalesced into a single
+  /// chunk so the steady state is one chunk and zero refills.
+  void reset() {
+    ++resets_;
+    if (!chunks_.empty()) {
+      size_t used =
+          cycle_used_ + static_cast<size_t>(cur_ - chunks_.back().mem.get());
+      if (used > high_water_) high_water_ = used;
+    }
+    if (chunks_.size() > 1) {
+      size_t total = 0;
+      for (const auto& c : chunks_) total += c.size;
+      chunks_.clear();
+      add_chunk(total);
+    } else if (!chunks_.empty()) {
+      cur_ = chunks_[0].mem.get();
+      end_ = cur_ + chunks_[0].size;
+    }
+    cycle_used_ = 0;
+  }
+
+  struct Stats {
+    size_t capacity = 0;    // bytes reserved across chunks
+    size_t high_water = 0;  // max bytes live in any one cycle
+    uint64_t resets = 0;
+    uint64_t refills = 0;  // chunk allocations past the initial reserve
+  };
+
+  Stats stats() const {
+    Stats s;
+    for (const auto& c : chunks_) s.capacity += c.size;
+    s.high_water = high_water_;
+    s.resets = resets_;
+    s.refills = refills_;
+    return s;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> mem;
+    size_t size = 0;
+  };
+
+  static char* align_up(char* p, size_t align) {
+    auto v = reinterpret_cast<uintptr_t>(p);
+    v = (v + align - 1) & ~(uintptr_t(align) - 1);
+    return reinterpret_cast<char*>(v);
+  }
+
+  void add_chunk(size_t size) {
+    Chunk c;
+    c.size = size;
+    c.mem = std::make_unique<char[]>(size);
+    cur_ = c.mem.get();
+    end_ = cur_ + size;
+    chunks_.push_back(std::move(c));
+  }
+
+  void* refill(size_t n, size_t align);
+
+  std::vector<Chunk> chunks_;
+  char* cur_ = nullptr;
+  char* end_ = nullptr;
+  size_t cycle_used_ = 0;  // bytes consumed in exhausted chunks this cycle
+  size_t high_water_ = 0;
+  uint64_t resets_ = 0;
+  uint64_t refills_ = 0;
+};
+
+inline void* Arena::refill(size_t n, size_t align) {
+  if (!chunks_.empty())
+    cycle_used_ += static_cast<size_t>(end_ - chunks_.back().mem.get());
+  size_t grown = chunks_.empty() ? 4096 : chunks_.back().size * 2;
+  while (grown < n + align + cycle_used_) grown *= 2;
+  ++refills_;
+  add_chunk(grown);
+  char* p = align_up(cur_, align);
+  cur_ = p + n;
+  return p;
+}
+
+/// Minimal growable array over an Arena. Trivially copyable (the storage
+/// belongs to the arena), so it can itself live inside arena-allocated
+/// structs; growth copies into a fresh arena block and abandons the old
+/// one (reclaimed wholesale at the next reset()).
+template <typename T>
+class ArenaVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaVec grows by memcpy relocation");
+
+ public:
+  void push_back(Arena& arena, const T& v) {
+    if (size_ == cap_) grow(arena);
+    data_[size_++] = v;
+  }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* data() const { return data_; }
+  T* data() { return data_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void grow(Arena& arena) {
+    uint32_t next = cap_ == 0 ? 8 : cap_ * 2;
+    T* moved = arena.alloc_array<T>(next);
+    if (size_ > 0) std::memcpy(moved, data_, size_ * sizeof(T));
+    data_ = moved;
+    cap_ = next;
+  }
+
+  T* data_ = nullptr;
+  uint32_t size_ = 0;
+  uint32_t cap_ = 0;
+};
+
+}  // namespace rddr::core

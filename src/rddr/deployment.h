@@ -59,6 +59,9 @@ class NVersionDeployment {
     Builder& degradation(DegradationPolicy p);
     Builder& health(HealthTracker::Options h);
     Builder& unit_timeout(sim::Time t);
+    /// Batched DiffEngine knobs (SIMD kernel selection, arena sizing),
+    /// applied to every proxy and frontier shard in the deployment.
+    Builder& diff(DiffEngineOptions d);
     /// CPU model for the de-noise+diff work (per compared unit / byte).
     Builder& cpu_model(double cpu_per_unit, double cpu_per_byte);
     /// Whether ephemeral tokens are deleted after first use (default on).

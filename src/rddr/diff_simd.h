@@ -1,0 +1,88 @@
+// Runtime-dispatched SIMD kernels for the diff-and-denoise data plane.
+//
+// Three implementations of each primitive — portable scalar, SSE2 and
+// AVX2 — selected at runtime from CPUID (or pinned via the RDDR_SIMD
+// environment variable / the DiffEngineOptions::simd knob). All levels
+// are bit-identical by contract: tests/rddr_diff_engine_test.cc runs a
+// seeded differential property suite asserting identical mismatch
+// offsets, masks and verdicts across every supported level.
+//
+// The kernels are byte-exact replacements for the scalar loops the old
+// noise.cc used; none of them changes comparison semantics.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace rddr::core::simd {
+
+enum class Level : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+const char* level_name(Level l);
+
+/// Highest level this CPU supports (kScalar on non-x86 builds).
+Level best_supported();
+
+/// Maps a knob string ("auto", "scalar", "sse2", "avx2") to a level,
+/// clamped to best_supported(). The RDDR_SIMD environment variable, when
+/// set, overrides the knob (so CI can pin the path for a whole run).
+/// Unknown spellings resolve like "auto".
+Level resolve_level(const std::string& knob);
+
+/// First divergence found by the interleaved N-way scan.
+struct NwayHit {
+  size_t offset = 0;          // byte offset of the first divergence
+  size_t instance = SIZE_MAX;  // candidate index (SIZE_MAX: all equal)
+};
+
+/// One level's kernel table. Engines hold a pointer to the table they
+/// resolved at construction, so two engines in one process can run
+/// different levels (the differential tests rely on this).
+struct Ops {
+  Level level;
+  /// First index in [0,n) where a and b differ; n when equal.
+  size_t (*mismatch)(const char* a, const char* b, size_t n);
+  /// Longest common suffix length (<= n) of the n bytes ENDING at a_end
+  /// and b_end (exclusive), i.e. scanning backwards.
+  size_t (*suffix_len)(const char* a_end, const char* b_end, size_t n);
+  /// First index in [0,n) where p is not [0-9A-Za-z]; n when all alnum.
+  size_t (*find_non_alnum)(const char* p, size_t n);
+  /// Scans cands[0..k) against ref over [0,n) chunk-interleaved (each ref
+  /// chunk is loaded once and compared against every candidate before
+  /// advancing). Returns the lowest diverging offset; ties broken by the
+  /// lowest candidate index. {n, SIZE_MAX} when all k are equal to ref.
+  NwayHit (*nway_mismatch)(const char* ref, const char* const* cands,
+                           size_t k, size_t n);
+};
+
+const Ops& ops(Level l);
+/// ops(resolve_level("auto")) — resolved once per process.
+const Ops& active_ops();
+
+// ---- thin view-level helpers over a table ----
+
+inline size_t common_prefix(const Ops& o, ByteView a, ByteView b) {
+  size_t n = std::min(a.size(), b.size());
+  return n == 0 ? 0 : o.mismatch(a.data(), b.data(), n);
+}
+
+inline size_t common_suffix(const Ops& o, ByteView a, ByteView b) {
+  size_t n = std::min(a.size(), b.size());
+  return n == 0 ? 0
+               : o.suffix_len(a.data() + a.size(), b.data() + b.size(), n);
+}
+
+inline bool equal(const Ops& o, ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() || o.mismatch(a.data(), b.data(), a.size()) == a.size();
+}
+
+inline bool all_alnum(const Ops& o, ByteView v) {
+  return v.empty() || o.find_non_alnum(v.data(), v.size()) == v.size();
+}
+
+}  // namespace rddr::core::simd

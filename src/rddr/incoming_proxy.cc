@@ -5,7 +5,6 @@
 
 #include "common/log.h"
 #include "common/strutil.h"
-#include "rddr/quorum.h"
 
 namespace rddr::core {
 
@@ -61,7 +60,8 @@ IncomingProxy::IncomingProxy(sim::Network& net, sim::Host& host,
         HealthTracker::Options h = config_.health;
         h.n_instances = config_.instance_addresses.size();
         return h;
-      }()) {
+      }()),
+      engine_(config_.diff) {
   if (config_.metrics) {
     metrics_ = config_.metrics;
   } else {
@@ -821,8 +821,9 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
 
     Bytes fwd;
     if (config_.degradation == DegradationPolicy::kStrict) {
-      DiffOutcome outcome = config_.plugin->compare(*units, ctx);
-      if (outcome.divergent) {
+      BatchVerdict outcome =
+          engine_.compare(*config_.plugin, *units, ctx, VoteMode::kStrict);
+      if (!outcome.agreed) {
         obs::SpanId sp = verdict("divergent");
         if (tracer) {
           tracer->tag(sp, "reason", outcome.reason);
@@ -832,9 +833,10 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
         return;
       }
       verdict("agree");
-      fwd = config_.plugin->on_forward_downstream(*units, ctx);
+      fwd = engine_.forward_downstream(*config_.plugin, *units, ctx);
     } else {
-      QuorumVote vote = quorum_vote(*config_.plugin, *units, ctx);
+      BatchVerdict vote =
+          engine_.compare(*config_.plugin, *units, ctx, VoteMode::kQuorum);
       if (!vote.agreed) {
         obs::SpanId sp = verdict("divergent");
         if (tracer) {
@@ -873,7 +875,7 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
         for (size_t i : idxmap) health_.record_success(i);
         verdict("agree");
       }
-      fwd = config_.plugin->on_forward_downstream(*units, ctx);
+      fwd = engine_.forward_downstream(*config_.plugin, *units, ctx);
     }
     if (tracer) tracer->end(diff_span);
     if (s->client->is_open()) s->client->send(SharedBytes(std::move(fwd)));

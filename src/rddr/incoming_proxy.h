@@ -208,6 +208,10 @@ class IncomingProxy {
   obs::MetricsRegistry* metrics_;
   ProxyCounters counters_;
   HealthTracker health_;
+  /// Batched N-way diff-and-denoise data plane (configured from
+  /// Config::diff): one engine, one arena, reused across every compare
+  /// this proxy runs.
+  DiffEngine engine_;
   /// Pending reconnect-probe event per instance (0 = none).
   std::vector<uint64_t> probe_events_;
   /// Pending deferred on_instance_dead event per instance (0 = none).

@@ -1,24 +1,27 @@
+// Deprecated pairwise wrappers over the batched diff primitives. The
+// algorithms live in rddr/diff_engine.cc + rddr/diff_simd.cc; these
+// functions only adapt the old std::vector<std::string> shapes, so the
+// two APIs cannot drift apart.
 #include "rddr/noise.h"
 
 #include <algorithm>
-#include <cctype>
 
 #include "common/strutil.h"
+#include "rddr/diff_engine.h"
 
 namespace rddr::core {
 
+// The definitions themselves must not warn under
+// -Werror=deprecated-declarations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 size_t common_prefix(std::string_view a, std::string_view b) {
-  size_t n = std::min(a.size(), b.size());
-  size_t i = 0;
-  while (i < n && a[i] == b[i]) ++i;
-  return i;
+  return simd::common_prefix(simd::active_ops(), a, b);
 }
 
 size_t common_suffix(std::string_view a, std::string_view b) {
-  size_t n = std::min(a.size(), b.size());
-  size_t i = 0;
-  while (i < n && a[a.size() - 1 - i] == b[b.size() - 1 - i]) ++i;
-  return i;
+  return simd::common_suffix(simd::active_ops(), a, b);
 }
 
 NoiseMask build_noise_mask(const std::vector<std::string>& pair_a,
@@ -28,29 +31,11 @@ NoiseMask build_noise_mask(const std::vector<std::string>& pair_a,
     mask.structural_noise = true;
     return mask;
   }
+  const simd::Ops& ops = simd::active_ops();
   mask.lines.resize(pair_a.size());
   for (size_t i = 0; i < pair_a.size(); ++i) {
-    const std::string& a = pair_a[i];
-    const std::string& b = pair_b[i];
-    if (a == b) continue;
-    LineMask lm;
-    lm.prefix = common_prefix(a, b);
-    lm.suffix = common_suffix(a, b);
-    // Prefix and suffix may overlap when one line nearly contains the
-    // other; clamp so they describe disjoint regions of the shorter line.
-    size_t min_len = std::min(a.size(), b.size());
-    if (lm.prefix + lm.suffix > min_len) lm.suffix = min_len - lm.prefix;
-    // Widen the noise region to alphanumeric-run boundaries: tokens are
-    // alnum runs, and two random tokens can share their first/last
-    // characters by chance — without widening, that chance agreement
-    // would be enforced on every other instance (a false positive).
-    while (lm.prefix > 0 &&
-           std::isalnum(static_cast<unsigned char>(a[lm.prefix - 1])))
-      --lm.prefix;
-    while (lm.suffix > 0 &&
-           std::isalnum(static_cast<unsigned char>(a[a.size() - lm.suffix])))
-      --lm.suffix;
-    mask.lines[i] = lm;
+    diff::LineMask lm = diff::build_line_mask(pair_a[i], pair_b[i], ops);
+    if (lm.active) mask.lines[i] = LineMask{lm.prefix, lm.suffix, false};
   }
   return mask;
 }
@@ -69,25 +54,29 @@ std::optional<std::string> masked_compare(
   if (candidate.size() != reference.size())
     return strformat("line count %zu != %zu", candidate.size(),
                      reference.size());
+  const simd::Ops& ops = simd::active_ops();
   for (size_t i = 0; i < reference.size(); ++i) {
-    const std::string& ref = reference[i];
-    const std::string& cand = candidate[i];
-    if (!mask.lines[i]) {
-      if (cand != ref)
-        return strformat("line %zu differs: '%.80s' vs '%.80s'", i,
-                         ref.c_str(), cand.c_str());
-      continue;
+    diff::LineMask lm;
+    if (mask.lines[i]) {
+      lm.active = true;
+      lm.prefix = static_cast<uint32_t>(mask.lines[i]->prefix);
+      lm.suffix = static_cast<uint32_t>(mask.lines[i]->suffix);
     }
-    const LineMask& lm = *mask.lines[i];
-    if (cand.size() < lm.prefix + lm.suffix)
-      return strformat("line %zu shorter than noise frame", i);
-    if (ByteView(cand).substr(0, lm.prefix) !=
-        ByteView(ref).substr(0, lm.prefix))
-      return strformat("line %zu prefix differs outside noise region", i);
-    if (lm.suffix > 0 &&
-        ByteView(cand).substr(cand.size() - lm.suffix) !=
-            ByteView(ref).substr(ref.size() - lm.suffix))
-      return strformat("line %zu suffix differs outside noise region", i);
+    diff::LineCheck chk =
+        diff::masked_line_check(reference[i], candidate[i], lm, ops);
+    switch (chk.fail) {
+      case diff::LineFail::kNone:
+        break;
+      case diff::LineFail::kDiffers:
+        return strformat("line %zu differs: '%.80s' vs '%.80s'", i,
+                         reference[i].c_str(), candidate[i].c_str());
+      case diff::LineFail::kShorterThanFrame:
+        return strformat("line %zu shorter than noise frame", i);
+      case diff::LineFail::kPrefix:
+        return strformat("line %zu prefix differs outside noise region", i);
+      case diff::LineFail::kSuffix:
+        return strformat("line %zu suffix differs outside noise region", i);
+    }
   }
   return std::nullopt;
 }
@@ -95,68 +84,28 @@ std::optional<std::string> masked_compare(
 std::vector<EphemeralToken> detect_ephemeral_tokens(
     const std::vector<std::vector<std::string>>& instance_lines) {
   std::vector<EphemeralToken> out;
-  if (instance_lines.size() < 2) return out;
   const size_t n = instance_lines.size();
-  const size_t line_count = instance_lines[0].size();
-  for (size_t i = 1; i < n; ++i)
-    if (instance_lines[i].size() != line_count) return out;
-
-  for (size_t li = 0; li < line_count; ++li) {
-    // "Lines that differ across all instances": every instance's line is
-    // distinct from every other's.
-    bool all_differ = true;
-    for (size_t a = 0; a < n && all_differ; ++a)
-      for (size_t b = a + 1; b < n && all_differ; ++b)
-        if (instance_lines[a][li] == instance_lines[b][li]) all_differ = false;
-    if (!all_differ) continue;
-
-    // Character range that differs: common prefix/suffix over ALL lines.
-    size_t p = instance_lines[0][li].size();
-    size_t s = instance_lines[0][li].size();
-    for (size_t a = 1; a < n; ++a) {
-      p = std::min(p, common_prefix(instance_lines[0][li],
-                                    instance_lines[a][li]));
-      s = std::min(s, common_suffix(instance_lines[0][li],
-                                    instance_lines[a][li]));
-    }
-    // Widen to alnum-run boundaries (chance agreement between random
-    // tokens must not truncate the captured token).
-    const std::string& l0 = instance_lines[0][li];
-    while (p > 0 && std::isalnum(static_cast<unsigned char>(l0[p - 1]))) --p;
-    while (s > 0 &&
-           std::isalnum(static_cast<unsigned char>(l0[l0.size() - s])))
-      --s;
+  if (n < 2) return out;
+  Arena arena(4096);
+  CanonicalUnit* canon = arena.alloc_array<CanonicalUnit>(n);
+  for (size_t i = 0; i < n; ++i) {
+    canon[i] = CanonicalUnit{};
+    for (const std::string& line : instance_lines[i])
+      canon[i].lines.push_back(arena, ByteView(line));
+  }
+  ArenaVec<diff::TokenSpan> spans =
+      diff::detect_tokens(canon, n, arena, simd::active_ops());
+  out.reserve(spans.size());
+  for (const diff::TokenSpan& t : spans) {
     EphemeralToken token;
-    token.per_instance.resize(n);
-    bool ok = true;
-    for (size_t a = 0; a < n && ok; ++a) {
-      const std::string& line = instance_lines[a][li];
-      size_t sfx = s;
-      if (p + sfx > line.size()) {
-        if (p > line.size()) {
-          ok = false;
-          break;
-        }
-        sfx = line.size() - p;
-      }
-      // Validate through a view; materialise only accepted tokens (this
-      // runs per line on every N-way compare — see BM_DenoiseTokenDetect).
-      ByteView candidate = ByteView(line).substr(p, line.size() - p - sfx);
-      // Paper's empirically-determined criterion: alphanumeric, >= 10.
-      if (candidate.size() < 10) {
-        ok = false;
-        break;
-      }
-      for (char c : candidate)
-        if (!std::isalnum(static_cast<unsigned char>(c))) {
-          ok = false;
-          break;
-        }
-      token.per_instance[a] = std::string(candidate);
-    }
-    if (ok) out.push_back(std::move(token));
+    token.per_instance.reserve(t.n);
+    for (size_t a = 0; a < t.n; ++a)
+      token.per_instance.emplace_back(t.per_instance[a]);
+    out.push_back(std::move(token));
   }
   return out;
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace rddr::core

@@ -1,11 +1,14 @@
-// De-noising and ephemeral-token detection (paper §IV-B2, §IV-B3).
+// DEPRECATED pairwise de-noising entry points (paper §IV-B2, §IV-B3).
 //
-// Line-oriented masked comparison: the filter pair (instances 0 and 1,
-// identical images) is compared line by line; where the pair disagrees,
-// the differing region — delimited by the pair's common prefix/suffix —
-// is marked as noise and excluded when every other instance is compared
-// against instance 0. Prefix/suffix masking (rather than fixed character
-// ranges) keeps the mask valid when tokens differ in length.
+// The batched DiffEngine (rddr/diff_engine.h) subsumed this API: it
+// canonicalises each unit once, builds the filter-pair mask once, scans
+// first-divergence across all N responses in one vectorised pass and
+// detects ephemeral tokens from the same canonical forms. These wrappers
+// remain only for out-of-tree callers; they delegate to the same diff::
+// primitives the engine uses (via the process-wide auto-dispatched kernel
+// table), so verdicts stay bit-identical — but they re-allocate per call
+// and compare pairwise. New code should use DiffEngine / the diff::
+// primitives directly.
 #pragma once
 
 #include <optional>
@@ -36,12 +39,18 @@ struct NoiseMask {
 };
 
 /// Builds the mask from the filter pair's lines (instance 0 vs 1).
+[[deprecated(
+    "pairwise API: use diff::build_line_mask / DiffEngine "
+    "(rddr/diff_engine.h)")]]
 NoiseMask build_noise_mask(const std::vector<std::string>& pair_a,
                            const std::vector<std::string>& pair_b);
 
 /// Compares candidate lines against reference (instance 0) lines under the
 /// mask. Returns a human-readable divergence reason, or nullopt when they
 /// match.
+[[deprecated(
+    "pairwise API: use diff::masked_line_check / DiffEngine "
+    "(rddr/diff_engine.h)")]]
 std::optional<std::string> masked_compare(
     const std::vector<std::string>& reference,
     const std::vector<std::string>& candidate, const NoiseMask& mask);
@@ -54,12 +63,17 @@ struct EphemeralToken {
 
 /// Scans aligned lines from all N instances for ephemeral tokens using the
 /// paper's empirically-chosen criterion (alphanumeric, >= 10 chars).
+[[deprecated(
+    "pairwise API: use diff::detect_tokens / DiffEngine::forward_downstream "
+    "(rddr/diff_engine.h)")]]
 std::vector<EphemeralToken> detect_ephemeral_tokens(
     const std::vector<std::vector<std::string>>& instance_lines);
 
 /// Longest common prefix length of two strings.
+[[deprecated("use simd::common_prefix (rddr/diff_simd.h)")]]
 size_t common_prefix(std::string_view a, std::string_view b);
 /// Longest common suffix length of two strings.
+[[deprecated("use simd::common_suffix (rddr/diff_simd.h)")]]
 size_t common_suffix(std::string_view a, std::string_view b);
 
 }  // namespace rddr::core

@@ -15,6 +15,7 @@
 #include "netsim/simulator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rddr/diff_engine.h"
 #include "rddr/health.h"
 #include "rddr/plugin.h"
 
@@ -66,6 +67,10 @@ struct ProxyOptions {
   /// timeout, reproducing the paper's §IV-D DoS limitation. Canonical
   /// spelling for what the incoming proxy called `instance_timeout`.
   sim::Time unit_timeout = 0;
+  /// Batched diff-and-denoise engine knobs (SIMD kernel selection, arena
+  /// sizing). Every proxy — and every frontier shard, which copies its
+  /// shard options wholesale — owns one DiffEngine configured from this.
+  DiffEngineOptions diff;
   /// CPU model for the de-noise+diff work, charged to the proxy host.
   double cpu_per_unit = 15e-6;
   double cpu_per_byte = 2e-9;

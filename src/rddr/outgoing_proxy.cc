@@ -5,7 +5,6 @@
 
 #include "common/log.h"
 #include "common/strutil.h"
-#include "rddr/quorum.h"
 
 namespace rddr::core {
 
@@ -53,7 +52,8 @@ OutgoingProxy::OutgoingProxy(sim::Network& net, sim::Host& host,
         HealthTracker::Options h = config_.health;
         h.n_instances = config_.instance_sources.size();
         return h;
-      }()) {
+      }()),
+      engine_(config_.diff) {
   if (config_.metrics) {
     metrics_ = config_.metrics;
   } else {
@@ -545,8 +545,9 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
     };
     size_t fwd = 0;  // unit position whose bytes reach the backend
     if (config_.degradation == DegradationPolicy::kStrict) {
-      DiffOutcome outcome = config_.plugin->compare(*units, ctx);
-      if (outcome.divergent) {
+      BatchVerdict outcome =
+          engine_.compare(*config_.plugin, *units, ctx, VoteMode::kStrict);
+      if (!outcome.agreed) {
         obs::SpanId sp = verdict("divergent");
         if (tracer) {
           tracer->tag(sp, "reason", outcome.reason);
@@ -557,7 +558,8 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
       }
       verdict("agree");
     } else {
-      QuorumVote vote = quorum_vote(*config_.plugin, *units, ctx);
+      BatchVerdict vote =
+          engine_.compare(*config_.plugin, *units, ctx, VoteMode::kQuorum);
       if (!vote.agreed) {
         obs::SpanId sp = verdict("divergent");
         if (tracer) {

@@ -116,6 +116,9 @@ class OutgoingProxy {
   obs::MetricsRegistry* metrics_;
   ProxyCounters counters_;
   HealthTracker health_;
+  /// Batched N-way diff-and-denoise data plane (configured from
+  /// Config::diff): one engine, one arena, reused across every compare.
+  DiffEngine engine_;
   uint64_t next_group_id_ = 1;
   std::map<uint64_t, std::shared_ptr<Group>> groups_;
 };

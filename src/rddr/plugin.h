@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "rddr/arena.h"
 
 namespace rddr::core {
 
@@ -79,6 +80,32 @@ struct DiffOutcome {
   std::string reason;
 };
 
+/// The canonical comparable form of one Unit, produced exactly once per
+/// unit per batch by ProtocolPlugin::canonicalize() and consumed by the
+/// batched DiffEngine (rddr/diff_engine.h). All views either alias the
+/// source Unit or live in the batch arena; both outlive the batch.
+struct CanonicalUnit {
+  /// Comparability class. Units whose classes differ diverge before any
+  /// content is examined (the old "kind mismatch" check, plus protocol
+  /// extras such as the pgwire ParameterStatus name).
+  ByteView klass;
+  /// Human label for divergence reasons on blob-granular protocols
+  /// ("line", "json document", "Query SQL", "message DataRow", ...).
+  ByteView what;
+  /// Agrees by definition under the known-variance rules (BackendKeyData,
+  /// ignored ParameterStatus names); content is never compared.
+  bool exempt = false;
+  /// Line-granular reasons ("instance 2: line 5 differs ...", the HTTP
+  /// style) instead of blob reasons ("Query SQL differs across
+  /// instances"). Also controls which members the masked walk re-checks,
+  /// mirroring the historical pairwise code paths exactly.
+  bool per_line = false;
+  /// The comparable content, split at comparison granularity: one entry
+  /// per line for line-oriented protocols, a single entry holding the
+  /// whole canonical blob otherwise.
+  ArenaVec<ByteView> lines;
+};
+
 /// Context for one compare call.
 struct CompareContext {
   /// Instances 0 and 1 are an identical-image filter pair whose mutual
@@ -97,8 +124,41 @@ class ProtocolPlugin {
   virtual std::unique_ptr<StreamFramer> make_framer(Direction dir) const = 0;
 
   /// Diffs the k-th unit from every instance (units.size() == N).
+  ///
+  /// Since the batched DiffEngine landed this is a compatibility shim:
+  /// the concrete plugins implement it as DiffEngine::compare() in strict
+  /// mode, so there is exactly one comparison implementation. Proxies no
+  /// longer call it on the hot path — they hold their own engine.
   virtual DiffOutcome compare(const std::vector<Unit>& units,
                               const CompareContext& ctx) const = 0;
+
+  /// Decomposes one unit into its canonical comparable form. Called by
+  /// the DiffEngine exactly once per unit per batch (this is where the
+  /// old call pattern re-canonicalised N times: once for the full
+  /// compare, once per leave-one-out subset, once again on forward).
+  /// Scratch storage comes from the batch arena. The default treats the
+  /// unit as an opaque blob keyed by its kind.
+  virtual void canonicalize(const Unit& unit, const CompareContext& ctx,
+                            Arena& arena, CanonicalUnit& out) const {
+    (void)ctx;
+    out.klass = unit.kind;
+    out.what = ByteView("unit");
+    out.lines.push_back(arena, ByteView(unit.data));
+  }
+
+  /// Reason string when instance i's comparability class differs from
+  /// instance 0's. Protocols with classes richer than the unit kind
+  /// override this to keep their historical reason texts.
+  virtual std::string class_mismatch_reason(const std::vector<Unit>& units,
+                                            size_t i) const {
+    return "unit kind mismatch: instance 0 sent " + units[0].kind +
+           ", instance " + std::to_string(i) + " sent " + units[i].kind;
+  }
+
+  /// True when the DiffEngine should run ephemeral-token detection over
+  /// the canonical lines of a unanimous batch and harvest the hits into
+  /// the session (paper §IV-B3). Only HTTP opts in.
+  virtual bool harvest_tokens() const { return false; }
 
   /// Called after a successful compare, before forwarding instance 0's
   /// unit to the client. May harvest ephemeral tokens into the session and

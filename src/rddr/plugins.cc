@@ -1,13 +1,14 @@
 #include "rddr/plugins.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/strutil.h"
 #include "proto/http/coding.h"
 #include "proto/http/parser.h"
 #include "proto/json/json.h"
 #include "proto/pgwire/pgwire.h"
-#include "rddr/noise.h"
+#include "rddr/diff_engine.h"
 
 namespace rddr::core {
 
@@ -128,37 +129,23 @@ ByteView pg_payload(const Unit& u) {
   return ByteView(u.data).substr(5);
 }
 
-bool kinds_match(const std::vector<Unit>& units, std::string* reason) {
-  for (size_t i = 1; i < units.size(); ++i) {
-    if (units[i].kind != units[0].kind) {
-      *reason = strformat("unit kind mismatch: instance 0 sent %s, instance "
-                          "%zu sent %s",
-                          units[0].kind.c_str(), i, units[i].kind.c_str());
-      return false;
-    }
-  }
-  return true;
+/// ParameterStatus name: the NUL-terminated first field of the payload.
+ByteView pg_param_name(const Unit& u) {
+  ByteView payload = pg_payload(u);
+  size_t nul = payload.find('\0');
+  return nul == ByteView::npos ? payload : payload.substr(0, nul);
 }
 
-/// Generic single-blob comparison with optional filter-pair masking.
-DiffOutcome compare_blobs(const std::vector<Unit>& units, bool filter_pair,
-                          const char* what) {
-  bool all_equal = true;
-  for (size_t i = 1; i < units.size(); ++i)
-    if (units[i].data != units[0].data) all_equal = false;
-  if (all_equal) return {};
-  if (!filter_pair || units.size() < 3) {
-    return {true, strformat("%s differs across instances", what)};
-  }
-  std::vector<std::string> a{units[0].data}, b{units[1].data};
-  NoiseMask mask = build_noise_mask(a, b);
-  for (size_t i = 2; i < units.size(); ++i) {
-    std::vector<std::string> cand{units[i].data};
-    auto bad = masked_compare(a, cand, mask);
-    if (bad)
-      return {true, strformat("%s: instance %zu: %s", what, i, bad->c_str())};
-  }
-  return {};
+/// Compatibility shim behind ProtocolPlugin::compare(): the plugins
+/// delegate to a thread-local strict-mode DiffEngine so the batched
+/// engine is the single comparison implementation. Proxies do not go
+/// through here — they own their engine (with their configured knobs).
+DiffOutcome engine_compare(const ProtocolPlugin& plugin,
+                           const std::vector<Unit>& units,
+                           const CompareContext& ctx) {
+  thread_local DiffEngine engine;
+  BatchVerdict v = engine.compare(plugin, units, ctx, VoteMode::kStrict);
+  return {!v.agreed, std::move(v.reason)};
 }
 
 }  // namespace
@@ -171,9 +158,14 @@ std::unique_ptr<StreamFramer> TcpLinePlugin::make_framer(Direction) const {
 
 DiffOutcome TcpLinePlugin::compare(const std::vector<Unit>& units,
                                    const CompareContext& ctx) const {
-  std::string reason;
-  if (!kinds_match(units, &reason)) return {true, reason};
-  return compare_blobs(units, ctx.filter_pair, "line");
+  return engine_compare(*this, units, ctx);
+}
+
+void TcpLinePlugin::canonicalize(const Unit& unit, const CompareContext&,
+                                 Arena& arena, CanonicalUnit& out) const {
+  out.klass = unit.kind;
+  out.what = ByteView("line");
+  out.lines.push_back(arena, ByteView(unit.data));
 }
 
 // ---------- HttpPlugin ----------
@@ -184,26 +176,32 @@ std::unique_ptr<StreamFramer> HttpPlugin::make_framer(Direction dir) const {
   return std::make_unique<HttpResponseFramer>();
 }
 
-std::vector<std::string> HttpPlugin::comparable_lines(
-    const Unit& unit, const KnownVariance* kv) const {
+void HttpPlugin::canonicalize(const Unit& unit, const CompareContext& ctx,
+                              Arena& arena, CanonicalUnit& out) const {
+  const KnownVariance* kv = ctx.variance;
+  out.klass = unit.kind;
+  out.what = ByteView("unit");
+  out.per_line = true;
   http::ResponseParser parser(HttpRequestFramer::lenient_options());
   parser.feed(unit.data);
   auto msgs = parser.take();
   if (msgs.size() != 1) {
     // Unparseable: compare raw bytes as lines.
-    return split_lines(unit.data);
+    for (const auto& l : split_lines(unit.data))
+      out.lines.push_back(arena, arena.copy(l));
+    return;
   }
   http::Response& resp = msgs[0];
-  std::vector<std::string> lines;
-  lines.push_back(resp.version + " " + std::to_string(resp.status) + " " +
-                  resp.reason);
+  out.lines.push_back(arena,
+                      arena.copy(resp.version + " " + std::to_string(resp.status) +
+                                 " " + resp.reason));
   for (const auto& [name, value] : resp.headers.entries()) {
     bool ignored = false;
     if (kv) {
       for (const auto& ign : kv->http_ignore_headers)
         if (iequals(name, ign)) ignored = true;
     }
-    if (!ignored) lines.push_back(name + ": " + value);
+    if (!ignored) out.lines.push_back(arena, arena.copy(name + ": " + value));
   }
   // Body: decode content-coding, canonicalise JSON, then split to lines.
   Bytes body = resp.body;
@@ -211,64 +209,54 @@ std::vector<std::string> HttpPlugin::comparable_lines(
   if (enc && iequals(*enc, "xz77")) {
     auto decoded = http::xz77_decompress(body);
     if (decoded) body = std::move(*decoded);
-    else lines.push_back("!undecodable-content-coding");
+    else out.lines.push_back(arena, ByteView("!undecodable-content-coding"));
   }
   auto ctype = resp.headers.get("Content-Type");
   if (opts_.canonicalize_json && ctype &&
       ifind(*ctype, "json") != std::string::npos) {
     auto doc = json::parse(body);
     if (doc) {
-      lines.push_back(doc->dump());
-      return lines;
+      out.lines.push_back(arena, arena.copy(doc->dump()));
+      return;
     }
   }
-  auto body_lines = split_lines(body);
-  for (auto& l : body_lines) {
+  for (const auto& l : split_lines(body)) {
     if (kv) {
       bool skip = false;
       for (const auto& pre : kv->http_ignore_line_prefixes)
         if (starts_with(l, pre)) skip = true;
       if (skip) continue;
     }
-    lines.push_back(std::move(l));
+    out.lines.push_back(arena, arena.copy(l));
   }
+}
+
+std::vector<std::string> HttpPlugin::comparable_lines(
+    const Unit& unit, const KnownVariance* kv) const {
+  Arena arena(4096);
+  CanonicalUnit canon;
+  CompareContext ctx;
+  ctx.variance = kv;
+  canonicalize(unit, ctx, arena, canon);
+  std::vector<std::string> lines;
+  lines.reserve(canon.lines.size());
+  for (ByteView v : canon.lines) lines.emplace_back(v);
   return lines;
 }
 
 DiffOutcome HttpPlugin::compare(const std::vector<Unit>& units,
                                 const CompareContext& ctx) const {
-  std::string reason;
-  if (!kinds_match(units, &reason)) return {true, reason};
-  std::vector<std::vector<std::string>> lines;
-  lines.reserve(units.size());
-  for (const auto& u : units) lines.push_back(comparable_lines(u, ctx.variance));
-  NoiseMask mask;
-  if (ctx.filter_pair && units.size() >= 3) {
-    mask = build_noise_mask(lines[0], lines[1]);
-  } else {
-    mask.lines.resize(lines[0].size());  // exact compare
-  }
-  for (size_t i = 1; i < units.size(); ++i) {
-    auto bad = masked_compare(lines[0], lines[i], mask);
-    if (bad) return {true, strformat("instance %zu: %s", i, bad->c_str())};
-  }
-  return {};
+  return engine_compare(*this, units, ctx);
 }
 
 Bytes HttpPlugin::on_forward_downstream(const std::vector<Unit>& units,
                                         const CompareContext& ctx) const {
   // Harvest ephemeral tokens (CSRF, session ids): alphanumeric runs >= 10
-  // chars that differ across ALL instances (paper §IV-B3).
-  if (opts_.handle_ephemeral_state && ctx.session && units.size() >= 2) {
-    std::vector<std::vector<std::string>> lines;
-    for (const auto& u : units)
-      lines.push_back(comparable_lines(u, ctx.variance));
-    for (auto& token : detect_ephemeral_tokens(lines)) {
-      ctx.session->tokens[token.per_instance[0]] =
-          std::move(token.per_instance);
-    }
-  }
-  return units[0].data;
+  // chars that differ across ALL instances (paper §IV-B3). Standalone
+  // callers get a fresh engine pass; proxies call their own engine's
+  // forward_downstream, which reuses the compare's canonical forms.
+  thread_local DiffEngine engine;
+  return engine.forward_downstream(*this, units, ctx);
 }
 
 Bytes HttpPlugin::rewrite_for_instance(const Unit& unit, size_t instance,
@@ -373,47 +361,53 @@ std::unique_ptr<StreamFramer> PgPlugin::make_framer(Direction dir) const {
 
 DiffOutcome PgPlugin::compare(const std::vector<Unit>& units,
                               const CompareContext& ctx) const {
-  std::string reason;
-  if (!kinds_match(units, &reason)) return {true, reason};
-  const std::string& kind = units[0].kind;
-  const KnownVariance* kv = ctx.variance;
+  return engine_compare(*this, units, ctx);
+}
 
-  if (kind == "pg:K" && (!kv || kv->pg_ignore_backend_key)) {
-    return {};  // BackendKeyData is always instance-specific
-  }
-  if (kind == "pg:S") {
-    // ParameterStatus: names must agree; configured names may vary.
-    std::vector<std::string> names;
-    for (const auto& u : units) {
-      ByteView payload = pg_payload(u);
-      size_t nul = payload.find('\0');
-      names.emplace_back(nul == ByteView::npos ? std::string(payload)
-                                               : std::string(payload.substr(0, nul)));
-    }
-    for (size_t i = 1; i < names.size(); ++i)
-      if (names[i] != names[0])
-        return {true, "ParameterStatus name mismatch: " + names[0] + " vs " +
-                          names[i]};
+void PgPlugin::canonicalize(const Unit& unit, const CompareContext& ctx,
+                            Arena& arena, CanonicalUnit& out) const {
+  const KnownVariance* kv = ctx.variance;
+  const std::string& kind = unit.kind;
+  out.klass = kind;
+  if (kind == "pg:K") {
+    // BackendKeyData is always instance-specific.
+    out.exempt = !kv || kv->pg_ignore_backend_key;
+  } else if (kind == "pg:S") {
+    // ParameterStatus: the name is part of the comparability class (names
+    // must agree); configured names may vary in value.
+    ByteView name = pg_param_name(unit);
+    char* k = static_cast<char*>(arena.alloc(kind.size() + 1 + name.size(), 1));
+    std::memcpy(k, kind.data(), kind.size());
+    k[kind.size()] = '\0';
+    if (!name.empty()) std::memcpy(k + kind.size() + 1, name.data(), name.size());
+    out.klass = ByteView(k, kind.size() + 1 + name.size());
     if (kv) {
       for (const auto& ign : kv->pg_ignore_params)
-        if (names[0] == ign) return {};
+        if (name == ign) out.exempt = true;
     }
-    return compare_blobs(units, ctx.filter_pair, "ParameterStatus");
-  }
-  if (kind == "pg:Q") {
+    out.what = ByteView("ParameterStatus");
+    out.lines.push_back(arena, ByteView(unit.data));
+    return;
+  } else if (kind == "pg:Q") {
     // Query merge (outgoing proxy): compare SQL text so divergence reasons
     // are readable ("...WHERE id = ''' OR ..." beats raw frame bytes).
-    std::vector<Unit> sql(units.size());
-    for (size_t i = 0; i < units.size(); ++i) {
-      auto q = pg::parse_query(pg_payload(units[i]));
-      sql[i].kind = units[i].kind;
-      sql[i].data = q ? *q : units[i].data;
-    }
-    return compare_blobs(sql, ctx.filter_pair, "Query SQL");
+    out.what = ByteView("Query SQL");
+    auto q = pg::parse_query(pg_payload(unit));
+    out.lines.push_back(arena, q ? arena.copy(*q) : ByteView(unit.data));
+    return;
   }
-  return compare_blobs(units, ctx.filter_pair,
-                       ("message " + pg::type_name(kind.size() > 3 ? kind[3] : '?'))
-                           .c_str());
+  out.what = arena.copy(
+      "message " + pg::type_name(kind.size() > 3 ? kind[3] : '?'));
+  out.lines.push_back(arena, ByteView(unit.data));
+}
+
+std::string PgPlugin::class_mismatch_reason(const std::vector<Unit>& units,
+                                            size_t i) const {
+  if (units[i].kind != units[0].kind)
+    return ProtocolPlugin::class_mismatch_reason(units, i);
+  // Same kind, so the class split was the ParameterStatus name.
+  return "ParameterStatus name mismatch: " + std::string(pg_param_name(units[0])) +
+         " vs " + std::string(pg_param_name(units[i]));
 }
 
 Bytes PgPlugin::intervention_response() const {
@@ -449,16 +443,16 @@ std::unique_ptr<StreamFramer> JsonLinesPlugin::make_framer(Direction) const {
 
 DiffOutcome JsonLinesPlugin::compare(const std::vector<Unit>& units,
                                      const CompareContext& ctx) const {
-  std::string reason;
-  if (!kinds_match(units, &reason)) return {true, reason};
-  // Canonicalise each document; malformed docs compare as raw bytes.
-  std::vector<Unit> canon(units.size());
-  for (size_t i = 0; i < units.size(); ++i) {
-    auto doc = json::parse(trim(units[i].data));
-    canon[i].kind = units[i].kind;
-    canon[i].data = doc ? doc->dump() : units[i].data;
-  }
-  return compare_blobs(canon, ctx.filter_pair, "json document");
+  return engine_compare(*this, units, ctx);
+}
+
+void JsonLinesPlugin::canonicalize(const Unit& unit, const CompareContext&,
+                                   Arena& arena, CanonicalUnit& out) const {
+  out.klass = unit.kind;
+  out.what = ByteView("json document");
+  // Canonicalise the document; malformed docs compare as raw bytes.
+  auto doc = json::parse(trim(unit.data));
+  out.lines.push_back(arena, doc ? arena.copy(doc->dump()) : ByteView(unit.data));
 }
 
 }  // namespace rddr::core

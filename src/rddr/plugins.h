@@ -18,6 +18,8 @@ class TcpLinePlugin : public ProtocolPlugin {
   std::unique_ptr<StreamFramer> make_framer(Direction dir) const override;
   DiffOutcome compare(const std::vector<Unit>& units,
                       const CompareContext& ctx) const override;
+  void canonicalize(const Unit& unit, const CompareContext& ctx, Arena& arena,
+                    CanonicalUnit& out) const override;
   /// No per-instance rewriting: requests fan out as one shared buffer.
   bool rewrites_identity() const override { return true; }
 };
@@ -45,6 +47,12 @@ class HttpPlugin : public ProtocolPlugin {
   std::unique_ptr<StreamFramer> make_framer(Direction dir) const override;
   DiffOutcome compare(const std::vector<Unit>& units,
                       const CompareContext& ctx) const override;
+  /// Parses the response, filters known-variance headers, decodes the
+  /// content coding and canonicalises JSON — once per unit per batch.
+  void canonicalize(const Unit& unit, const CompareContext& ctx, Arena& arena,
+                    CanonicalUnit& out) const override;
+  /// §IV-B3 token harvesting runs in the DiffEngine when enabled.
+  bool harvest_tokens() const override { return opts_.handle_ephemeral_state; }
   Bytes on_forward_downstream(const std::vector<Unit>& units,
                               const CompareContext& ctx) const override;
   Bytes rewrite_for_instance(const Unit& unit, size_t instance,
@@ -72,6 +80,12 @@ class PgPlugin : public ProtocolPlugin {
   std::unique_ptr<StreamFramer> make_framer(Direction dir) const override;
   DiffOutcome compare(const std::vector<Unit>& units,
                       const CompareContext& ctx) const override;
+  void canonicalize(const Unit& unit, const CompareContext& ctx, Arena& arena,
+                    CanonicalUnit& out) const override;
+  /// The pgwire comparability class folds in the ParameterStatus name, so
+  /// a class mismatch may be a name mismatch rather than a kind mismatch.
+  std::string class_mismatch_reason(const std::vector<Unit>& units,
+                                    size_t i) const override;
   Bytes intervention_response() const override;
   /// ErrorResponse with SQLSTATE 53300 (too_many_connections).
   Bytes overload_response() const override;
@@ -93,6 +107,8 @@ class JsonLinesPlugin : public ProtocolPlugin {
   std::unique_ptr<StreamFramer> make_framer(Direction dir) const override;
   DiffOutcome compare(const std::vector<Unit>& units,
                       const CompareContext& ctx) const override;
+  void canonicalize(const Unit& unit, const CompareContext& ctx, Arena& arena,
+                    CanonicalUnit& out) const override;
   /// No per-instance rewriting: requests fan out as one shared buffer.
   bool rewrites_identity() const override { return true; }
 };

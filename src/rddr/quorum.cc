@@ -1,38 +1,29 @@
+// Deprecated wrapper: the leave-one-out vote is now a by-product of one
+// batched DiffEngine compare (the engine derives every subset verdict
+// from precomputed per-instance facts instead of re-running the plugin
+// compare N+1 times).
 #include "rddr/quorum.h"
 
+#include "rddr/diff_engine.h"
+
 namespace rddr::core {
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 QuorumVote quorum_vote(const ProtocolPlugin& plugin,
                        const std::vector<Unit>& units,
                        const CompareContext& ctx) {
+  thread_local DiffEngine engine;
+  BatchVerdict v = engine.compare(plugin, units, ctx, VoteMode::kQuorum);
   QuorumVote vote;
-  DiffOutcome full = plugin.compare(units, ctx);
-  if (!full.divergent) {
-    vote.unanimous = true;
-    vote.agreed = true;
-    return vote;
-  }
-  vote.reason = full.reason;
-  if (units.size() < 3) return vote;  // no majority possible
-  size_t candidate = SIZE_MAX;
-  for (size_t o = 0; o < units.size(); ++o) {
-    std::vector<Unit> rest;
-    rest.reserve(units.size() - 1);
-    for (size_t i = 0; i < units.size(); ++i)
-      if (i != o) rest.push_back(units[i]);
-    CompareContext sub = ctx;
-    // The de-noise mask is built from units 0 and 1; excluding either
-    // breaks the pair, so fall back to exact comparison for that subset.
-    sub.filter_pair = ctx.filter_pair && o > 1;
-    if (!plugin.compare(rest, sub).divergent) {
-      if (candidate != SIZE_MAX) return vote;  // ambiguous: several outliers
-      candidate = o;
-    }
-  }
-  if (candidate == SIZE_MAX) return vote;  // nobody's removal restores accord
-  vote.agreed = true;
-  vote.outlier = candidate;
+  vote.unanimous = v.unanimous;
+  vote.agreed = v.agreed;
+  vote.outlier = v.outlier;
+  vote.reason = std::move(v.reason);
   return vote;
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace rddr::core

@@ -30,6 +30,9 @@ struct QuorumVote {
 /// vote carries; ambiguous disagreement (no single outlier, or several
 /// candidates) fails the vote. The filter pair (indices 0/1) is only used
 /// for masking when both of its members remain in the majority.
+[[deprecated(
+    "use DiffEngine::compare(..., VoteMode::kQuorum) — one batched call "
+    "instead of N+1 full compares (rddr/diff_engine.h)")]]
 QuorumVote quorum_vote(const ProtocolPlugin& plugin,
                        const std::vector<Unit>& units,
                        const CompareContext& ctx);

@@ -16,7 +16,10 @@
 // rddr/frontier.h for the sharding / admission-control model).
 #pragma once
 
+#include "rddr/arena.h"
 #include "rddr/deployment.h"
+#include "rddr/diff_engine.h"
+#include "rddr/diff_simd.h"
 #include "rddr/divergence.h"
 #include "rddr/frontier.h"
 #include "rddr/health.h"
