@@ -1,0 +1,178 @@
+// Adversarial fuzz sweep over the scenario factory: for every generated
+// topology, run the protocol-aware fuzzer across N seeds twice — first
+// with the stock denoiser rules (baseline), then with the rules the
+// corpus miner proposes from the baseline's divergence corpus — and emit
+// one JSON document for CI dashboards:
+//
+//   {"seeds_per_topology":20,"invariant_failures":0,...,
+//    "topologies":[{"name":"pg-direct","benign_rate_before":1.0,
+//      "benign_rate_after":0.0,"rules":["pg_param:build_sha"],...}]}
+//
+// Checked per run: the fuzzer's three invariants (no secret leak past an
+// RDDR edge, no hung sessions, exact benign accounting). Checked per
+// topology: per-seed determinism (seed 1 re-runs byte-identically), the
+// miner actually lowering the benign-divergence rate, at least one true
+// divergence surviving tuning, and a composed-chaos pass staying safe.
+// Any failing plan is shrunk to a minimal repro on stderr.
+//
+// Usage: fuzz_sweep [--smoke] [n_seeds] [first_seed]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scenario/corpus.h"
+#include "scenario/fuzzer.h"
+
+using namespace rddr;
+using namespace rddr::scenario;
+
+namespace {
+
+struct SweepAccum {
+  std::vector<core::DivergenceRecord> corpus;
+  uint64_t issued = 0, served = 0, refused = 0;
+  uint64_t interventions = 0, idle_sheds = 0, unit_timeouts = 0;
+  int violations = 0;
+};
+
+SweepAccum sweep(int n_seeds, uint64_t first_seed, const FuzzOptions& opts,
+                 const char* label) {
+  SweepAccum acc;
+  for (int k = 0; k < n_seeds; ++k) {
+    const uint64_t seed = first_seed + static_cast<uint64_t>(k);
+    const FuzzPlan plan = generate_fuzz_plan(seed, opts);
+    const FuzzReport rep = run_fuzz(plan, opts);
+    acc.issued += rep.issued;
+    acc.served += rep.served;
+    acc.refused += rep.refused;
+    acc.interventions += rep.interventions;
+    acc.idle_sheds += rep.idle_sheds;
+    acc.unit_timeouts += rep.unit_timeouts;
+    acc.corpus.insert(acc.corpus.end(), rep.corpus.begin(), rep.corpus.end());
+    if (rep.ok()) continue;
+    ++acc.violations;
+    std::fprintf(stderr, "[%s] seed %llu FAILED:\n%s", label,
+                 static_cast<unsigned long long>(seed), rep.summary().c_str());
+    const FuzzPlan shrunk = shrink_fuzz_plan(plan, opts);
+    std::fprintf(stderr, "minimal repro (%zu op%s):\n%s", shrunk.ops.size(),
+                 shrunk.ops.size() == 1 ? "" : "s",
+                 describe(shrunk).c_str());
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int n_seeds = -1;
+  uint64_t first_seed = 1;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (positional == 0) {
+      n_seeds = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      first_seed = static_cast<uint64_t>(std::atoll(argv[i]));
+      ++positional;
+    }
+  }
+  if (n_seeds <= 0) n_seeds = smoke ? 3 : 20;
+
+  int invariant_failures = 0;
+  int determinism_failures = 0;
+  int miner_failures = 0;
+  std::string topo_json;
+
+  for (int topo = 0; topo < Topology::kKinds; ++topo) {
+    FuzzOptions base;
+    base.topology = topo;
+
+    // Per-seed determinism: the first seed must reproduce its report and
+    // serialized corpus byte-for-byte.
+    {
+      const FuzzReport a = run_fuzz_seed(first_seed, base);
+      const FuzzReport b = run_fuzz_seed(first_seed, base);
+      if (a.summary() != b.summary() ||
+          corpus_json(a.corpus, base.variance) !=
+              corpus_json(b.corpus, base.variance)) {
+        ++determinism_failures;
+        std::fprintf(stderr, "[%s] determinism FAILED for seed %llu:\n%s%s",
+                     Topology::kind_name(topo),
+                     static_cast<unsigned long long>(first_seed),
+                     a.summary().c_str(), b.summary().c_str());
+      }
+    }
+
+    const SweepAccum before =
+        sweep(n_seeds, first_seed, base, Topology::kind_name(topo));
+    const MinerReport mined =
+        mine_corpus(before.corpus, base.benign_window, base.variance);
+
+    FuzzOptions tuned = base;
+    tuned.variance = mined.tuned;
+    const SweepAccum after =
+        sweep(n_seeds, first_seed, tuned, Topology::kind_name(topo));
+    const MinerReport remined =
+        mine_corpus(after.corpus, tuned.benign_window, tuned.variance);
+
+    // Composed environmental chaos must not break the invariants either.
+    FuzzOptions composed = tuned;
+    composed.compose_faults = true;
+    const SweepAccum chaos =
+        sweep(n_seeds, first_seed, composed, Topology::kind_name(topo));
+
+    invariant_failures += before.violations + after.violations +
+                          chaos.violations;
+
+    if (remined.benign_rate() >= mined.benign_rate() ||
+        remined.true_records == 0) {
+      ++miner_failures;
+      std::fprintf(stderr,
+                   "[%s] miner FAILED to improve: before\n%safter\n%s",
+                   Topology::kind_name(topo), mined.summary().c_str(),
+                   remined.summary().c_str());
+    }
+
+    std::string rules;
+    for (const DenoiserRule& r : mined.rules) {
+      if (!rules.empty()) rules += ",";
+      rules += "\"" + r.kind + ":" + r.name + "\"";
+    }
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n  {\"name\":\"%s\",\"benign_rate_before\":%.4f,"
+        "\"benign_rate_after\":%.4f,\"rules\":[%s],"
+        "\"corpus_before\":%zu,\"corpus_after\":%zu,"
+        "\"true_divergences_after\":%llu,"
+        "\"served_before\":%llu,\"served_after\":%llu,"
+        "\"interventions_after\":%llu,\"idle_sheds_after\":%llu,"
+        "\"composed_violations\":%d}",
+        topo_json.empty() ? "" : ",", Topology::kind_name(topo),
+        mined.benign_rate(), remined.benign_rate(), rules.c_str(),
+        before.corpus.size(), after.corpus.size(),
+        static_cast<unsigned long long>(remined.true_records),
+        static_cast<unsigned long long>(before.served),
+        static_cast<unsigned long long>(after.served),
+        static_cast<unsigned long long>(after.interventions),
+        static_cast<unsigned long long>(after.idle_sheds), chaos.violations);
+    topo_json += buf;
+  }
+
+  std::printf(
+      "{\"seeds_per_topology\":%d,\"families_pg\":%zu,\"families_http\":%zu,"
+      "\"invariant_failures\":%d,\"determinism_failures\":%d,"
+      "\"miner_failures\":%d,\"topologies\":[%s\n]}\n",
+      n_seeds, families_for(true).size(), families_for(false).size(),
+      invariant_failures, determinism_failures, miner_failures,
+      topo_json.c_str());
+
+  const int failures =
+      invariant_failures + determinism_failures + miner_failures;
+  return failures == 0 ? 0 : 1;
+}

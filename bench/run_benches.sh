@@ -23,7 +23,8 @@ if [ ! -d "$BUILD" ]; then
   cmake --preset default >/dev/null
 fi
 cmake --build "$BUILD" -j --target simloop_throughput micro_hotpaths \
-    fig5_throughput_latency fig5_scaleout storage_recovery >/dev/null
+    fig5_throughput_latency fig5_scaleout storage_recovery fuzz_sweep \
+    >/dev/null
 
 if [ "${1:-}" = "--smoke" ]; then
   # Storage gate first (deterministic invariants: recovery correctness,
@@ -100,3 +101,11 @@ echo "wrote BENCH_scaleout.json"
 echo "== durable storage recovery =="
 "$BUILD/bench/storage_recovery" > "$ROOT/BENCH_storage.json"
 echo "wrote BENCH_storage.json"
+
+# Adversarial fuzz sweep: 20 seeds x every mutation family x every
+# generated topology, baseline vs miner-tuned denoiser rules (exits
+# nonzero on any invariant violation, determinism break, or if the miner
+# fails to lower the benign-divergence rate).
+echo "== adversarial fuzz sweep =="
+"$BUILD/bench/fuzz_sweep" > "$ROOT/BENCH_fuzz.json"
+echo "wrote BENCH_fuzz.json"

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 
+#include "chaos/shrink.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/strutil.h"
@@ -519,23 +520,11 @@ ShrinkResult shrink_fault_plan(const std::vector<FaultSpec>& failing_plan,
     ++res.runs;
     return !run_chaos(candidate, opts, seed).ok;
   };
-  std::vector<FaultSpec> cur = failing_plan;
-  // Pass 1: drop whole faults while the plan still fails.
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (size_t i = 0; i < cur.size(); ++i) {
-      std::vector<FaultSpec> candidate = cur;
-      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
-      if (still_fails(candidate)) {
-        cur = std::move(candidate);
-        progress = true;
-        break;
-      }
-    }
-  }
+  // Pass 1: drop whole faults while the plan still fails (shared greedy
+  // delta-debugging core, chaos/shrink.h).
+  std::vector<FaultSpec> cur = shrink_drop_pass(failing_plan, still_fails);
   // Pass 2: halve surviving durations while failure persists.
-  progress = true;
+  bool progress = true;
   while (progress) {
     progress = false;
     for (size_t i = 0; i < cur.size(); ++i) {

@@ -1,0 +1,42 @@
+// Greedy delta-debugging drop pass, shared by the chaos harness
+// (shrink_fault_plan, over FaultSpec schedules) and the scenario-factory
+// fuzzer (scenario::Fuzzer, over adversarial op lists).
+//
+// Repeatedly removes single elements while the caller's predicate says
+// the shrunk candidate still fails, restarting the scan after every
+// successful removal. The result is 1-minimal: removing any one element
+// of it makes the failure disappear. Deterministic by construction —
+// the scan order is fixed, so the same failing input always shrinks to
+// the same repro (each harness's own execution must be seeded).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rddr::chaos {
+
+/// `still_fails(candidate)` must re-execute the scenario with the
+/// candidate op list and return true when the original failure is still
+/// observed. It is called O(n^2) times in the worst case; keep per-run
+/// state fresh (build a new simulator per call).
+template <typename Op, typename StillFails>
+std::vector<Op> shrink_drop_pass(std::vector<Op> cur,
+                                 StillFails&& still_fails) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < cur.size(); ++i) {
+      std::vector<Op> candidate = cur;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        cur = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace rddr::chaos

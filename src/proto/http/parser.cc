@@ -129,9 +129,16 @@ bool MessageParserBase::try_parse_one() {
     }
   } else {
     auto toks = split(start_line, ' ');
-    if (toks.size() < 2 || !starts_with(toks[0], "HTTP/") ||
-        !parse_i64(toks[1])) {
+    std::optional<int64_t> status;
+    if (toks.size() >= 2) status = parse_i64(toks[1]);
+    if (toks.size() < 2 || !starts_with(toks[0], "HTTP/") || !status) {
       fail("malformed status line: " + msg.start_line);
+      return false;
+    }
+    // Status codes are exactly three digits; parse_i64 alone would let
+    // ResponseParser::take() truncate an arbitrarily wide value to int.
+    if (*status < 100 || *status > 999) {
+      fail("status code out of range: " + msg.start_line);
       return false;
     }
   }
@@ -167,12 +174,24 @@ bool MessageParserBase::try_parse_one() {
     msg.body = Bytes(rest.substr(body_start, static_cast<size_t>(length)));
     total_consumed = body_start + static_cast<size_t>(length);
   } else {
-    // Chunked decoding over the buffered stream.
+    // Chunked decoding over the buffered stream. Chunk-size lines are a
+    // hex count plus optional extensions; bound them so a sender that
+    // never terminates the line cannot grow the buffer without limit
+    // while we wait for its CRLF.
+    constexpr size_t kMaxChunkLineBytes = 256;
     size_t p = body_start;
     Bytes body;
     while (true) {
       size_t eol = rest.find("\r\n", p);
-      if (eol == ByteView::npos) return false;  // need more data
+      if (eol == ByteView::npos) {
+        if (rest.size() - p > kMaxChunkLineBytes)
+          fail("chunk size line too long");
+        return false;  // need more data
+      }
+      if (eol - p > kMaxChunkLineBytes) {
+        fail("chunk size line too long");
+        return false;
+      }
       ByteView size_line = rest.substr(p, eol - p);
       size_t semi = size_line.find(';');
       if (semi != ByteView::npos) size_line = size_line.substr(0, semi);
@@ -199,10 +218,20 @@ bool MessageParserBase::try_parse_one() {
       }
       p = eol + 2;
       if (chunk_len == 0) {
-        // Trailer section: skip lines until the empty line.
+        // Trailer section: skip lines until the empty line, bounded like
+        // the header block — an endless trailer must not buffer forever.
+        size_t trailer_start = p;
         while (true) {
           size_t teol = rest.find("\r\n", p);
-          if (teol == ByteView::npos) return false;  // need more data
+          if (teol == ByteView::npos) {
+            if (rest.size() - trailer_start > opts_.max_header_bytes)
+              fail("trailer section too large");
+            return false;  // need more data
+          }
+          if (teol - trailer_start > opts_.max_header_bytes) {
+            fail("trailer section too large");
+            return false;
+          }
           if (teol == p) {
             p = teol + 2;
             break;

@@ -62,8 +62,20 @@ void MessageReader::parse() {
       expect_startup_ = false;
       continue;
     }
-    if (buf_.size() < 5) return;
+    if (buf_.size() < 1) return;
     char type = buf_[0];
+    // Validate the type byte before trusting the length that follows it:
+    // real pgwire message types are printable ASCII, and a garbage type
+    // byte would otherwise have its attacker-controlled declared length
+    // honoured — silently buffering up to the 64MB cap.
+    if (static_cast<unsigned char>(type) < 0x20 ||
+        static_cast<unsigned char>(type) > 0x7e) {
+      failed_ = true;
+      error_ = strformat("invalid message type byte 0x%02x",
+                         static_cast<unsigned char>(type));
+      return;
+    }
+    if (buf_.size() < 5) return;
     uint32_t len = get_u32_be(buf_, 1);
     if (len < 4 || len > kMaxMessageBytes) {
       failed_ = true;
@@ -205,6 +217,9 @@ std::optional<std::map<std::string, std::string>> parse_startup(
     if (!v) return std::nullopt;
     params[*k] = *v;
   }
+  // The parameter list carries its own trailing NUL; a payload that merely
+  // runs out of bytes is a truncated packet, not an empty terminator.
+  if (pos >= payload.size()) return std::nullopt;
   return params;
 }
 

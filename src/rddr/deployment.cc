@@ -89,6 +89,18 @@ NVersionDeployment::Builder& NVersionDeployment::Builder::unit_timeout(
   return *this;
 }
 
+NVersionDeployment::Builder& NVersionDeployment::Builder::idle_timeout(
+    sim::Time t) {
+  incoming_.idle_timeout = t;
+  return *this;
+}
+
+NVersionDeployment::Builder& NVersionDeployment::Builder::on_divergence(
+    std::function<void(const DivergenceRecord&)> cb) {
+  incoming_.on_divergence = std::move(cb);
+  return *this;
+}
+
 NVersionDeployment::Builder& NVersionDeployment::Builder::diff(
     DiffEngineOptions d) {
   incoming_.diff = std::move(d);
@@ -192,6 +204,7 @@ NVersionDeployment::Options NVersionDeployment::Builder::options() const {
       cfg.degradation = incoming_.degradation;
       cfg.health = incoming_.health;
       cfg.unit_timeout = incoming_.unit_timeout;
+      cfg.on_divergence = incoming_.on_divergence;
       cfg.diff = incoming_.diff;
       cfg.group_size = incoming_.instance_addresses.size();
       // Instances dial the backend under their own container names.

@@ -59,6 +59,12 @@ class NVersionDeployment {
     Builder& degradation(DegradationPolicy p);
     Builder& health(HealthTracker::Options h);
     Builder& unit_timeout(sim::Time t);
+    /// Idle-session read timeout for the incoming proxy (see
+    /// ProxyOptions::idle_timeout; progress-based slowloris shedding).
+    Builder& idle_timeout(sim::Time t);
+    /// Divergence-corpus hook, applied to the incoming proxy AND every
+    /// inherited backend() (see ProxyOptions::on_divergence).
+    Builder& on_divergence(std::function<void(const DivergenceRecord&)> cb);
     /// Batched DiffEngine knobs (SIMD kernel selection, arena sizing),
     /// applied to every proxy and frontier shard in the deployment.
     Builder& diff(DiffEngineOptions d);

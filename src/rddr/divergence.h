@@ -7,10 +7,12 @@
 // instances). Tests and benches subscribe to count interventions.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "netsim/simulator.h"
 
 namespace rddr::core {
@@ -19,6 +21,27 @@ struct DivergenceEvent {
   sim::Time time = 0;
   std::string proxy;    // reporting proxy's name
   std::string reason;   // human-readable cause
+};
+
+/// One divergence, enriched for the scenario-factory corpus: protocol,
+/// verdict class, the canonical diff region located by the DiffEngine, and
+/// the instance-0 unit the region refers to. Proxies fire
+/// ProxyOptions::on_divergence with one of these for every intervention
+/// AND every quorum outvote — unlike the bus, which only carries
+/// interventions (outvoted minorities are absorbed, not aborted).
+struct DivergenceRecord {
+  sim::Time time = 0;
+  std::string proxy;      // reporting proxy's name (the topology edge)
+  std::string protocol;   // ProtocolPlugin::name()
+  std::string verdict;    // "intervention" | "outvote"
+  std::string reason;     // DiffEngine reason string
+  std::string unit_kind;  // instance-0 unit kind ("pg:S", "http-resp", ...)
+  Bytes unit_data;        // instance-0 unit bytes (empty when unknown)
+  // BatchVerdict::Region of the first divergence (line == SIZE_MAX when
+  // the divergence was structural or located outside a compare).
+  size_t region_line = SIZE_MAX;
+  size_t region_offset = 0;
+  size_t region_instance = SIZE_MAX;
 };
 
 class DivergenceBus {

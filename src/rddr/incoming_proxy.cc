@@ -31,6 +31,11 @@ struct IncomingProxy::Session {
   bool failopen = false;      // uncompared passthrough on the sole survivor
   size_t failopen_idx = 0;
   uint64_t timeout_event = 0; // pending instance-timeout event id
+  uint64_t idle_event = 0;    // pending idle-shed event id
+  // Last protocol progress: a completed client unit or a forwarded
+  // response. Deliberately NOT raw byte activity — a slowloris sender
+  // trickling bytes never completes a unit and must still be shed.
+  sim::Time last_progress = 0;
   // Fingerprint of the most recent client unit (divergence attribution
   // for the signature store). Pipelined requests make this approximate,
   // which mirrors real signature generators.
@@ -93,6 +98,7 @@ IncomingProxy::~IncomingProxy() {
   host_.release_memory(config_.base_memory_bytes);
   for (auto& [id, s] : sessions_) {
     if (s->timeout_event) net_.simulator().cancel(s->timeout_event);
+    if (s->idle_event) net_.simulator().cancel(s->idle_event);
   }
   for (uint64_t ev : probe_events_)
     if (ev) net_.simulator().cancel(ev);
@@ -467,6 +473,8 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
   sessions_[s->id] = s;
   for (size_t i = 0; i < n; ++i)
     if (s->participating[i]) attach_upstream(s, i);
+  s->last_progress = net_.simulator().now();
+  arm_idle(s);
 
   if (live == 1) {
     size_t sole = 0;
@@ -501,6 +509,7 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
     ctx.variance = &config_.variance;
     ctx.session = &token_state_;
     for (auto& u : s->client_framer->take()) {
+      s->last_progress = net_.simulator().now();
       if (config_.signature_blocking) {
         uint64_t fp = std::hash<std::string>()(u.data);
         auto hit = signatures_.find(fp);
@@ -574,6 +583,7 @@ void IncomingProxy::attach_upstream(const std::shared_ptr<Session>& s,
   up->set_on_data([this, s, i](ByteView data) {
     if (s->ended || !s->participating[i]) return;
     if (s->failopen) {
+      s->last_progress = net_.simulator().now();
       if (s->client->is_open()) s->client->send(data);
       return;
     }
@@ -829,7 +839,7 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
           tracer->tag(sp, "reason", outcome.reason);
           tracer->end(diff_span);
         }
-        intervene(s, outcome.reason, true);
+        intervene(s, outcome.reason, true, &outcome, units.get());
         return;
       }
       verdict("agree");
@@ -843,12 +853,13 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
           tracer->tag(sp, "reason", vote.reason);
           tracer->end(diff_span);
         }
-        intervene(s, vote.reason, true);
+        intervene(s, vote.reason, true, &vote, units.get());
         return;
       }
       if (vote.outlier != SIZE_MAX) {
         size_t inst = idxmap[vote.outlier];
         counters_.quorum_outvotes->inc();
+        record_divergence("outvote", vote.reason, &vote, units.get());
         obs::SpanId sp = verdict("outvoted");
         if (tracer)
           tracer->tag(sp, "outvoted_instance", strformat("%zu", inst));
@@ -878,14 +889,66 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
       fwd = engine_.forward_downstream(*config_.plugin, *units, ctx);
     }
     if (tracer) tracer->end(diff_span);
+    s->last_progress = net_.simulator().now();
     if (s->client->is_open()) s->client->send(SharedBytes(std::move(fwd)));
     pump(s);
     arm_timeout(s);
   });
 }
 
+void IncomingProxy::arm_idle(const std::shared_ptr<Session>& s) {
+  if (config_.idle_timeout <= 0 || s->ended) return;
+  const sim::Time now = net_.simulator().now();
+  const sim::Time due = s->last_progress + config_.idle_timeout;
+  s->idle_event = net_.simulator().schedule(due > now ? due - now : 1,
+                                            [this, s] {
+    s->idle_event = 0;
+    if (s->ended) return;
+    if (net_.simulator().now() - s->last_progress < config_.idle_timeout) {
+      arm_idle(s);  // progress since the last arm; re-check at the new due
+      return;
+    }
+    counters_.idle_sheds->inc();
+    RDDR_LOG_INFO("%s: session %llu shed: no protocol progress for %lld ns",
+                  config_.name.c_str(),
+                  static_cast<unsigned long long>(s->id),
+                  static_cast<long long>(config_.idle_timeout));
+    if (config_.tracer)
+      config_.tracer->tag(s->root_span, "shed", "idle timeout");
+    Bytes page = config_.plugin->overload_response();
+    if (!page.empty() && s->client && s->client->is_open())
+      s->client->send(page);
+    teardown(s);
+  });
+}
+
+void IncomingProxy::record_divergence(const char* verdict_class,
+                                      const std::string& reason,
+                                      const BatchVerdict* verdict,
+                                      const std::vector<Unit>* units) {
+  if (!config_.on_divergence) return;
+  DivergenceRecord rec;
+  rec.time = net_.simulator().now();
+  rec.proxy = config_.name;
+  rec.protocol = config_.plugin->name();
+  rec.verdict = verdict_class;
+  rec.reason = reason;
+  if (units && !units->empty()) {
+    rec.unit_kind = (*units)[0].kind;
+    rec.unit_data = (*units)[0].data;
+  }
+  if (verdict) {
+    rec.region_line = verdict->region.line;
+    rec.region_offset = verdict->region.offset;
+    rec.region_instance = verdict->region.instance;
+  }
+  config_.on_divergence(rec);
+}
+
 void IncomingProxy::intervene(const std::shared_ptr<Session>& s,
-                              const std::string& reason, bool report) {
+                              const std::string& reason, bool report,
+                              const BatchVerdict* verdict,
+                              const std::vector<Unit>* units) {
   if (s->ended) return;
   counters_.divergences->inc();
   RDDR_LOG_INFO("%s: intervention on session %llu: %s", config_.name.c_str(),
@@ -893,6 +956,7 @@ void IncomingProxy::intervene(const std::shared_ptr<Session>& s,
   if (config_.tracer) config_.tracer->tag(s->root_span, "intervention", reason);
   if (config_.signature_blocking && s->has_fingerprint)
     ++signatures_[s->last_unit_fingerprint];
+  record_divergence("intervention", reason, verdict, units);
   if (report && bus_) bus_->report(config_.name, reason);
   Bytes page = config_.plugin->intervention_response();
   if (!page.empty() && s->client && s->client->is_open())
@@ -906,6 +970,10 @@ void IncomingProxy::teardown(const std::shared_ptr<Session>& s) {
   if (s->timeout_event) {
     net_.simulator().cancel(s->timeout_event);
     s->timeout_event = 0;
+  }
+  if (s->idle_event) {
+    net_.simulator().cancel(s->idle_event);
+    s->idle_event = 0;
   }
   if (s->client && s->client->is_open()) s->client->close();
   for (auto& up : s->upstreams)

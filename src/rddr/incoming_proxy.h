@@ -170,10 +170,23 @@ class IncomingProxy {
   void note_units_consumed(uint64_t n);
   void attach_upstream(const std::shared_ptr<Session>& s, size_t i);
   void pump(const std::shared_ptr<Session>& s);
+  /// On divergence: count, record (corpus hook), report (bus), respond,
+  /// tear down. `verdict`/`units` carry the diff region and instance-0
+  /// unit into the corpus record when the divergence came from a compare.
   void intervene(const std::shared_ptr<Session>& s, const std::string& reason,
-                 bool report);
+                 bool report, const BatchVerdict* verdict = nullptr,
+                 const std::vector<Unit>* units = nullptr);
+  /// Fires Config::on_divergence with an enriched record (no-op when the
+  /// hook is unset).
+  void record_divergence(const char* verdict_class, const std::string& reason,
+                         const BatchVerdict* verdict,
+                         const std::vector<Unit>* units);
   void teardown(const std::shared_ptr<Session>& s);
   void arm_timeout(const std::shared_ptr<Session>& s);
+  /// Idle-session read timeout (Config::idle_timeout): re-arming timer
+  /// that sheds sessions making no protocol progress with the plugin's
+  /// overload response.
+  void arm_idle(const std::shared_ptr<Session>& s);
   /// Removes instance i from the session (non-strict policies); returns
   /// false when the session could not continue and was ended.
   bool drop_instance(const std::shared_ptr<Session>& s, size_t i,

@@ -9,6 +9,7 @@ void ProxyCounters::bind(obs::MetricsRegistry& reg,
   units_compared = reg.counter(prefix + ".units_compared");
   divergences = reg.counter(prefix + ".divergences");
   timeouts = reg.counter(prefix + ".timeouts");
+  idle_sheds = reg.counter(prefix + ".idle_sheds");
   passthrough_sessions = reg.counter(prefix + ".passthrough_sessions");
   signature_blocks = reg.counter(prefix + ".signature_blocks");
   instance_unreachable = reg.counter(prefix + ".instance_unreachable");
@@ -35,6 +36,7 @@ ProxyStats ProxyCounters::snapshot() const {
   s.units_compared = units_compared->value();
   s.divergences = divergences->value();
   s.timeouts = timeouts->value();
+  s.idle_sheds = idle_sheds->value();
   s.passthrough_sessions = passthrough_sessions->value();
   s.signature_blocks = signature_blocks->value();
   s.instance_unreachable = instance_unreachable->value();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -16,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rddr/diff_engine.h"
+#include "rddr/divergence.h"
 #include "rddr/health.h"
 #include "rddr/plugin.h"
 
@@ -67,6 +69,18 @@ struct ProxyOptions {
   /// timeout, reproducing the paper's §IV-D DoS limitation. Canonical
   /// spelling for what the incoming proxy called `instance_timeout`.
   sim::Time unit_timeout = 0;
+  /// Idle-session read timeout (incoming proxy): a session that makes no
+  /// protocol progress — no completed client unit framed and no response
+  /// forwarded — for this long is shed with the plugin's protocol-correct
+  /// overload_response() instead of pinning a session slot forever.
+  /// Progress-based on purpose: a slowloris sender trickling one byte per
+  /// tick never completes a unit, so byte-level activity must not reset
+  /// the clock. 0 (default) disables the timeout.
+  sim::Time idle_timeout = 0;
+  /// Scenario-factory corpus hook: called once per intervention and per
+  /// quorum outvote with the enriched divergence record (diff region,
+  /// instance-0 unit). Optional; not owned.
+  std::function<void(const DivergenceRecord&)> on_divergence;
   /// Batched diff-and-denoise engine knobs (SIMD kernel selection, arena
   /// sizing). Every proxy — and every frontier shard, which copies its
   /// shard options wholesale — owns one DiffEngine configured from this.
@@ -98,6 +112,7 @@ struct ProxyStats {
   uint64_t units_compared = 0;    // instance->client comparisons
   uint64_t divergences = 0;
   uint64_t timeouts = 0;
+  uint64_t idle_sheds = 0;  // sessions shed by the idle read timeout
   uint64_t passthrough_sessions = 0;
   uint64_t signature_blocks = 0;  // requests refused by known signature
   // Availability-path counters (fault tolerance, §IV-D limitations):
@@ -122,6 +137,7 @@ struct ProxyStats {
     units_compared += o.units_compared;
     divergences += o.divergences;
     timeouts += o.timeouts;
+    idle_sheds += o.idle_sheds;
     passthrough_sessions += o.passthrough_sessions;
     signature_blocks += o.signature_blocks;
     instance_unreachable += o.instance_unreachable;
@@ -149,6 +165,7 @@ struct ProxyCounters {
   obs::Counter* units_compared = nullptr;
   obs::Counter* divergences = nullptr;
   obs::Counter* timeouts = nullptr;
+  obs::Counter* idle_sheds = nullptr;
   obs::Counter* passthrough_sessions = nullptr;
   obs::Counter* signature_blocks = nullptr;
   obs::Counter* instance_unreachable = nullptr;

@@ -553,7 +553,7 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
           tracer->tag(sp, "reason", outcome.reason);
           tracer->end(diff_span);
         }
-        intervene(g, outcome.reason);
+        intervene(g, outcome.reason, &outcome, units.get());
         return;
       }
       verdict("agree");
@@ -566,12 +566,13 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
           tracer->tag(sp, "reason", vote.reason);
           tracer->end(diff_span);
         }
-        intervene(g, vote.reason);
+        intervene(g, vote.reason, &vote, units.get());
         return;
       }
       if (vote.outlier != SIZE_MAX) {
         size_t slot = idxmap[vote.outlier];
         counters_.quorum_outvotes->inc();
+        record_divergence("outvote", vote.reason, &vote, units.get());
         obs::SpanId sp = verdict("outvoted");
         if (tracer)
           tracer->tag(sp, "outvoted_instance", strformat("%zu", slot));
@@ -607,13 +608,39 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
   });
 }
 
+void OutgoingProxy::record_divergence(const char* verdict_class,
+                                      const std::string& reason,
+                                      const BatchVerdict* verdict,
+                                      const std::vector<Unit>* units) {
+  if (!config_.on_divergence) return;
+  DivergenceRecord rec;
+  rec.time = net_.simulator().now();
+  rec.proxy = config_.name;
+  rec.protocol = config_.plugin->name();
+  rec.verdict = verdict_class;
+  rec.reason = reason;
+  if (units && !units->empty()) {
+    rec.unit_kind = (*units)[0].kind;
+    rec.unit_data = (*units)[0].data;
+  }
+  if (verdict) {
+    rec.region_line = verdict->region.line;
+    rec.region_offset = verdict->region.offset;
+    rec.region_instance = verdict->region.instance;
+  }
+  config_.on_divergence(rec);
+}
+
 void OutgoingProxy::intervene(const std::shared_ptr<Group>& g,
-                              const std::string& reason) {
+                              const std::string& reason,
+                              const BatchVerdict* verdict,
+                              const std::vector<Unit>* units) {
   if (g->ended) return;
   counters_.divergences->inc();
   RDDR_LOG_INFO("%s: intervention on flow '%s': %s", config_.name.c_str(),
                 g->flow_label.c_str(), reason.c_str());
   if (config_.tracer) config_.tracer->tag(g->root_span, "intervention", reason);
+  record_divergence("intervention", reason, verdict, units);
   if (bus_) bus_->report(config_.name, reason);
   teardown(g);
 }

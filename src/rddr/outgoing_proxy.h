@@ -95,7 +95,15 @@ class OutgoingProxy {
   void on_window_expired(const std::shared_ptr<Group>& g);
   void complete_group(const std::shared_ptr<Group>& g);
   void pump(const std::shared_ptr<Group>& g);
-  void intervene(const std::shared_ptr<Group>& g, const std::string& reason);
+  /// On divergence: count, record (corpus hook), report (bus), tear down.
+  /// `verdict`/`units` enrich the corpus record when available.
+  void intervene(const std::shared_ptr<Group>& g, const std::string& reason,
+                 const BatchVerdict* verdict = nullptr,
+                 const std::vector<Unit>* units = nullptr);
+  /// Fires Config::on_divergence (see ProxyOptions); no-op when unset.
+  void record_divergence(const char* verdict_class, const std::string& reason,
+                         const BatchVerdict* verdict,
+                         const std::vector<Unit>* units);
   void teardown(const std::shared_ptr<Group>& g);
   /// Removes member i from the group (non-strict policies); returns false
   /// when the group could not continue and was ended.

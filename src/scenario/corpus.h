@@ -1,0 +1,68 @@
+// Divergence corpus + miner (the feedback loop of ROADMAP item 5).
+//
+// Every divergence an RDDR edge reports during a fuzz run is captured as
+// a core::DivergenceRecord (via ProxyOptions::on_divergence) and
+// fingerprinted: protocol, unit kind, and the canonical diff region the
+// DiffEngine located, resolved to a semantic name where the grammar
+// allows (a pgwire ParameterStatus parameter name, an HTTP header name).
+//
+// The miner then exploits the fuzz schedule's labelled structure: the
+// benign-only prefix window contains, by construction, only divergences
+// caused by acceptable cross-version variance (build stamps, banners).
+// Fingerprints first seen there are classified benign; everything else is
+// a true divergence. For each benign fingerprint with a recognised
+// grammar position the miner proposes a concrete denoiser rule
+// (KnownVariance::pg_ignore_params / http_ignore_headers entry) and
+// returns the tuned variance, so a re-run can demonstrate the
+// benign-divergence rate dropping (paper §IV-B4: deciding which
+// divergences matter is the hard part of N-versioning).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rddr/divergence.h"
+#include "rddr/plugin.h"
+
+namespace rddr::scenario {
+
+/// Stable fingerprint of a divergence record. `run_variance` must be the
+/// KnownVariance the run used — HTTP region lines index the comparison
+/// form, which depends on the ignore rules in force.
+std::string fingerprint(const core::DivergenceRecord& r,
+                        const core::KnownVariance& run_variance);
+
+/// Deterministic JSON array of the corpus (records in bus order). Stable
+/// byte-for-byte for a given corpus — the determinism check surface.
+std::string corpus_json(const std::vector<core::DivergenceRecord>& corpus,
+                        const core::KnownVariance& run_variance);
+
+/// One auto-proposed denoiser rule.
+struct DenoiserRule {
+  std::string kind;  // "pg_param" | "http_header"
+  std::string name;  // parameter / header name to ignore
+};
+
+struct MinerReport {
+  /// Rules proposed from benign-window fingerprints, sorted.
+  std::vector<DenoiserRule> rules;
+  /// base variance + proposed rules (deduplicated).
+  core::KnownVariance tuned;
+  uint64_t benign_records = 0;
+  uint64_t true_records = 0;
+  double benign_rate() const {
+    const uint64_t total = benign_records + true_records;
+    return total ? static_cast<double>(benign_records) / total : 0.0;
+  }
+  std::string summary() const;
+};
+
+/// Classifies the corpus against the benign prefix window [0,
+/// benign_until) and proposes denoiser rules. `run_variance` is the
+/// variance the corpus was recorded under.
+MinerReport mine_corpus(const std::vector<core::DivergenceRecord>& corpus,
+                        sim::Time benign_until,
+                        const core::KnownVariance& run_variance);
+
+}  // namespace rddr::scenario

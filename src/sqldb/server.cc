@@ -138,6 +138,8 @@ void SqlServer::on_message(const std::shared_ptr<Conn>& c,
     out += pg::build_parameter_status("server_version", db_->info().version);
     out += pg::build_parameter_status("server_encoding", "UTF8");
     out += pg::build_parameter_status("application_name", db_->info().product);
+    for (const auto& [k, v] : opts_.startup_params)
+      out += pg::build_parameter_status(k, v);
     out += pg::build_backend_key_data(
         static_cast<uint32_t>(rng_.uniform(1000, 65000)),
         static_cast<uint32_t>(rng_.next() & 0xffffffff));

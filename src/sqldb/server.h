@@ -47,6 +47,11 @@ class SqlServer {
     /// Lineage seed forwarded to storage bootstrap: replicas that should
     /// serve each other incremental resync deltas must share it.
     uint64_t lineage_seed = 0;
+    /// Extra ParameterStatus pairs announced in the startup handshake
+    /// after the standard server_version/server_encoding/application_name
+    /// set — how a version build stamps itself (benign divergence the
+    /// scenario-factory miner must learn to ignore, paper §IV-B4).
+    std::vector<std::pair<std::string, std::string>> startup_params;
     /// Observability sinks (optional, not owned). With a tracer set, each
     /// query becomes a "db.query" span, parented to the trace context the
     /// dialing side put in its ConnectMeta (if any). With metrics set, the

@@ -138,6 +138,41 @@ TEST(ChaosShrinkTest, ResyncAblationIsCaughtAndShrunk) {
   EXPECT_EQ(again.report.summary(), shrunk.report.summary());
 }
 
+/// Stronger determinism contract than the field-wise checks above: for a
+/// fixed (seed, violation), two independent shrink passes must produce
+/// byte-identical minimal repros and byte-identical failure reports —
+/// describe() and summary() are the comparison surfaces CI can diff.
+TEST(ChaosShrinkTest, SameSeedShrinkIsByteIdentical) {
+  ChaosOptions opts = quick_options();
+  opts.resync_enabled = false;  // the planted violation
+
+  std::vector<FaultSpec> plan;
+  FaultSpec spike;
+  spike.kind = FaultKind::kLatencySpike;
+  spike.at = 600 * sim::kMillisecond;
+  spike.duration = 300 * sim::kMillisecond;
+  spike.extra = 20 * sim::kMillisecond;
+  spike.instance = 0;
+  plan.push_back(spike);
+  FaultSpec crash;
+  crash.kind = FaultKind::kCrashRestart;
+  crash.at = 1 * sim::kSecond;
+  crash.duration = 800 * sim::kMillisecond;
+  crash.instance = 2;
+  plan.push_back(crash);
+
+  ASSERT_FALSE(run_chaos(plan, opts, /*seed=*/5).ok);
+
+  ShrinkResult first = shrink_fault_plan(plan, opts, 5);
+  ShrinkResult second = shrink_fault_plan(plan, opts, 5);
+  ASSERT_FALSE(first.report.ok);
+  EXPECT_EQ(describe(first.plan), describe(second.plan));
+  EXPECT_EQ(first.report.summary(), second.report.summary());
+  // And re-running the minimal repro reproduces its report byte-for-byte.
+  EXPECT_EQ(run_chaos(first.plan, opts, 5).summary(),
+            first.report.summary());
+}
+
 TEST(ShardKillTest, FrontierRoutesAroundDeadShardAndReadmitsIt) {
   ShardKillOptions opts;  // defaults: 3 shards x 3 minipg, kill shard 1
   ShardKillReport r = run_shard_kill(opts, 5);

@@ -258,5 +258,68 @@ TEST(ChunkedEncode, SplitsIntoChunks) {
   EXPECT_NE(enc.find("0\r\n\r\n"), Bytes::npos);
 }
 
+// ---- bounded-read hardening (fuzzer-found classes) ----
+
+TEST(ParserHardening, UnterminatedChunkSizeLineBounded) {
+  // A sender that opens a chunked body and then streams hex digits
+  // without ever sending CRLF used to grow the buffer without limit.
+  RequestParser p;
+  p.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  p.feed(Bytes(1024, 'f'));  // endless "chunk size" with no terminator
+  EXPECT_TRUE(p.failed());
+  EXPECT_NE(p.error().find("chunk size line too long"), std::string::npos);
+}
+
+TEST(ParserHardening, OverlongTerminatedChunkSizeLineRejected) {
+  RequestParser p;
+  Bytes wire = "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  wire += "1;" + std::string(512, 'x') + "\r\na\r\n0\r\n\r\n";
+  p.feed(wire);
+  EXPECT_TRUE(p.failed());
+  EXPECT_NE(p.error().find("chunk size line too long"), std::string::npos);
+}
+
+TEST(ParserHardening, EndlessTrailerSectionBounded) {
+  // The trailer skip loop after the 0-chunk is bounded like the header
+  // block: an endless trailer must not buffer forever.
+  ParserOptions opts;
+  opts.max_header_bytes = 512;
+  RequestParser p(opts);
+  p.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n");
+  for (int i = 0; i < 64 && !p.failed(); ++i)
+    p.feed("X-Trailer: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+  EXPECT_TRUE(p.failed());
+  EXPECT_NE(p.error().find("trailer section too large"), std::string::npos);
+}
+
+TEST(ParserHardening, ModestTrailerStillAccepted) {
+  RequestParser p;
+  p.feed(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\nX-Sum: ok\r\n\r\n");
+  auto msgs = p.take();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].body, "abc");
+  EXPECT_FALSE(p.failed());
+}
+
+TEST(ParserHardening, StatusCodeOutOfRangeRejected) {
+  // parse_i64 accepts any width; take() then truncated the value to int.
+  // Out-of-range status lines must fail with their own error instead.
+  for (const char* line :
+       {"HTTP/1.1 99 Huh\r\n\r\n", "HTTP/1.1 1000 Huh\r\n\r\n",
+        "HTTP/1.1 99999999999999999999 Huh\r\n\r\n"}) {
+    ResponseParser p;
+    p.feed(line);
+    EXPECT_TRUE(p.failed()) << line;
+  }
+  ResponseParser ok;
+  ok.feed("HTTP/1.1 204 No Content\r\n\r\n");
+  EXPECT_FALSE(ok.failed());
+  auto msgs = ok.take();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].status, 204);
+}
+
 }  // namespace
 }  // namespace rddr::http

@@ -181,5 +181,61 @@ TEST(Json, IntegersRenderWithoutDecimal) {
   EXPECT_EQ(arr.dump(), "[1,2.5]");
 }
 
+// ---- bounded-read hardening (fuzzer-found classes) ----
+
+TEST(PgWireHardening, NonPrintableTypeByteFailsDistinctly) {
+  // A garbage type byte used to be accepted verbatim, and its
+  // attacker-controlled declared length silently buffered up to the 64MB
+  // cap. It must now fail immediately with its own error.
+  MessageReader r(false);
+  Bytes wire;
+  wire.push_back('\x01');  // not a printable-ASCII pgwire type
+  put_u32_be(wire, 32 * 1024 * 1024);
+  r.feed(wire);
+  EXPECT_TRUE(r.failed());
+  EXPECT_NE(r.error().find("invalid message type byte"), std::string::npos);
+  EXPECT_EQ(r.take().size(), 0u);
+}
+
+TEST(PgWireHardening, TypeByteCheckedBeforeLengthArrives) {
+  // The type byte is validated as soon as it lands — before the 4 length
+  // bytes exist — so a trickled garbage frame can't park in the buffer.
+  MessageReader r(false);
+  r.feed(ByteView("\x80", 1));
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(PgWireHardening, PrintableTypesStillFrame) {
+  MessageReader r(false);
+  r.feed(build_query("SELECT 1;") + build_terminate());
+  auto msgs = r.take();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(PgWireHardening, StartupWithoutTerminatorRejected) {
+  // A parameter list that merely runs out of bytes (no trailing NUL) is a
+  // truncated packet; it used to parse as a complete parameter map.
+  Bytes wire = build_startup({{"user", "alice"}});
+  MessageReader r(true);
+  r.feed(wire);
+  auto msgs = r.take();
+  ASSERT_EQ(msgs.size(), 1u);
+  Bytes truncated = msgs[0].payload;
+  truncated.pop_back();  // drop the list terminator
+  EXPECT_FALSE(parse_startup(truncated).has_value());
+  EXPECT_TRUE(parse_startup(msgs[0].payload).has_value());
+}
+
+TEST(PgWireHardening, BadLengthStillDistinctFromBadType) {
+  MessageReader r(false);
+  Bytes wire;
+  wire.push_back('Q');
+  put_u32_be(wire, 3);  // < 4: impossible self-inclusive length
+  r.feed(wire);
+  EXPECT_TRUE(r.failed());
+  EXPECT_NE(r.error().find("bad message length"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rddr

@@ -7,6 +7,7 @@
 #include "rddr/deployment.h"
 #include "rddr/plugins.h"
 #include "proto/http/coding.h"
+#include "proto/http/parser.h"
 #include "services/http_service.h"
 #include "services/static_server.h"
 #include "sqldb/client.h"
@@ -161,6 +162,101 @@ TEST_F(ProxyTest, TimeoutMitigationAborts) {
   sim.run_until(10 * sim::kSecond);
   EXPECT_EQ(status, 403);
   EXPECT_EQ(proxy.stats().timeouts, 1u);
+}
+
+TEST_F(ProxyTest, IdleTimeoutDisabledByDefaultKeepsSlowSessions) {
+  // Without the idle-timeout knob a half-sent request pins its session
+  // slot forever (the slowloris limitation the knob exists to close).
+  auto i0 = make_instance("svc-0:80", "x");
+  auto i1 = make_instance("svc-1:80", "x");
+
+  IncomingProxy::Config cfg;
+  cfg.listen_address = "svc:80";
+  cfg.instance_addresses = {"svc-0:80", "svc-1:80"};
+  cfg.plugin = std::make_shared<HttpPlugin>();
+  IncomingProxy proxy(net, host, cfg);
+
+  auto conn = net.connect("svc:80", {.source = "client", .flow_label = ""});
+  ASSERT_NE(conn, nullptr);
+  conn->send("GET / HTTP/1.1\r\nHost: svc\r\nX-Slow: ");  // never finished
+  sim.run_until(30 * sim::kSecond);
+  EXPECT_EQ(proxy.active_sessions(), 1u);
+  EXPECT_EQ(proxy.stats().idle_sheds, 0u);
+}
+
+TEST_F(ProxyTest, IdleTimeoutShedsSlowlorisDespiteByteTrickle) {
+  // A slowloris sender trickles one header byte per tick: the connection
+  // is never byte-idle, but no client unit ever completes. The idle
+  // timeout is progress-based, so the session is still shed, with the
+  // plugin's protocol-correct overload response.
+  auto i0 = make_instance("svc-0:80", "x");
+  auto i1 = make_instance("svc-1:80", "x");
+
+  IncomingProxy::Config cfg;
+  cfg.listen_address = "svc:80";
+  cfg.instance_addresses = {"svc-0:80", "svc-1:80"};
+  cfg.plugin = std::make_shared<HttpPlugin>();
+  cfg.idle_timeout = sim::kSecond;
+  IncomingProxy proxy(net, host, cfg);
+
+  auto conn = net.connect("svc:80", {.source = "client", .flow_label = ""});
+  ASSERT_NE(conn, nullptr);
+  Bytes got;
+  conn->set_on_data([&](ByteView d) { got += Bytes(d); });
+  conn->send("GET / HTTP/1.1\r\nHost: svc\r\nX-Slow: ");
+  // One header byte every 400ms, forever short of "\r\n\r\n".
+  std::function<void()> trickle = [&] {
+    if (!conn->is_open()) return;
+    conn->send("a");
+    sim.schedule(400 * sim::kMillisecond, trickle);
+  };
+  sim.schedule(400 * sim::kMillisecond, trickle);
+
+  sim.run_until(10 * sim::kSecond);
+  EXPECT_EQ(proxy.stats().idle_sheds, 1u);
+  EXPECT_EQ(proxy.active_sessions(), 0u);
+  EXPECT_NE(got.find("503"), Bytes::npos);       // overload_response()
+  EXPECT_NE(got.find("Retry-After"), Bytes::npos);
+  EXPECT_EQ(proxy.stats().divergences, 0u);  // shedding is not intervention
+}
+
+TEST_F(ProxyTest, IdleTimeoutSparedByProtocolProgress) {
+  // Requests spaced wider than the idle window apart would each be shed;
+  // spaced inside it, every completed unit resets the clock and the
+  // persistent session survives all of them.
+  auto i0 = make_instance("svc-0:80", "ok");
+  auto i1 = make_instance("svc-1:80", "ok");
+
+  IncomingProxy::Config cfg;
+  cfg.listen_address = "svc:80";
+  cfg.instance_addresses = {"svc-0:80", "svc-1:80"};
+  cfg.plugin = std::make_shared<HttpPlugin>();
+  cfg.idle_timeout = sim::kSecond;
+  IncomingProxy proxy(net, host, cfg);
+
+  auto conn = net.connect("svc:80", {.source = "client", .flow_label = ""});
+  ASSERT_NE(conn, nullptr);
+  size_t responses = 0;
+  http::ResponseParser parser;
+  conn->set_on_data([&](ByteView d) {
+    parser.feed(d);
+    responses += parser.take().size();
+  });
+  const Bytes req = "GET / HTTP/1.1\r\nHost: svc\r\n\r\n";
+  for (int i = 0; i < 5; ++i)
+    sim.schedule(i * 600 * sim::kMillisecond, [&, i] {
+      if (conn->is_open()) conn->send(req);
+    });
+  // Last request lands at 2.4s; at 3s all five answered and the window
+  // (rearmed by that final response) has not yet expired.
+  sim.run_until(3 * sim::kSecond);
+  EXPECT_EQ(responses, 5u);
+  EXPECT_EQ(proxy.stats().idle_sheds, 0u);
+  // ... and once the client goes quiet for a full window, the proxy
+  // reclaims the slot.
+  sim.run_until(30 * sim::kSecond);
+  EXPECT_EQ(proxy.stats().idle_sheds, 1u);
+  EXPECT_EQ(proxy.active_sessions(), 0u);
 }
 
 TEST_F(ProxyTest, FilterPairAbsorbsPerInstanceTokens) {

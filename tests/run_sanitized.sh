@@ -55,6 +55,13 @@ for preset in asan ubsan; do
   # recovery trace is seed-deterministic — all virtual-time invariants,
   # so they hold under sanitizers too.
   "$repo/build-$preset/bench/storage_recovery" --smoke >/dev/null
+
+  # Adversarial fuzz smoke: a few seeds of the protocol-aware fuzzer per
+  # generated topology — malformed length fields, smuggling variants and
+  # slowloris sessions push hostile bytes through the codecs and proxies,
+  # exactly what the sanitizers should watch. Exits nonzero (shrunk repro
+  # on stderr) on any leak/hang/accounting violation.
+  "$repo/build-$preset/bench/fuzz_sweep" --smoke >/dev/null
 done
 
 # Perf smoke (optimised build, not sanitized — sanitizers skew timing):

@@ -1,0 +1,259 @@
+// Scenario factory tests: seeded topology generation, the protocol-aware
+// adversarial fuzzer's invariants (secret containment, no hangs, full
+// benign accounting), per-seed determinism, shrink-to-minimal-repro, and
+// the divergence-corpus miner's benign/true classification.
+#include <gtest/gtest.h>
+
+#include "scenario/corpus.h"
+#include "scenario/fuzzer.h"
+#include "scenario/topology.h"
+
+namespace rddr::scenario {
+namespace {
+
+/// Trimmed schedule so one run stays fast; families and invariants are
+/// unchanged.
+FuzzOptions quick_options(int topology) {
+  FuzzOptions o;
+  o.topology = topology;
+  o.benign_sessions = 4;
+  o.benign_window = 1 * sim::kSecond;
+  o.ops_per_family = 1;
+  o.settle = 1500 * sim::kMillisecond;
+  return o;
+}
+
+/// The variance the miner is expected to discover: the topologies stamp a
+/// per-version build_sha startup parameter and an X-Backend-Build header.
+core::KnownVariance tuned_variance() {
+  core::KnownVariance v;
+  v.pg_ignore_params.push_back("build_sha");
+  v.http_ignore_headers.push_back("X-Backend-Build");
+  return v;
+}
+
+TEST(ScenarioTopologyTest, SameSeedSameGraph) {
+  for (int kind = 0; kind < Topology::kKinds; ++kind) {
+    TopologyOptions opts;
+    opts.kind = kind;
+    opts.seed = 42;
+    sim::Simulator sim_a;
+    sim::Network net_a(sim_a, 10 * sim::kMicrosecond);
+    Topology a(sim_a, net_a, opts);
+    sim::Simulator sim_b;
+    sim::Network net_b(sim_b, 10 * sim::kMicrosecond);
+    Topology b(sim_b, net_b, opts);
+    EXPECT_EQ(a.describe(), b.describe()) << Topology::kind_name(kind);
+    EXPECT_EQ(a.entry(), b.entry());
+    EXPECT_EQ(a.backend_nodes(), b.backend_nodes());
+  }
+}
+
+TEST(ScenarioTopologyTest, GraphsVaryAcrossSeeds) {
+  bool any_difference = false;
+  TopologyOptions base;
+  base.kind = 1;  // samples fan-out width and payload sizes
+  base.seed = 1;
+  sim::Simulator sim0;
+  sim::Network net0(sim0, 10 * sim::kMicrosecond);
+  const std::string first = Topology(sim0, net0, base).describe();
+  for (uint64_t seed = 2; seed <= 6; ++seed) {
+    TopologyOptions opts = base;
+    opts.seed = seed;
+    sim::Simulator sim;
+    sim::Network net(sim, 10 * sim::kMicrosecond);
+    if (Topology(sim, net, opts).describe() != first) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ScenarioPlanTest, DeterministicAndCoversAllFamilies) {
+  for (int topo = 0; topo < Topology::kKinds; ++topo) {
+    const FuzzOptions opts = quick_options(topo);
+    const FuzzPlan a = generate_fuzz_plan(7, opts);
+    const FuzzPlan b = generate_fuzz_plan(7, opts);
+    EXPECT_EQ(describe(a), describe(b));
+    const std::vector<MutationFamily> fams = families_for(topo == 0);
+    ASSERT_EQ(a.ops.size(), fams.size() * opts.ops_per_family);
+    for (MutationFamily f : fams) {
+      const bool present =
+          std::any_of(a.ops.begin(), a.ops.end(),
+                      [f](const AdvOp& op) { return op.family == f; });
+      EXPECT_TRUE(present) << family_name(f);
+    }
+  }
+}
+
+// Before mining, the planted per-version build stamps make every benign
+// session diverge under kStrict: nothing is served, everything is
+// *visibly* refused (accounting stays exact), and the corpus records the
+// benign-window divergences the miner will learn from.
+TEST(ScenarioFuzzTest, BaselineVarianceRefusesBenignTraffic) {
+  const FuzzOptions opts = quick_options(0);
+  const FuzzReport rep = run_fuzz_seed(3, opts);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_EQ(rep.served, 0u) << rep.summary();
+  EXPECT_GT(rep.refused, 0u);
+  EXPECT_EQ(rep.lost, 0u);
+  const bool benign_window_records =
+      std::any_of(rep.corpus.begin(), rep.corpus.end(),
+                  [&](const core::DivergenceRecord& r) {
+                    return r.time < rep.benign_until;
+                  });
+  EXPECT_TRUE(benign_window_records);
+}
+
+TEST(ScenarioFuzzTest, TunedVarianceServesBenignTraffic) {
+  for (int topo = 0; topo < Topology::kKinds; ++topo) {
+    FuzzOptions opts = quick_options(topo);
+    opts.variance = tuned_variance();
+    const FuzzReport rep = run_fuzz_seed(3, opts);
+    EXPECT_TRUE(rep.ok()) << Topology::kind_name(topo) << "\n" << rep.summary();
+    EXPECT_GT(rep.served, 0u) << Topology::kind_name(topo) << rep.summary();
+    EXPECT_EQ(rep.lost, 0u);
+    // With the variance tuned, the benign-only prefix is divergence-free.
+    const bool benign_window_records =
+        std::any_of(rep.corpus.begin(), rep.corpus.end(),
+                    [&](const core::DivergenceRecord& r) {
+                      return r.time < rep.benign_until;
+                    });
+    EXPECT_FALSE(benign_window_records) << Topology::kind_name(topo);
+  }
+}
+
+// The tentpole's security claim: version-keyed secrets never cross an
+// RDDR edge, whichever way the fuzzer asks for them (direct probes,
+// smuggled requests, nested edges), while the probes do show up as
+// interventions.
+TEST(ScenarioFuzzTest, SecretProbesAreBlockedEverywhere) {
+  for (int topo = 0; topo < Topology::kKinds; ++topo) {
+    FuzzOptions opts = quick_options(topo);
+    opts.variance = tuned_variance();
+    const FuzzReport rep = run_fuzz_seed(11, opts);
+    EXPECT_TRUE(rep.ok()) << Topology::kind_name(topo) << "\n" << rep.summary();
+    EXPECT_GT(rep.interventions, 0u) << Topology::kind_name(topo);
+  }
+}
+
+TEST(ScenarioFuzzTest, SlowlorisIsShedByIdleTimeout) {
+  FuzzOptions opts = quick_options(1);
+  opts.variance = tuned_variance();
+  const FuzzReport rep = run_fuzz_seed(5, opts);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_GT(rep.idle_sheds, 0u) << rep.summary();
+}
+
+// Self-test for the no-hang invariant: with the idle timeout disabled the
+// slowloris session parks a proxy session forever and the fuzzer must
+// say so.
+TEST(ScenarioFuzzTest, HangInvariantFiresWithoutIdleTimeout) {
+  FuzzOptions opts = quick_options(1);
+  opts.variance = tuned_variance();
+  opts.idle_timeout = 0;
+  const FuzzReport rep = run_fuzz_seed(5, opts);
+  ASSERT_FALSE(rep.ok());
+  const bool hang = std::any_of(
+      rep.violations.begin(), rep.violations.end(),
+      [](const std::string& v) { return v.find("hang") != std::string::npos; });
+  EXPECT_TRUE(hang) << rep.summary();
+}
+
+TEST(ScenarioFuzzTest, ComposedFaultsStaySafe) {
+  FuzzOptions opts = quick_options(0);
+  opts.variance = tuned_variance();
+  opts.compose_faults = true;
+  const FuzzReport rep = run_fuzz_seed(17, opts);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_EQ(rep.lost, 0u);
+}
+
+TEST(ScenarioFuzzTest, SameSeedByteIdenticalReportAndCorpus) {
+  FuzzOptions opts = quick_options(2);
+  opts.variance = tuned_variance();
+  const FuzzReport a = run_fuzz_seed(23, opts);
+  const FuzzReport b = run_fuzz_seed(23, opts);
+  EXPECT_EQ(a.summary(), b.summary());
+  EXPECT_EQ(corpus_json(a.corpus, opts.variance),
+            corpus_json(b.corpus, opts.variance));
+  EXPECT_EQ(a.topology_desc, b.topology_desc);
+}
+
+// Miner end-to-end: the baseline corpus teaches it the planted variance,
+// the proposed rules name exactly the planted stamps, and re-running with
+// the tuned variance drops the benign-divergence rate.
+TEST(ScenarioCorpusTest, MinerProposesRulesAndLowersBenignRate) {
+  // pgwire edge: build_sha ParameterStatus.
+  {
+    const FuzzOptions base = quick_options(0);
+    const FuzzReport before = run_fuzz_seed(29, base);
+    ASSERT_TRUE(before.ok()) << before.summary();
+    ASSERT_FALSE(before.corpus.empty());
+    const MinerReport mined =
+        mine_corpus(before.corpus, before.benign_until, base.variance);
+    const bool proposes_build_sha = std::any_of(
+        mined.rules.begin(), mined.rules.end(), [](const DenoiserRule& r) {
+          return r.kind == "pg_param" && r.name == "build_sha";
+        });
+    EXPECT_TRUE(proposes_build_sha) << mined.summary();
+    EXPECT_GT(mined.benign_rate(), 0.5) << mined.summary();
+
+    FuzzOptions tuned = base;
+    tuned.variance = mined.tuned;
+    const FuzzReport after = run_fuzz_seed(29, tuned);
+    ASSERT_TRUE(after.ok()) << after.summary();
+    EXPECT_GT(after.served, 0u);
+    const MinerReport remined =
+        mine_corpus(after.corpus, after.benign_until, tuned.variance);
+    EXPECT_LT(remined.benign_rate(), mined.benign_rate())
+        << remined.summary();
+    // The secret probes survive tuning as true divergences.
+    EXPECT_GT(remined.true_records, 0u) << remined.summary();
+  }
+  // http edge: X-Backend-Build header.
+  {
+    const FuzzOptions base = quick_options(1);
+    const FuzzReport before = run_fuzz_seed(31, base);
+    ASSERT_TRUE(before.ok()) << before.summary();
+    const MinerReport mined =
+        mine_corpus(before.corpus, before.benign_until, base.variance);
+    const bool proposes_header = std::any_of(
+        mined.rules.begin(), mined.rules.end(), [](const DenoiserRule& r) {
+          return r.kind == "http_header" && r.name == "X-Backend-Build";
+        });
+    EXPECT_TRUE(proposes_header) << mined.summary();
+  }
+}
+
+// Shrinking a failing plan is deterministic and 1-minimal: the hang
+// reproducer keeps only the slowloris session, byte-identically across
+// two shrink passes.
+TEST(ScenarioShrinkTest, ShrinksToMinimalDeterministicRepro) {
+  FuzzOptions opts = quick_options(1);
+  opts.variance = tuned_variance();
+  opts.idle_timeout = 0;  // the planted defect
+
+  // A small plan: benign burst + slowloris + secret probe.
+  const FuzzPlan full = generate_fuzz_plan(5, opts);
+  FuzzPlan plan = full;
+  plan.ops.clear();
+  for (const AdvOp& op : full.ops) {
+    if (op.family == MutationFamily::kBenignBurst ||
+        op.family == MutationFamily::kHttpSlowloris ||
+        op.family == MutationFamily::kHttpSecretProbe)
+      plan.ops.push_back(op);
+  }
+  ASSERT_EQ(plan.ops.size(), 3u);
+  ASSERT_FALSE(run_fuzz(plan, opts).ok());
+
+  const FuzzPlan shrunk = shrink_fuzz_plan(plan, opts);
+  ASSERT_EQ(shrunk.ops.size(), 1u) << describe(shrunk);
+  EXPECT_EQ(shrunk.ops[0].family, MutationFamily::kHttpSlowloris);
+  ASSERT_FALSE(run_fuzz(shrunk, opts).ok());
+
+  const FuzzPlan again = shrink_fuzz_plan(plan, opts);
+  EXPECT_EQ(describe(again), describe(shrunk));
+  EXPECT_EQ(run_fuzz(again, opts).summary(), run_fuzz(shrunk, opts).summary());
+}
+
+}  // namespace
+}  // namespace rddr::scenario
