@@ -50,6 +50,11 @@ if [ "${1:-}" = "--smoke" ]; then
       exit (v + 0 >= f + 0) ? 0 : 1
     }' || { echo "FAIL: denoise+diff items/s below floor" >&2; exit 1; }
 
+  # Island scaling floor: the 16-shard fig5 point on the partitioned
+  # event loop must stay byte-identical to the islands=1 oracle and keep
+  # model_speedup >= 1.8x at 4 islands (JSON dropped; checks on stderr).
+  "$BUILD/bench/fig5_scaleout" --smoke --islands=4 >/dev/null
+
   exec "$BUILD/bench/simloop_throughput" --smoke
 fi
 

@@ -27,10 +27,13 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "netsim/host.h"
 #include "netsim/network.h"
+#include "netsim/parallel.h"
 #include "obs/metrics.h"
 #include "rddr/rddr.h"
 #include "sqldb/server.h"
@@ -161,6 +164,59 @@ FanoutResult run_fanout_point() {
   return r;
 }
 
+struct IslandPoint {
+  size_t islands = 0;
+  double events_per_sec = 0;
+  double model_speedup = 1.0;
+  uint64_t windows = 0;
+  uint64_t barrier_stalls = 0;
+};
+
+// Multi-island event loop: per-island ping-pong chains with a cross-island
+// hop every 32nd event (the shard-column shape — mostly local work, a
+// steady trickle across the cuts). Measures raw events/sec through the
+// windowed executor and its deterministic model_speedup.
+IslandPoint bench_islands(size_t islands, size_t events_per_island) {
+  sim::Simulator sim;
+  sim::ParallelOptions popts;
+  popts.min_lookahead = 10 * sim::kMicrosecond;
+  sim.configure_islands(islands, popts);
+  IslandPoint p;
+  p.islands = islands;
+  std::vector<size_t> remaining(islands, events_per_island);
+  std::vector<uint64_t> executed(islands, 0);  // written by owner island only
+  std::vector<std::function<void()>> hop(islands);
+  for (size_t i = 0; i < islands; ++i) {
+    hop[i] = [&, i] {
+      ++executed[i];
+      if (remaining[i] == 0 || --remaining[i] == 0) return;
+      if (remaining[i] % 32 == 0 && islands > 1) {
+        // Cross-island hop: must clear the conservative lookahead.
+        size_t j = (i + 1) % islands;
+        sim.schedule_on(j, sim.now() + 20 * sim::kMicrosecond,
+                        [&, j] { hop[j](); });
+      } else {
+        sim.schedule_on(i, sim.now() + sim::kMicrosecond, [&, i] { hop[i](); });
+      }
+    };
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < islands; ++i)
+    sim.schedule_on(i, sim::kMicrosecond * (i + 1), [&, i] { hop[i](); });
+  sim.run_until_idle();
+  double wall = wall_seconds(t0);
+  uint64_t total = 0;
+  for (uint64_t e : executed) total += e;
+  p.events_per_sec = wall > 0 ? static_cast<double>(total) / wall : 0;
+  if (const auto* ex = sim.executor()) {
+    const auto& st = ex->stats();
+    p.model_speedup = st.model_speedup();
+    p.windows = st.windows;
+    p.barrier_stalls = st.barrier_stalls;
+  }
+  return p;
+}
+
 int run_smoke() {
   double floor_eps = 1e6;
   if (const char* env = std::getenv("RDDR_SIMLOOP_FLOOR"))
@@ -197,6 +253,22 @@ int main(int argc, char** argv) {
   std::printf("    \"fill_drain_events_per_sec\": %.0f,\n", fill_drain);
   std::printf("    \"pingpong_events_per_sec\": %.0f,\n", pingpong);
   std::printf("    \"sched_cancel_pairs_per_sec\": %.0f\n", sched_cancel);
+  std::printf("  },\n");
+  std::printf("  \"parallel\": {\n");
+  std::printf("    \"threads\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("    \"islands\": [\n");
+  const size_t counts[] = {1, 2, 4, 8};
+  for (size_t ci = 0; ci < 4; ++ci) {
+    IslandPoint ip = bench_islands(counts[ci], 200000);
+    std::printf("      {\"islands\": %zu, \"events_per_sec\": %.0f, "
+                "\"model_speedup\": %.4f, \"windows\": %llu, "
+                "\"barrier_stalls\": %llu}%s\n",
+                ip.islands, ip.events_per_sec, ip.model_speedup,
+                static_cast<unsigned long long>(ip.windows),
+                static_cast<unsigned long long>(ip.barrier_stalls),
+                ci + 1 < 4 ? "," : "");
+  }
+  std::printf("    ]\n");
   std::printf("  },\n");
   std::printf("  \"fanout_fig5_rddr_16c\": {\n");
   std::printf("    \"wall_s\": %.4f,\n", fan.wall_s);

@@ -606,20 +606,32 @@ ShardKillReport run_shard_kill(const ShardKillOptions& opts, uint64_t seed) {
                    .health(health)
                    .unit_timeout(250 * sim::kMillisecond)
                    .shard_versions(pools)
+                   .islands(opts.islands)
                    .build_frontier(net, proxy_host);
+  // One proxy host => every shard shares one island; the shared db host
+  // carries all the pools' SqlServers, so its completion events must run
+  // on that island too (cpu tasks and connection events interleave).
+  if (opts.islands > 0) db_host.pin_island(front->shard_island(0));
 
   const size_t kill = opts.kill_shard % opts.shards;
-  sim.schedule_at(opts.kill_at, [&] {
+  // Global events: fault-state mutations run at a barrier with every
+  // island parked (equivalent to plain schedule_at in legacy mode).
+  sim.schedule_global_at(opts.kill_at, [&] {
     for (const std::string& a : pools[kill])
       net.crash_node(sim::Network::node_of(a));
   });
-  sim.schedule_at(opts.restart_at, [&] {
+  sim.schedule_global_at(opts.restart_at, [&] {
     for (const std::string& a : pools[kill])
       net.restart_node(sim::Network::node_of(a));
   });
 
   // Readmit watcher: first moment the killed shard's pool is back at full
   // health after the restart.
+  // The watcher samples the killed shard's live health, so it must run
+  // on that shard's island: a cross-island read would see a snapshot that
+  // depends on how far the owner island has run inside the current
+  // window (tear-free, but not deterministic).
+  const IslandId kill_island = front->shard_island(kill);
   auto watch = std::make_shared<std::function<void()>>();
   *watch = [&, watch] {
     if (front->shard(kill).incoming().health().healthy_count() ==
@@ -629,9 +641,9 @@ ShardKillReport run_shard_kill(const ShardKillOptions& opts, uint64_t seed) {
     }
     sim.schedule(25 * sim::kMillisecond, [watch] { (*watch)(); });
   };
-  sim.schedule_at(opts.restart_at, [watch] { (*watch)(); });
+  sim.schedule_on(kill_island, opts.restart_at, [watch] { (*watch)(); });
   uint64_t killed_sessions_at_restart = 0;
-  sim.schedule_at(opts.restart_at, [&] {
+  sim.schedule_on(kill_island, opts.restart_at, [&] {
     killed_sessions_at_restart = front->shard(kill).incoming().stats().sessions;
   });
 

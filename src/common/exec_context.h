@@ -1,0 +1,52 @@
+// Thread-local execution-island context.
+//
+// The parallel simulator (netsim/parallel.h) partitions event execution
+// into islands, each single-threaded within a time window. Layers that
+// must attribute work to the island it runs on (per-island trace lanes in
+// obs, per-island event heaps in netsim) read the current island here.
+// The id is plain thread-local state: the executor publishes it before
+// running an island's events and code below netsim never needs to know
+// who set it. Island 0 is the default everywhere, so single-threaded
+// programs behave exactly as before islands existed.
+#pragma once
+
+#include <cstdint>
+
+namespace rddr {
+
+/// Island an event executes on. 0 is the default (and only) island of
+/// sequential simulations.
+using IslandId = uint32_t;
+
+/// Hard cap on islands: ids must fit the 6-bit field packed into event
+/// ids (netsim/simulator.h) and the fixed-size per-island slots some
+/// aggregators keep.
+constexpr IslandId kMaxIslands = 64;
+
+namespace detail {
+inline thread_local IslandId g_current_island = 0;
+}  // namespace detail
+
+/// Island the calling thread is currently executing events for.
+inline IslandId current_island() { return detail::g_current_island; }
+
+/// Publishes the calling thread's island (executor/simulator internals).
+inline void set_current_island(IslandId id) {
+  detail::g_current_island = id;
+}
+
+/// RAII island switch for scoped execution (drain loops, tests).
+class IslandScope {
+ public:
+  explicit IslandScope(IslandId id) : prev_(current_island()) {
+    set_current_island(id);
+  }
+  ~IslandScope() { set_current_island(prev_); }
+  IslandScope(const IslandScope&) = delete;
+  IslandScope& operator=(const IslandScope&) = delete;
+
+ private:
+  IslandId prev_;
+};
+
+}  // namespace rddr

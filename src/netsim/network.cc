@@ -36,7 +36,9 @@ Time Connection::next_arrival(Network* net) {
 
 void Connection::send(ByteView data) {
   if (!open_ || data.empty()) return;
-  if (net_) net_->payload_bytes_copied_ += data.size();
+  if (net_)
+    net_->payload_bytes_copied_.fetch_add(data.size(),
+                                          std::memory_order_relaxed);
   send_shared(SharedBytes(data));
 }
 
@@ -53,16 +55,27 @@ void Connection::send_shared(SharedBytes data) {
     // connection itself is severed separately; this guards the window
     // between the fault firing and the close delivery.
     if (!net_->link_up(local_node_, peer->local_node_)) return;
-    net_->payload_bytes_sent_ += data.size();
+    net_->payload_bytes_sent_.fetch_add(data.size(),
+                                        std::memory_order_relaxed);
   }
   // FIFO per direction: never deliver earlier than a previous delivery.
   Time arrival = next_arrival(net_);
   // Batch into the open delivery event iff appending cannot change what
   // any observer sees: the batch hasn't fired, it arrives at the same
-  // instant, and — decisive — its event is still the simulator's most
+  // instant, and — decisive — its event is still this island's most
   // recently scheduled one, so no event's sequence number lies between the
   // batch and the event this send would otherwise have created.
-  if (outbox_ && !outbox_->fired && outbox_arrival_ == arrival &&
+  // Cross-island deliveries return id 0 from schedule_on and therefore
+  // never batch: each send is its own mailbox message, and the barrier
+  // merge preserves their order. Batching is disabled entirely once
+  // islands are configured — a same-island send pair would otherwise
+  // coalesce into one on_data while the identical pair across a cut
+  // arrives as two, making delivery granularity depend on island
+  // layout. Configured mode (any count, including 1) delivers one
+  // event per send everywhere; only the legacy no-knob path batches.
+  if (!sim_.islands_configured() &&
+      outbox_ && !outbox_->fired && outbox_event_ != 0 &&
+      outbox_arrival_ == arrival &&
       sim_.last_scheduled_id() == outbox_event_) {
     outbox_->chunks.push_back(std::move(data));
     return;
@@ -71,7 +84,7 @@ void Connection::send_shared(SharedBytes data) {
   batch->chunks.push_back(std::move(data));
   outbox_ = batch;
   outbox_arrival_ = arrival;
-  outbox_event_ = sim_.schedule_at(arrival, [peer, batch] {
+  outbox_event_ = sim_.schedule_on(peer->island_, arrival, [peer, batch] {
     batch->fired = true;
     peer->deliver_batch(*batch);
   });
@@ -83,7 +96,7 @@ void Connection::close() {
   auto peer = peer_.lock();
   if (!peer) return;
   Time arrival = next_arrival(net_);
-  sim_.schedule_at(arrival, [peer] { peer->deliver_close(); });
+  sim_.schedule_on(peer->island_, arrival, [peer] { peer->deliver_close(); });
 }
 
 void Connection::abort() {
@@ -92,12 +105,28 @@ void Connection::abort() {
   open_ = false;
   aborted_ = true;
   pending_.clear();
-  // Crash semantics: both halves observe the break "now"; anything still
-  // in flight is lost (deliver() drops data once aborted_ is set — even a
-  // delivery already queued for this very tick, which would otherwise run
-  // before the deliver_close scheduled below).
-  sim_.schedule(0, [self] { self->deliver_close(); });
-  if (peer) {
+  // Crash semantics: this half observes the break "now"; anything still
+  // in flight to it is lost (deliver() drops data once aborted_ is set —
+  // even a delivery already queued for this very tick, which would
+  // otherwise run before the deliver_close scheduled below).
+  sim_.schedule_on(island_, sim_.now(), [self] { self->deliver_close(); });
+  if (!peer) return;
+  if (sim_.islands_configured()) {
+    // Islands mode: the break propagates to the peer like a RST — one
+    // link latency later (after any data already on the wire, per the
+    // FIFO watermark). This keeps the notification outside the
+    // conservative window for cross-island pairs, and applies to
+    // same-island pairs too so islands=1 replays are byte-identical to
+    // any island count.
+    Time arrival = next_arrival(net_);
+    sim_.schedule_on(peer->island_, arrival, [peer] {
+      peer->open_ = false;
+      peer->aborted_ = true;
+      peer->pending_.clear();
+      peer->deliver_close();
+    });
+  } else {
+    // Legacy semantics: both halves see the break in the same tick.
     peer->open_ = false;
     peer->aborted_ = true;
     peer->pending_.clear();
@@ -109,7 +138,7 @@ void Connection::set_on_data(DataHandler h) {
   on_data_ = std::move(h);
   if (!pending_.empty() || close_pending_) {
     auto self = shared_from_this();
-    sim_.schedule(0, [self] { self->flush_pending(); });
+    sim_.schedule_on(island_, sim_.now(), [self] { self->flush_pending(); });
   }
 }
 
@@ -117,7 +146,7 @@ void Connection::set_on_close(CloseHandler h) {
   on_close_ = std::move(h);
   if (close_pending_ && pending_.empty()) {
     auto self = shared_from_this();
-    sim_.schedule(0, [self] { self->flush_pending(); });
+    sim_.schedule_on(island_, sim_.now(), [self] { self->flush_pending(); });
   }
 }
 
@@ -172,21 +201,47 @@ Network::Network(Simulator& sim, Time default_latency)
     : sim_(sim), default_latency_(default_latency) {}
 
 void Network::listen(const std::string& address, AcceptHandler on_accept) {
+  std::lock_guard<std::mutex> lock(mu_);
   listeners_[address] = std::move(on_accept);
 }
 
-void Network::unlisten(const std::string& address) { listeners_.erase(address); }
+void Network::unlisten(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(address);
+}
 
 bool Network::has_listener(const std::string& address) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return listeners_.count(address) > 0;
 }
 
-ConnPtr Network::connect(const std::string& address, ConnectMeta meta) {
-  auto it = listeners_.find(address);
-  if (it == listeners_.end()) {
-    RDDR_LOG_DEBUG("connect to %s refused (no listener)", address.c_str());
-    return nullptr;
+void Network::set_node_island(const std::string& node, IslandId island) {
+  node_islands_[node] = island;
+}
+
+IslandId Network::node_island(const std::string& node) const {
+  auto it = node_islands_.find(node);
+  return it == node_islands_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> Network::listener_nodes() const {
+  std::vector<std::string> nodes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes.reserve(listeners_.size());
+    for (const auto& [address, fn] : listeners_) nodes.push_back(node_of(address));
   }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+void Network::set_island_router(const std::string& address,
+                                IslandRouter router) {
+  island_routers_[address] = std::move(router);
+}
+
+ConnPtr Network::connect(const std::string& address, ConnectMeta meta) {
   if (refused_addresses_.count(address) > 0) {
     RDDR_LOG_DEBUG("connect to %s refused (fault injected)", address.c_str());
     return nullptr;
@@ -199,16 +254,45 @@ ConnPtr Network::connect(const std::string& address, ConnectMeta meta) {
                    src_node.c_str(), address.c_str());
     return nullptr;
   }
-  auto depth_it = accept_queue_depth_.find(address);
-  if (depth_it != accept_queue_depth_.end() && depth_it->second > 0 &&
-      pending_accepts_[address] >= depth_it->second) {
-    ++accepts_refused_;
-    RDDR_LOG_DEBUG("connect to %s refused (accept queue full at %zu)",
-                   address.c_str(), depth_it->second);
-    return nullptr;
+  // Island placement (outside the lock: routers are user code). The
+  // client half joins the dialing context's island; the server half
+  // joins the listener node's island unless a router overrides it —
+  // routing is decided here, at dial time, so both halves are born on
+  // their final islands and never migrate.
+  IslandId client_island = current_island();
+  if (client_island >= sim_.island_count()) client_island = 0;
+  IslandId server_island = node_island(dst_node);
+  uint32_t route_hint = UINT32_MAX;
+  auto rit = island_routers_.find(address);
+  if (rit != island_routers_.end())
+    server_island = rit->second(meta, route_hint);
+  if (server_island >= sim_.island_count()) server_island = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (listeners_.find(address) == listeners_.end()) {
+      RDDR_LOG_DEBUG("connect to %s refused (no listener)", address.c_str());
+      return nullptr;
+    }
+    auto depth_it = accept_queue_depth_.find(address);
+    if (depth_it != accept_queue_depth_.end() && depth_it->second > 0 &&
+        pending_accepts_[address] >= depth_it->second) {
+      accepts_refused_.fetch_add(1, std::memory_order_relaxed);
+      RDDR_LOG_DEBUG("connect to %s refused (accept queue full at %zu)",
+                     address.c_str(), depth_it->second);
+      return nullptr;
+    }
+    ++pending_accepts_[address];
   }
-  ++pending_accepts_[address];
-  uint64_t id = next_conn_id_++;
+  // Per-island id spaces (no cross-thread coordination; dense legacy ids
+  // when only island 0 exists).
+  uint64_t id = (static_cast<uint64_t>(client_island) << 48) |
+                ++next_conn_local_[client_island];
+  conns_opened_.fetch_add(1, std::memory_order_relaxed);
+  Time lat = default_latency_;
+  Time seen = min_latency_seen_.load(std::memory_order_relaxed);
+  while (lat < seen && !min_latency_seen_.compare_exchange_weak(
+                           seen, lat, std::memory_order_relaxed)) {
+  }
   auto client = std::shared_ptr<Connection>(new Connection(
       sim_, id, default_latency_, meta, address, /*is_client_half=*/true));
   auto server = std::shared_ptr<Connection>(new Connection(
@@ -217,30 +301,47 @@ ConnPtr Network::connect(const std::string& address, ConnectMeta meta) {
   server->peer_ = client;
   client->net_ = this;
   server->net_ = this;
-  registry_.push_back(client);
-  // Accept fires after one link latency; re-check the listener and fault
-  // state then so a service that stopped (or crashed) in the meantime
-  // refuses cleanly.
-  sim_.schedule(default_latency_, [this, address, server] {
-    auto pend = pending_accepts_.find(address);
-    if (pend != pending_accepts_.end() && pend->second > 0) --pend->second;
-    auto lit = listeners_.find(address);
-    if (lit == listeners_.end() || node_down(node_of(address))) {
+  client->island_ = client_island;
+  server->island_ = server_island;
+  client->route_hint_ = route_hint;
+  server->route_hint_ = route_hint;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry_.push_back(client);
+  }
+  // Accept fires after one link latency, on the server half's island;
+  // re-check the listener and fault state then so a service that stopped
+  // (or crashed) in the meantime refuses cleanly.
+  sim_.schedule_on(server_island, sim_.now() + default_latency_, [server] {
+    Network* net = server->net_;
+    const std::string& addr = server->dialed_address();
+    AcceptHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(net->mu_);
+      auto pend = net->pending_accepts_.find(addr);
+      if (pend != net->pending_accepts_.end() && pend->second > 0)
+        --pend->second;
+      auto lit = net->listeners_.find(addr);
+      if (lit != net->listeners_.end()) handler = lit->second;
+    }
+    if (!handler || net->node_down(node_of(addr))) {
       server->close();
       return;
     }
-    lit->second(server);
+    handler(server);
   });
   return client;
 }
 
 void Network::set_accept_queue_depth(const std::string& address,
                                      size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (depth > 0) accept_queue_depth_[address] = depth;
   else accept_queue_depth_.erase(address);
 }
 
 size_t Network::accept_queue_len(const std::string& address) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = pending_accepts_.find(address);
   return it == pending_accepts_.end() ? 0 : it->second;
 }
@@ -258,6 +359,7 @@ void Network::sever_matching(
   // Collect first: abort() schedules events and conn handlers may mutate
   // the registry re-entrantly via new connects.
   std::vector<ConnPtr> doomed;
+  std::lock_guard<std::mutex> lock(mu_);
   registry_.erase(
       std::remove_if(registry_.begin(), registry_.end(),
                      [&](const std::weak_ptr<Connection>& w) {
@@ -346,6 +448,7 @@ Time Network::fault_delay(const std::string& from_node,
 
 size_t Network::live_connections(const std::string& node) {
   size_t n = 0;
+  std::lock_guard<std::mutex> lock(mu_);
   registry_.erase(std::remove_if(registry_.begin(), registry_.end(),
                                  [&](const std::weak_ptr<Connection>& w) {
                                    auto c = w.lock();

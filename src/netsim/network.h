@@ -29,11 +29,25 @@
 // listener "pg-1:5432" — or a connecting container's ConnectMeta::source.
 // Every fault is plain deterministic state on the Network, so seeded runs
 // replay byte-identically with faults active.
+// Islands (DESIGN.md "Parallel simulation"): every connection half lives
+// on the island of the node it runs on (client half: the dialing
+// container's island at connect() time; server half: the listener node's
+// island, or whatever an installed island router decides). Deliveries
+// targeting the peer half are scheduled on the *peer's* island, so a
+// cross-island send travels through the executor's mailbox and arrives
+// at least one link latency later — which is exactly the conservative
+// lookahead the barrier relies on. On a simulator without islands all of
+// this degenerates to the historical single-loop behaviour.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -108,6 +122,15 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// the listener's node for the server half.
   const std::string& local_node() const;
 
+  /// Island this half's events execute on (0 without islands).
+  IslandId island() const { return island_; }
+
+  /// Routing decision recorded by an island router at connect() time
+  /// (Network::set_island_router); UINT32_MAX when no router ran. The
+  /// frontier uses this to trust the dial-time shard choice instead of
+  /// re-deriving it at accept time.
+  uint32_t route_hint() const { return route_hint_; }
+
   /// Severs the connection abruptly (crash semantics): both halves see
   /// on_close "now"; bytes still in flight are lost. Unlike close(), the
   /// peer is NOT guaranteed to receive previously sent data first.
@@ -139,6 +162,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   ConnectMeta meta_;
   std::string dialed_address_;
   bool is_client_half_;
+  IslandId island_ = 0;
+  uint32_t route_hint_ = UINT32_MAX;
   std::string local_node_;   // cached node name for fault lookups
   Network* net_ = nullptr;   // set by Network; faults consulted per send
   std::weak_ptr<Connection> peer_;
@@ -192,7 +217,9 @@ class Network {
   size_t accept_queue_len(const std::string& address) const;
 
   /// Total connects refused because an accept queue was full.
-  uint64_t accepts_refused() const { return accepts_refused_; }
+  uint64_t accepts_refused() const {
+    return accepts_refused_.load(std::memory_order_relaxed);
+  }
 
   /// Link latency applied to each direction of new connections.
   void set_default_latency(Time latency) { default_latency_ = latency; }
@@ -201,17 +228,57 @@ class Network {
   Simulator& simulator() { return sim_; }
 
   /// Total connections ever opened (diagnostics).
-  uint64_t connections_opened() const { return next_conn_id_ - 1; }
+  uint64_t connections_opened() const {
+    return conns_opened_.load(std::memory_order_relaxed);
+  }
 
   /// Total payload bytes put on the wire by Connection::send (both
   /// overloads). Diagnostics for the copy-efficiency benchmarks.
-  uint64_t payload_bytes_sent() const { return payload_bytes_sent_; }
+  uint64_t payload_bytes_sent() const {
+    return payload_bytes_sent_.load(std::memory_order_relaxed);
+  }
 
   /// Payload bytes that were *copied* to enter the data plane — the
   /// send(ByteView) path. send(SharedBytes) moves none. Before the
   /// zero-copy overhaul every sent byte was copied, so
   /// copied/sent measures the fan-out savings directly.
-  uint64_t payload_bytes_copied() const { return payload_bytes_copied_; }
+  uint64_t payload_bytes_copied() const {
+    return payload_bytes_copied_.load(std::memory_order_relaxed);
+  }
+
+  // ---- islands ----
+
+  /// Pins a node name to an island: connection halves on that node and
+  /// its accept events execute there. Setup-time only (before running).
+  /// Unpinned nodes live on island 0.
+  void set_node_island(const std::string& node, IslandId island);
+
+  /// Island a node is pinned to (0 when unpinned).
+  IslandId node_island(const std::string& node) const;
+
+  /// Node names of every registered listener (deduplicated, sorted).
+  /// Lets a scenario pin its whole service graph to an island without
+  /// tracking each listen address itself.
+  std::vector<std::string> listener_nodes() const;
+
+  /// Decides the island of the *server half* for one dialed address,
+  /// overriding the listener node's pin. `route_hint` (opaque to the
+  /// network) is recorded on the connection for the accepting service —
+  /// the frontier stores the shard index so routing is decided exactly
+  /// once, at dial time. Must be deterministic given the meta. Setup-time
+  /// only.
+  using IslandRouter =
+      std::function<IslandId(const ConnectMeta& meta, uint32_t& route_hint)>;
+  void set_island_router(const std::string& address, IslandRouter router);
+
+  /// Smallest per-direction base latency any connection was created with
+  /// (including the current default). Faults only ever *add* latency on
+  /// top of this, so it is a valid conservative lookahead for the
+  /// parallel executor.
+  Time min_link_latency() const {
+    Time seen = min_latency_seen_.load(std::memory_order_relaxed);
+    return std::min(seen, default_latency_);
+  }
 
   // ---- fault injection (usually driven via FaultPlan, netsim/fault.h) ----
 
@@ -270,13 +337,27 @@ class Network {
 
   Simulator& sim_;
   Time default_latency_;
-  uint64_t next_conn_id_ = 1;
-  uint64_t payload_bytes_sent_ = 0;
-  uint64_t payload_bytes_copied_ = 0;
-  uint64_t accepts_refused_ = 0;
+  // Per-(caller-)island connection-id spaces keep id allocation
+  // deterministic without cross-thread coordination: id =
+  // island << 48 | island-local counter. With one island this reproduces
+  // the historical dense 1,2,3,... sequence exactly.
+  std::array<uint64_t, kMaxIslands> next_conn_local_{};
+  std::atomic<uint64_t> conns_opened_{0};
+  std::atomic<uint64_t> payload_bytes_sent_{0};
+  std::atomic<uint64_t> payload_bytes_copied_{0};
+  std::atomic<uint64_t> accepts_refused_{0};
+  std::atomic<Time> min_latency_seen_{INT64_MAX};
+  // Guards the maps that connect() (any island) and accept/listen events
+  // (server islands) both touch. Never held while running user callbacks.
+  // The fault-state containers below are NOT guarded: they are only
+  // mutated by global events (all workers parked at a barrier) and read
+  // during windows, which the barrier's acquire/release edges order.
+  mutable std::mutex mu_;
   std::map<std::string, AcceptHandler> listeners_;
   std::map<std::string, size_t> accept_queue_depth_;  // 0/absent = unbounded
   std::map<std::string, size_t> pending_accepts_;
+  std::map<std::string, IslandId> node_islands_;     // setup-time only
+  std::map<std::string, IslandRouter> island_routers_;  // setup-time only
   std::vector<std::weak_ptr<Connection>> registry_;  // client halves
   std::set<std::string> down_nodes_;
   std::set<std::string> refused_addresses_;

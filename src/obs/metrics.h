@@ -12,10 +12,25 @@
 // This layer sits below netsim on purpose: it knows nothing about the
 // simulator, so `Host` can publish resource gauges without a dependency
 // cycle. Time enters only as values (virtual nanoseconds as int64_t).
+//
+// Thread-safety (parallel simulation): mutators go through
+// std::atomic_ref, so concurrent updates from different islands are
+// races-free, and every accumulation is *order-independent* (counter
+// adds commute; the histogram sum is fixed-point so floating-point
+// non-associativity cannot leak thread interleaving into dumps; the
+// gauge max is a CAS max). Determinism of *last-write* gauge values and
+// of read-modify sequences still requires each metric to have a single
+// owning island — which the deployment layout guarantees (per-shard
+// metric names). Registry creation/lookup is mutex-guarded; handles stay
+// valid and lock-free on the hot path.
 #pragma once
 
+#include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,11 +38,15 @@
 
 namespace rddr::obs {
 
-/// Monotonic event count. Hot-path cost: one 64-bit add.
+/// Monotonic event count. Hot-path cost: one relaxed 64-bit add.
 class Counter {
  public:
-  void inc(uint64_t n = 1) { v_ += n; }
-  uint64_t value() const { return v_; }
+  void inc(uint64_t n = 1) {
+    std::atomic_ref<uint64_t>(v_).fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const {
+    return std::atomic_ref<const uint64_t>(v_).load(std::memory_order_relaxed);
+  }
 
  private:
   uint64_t v_ = 0;
@@ -39,17 +58,29 @@ class Counter {
 class Gauge {
  public:
   void set(double v) {
-    v_ = v;
-    if (!seen_ || v > max_) max_ = v;
-    seen_ = true;
+    std::atomic_ref<double>(v_).store(v, std::memory_order_relaxed);
+    std::atomic_ref<uint8_t>(seen_).store(1, std::memory_order_relaxed);
+    // CAS-max from -inf: order-independent, so concurrent setters always
+    // converge to the true maximum.
+    std::atomic_ref<double> mx(max_);
+    double cur = mx.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !mx.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
   }
-  double value() const { return v_; }
-  double max_value() const { return max_; }
+  double value() const {
+    return std::atomic_ref<const double>(v_).load(std::memory_order_relaxed);
+  }
+  double max_value() const {
+    if (!std::atomic_ref<const uint8_t>(seen_).load(std::memory_order_relaxed))
+      return 0.0;
+    return std::atomic_ref<const double>(max_).load(std::memory_order_relaxed);
+  }
 
  private:
   double v_ = 0;
-  double max_ = 0;
-  bool seen_ = false;
+  double max_ = -std::numeric_limits<double>::infinity();
+  uint8_t seen_ = 0;
 };
 
 /// Fixed-bucket histogram. `bounds` are inclusive upper bounds of each
@@ -64,10 +95,26 @@ class Histogram {
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
+  /// Stable to read concurrently only via relaxed loads; export happens
+  /// after the run, where plain reads are fine.
   const std::vector<uint64_t>& counts() const { return counts_; }
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  uint64_t count() const {
+    return std::atomic_ref<const uint64_t>(count_).load(
+        std::memory_order_relaxed);
+  }
+  /// The sum accumulates in 44.20 fixed point: integer adds commute
+  /// exactly, so the value is identical no matter how observations
+  /// interleave across islands (double accumulation would leak thread
+  /// timing through non-associativity). ~1e-6 absolute resolution.
+  double sum() const {
+    return static_cast<double>(std::atomic_ref<const int64_t>(sum_fp_).load(
+               std::memory_order_relaxed)) /
+           kFixedPointScale;
+  }
+  double mean() const {
+    uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
 
   /// Bucket-interpolated percentile estimate (`p` in [0,100]). An
   /// estimate, not the exact order statistic — use SampleStats where the
@@ -78,10 +125,12 @@ class Histogram {
   static std::vector<double> default_latency_ms_bounds();
 
  private:
+  static constexpr double kFixedPointScale = 1048576.0;  // 2^20
+
   std::vector<double> bounds_;   // sorted ascending
   std::vector<uint64_t> counts_; // bounds_.size() + 1 (overflow last)
   uint64_t count_ = 0;
-  double sum_ = 0;
+  int64_t sum_fp_ = 0;  // 44.20 fixed point (see sum())
 };
 
 /// Name -> metric registry. Names are dotted paths ("rddr-in.sessions",
@@ -111,6 +160,9 @@ class MetricsRegistry {
   std::string dump_json() const { return to_json().dump(); }
 
  private:
+  // Guards map structure only (creation, lookup, export walk); metric
+  // values themselves are updated lock-free through the handles.
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -105,6 +105,19 @@ class NVersionDeployment {
     /// set it overrides versions() and implies shards(pools.size());
     /// without it every shard fronts the shared versions() pool.
     Builder& shard_versions(std::vector<std::vector<std::string>> pools);
+    /// Partitions the simulation into `n` islands (netsim/parallel.h) and
+    /// pins each shard's column — host, proxies, instance nodes, suffixed
+    /// backend listeners — to one island (island 0 keeps the public
+    /// listener, the workload driver and anything unpinned; shards spread
+    /// over islands 1..n-1, or all stay on 0 when n == 1). n == 1 is the
+    /// sequential oracle: it flips every islands-mode code path on without
+    /// creating worker threads, so its outputs must be byte-identical to
+    /// any n > 1. 0 (default) leaves the legacy single-loop behaviour
+    /// untouched. Determinism across island counts requires the shard
+    /// columns to be disjoint: per-shard pools (shard_versions) qualify; a
+    /// pool or backend shared by two shards may see same-tick deliveries
+    /// from different islands whose merge order is island-dependent.
+    Builder& islands(size_t n);
 
     /// The fully resolved Options this builder would deploy (shared knobs
     /// propagated into each outgoing config).
@@ -131,6 +144,7 @@ class NVersionDeployment {
     std::vector<PendingBackend> backends_;
     std::vector<std::vector<std::string>> shard_versions_;
     std::function<void(sim::FaultPlan&)> faults_;
+    size_t islands_ = 0;  // 0 = legacy single event loop
   };
 
   /// All proxies run on `proxy_host` and share one DivergenceBus.

@@ -103,6 +103,14 @@ class Frontier {
     /// Observability sinks (optional, not owned).
     obs::MetricsRegistry* metrics = nullptr;
     obs::Tracer* tracer = nullptr;
+    /// Non-empty (one entry per shard) = islands mode: the frontier
+    /// installs a dial-time island router on `listen_address` that picks
+    /// the shard from ConnectMeta::source and lands the server half of
+    /// the connection on that shard's island; on_accept then trusts the
+    /// recorded route hint, so every shard's admission queue, tokens and
+    /// handoff run on the shard's own island. Filled by
+    /// Builder::islands(); see that knob for the determinism contract.
+    std::vector<IslandId> shard_islands;
   };
 
   /// Shard k's proxies run on shard_hosts[k % shard_hosts.size()].
@@ -115,6 +123,14 @@ class Frontier {
   size_t shard_count() const { return shards_.size(); }
   NVersionDeployment& shard(size_t k) { return *shards_.at(k); }
   const NVersionDeployment& shard(size_t k) const { return *shards_.at(k); }
+
+  /// Island shard k's column is pinned to (0 outside islands mode).
+  /// Observers that sample a shard's live state mid-run (health, session
+  /// counters) must schedule onto this island — a cross-island read is
+  /// tear-free but sees a window-dependent snapshot.
+  IslandId shard_island(size_t k) const {
+    return opts_.shard_islands.empty() ? 0 : opts_.shard_islands.at(k);
+  }
 
   /// Shard `key` would route to right now (tests / operators).
   size_t route_of(const std::string& key) const;
@@ -150,7 +166,7 @@ class Frontier {
     sim::ConnPtr conn;
     sim::Time enqueued = 0;
     uint64_t shed_event = 0;  // pending deadline event (0 = none)
-    uint64_t seq = 0;         // id for cancellation after admit/shed
+    uint64_t seq = 0;         // connection id; keys queue-entry lookup
   };
   struct ShardState {
     double tokens = 0;
@@ -163,6 +179,10 @@ class Frontier {
   };
 
   void on_accept(sim::ConnPtr conn);
+  /// Shard for a connect-time key; shared by route_of() and the island
+  /// router (single dialing island assumed in islands mode, so the lazy
+  /// ring sync stays unracy).
+  size_t route_for_key(const std::string& key) const;
   /// Consumes a token and admits, or returns false (bucket empty /
   /// backpressured shard).
   bool try_admit(size_t k);
@@ -193,7 +213,6 @@ class Frontier {
   mutable ConsistentHash router_;
   std::vector<bool> admin_enabled_;
   std::vector<ShardState> shard_state_;
-  uint64_t next_seq_ = 1;
 };
 
 }  // namespace rddr::core

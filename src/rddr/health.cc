@@ -1,6 +1,7 @@
 #include "rddr/health.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace rddr::core {
 
@@ -16,13 +17,23 @@ const char* to_string(DegradationPolicy policy) {
 HealthTracker::HealthTracker(Options options)
     : options_(options), rng_(options.seed) {
   inst_.resize(options_.n_instances);
+  healthy_ = inst_.size();
 }
 
 size_t HealthTracker::healthy_count() const {
-  size_t n = 0;
-  for (const auto& in : inst_)
-    if (in.state == State::kHealthy) ++n;
-  return n;
+  return std::atomic_ref<const size_t>(healthy_).load(
+      std::memory_order_relaxed);
+}
+
+void HealthTracker::set_state(size_t i, State next) {
+  auto& in = inst_.at(i);
+  if (in.state == next) return;
+  size_t n = healthy_;
+  if (in.state == State::kHealthy) --n;
+  if (next == State::kHealthy) ++n;
+  in.state = next;
+  if (n != healthy_)
+    std::atomic_ref<size_t>(healthy_).store(n, std::memory_order_relaxed);
 }
 
 bool HealthTracker::record_failure(size_t i) {
@@ -30,7 +41,7 @@ bool HealthTracker::record_failure(size_t i) {
   if (in.state != State::kHealthy) return false;
   ++in.consecutive_failures;
   if (in.consecutive_failures >= options_.failure_threshold) {
-    in.state = State::kQuarantined;
+    set_state(i, State::kQuarantined);
     in.attempts = 0;
     return true;
   }
@@ -44,14 +55,14 @@ void HealthTracker::record_success(size_t i) {
 bool HealthTracker::quarantine(size_t i) {
   auto& in = inst_.at(i);
   if (in.state != State::kHealthy) return false;
-  in.state = State::kQuarantined;
+  set_state(i, State::kQuarantined);
   in.attempts = 0;
   return true;
 }
 
 void HealthTracker::readmit(size_t i) {
   auto& in = inst_.at(i);
-  in.state = State::kHealthy;
+  set_state(i, State::kHealthy);
   in.consecutive_failures = 0;
   in.attempts = 0;
 }
@@ -59,18 +70,18 @@ void HealthTracker::readmit(size_t i) {
 bool HealthTracker::begin_resync(size_t i) {
   auto& in = inst_.at(i);
   if (in.state != State::kQuarantined) return false;
-  in.state = State::kResyncing;
+  set_state(i, State::kResyncing);
   return true;
 }
 
 void HealthTracker::resync_failed(size_t i) {
   auto& in = inst_.at(i);
-  if (in.state == State::kResyncing) in.state = State::kQuarantined;
+  if (in.state == State::kResyncing) set_state(i, State::kQuarantined);
 }
 
 void HealthTracker::reset_replaced(size_t i) {
   auto& in = inst_.at(i);
-  in.state = State::kQuarantined;
+  set_state(i, State::kQuarantined);
   in.consecutive_failures = 0;
   in.attempts = 0;
 }
@@ -98,7 +109,7 @@ bool HealthTracker::attempts_exhausted(size_t i) const {
 }
 
 void HealthTracker::mark_dead(size_t i) {
-  inst_.at(i).state = State::kDead;
+  set_state(i, State::kDead);
 }
 
 }  // namespace rddr::core

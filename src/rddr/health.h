@@ -65,6 +65,9 @@ class HealthTracker {
 
   State state(size_t i) const { return inst_.at(i).state; }
   bool is_healthy(size_t i) const { return state(i) == State::kHealthy; }
+  /// O(1): a cached count maintained on every transition. Read with a
+  /// relaxed atomic so cross-island observers (status collectors) see a
+  /// torn-free value without taking a dependency on the owner's island.
   size_t healthy_count() const;
   size_t n_instances() const { return inst_.size(); }
 
@@ -113,9 +116,12 @@ class HealthTracker {
     uint32_t attempts = 0;  // reconnect probes issued this quarantine
   };
 
+  void set_state(size_t i, State next);
+
   Options options_;
   Rng rng_;
   std::vector<Instance> inst_;
+  size_t healthy_ = 0;  // cached kHealthy count (see healthy_count())
 };
 
 }  // namespace rddr::core

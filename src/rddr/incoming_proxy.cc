@@ -197,7 +197,7 @@ void IncomingProxy::begin_resync(size_t i) {
   ResyncState& rs = resync_[i];
   rs = ResyncState{};
   if (config_.tracer) {
-    rs.trace = config_.tracer->new_trace();
+    rs.trace = config_.tracer->id_stream(config_.name)->next_trace();
     rs.span = config_.tracer->begin(rs.trace, 0, "resync", config_.name);
     config_.tracer->tag(rs.span, "instance", strformat("%zu", i));
     config_.tracer->tag(rs.span, "address", config_.instance_addresses[i]);
@@ -390,7 +390,7 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
     // workload driver tags its client connects); else this request starts
     // a fresh trace.
     s->trace = s->client->meta().trace_id ? s->client->meta().trace_id
-                                          : tracer->new_trace();
+                                          : tracer->id_stream(config_.name)->next_trace();
     s->root_span = tracer->begin(s->trace, s->client->meta().parent_span,
                                  "session", config_.name);
     if (!s->client->meta().source.empty())

@@ -129,7 +129,7 @@ void OutgoingProxy::on_accept(sim::ConnPtr conn) {
     groups_[g->id] = g;
     counters_.sessions->inc();
     if (config_.tracer) {
-      g->trace = config_.tracer->new_trace();
+      g->trace = config_.tracer->id_stream(config_.name)->next_trace();
       g->root_span =
           config_.tracer->begin(g->trace, 0, "flow", config_.name);
       config_.tracer->tag(g->root_span, "flow_label", label);

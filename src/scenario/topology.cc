@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "netsim/parallel.h"
+
 #include "common/strutil.h"
 #include "proto/http/message.h"
 #include "rddr/plugins.h"
@@ -71,6 +73,22 @@ Topology::Topology(sim::Simulator& sim, sim::Network& net,
     case 2: build_http_diamond(); break;
     default: build_pg_direct(); break;
   }
+  apply_islands();
+}
+
+void Topology::apply_islands() {
+  if (opts_.islands == 0) return;
+  sim::ParallelOptions popts;
+  sim::Network* net = &net_;
+  popts.lookahead_provider = [net] { return net->min_link_latency(); };
+  sim_.configure_islands(opts_.islands, popts);
+  // Every service host and every listening node joins one island; the
+  // fuzz harness's clients stay on island 0 and reach the graph across
+  // the entry links, whose latency bounds the executor's lookahead.
+  const IslandId isl = opts_.islands == 1 ? 0 : 1;
+  for (auto& h : hosts_) h->pin_island(isl);
+  for (const std::string& n : net_.listener_nodes())
+    net_.set_node_island(n, isl);
 }
 
 Topology::~Topology() = default;

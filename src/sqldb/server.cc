@@ -195,7 +195,7 @@ void SqlServer::handle_query(const std::shared_ptr<Conn>& c,
     // Parent the span to the connect-time trace context, when the dialing
     // side (a proxy or the workload driver) supplied one.
     obs::TraceId trace = c->conn->meta().trace_id;
-    if (!trace) trace = opts_.tracer->new_trace();
+    if (!trace) trace = opts_.tracer->id_stream(opts_.address)->next_trace();
     p.span = opts_.tracer->begin(trace, c->conn->meta().parent_span,
                                  "db.query",
                                  sim::Network::node_of(opts_.address));

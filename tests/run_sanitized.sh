@@ -3,10 +3,11 @@
 #
 #   tests/run_sanitized.sh [ctest-args...]
 #
-# Uses the `asan` (ASan+UBSan) and `ubsan` (UBSan only) CMake presets
-# (build dirs: build-asan/, build-ubsan/). Any extra arguments are passed
-# through to ctest. Note that ctest sees the gtest-discovered *test*
-# names (Suite.Case), not binary names, e.g.
+# Uses the `asan` (ASan+UBSan), `ubsan` (UBSan only) and `tsan`
+# (ThreadSanitizer) CMake presets (build dirs: build-asan/, build-ubsan/,
+# build-tsan/). Any extra arguments are passed through to ctest. Note
+# that ctest sees the gtest-discovered *test* names (Suite.Case), not
+# binary names, e.g.
 #   tests/run_sanitized.sh -R 'FaultTest|FaultNetTest'
 set -euo pipefail
 
@@ -63,6 +64,22 @@ for preset in asan ubsan; do
   # on stderr) on any leak/hang/accounting violation.
   "$repo/build-$preset/bench/fuzz_sweep" --smoke >/dev/null
 done
+
+# ThreadSanitizer lane: the multi-island executor is the repo's only
+# real concurrency, so tsan runs the parallel-focused suites (executor,
+# netsim, frontier, chaos/fuzz island property tests) plus the 16-shard
+# island gate. RDDR_PARALLEL_THREADS=2 forces real worker threads even
+# on single-core CI boxes, where the hardware default would collapse to
+# one thread and tsan would have nothing to watch. Thread count never
+# affects results — only what tsan gets to race-check.
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+RDDR_PARALLEL_THREADS=2 \
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+      -R 'Parallel|Simulator|Network|Frontier|Fault' "$@"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" RDDR_PARALLEL_THREADS=2 \
+  "$repo/build-tsan/bench/fig5_scaleout" --smoke --islands=4 >/dev/null
 
 # Perf smoke (optimised build, not sanitized — sanitizers skew timing):
 # the simulator core must stay above the events/sec floor. See
