@@ -5,6 +5,9 @@
 #   BENCH_hotpaths.json — google-benchmark JSON for the micro hot paths
 #   BENCH_scaleout.json — sharded-frontier sweep (goodput vs offered load,
 #                         shed latency; self-checks exit nonzero)
+#   BENCH_table1.json   — Table I rows replayed through the three-tier
+#                         generated topology with execution-index
+#                         attribution checks (see bench/table1_graph.cc)
 # at the repo root. Committed snapshots document the perf trajectory PR
 # over PR.
 #
@@ -24,7 +27,7 @@ if [ ! -d "$BUILD" ]; then
 fi
 cmake --build "$BUILD" -j --target simloop_throughput micro_hotpaths \
     fig5_throughput_latency fig5_scaleout storage_recovery fuzz_sweep \
-    >/dev/null
+    table1_graph >/dev/null
 
 if [ "${1:-}" = "--smoke" ]; then
   # Storage gate first (deterministic invariants: recovery correctness,
@@ -114,3 +117,12 @@ echo "wrote BENCH_storage.json"
 echo "== adversarial fuzz sweep =="
 "$BUILD/bench/fuzz_sweep" > "$ROOT/BENCH_fuzz.json"
 echo "wrote BENCH_fuzz.json"
+
+# Graph-wide attribution replay: all Table I rows through the three-tier
+# generated topology, asserting execution-index attribution of every
+# divergence to the exact (request, hop, call site), per-callsite dedup,
+# and byte-identical reports across islands {1, 2, 4} (exits nonzero on
+# any violation; the per-row attribution report goes to stderr).
+echo "== table1 graph attribution =="
+"$BUILD/bench/table1_graph" > "$ROOT/BENCH_table1.json"
+echo "wrote BENCH_table1.json"

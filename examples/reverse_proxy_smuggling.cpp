@@ -90,7 +90,7 @@ int main() {
 
   std::printf("\n== the smuggling payload ==\n");
   {
-    auto conn = net.connect("edge:80", {.source = "attacker", .flow_label = ""});
+    auto conn = net.connect("edge:80", {.source = "attacker"});
     Bytes got;
     bool closed = false;
     conn->set_on_data([&](ByteView d) { got += Bytes(d); });

@@ -170,6 +170,9 @@ void Connection::deliver_close() {
 
 void Connection::flush_pending() {
   if (close_delivered_) return;
+  // While this half's handlers run, it is the ambient flow: connects they
+  // issue derive their FlowContext (trace ids, execution index) from it.
+  FlowScope flow_scope(this);
   if (!pending_.empty() && on_data_) {
     // Handler may re-enter (e.g. respond synchronously); keep state sane by
     // swapping out first.
@@ -254,6 +257,25 @@ ConnPtr Network::connect(const std::string& address, ConnectMeta meta) {
                    src_node.c_str(), address.c_str());
     return nullptr;
   }
+  // Ambient flow derivation: a connect() issued from inside another
+  // connection's handlers (or a FlowScope a service re-installed around
+  // deferred work) inherits that flow. Explicit fields win; only unset
+  // ones are derived. The execution index is extended by one frame —
+  // call site = (dialing node, dialed address), seq = that site's
+  // invocation ordinal within the ambient connection's execution — which
+  // is a pure function of simulated execution order, so the derived index
+  // is byte-identical across island layouts and thread counts.
+  if (Connection* amb = current_flow()) {
+    const FlowContext& in = amb->flow();
+    if (meta.flow.trace_id == 0) {
+      meta.flow.trace_id = in.trace_id;
+      meta.flow.parent_span = in.parent_span;
+    }
+    if (meta.flow.index.empty()) {
+      const uint64_t site = ExecutionIndex::site_id(src_node, address);
+      meta.flow.index = in.index.child(site, amb->next_child_seq(site));
+    }
+  }
   // Island placement (outside the lock: routers are user code). The
   // client half joins the dialing context's island; the server half
   // joins the listener node's island unless a router overrides it —
@@ -328,6 +350,9 @@ ConnPtr Network::connect(const std::string& address, ConnectMeta meta) {
       server->close();
       return;
     }
+    // Accept handlers run under the new connection's flow: dials they
+    // issue while accepting nest under the inbound execution index.
+    FlowScope flow_scope(server.get());
     handler(server);
   });
   return client;

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/exec_index.h"
 #include "common/shared_bytes.h"
 #include "netsim/simulator.h"
 
@@ -60,20 +61,37 @@ namespace rddr::sim {
 
 class Network;
 
+/// Per-flow context carried across a connect(): everything about *why* this
+/// connection exists, as opposed to *who* opened it (ConnectMeta::source).
+/// Propagated automatically: while a connection's data/close handlers run,
+/// that connection is the ambient flow (FlowScope), and any connect() they
+/// issue derives its FlowContext from it — trace ids are inherited and the
+/// execution index is extended by one (call site, invocation-seq) frame.
+/// Explicitly set fields always win over derivation.
+struct FlowContext {
+  /// Optional flow label: the outgoing proxy groups the N instances'
+  /// connections that carry the same label (paper §IV-B: "merge requests to
+  /// downstream microservices").
+  std::string label;
+  /// Optional trace context (obs/trace.h ids; plain integers here so netsim
+  /// stays independent of the obs types). 0 means "no trace": the accepting
+  /// service starts its own if it traces.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+  /// Deterministic call-path index from the originating edge request to
+  /// this connection's dial site (common/exec_index.h). Empty for root
+  /// dials outside any protected flow.
+  ExecutionIndex index;
+};
+
 /// Metadata attached to a connection at connect() time.
 struct ConnectMeta {
   /// Name of the container/process opening the connection (diagnostics and
   /// outgoing-proxy grouping).
   std::string source;
-  /// Optional flow label: the outgoing proxy groups the N instances'
-  /// connections that carry the same label (paper §IV-B: "merge requests to
-  /// downstream microservices").
-  std::string flow_label;
-  /// Optional trace context carried across the connect (obs/trace.h ids;
-  /// plain integers here so netsim stays independent of the obs types).
-  /// 0 means "no trace": the accepting service starts its own if it traces.
-  uint64_t trace_id = 0;
-  uint64_t parent_span = 0;
+  /// Flow identity: label, trace ids and execution index. Fields left at
+  /// their defaults are auto-derived from the ambient flow (see above).
+  FlowContext flow;
 };
 
 /// One endpoint of a duplex byte-stream connection. Obtained from
@@ -111,6 +129,16 @@ class Connection : public std::enable_shared_from_this<Connection> {
 
   /// Metadata supplied by the connecting side.
   const ConnectMeta& meta() const { return meta_; }
+
+  /// Flow context supplied (or auto-derived) at connect() time.
+  const FlowContext& flow() const { return meta_.flow; }
+
+  /// Next invocation ordinal for a child dial from site `site` within this
+  /// connection's execution. Deterministic: counts per (connection, site)
+  /// in handler execution order, which the simulator fixes independently
+  /// of island layout. Used by Network::connect() when deriving a child
+  /// execution index from the ambient flow.
+  uint32_t next_child_seq(uint64_t site) { return child_seq_[site]++; }
 
   /// Address the client dialled (both halves see the same value).
   const std::string& dialed_address() const { return dialed_address_; }
@@ -176,11 +204,46 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::shared_ptr<OutBatch> outbox_;  // open batch on the out direction
   Time outbox_arrival_ = -1;
   uint64_t outbox_event_ = 0;  // the batch's delivery event id
+  // Per-site invocation counters for execution-index derivation.
+  std::map<uint64_t, uint32_t> child_seq_;
   DataHandler on_data_;
   CloseHandler on_close_;
 };
 
 using ConnPtr = std::shared_ptr<Connection>;
+
+namespace detail {
+/// Ambient connection whose handlers are currently executing on this
+/// thread (nullptr outside any handler). Thread-local like the island
+/// context (common/exec_context.h): islands never migrate a running
+/// handler across threads, so the ambient flow is race-free by
+/// construction.
+inline thread_local Connection* g_current_flow = nullptr;
+}  // namespace detail
+
+/// Connection whose handlers the current thread is executing, or nullptr.
+/// Network::connect() derives FlowContext defaults from it; services that
+/// defer work off the handler stack (e.g. into a host task) re-install the
+/// scope around the deferred body with FlowScope.
+inline Connection* current_flow() { return detail::g_current_flow; }
+
+/// RAII scope that makes `conn` the ambient flow for the calling thread.
+/// Installed by the network around data/close/accept handler delivery;
+/// also usable by services that run request handlers outside the delivery
+/// event (restoring the previous ambient on destruction).
+class FlowScope {
+ public:
+  explicit FlowScope(Connection* conn)
+      : prev_(detail::g_current_flow) {
+    detail::g_current_flow = conn;
+  }
+  ~FlowScope() { detail::g_current_flow = prev_; }
+  FlowScope(const FlowScope&) = delete;
+  FlowScope& operator=(const FlowScope&) = delete;
+
+ private:
+  Connection* prev_;
+};
 
 /// Address registry + connection factory.
 class Network {

@@ -5,6 +5,7 @@ namespace rddr::core {
 NVersionDeployment::NVersionDeployment(sim::Network& net,
                                        sim::Host& proxy_host, Options options)
     : bus_(net.simulator()) {
+  if (options.on_record) bus_.subscribe_records(options.on_record);
   // Outgoing proxies first: instances may dial the backend as soon as the
   // incoming proxy forwards them traffic.
   for (auto& out_cfg : options.outgoing) {
@@ -95,9 +96,15 @@ NVersionDeployment::Builder& NVersionDeployment::Builder::idle_timeout(
   return *this;
 }
 
+NVersionDeployment::Builder& NVersionDeployment::Builder::path_quarantine(
+    uint32_t threshold) {
+  incoming_.path_quarantine_threshold = threshold;
+  return *this;
+}
+
 NVersionDeployment::Builder& NVersionDeployment::Builder::on_divergence(
     std::function<void(const DivergenceRecord&)> cb) {
-  incoming_.on_divergence = std::move(cb);
+  on_record_ = std::move(cb);
   return *this;
 }
 
@@ -199,6 +206,7 @@ NVersionDeployment::Builder& NVersionDeployment::Builder::islands(size_t n) {
 NVersionDeployment::Options NVersionDeployment::Builder::options() const {
   Options opts;
   opts.incoming = incoming_;
+  opts.on_record = on_record_;
   for (const auto& b : backends_) {
     OutgoingProxy::Config cfg = b.cfg;
     if (b.inherit) {
@@ -209,7 +217,6 @@ NVersionDeployment::Options NVersionDeployment::Builder::options() const {
       cfg.degradation = incoming_.degradation;
       cfg.health = incoming_.health;
       cfg.unit_timeout = incoming_.unit_timeout;
-      cfg.on_divergence = incoming_.on_divergence;
       cfg.diff = incoming_.diff;
       cfg.group_size = incoming_.instance_addresses.size();
       // Instances dial the backend under their own container names.

@@ -41,6 +41,10 @@ class NVersionDeployment {
     /// service talks to (paper: "one proxy assigned for each distinct
     /// microservice").
     std::vector<OutgoingProxy::Config> outgoing;
+    /// Deployment-wide record subscriber: subscribed to the shared bus's
+    /// record stream at construction, so it fires once per divergence
+    /// record (intervention or outvote) from ANY proxy of the deployment.
+    std::function<void(const DivergenceRecord&)> on_record;
   };
 
   class Builder {
@@ -62,8 +66,14 @@ class NVersionDeployment {
     /// Idle-session read timeout for the incoming proxy (see
     /// ProxyOptions::idle_timeout; progress-based slowloris shedding).
     Builder& idle_timeout(sim::Time t);
-    /// Divergence-corpus hook, applied to the incoming proxy AND every
-    /// inherited backend() (see ProxyOptions::on_divergence).
+    /// Targeted path quarantine on the incoming proxy: sessions arriving
+    /// from a call site with this many attributed interventions are
+    /// refused (ProxyOptions::path_quarantine_threshold; 0 = off).
+    Builder& path_quarantine(uint32_t threshold);
+    /// Deployment-wide divergence hook: subscribed to the shared bus's
+    /// record stream (DivergenceBus::subscribe_records), firing once per
+    /// record from any proxy of the deployment. Replaces the deprecated
+    /// per-proxy ProxyOptions::on_divergence field.
     Builder& on_divergence(std::function<void(const DivergenceRecord&)> cb);
     /// Batched DiffEngine knobs (SIMD kernel selection, arena sizing),
     /// applied to every proxy and frontier shard in the deployment.
@@ -142,6 +152,7 @@ class NVersionDeployment {
       bool inherit = false;  // fill shared knobs from the builder
     };
     std::vector<PendingBackend> backends_;
+    std::function<void(const DivergenceRecord&)> on_record_;
     std::vector<std::vector<std::string>> shard_versions_;
     std::function<void(sim::FaultPlan&)> faults_;
     size_t islands_ = 0;  // 0 = legacy single event loop

@@ -8,7 +8,7 @@
 // offsets, masks and verdicts across every supported level.
 //
 // The kernels are byte-exact replacements for the scalar loops the old
-// noise.cc used; none of them changes comparison semantics.
+// pairwise de-noise implementation used; none changes comparison semantics.
 #pragma once
 
 #include <algorithm>

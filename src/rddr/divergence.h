@@ -1,18 +1,32 @@
-// Divergence event bus.
+// Divergence attribution: one reporting surface for every divergence.
 //
-// Every RDDR proxy guarding one protected microservice shares a bus: when
-// the outgoing request proxy detects divergence in backend-bound traffic,
-// the incoming proxy must also abort the client session (the information
-// leak must not reach the client even though it was caught behind the
-// instances). Tests and benches subscribe to count interventions.
+// Every RDDR proxy guarding one protected microservice reports each
+// divergence — interventions and quorum outvotes alike — as a
+// DivergenceRecord into an AttributionSink. The deployment-wide sink is the
+// DivergenceBus, which fans the record out three ways:
+//   * the record log + record listeners (corpus mining, benches, tests);
+//   * the legacy event channel, interventions only: when the outgoing
+//     request proxy detects divergence in backend-bound traffic, the
+//     incoming proxy must also abort the client session (the information
+//     leak must not reach the client even though it was caught behind the
+//     instances);
+//   * a per-callsite dedup table keyed by the record's attribution key
+//     (`proto|kind|cs=<leaf site>` — the execution-index flavoured corner
+//     of the corpus fingerprint space, see scenario/corpus.h).
+// Records carry the full execution index (common/exec_index.h): the
+// originating edge request (root frame), the hop chain, and the exact call
+// site that issued the diverging call (leaf frame).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/exec_index.h"
+#include "common/strutil.h"
 #include "netsim/simulator.h"
 
 namespace rddr::core {
@@ -23,12 +37,13 @@ struct DivergenceEvent {
   std::string reason;   // human-readable cause
 };
 
-/// One divergence, enriched for the scenario-factory corpus: protocol,
-/// verdict class, the canonical diff region located by the DiffEngine, and
-/// the instance-0 unit the region refers to. Proxies fire
-/// ProxyOptions::on_divergence with one of these for every intervention
-/// AND every quorum outvote — unlike the bus, which only carries
-/// interventions (outvoted minorities are absorbed, not aborted).
+/// One divergence, enriched for attribution and the scenario-factory
+/// corpus: protocol, verdict class, the canonical diff region located by
+/// the DiffEngine, the instance-0 unit the region refers to, and the flow
+/// identity — trace id plus the execution index of the connection whose
+/// traffic diverged. Proxies report one of these for every intervention
+/// AND every quorum outvote (outvoted minorities are absorbed, not
+/// aborted; only interventions reach the cross-proxy abort channel).
 struct DivergenceRecord {
   sim::Time time = 0;
   std::string proxy;      // reporting proxy's name (the topology edge)
@@ -42,32 +57,112 @@ struct DivergenceRecord {
   size_t region_line = SIZE_MAX;
   size_t region_offset = 0;
   size_t region_instance = SIZE_MAX;
+  // Flow attribution: the trace of the originating edge request (0 when
+  // untraced) and the execution index of the diverging flow — root frame =
+  // edge request, leaf frame = the call site that issued this hop. Empty
+  // index: the divergence happened outside any indexed flow.
+  uint64_t trace_id = 0;
+  ExecutionIndex index;
 };
 
-class DivergenceBus {
+/// Per-callsite dedup key: `protocol|unit_kind|cs=<hex leaf site>`. Joins
+/// the corpus fingerprint space (scenario/corpus.h) with the call site as
+/// the distinguishing dimension — every divergence the same static call
+/// site causes collapses to one key, however many requests hit it.
+/// `cs=0` when the record carries no index.
+inline std::string attribution_key(const DivergenceRecord& r) {
+  return r.protocol + "|" + r.unit_kind +
+         strformat("|cs=%llx",
+                   static_cast<unsigned long long>(r.index.leaf_site()));
+}
+
+/// The one reporting surface: everything that observes divergences —
+/// the deployment bus, test doubles, custom sinks — implements this.
+class AttributionSink {
+ public:
+  virtual ~AttributionSink() = default;
+  virtual void report(const DivergenceRecord& rec) = 0;
+};
+
+class DivergenceBus : public AttributionSink {
  public:
   using Listener = std::function<void(const DivergenceEvent&)>;
+  using RecordListener = std::function<void(const DivergenceRecord&)>;
 
   explicit DivergenceBus(sim::Simulator& sim) : sim_(sim) {}
 
+  /// Subscribes to the intervention event channel (cross-proxy aborts).
   void subscribe(Listener l) { listeners_.push_back(std::move(l)); }
 
-  void report(std::string proxy, std::string reason) {
-    DivergenceEvent ev{sim_.now(), std::move(proxy), std::move(reason)};
-    events_.push_back(ev);
-    // Copy: listeners may subscribe re-entrantly.
-    auto listeners = listeners_;
-    for (auto& l : listeners) l(ev);
+  /// Subscribes to every record (interventions and outvotes).
+  void subscribe_records(RecordListener l) {
+    record_listeners_.push_back(std::move(l));
   }
 
+  /// The AttributionSink entry point: logs the record, folds it into the
+  /// per-callsite dedup table, notifies record listeners, and — for
+  /// interventions — emits the cross-proxy abort event.
+  void report(const DivergenceRecord& rec) override {
+    records_.push_back(rec);
+    ++callsites_[attribution_key(rec)];
+    if (rec.verdict == "intervention") {
+      DivergenceEvent ev{rec.time, rec.proxy, rec.reason};
+      events_.push_back(ev);
+      // Index-based: listeners may subscribe re-entrantly (growing the
+      // vector, possibly reallocating), so re-read size each step and
+      // copy the callable out before invoking it. No per-event vector
+      // copy — this is on the fuzz-sweep hot path.
+      for (size_t i = 0; i < listeners_.size(); ++i) {
+        Listener l = listeners_[i];
+        l(ev);
+      }
+    }
+    for (size_t i = 0; i < record_listeners_.size(); ++i) {
+      RecordListener l = record_listeners_[i];
+      l(rec);
+    }
+  }
+
+  /// Pre-attribution entry point: a bare (proxy, reason) intervention.
+  [[deprecated(
+      "report a DivergenceRecord (with verdict/index) instead")]] void
+  report(std::string proxy, std::string reason) {
+    DivergenceRecord rec;
+    rec.time = sim_.now();
+    rec.proxy = std::move(proxy);
+    rec.reason = std::move(reason);
+    rec.verdict = "intervention";
+    report(rec);
+  }
+
+  /// Intervention events (the cross-proxy abort channel). count() is the
+  /// intervention count — outvote records don't appear here.
   const std::vector<DivergenceEvent>& events() const { return events_; }
   size_t count() const { return events_.size(); }
-  void clear() { events_.clear(); }
+
+  /// Every record reported (interventions and outvotes), in order.
+  const std::vector<DivergenceRecord>& records() const { return records_; }
+
+  /// Per-callsite dedup table: attribution_key -> occurrences. Sorted map
+  /// for deterministic iteration.
+  const std::map<std::string, uint64_t>& callsites() const {
+    return callsites_;
+  }
+  size_t unique_callsites() const { return callsites_.size(); }
+
+  void clear() {
+    events_.clear();
+    records_.clear();
+    callsites_.clear();
+  }
 
  private:
   sim::Simulator& sim_;
   std::vector<Listener> listeners_;
+  std::vector<RecordListener> record_listeners_;
   std::vector<DivergenceEvent> events_;
+  std::vector<DivergenceRecord> records_;
+  std::map<std::string, uint64_t> callsites_;
 };
 
 }  // namespace rddr::core

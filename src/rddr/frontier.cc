@@ -252,10 +252,10 @@ void Frontier::shed(Waiting& w, const std::string& reason,
                                    ? opts_.name + ".shed.s" +
                                          std::to_string(shard)
                                    : opts_.name + ".shed";
-    obs::TraceId t = w.conn && w.conn->meta().trace_id
-                         ? w.conn->meta().trace_id
+    obs::TraceId t = w.conn && w.conn->flow().trace_id
+                         ? w.conn->flow().trace_id
                          : opts_.tracer->id_stream(stream)->next_trace();
-    obs::SpanId parent = w.conn ? w.conn->meta().parent_span : 0;
+    obs::SpanId parent = w.conn ? w.conn->flow().parent_span : 0;
     obs::SpanId span = opts_.tracer->event(t, parent, "shed", opts_.name);
     opts_.tracer->tag(span, "reason", reason);
     if (shard >= 0) opts_.tracer->tag(span, "shard", std::to_string(shard));

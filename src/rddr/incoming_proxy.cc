@@ -47,6 +47,12 @@ struct IncomingProxy::Session {
   obs::SpanId root_span = 0;
   std::vector<obs::SpanId> upstream_spans;
 
+  // Execution index of this session's flow: the inbound connection's index
+  // verbatim for nested hops (the caller's dial frame is the call site), or
+  // a fresh root frame (listen site, session id) for originating edge
+  // requests. Replicated upstream dials carry it unchanged.
+  ExecutionIndex index;
+
   size_t live() const {
     size_t n = 0;
     for (bool p : participating)
@@ -67,6 +73,12 @@ IncomingProxy::IncomingProxy(sim::Network& net, sim::Host& host,
         return h;
       }()),
       engine_(config_.diff) {
+  if (!bus_) {
+    // Bus-less construction keeps the one-sink invariant: the proxy owns a
+    // private bus, so every divergence still flows through AttributionSink.
+    own_bus_ = std::make_unique<DivergenceBus>(net.simulator());
+    bus_ = own_bus_.get();
+  }
   if (config_.metrics) {
     metrics_ = config_.metrics;
   } else {
@@ -161,7 +173,7 @@ void IncomingProxy::schedule_reconnect(size_t i) {
     if (health_.state(i) != HealthTracker::State::kQuarantined) return;
     auto probe = net_.connect(
         config_.instance_addresses[i],
-        {.source = config_.name, .flow_label = "health-probe"});
+        {.source = config_.name, .flow = {.label = "health-probe"}});
     if (!probe) {
       schedule_reconnect(i);
       return;
@@ -274,9 +286,13 @@ void IncomingProxy::finish_resync(size_t i) {
   if (!rs.journal.empty()) {
     sim::ConnectMeta meta;
     meta.source = config_.name;
-    meta.flow_label = "resync-replay";
-    meta.trace_id = rs.trace;
-    meta.parent_span = rs.span;
+    meta.flow.label = "resync-replay";
+    meta.flow.trace_id = rs.trace;
+    meta.flow.parent_span = rs.span;
+    // Infrastructure traffic gets its own root frame — it belongs to no
+    // client request's call path.
+    meta.flow.index.push(ExecutionIndex::site_id(config_.name, "resync-replay"),
+                         static_cast<uint32_t>(i));
     auto conn = net_.connect(config_.instance_addresses[i], meta);
     if (!conn) {
       fail_resync(i, "instance unreachable at journal replay");
@@ -327,10 +343,16 @@ void IncomingProxy::shadow_unit(const std::shared_ptr<Session>& s, size_t i,
   if (!sh) {
     sim::ConnectMeta meta;
     meta.source = config_.name;
-    meta.flow_label =
+    meta.flow.label =
         strformat("catchup-%llu", static_cast<unsigned long long>(s->id));
-    meta.trace_id = s->trace;
-    meta.parent_span = s->root_span;
+    meta.flow.trace_id = s->trace;
+    meta.flow.parent_span = s->root_span;
+    // Shadow replay nests under the session's path: one child frame per
+    // shadowed instance, so corpus records during catch-up still attribute
+    // to the originating request.
+    meta.flow.index = s->index.child(
+        ExecutionIndex::site_id(config_.name, "catchup-shadow"),
+        static_cast<uint32_t>(i));
     sh = net_.connect(config_.instance_addresses[i], meta);
     if (!sh) return;  // flapped again; the health machinery will notice
     Bytes preamble = config_.plugin->resync_preamble();
@@ -378,20 +400,51 @@ void IncomingProxy::replace_instance(size_t i,
 }
 
 void IncomingProxy::on_accept(sim::ConnPtr conn) {
+  // Targeted path quarantine: a call site whose interventions crossed the
+  // threshold is refused outright — one poisoned path through the graph is
+  // blocked while every other caller of this edge keeps being served. Only
+  // indexed (nested) flows qualify; root edge sessions all share the
+  // proxy's own listen site and are never path-blocked.
+  if (config_.path_quarantine_threshold > 0 && !conn->flow().index.empty()) {
+    auto it = path_strikes_.find(conn->flow().index.leaf_site());
+    if (it != path_strikes_.end() &&
+        it->second >= config_.path_quarantine_threshold) {
+      counters_.path_blocks->inc();
+      RDDR_LOG_INFO("%s: refusing session from quarantined call path %s",
+                    config_.name.c_str(),
+                    conn->flow().index.describe().c_str());
+      Bytes page = config_.plugin->intervention_response();
+      if (!page.empty() && conn->is_open()) conn->send(page);
+      if (conn->is_open()) conn->close();
+      return;
+    }
+  }
   auto s = std::make_shared<Session>();
   s->id = next_session_id_++;
   s->client = std::move(conn);
   s->client_framer = config_.plugin->make_framer(Direction::kClientToServer);
   counters_.sessions->inc();
 
+  // Execution index: nested hops keep the caller's index (its leaf frame
+  // is the call site that dialed this edge); an originating edge request
+  // mints the root frame (listen site, session id).
+  if (s->client->flow().index.empty()) {
+    s->index.push(
+        ExecutionIndex::site_id(config_.name, config_.listen_address),
+        static_cast<uint32_t>(s->id));
+  } else {
+    s->index = s->client->flow().index;
+  }
+
+  // Reuse the caller's trace when the connection carries one (the workload
+  // driver and nested hops tag their connects) — divergence records carry
+  // it even when no tracer is configured.
+  s->trace = s->client->flow().trace_id;
   obs::Tracer* tracer = config_.tracer;
   if (tracer) {
-    // Reuse the caller's trace when the connection carries one (the
-    // workload driver tags its client connects); else this request starts
-    // a fresh trace.
-    s->trace = s->client->meta().trace_id ? s->client->meta().trace_id
-                                          : tracer->id_stream(config_.name)->next_trace();
-    s->root_span = tracer->begin(s->trace, s->client->meta().parent_span,
+    // Untraced edge request: this session starts a fresh trace.
+    if (!s->trace) s->trace = tracer->id_stream(config_.name)->next_trace();
+    s->root_span = tracer->begin(s->trace, s->client->flow().parent_span,
                                  "session", config_.name);
     if (!s->client->meta().source.empty())
       tracer->tag(s->root_span, "client", s->client->meta().source);
@@ -410,10 +463,14 @@ void IncomingProxy::on_accept(sim::ConnPtr conn) {
     if (!strict && !health_.is_healthy(i)) continue;  // quarantined: skip
     sim::ConnectMeta meta;
     meta.source = config_.name;
-    meta.flow_label =
+    meta.flow.label =
         strformat("in-%llu", static_cast<unsigned long long>(s->id));
-    meta.trace_id = s->trace;
-    meta.parent_span = s->root_span;
+    meta.flow.trace_id = s->trace;
+    meta.flow.parent_span = s->root_span;
+    // Replication is transparent to the call path: all N upstream dials
+    // carry the session's index unchanged, so the instances' own onward
+    // dials nest under the same logical hop.
+    meta.flow.index = s->index;
     auto up = net_.connect(config_.instance_addresses[i], meta);
     if (!up) {
       RDDR_LOG_WARN("%s: instance %zu (%s) refused connection",
@@ -591,8 +648,7 @@ void IncomingProxy::attach_upstream(const std::shared_ptr<Session>& s,
     framer.feed(data);
     if (framer.failed()) {
       if (config_.degradation == DegradationPolicy::kStrict) {
-        intervene(s, strformat("instance %zu response framing error", i),
-                  true);
+        intervene(s, strformat("instance %zu response framing error", i));
       } else if (drop_instance(s, i, "response framing error")) {
         pump(s);
       }
@@ -707,7 +763,7 @@ void IncomingProxy::arm_timeout(const std::shared_ptr<Session>& s) {
           if (silent.empty() || !have_output) return;
           counters_.timeouts->inc();
           if (config_.degradation == DegradationPolicy::kStrict) {
-            intervene(s, "instance response timeout", true);
+            intervene(s, "instance response timeout");
             return;
           }
           // Non-strict: the silent instances are lost, not the session.
@@ -742,8 +798,7 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
       if (peer_has_output) {
         if (strict) {
           intervene(s,
-                    strformat("instance %zu closed while peers responded", i),
-                    true);
+                    strformat("instance %zu closed while peers responded", i));
           return;
         }
         counters_.instance_unreachable->inc();
@@ -839,7 +894,7 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
           tracer->tag(sp, "reason", outcome.reason);
           tracer->end(diff_span);
         }
-        intervene(s, outcome.reason, true, &outcome, units.get());
+        intervene(s, outcome.reason, &outcome, units.get());
         return;
       }
       verdict("agree");
@@ -853,13 +908,13 @@ void IncomingProxy::pump(const std::shared_ptr<Session>& s) {
           tracer->tag(sp, "reason", vote.reason);
           tracer->end(diff_span);
         }
-        intervene(s, vote.reason, true, &vote, units.get());
+        intervene(s, vote.reason, &vote, units.get());
         return;
       }
       if (vote.outlier != SIZE_MAX) {
         size_t inst = idxmap[vote.outlier];
         counters_.quorum_outvotes->inc();
-        record_divergence("outvote", vote.reason, &vote, units.get());
+        record_divergence("outvote", vote.reason, &vote, units.get(), s.get());
         obs::SpanId sp = verdict("outvoted");
         if (tracer)
           tracer->tag(sp, "outvoted_instance", strformat("%zu", inst));
@@ -925,8 +980,8 @@ void IncomingProxy::arm_idle(const std::shared_ptr<Session>& s) {
 void IncomingProxy::record_divergence(const char* verdict_class,
                                       const std::string& reason,
                                       const BatchVerdict* verdict,
-                                      const std::vector<Unit>* units) {
-  if (!config_.on_divergence) return;
+                                      const std::vector<Unit>* units,
+                                      const Session* s) {
   DivergenceRecord rec;
   rec.time = net_.simulator().now();
   rec.proxy = config_.name;
@@ -942,11 +997,24 @@ void IncomingProxy::record_divergence(const char* verdict_class,
     rec.region_offset = verdict->region.offset;
     rec.region_instance = verdict->region.instance;
   }
-  config_.on_divergence(rec);
+  if (s) {
+    rec.trace_id = s->trace;
+    rec.index = s->index;
+  }
+  // The one reporting path: the bus logs the record, dedups per callsite,
+  // notifies record subscribers and — for interventions — emits the
+  // cross-proxy abort event.
+  bus_->report(rec);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  // Legacy per-proxy hook, honoured until out-of-tree callers move to the
+  // bus record stream.
+  if (config_.on_divergence) config_.on_divergence(rec);
+#pragma GCC diagnostic pop
 }
 
 void IncomingProxy::intervene(const std::shared_ptr<Session>& s,
-                              const std::string& reason, bool report,
+                              const std::string& reason,
                               const BatchVerdict* verdict,
                               const std::vector<Unit>* units) {
   if (s->ended) return;
@@ -956,8 +1024,12 @@ void IncomingProxy::intervene(const std::shared_ptr<Session>& s,
   if (config_.tracer) config_.tracer->tag(s->root_span, "intervention", reason);
   if (config_.signature_blocking && s->has_fingerprint)
     ++signatures_[s->last_unit_fingerprint];
-  record_divergence("intervention", reason, verdict, units);
-  if (report && bus_) bus_->report(config_.name, reason);
+  // Path quarantine strikes accrue against the call site that dialed this
+  // edge (nested flows only; root sessions carry the proxy's own site).
+  if (config_.path_quarantine_threshold > 0 && s->client &&
+      !s->client->flow().index.empty())
+    ++path_strikes_[s->index.leaf_site()];
+  record_divergence("intervention", reason, verdict, units, s.get());
   Bytes page = config_.plugin->intervention_response();
   if (!page.empty() && s->client && s->client->is_open())
     s->client->send(page);

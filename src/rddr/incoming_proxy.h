@@ -170,17 +170,19 @@ class IncomingProxy {
   void note_units_consumed(uint64_t n);
   void attach_upstream(const std::shared_ptr<Session>& s, size_t i);
   void pump(const std::shared_ptr<Session>& s);
-  /// On divergence: count, record (corpus hook), report (bus), respond,
-  /// tear down. `verdict`/`units` carry the diff region and instance-0
-  /// unit into the corpus record when the divergence came from a compare.
+  /// On divergence: count, report the attributed record (bus + legacy
+  /// hook), respond, tear down. `verdict`/`units` carry the diff region
+  /// and instance-0 unit into the record when the divergence came from a
+  /// compare.
   void intervene(const std::shared_ptr<Session>& s, const std::string& reason,
-                 bool report, const BatchVerdict* verdict = nullptr,
+                 const BatchVerdict* verdict = nullptr,
                  const std::vector<Unit>* units = nullptr);
-  /// Fires Config::on_divergence with an enriched record (no-op when the
-  /// hook is unset).
+  /// Builds the enriched DivergenceRecord — diff region, instance-0 unit,
+  /// trace id and execution index of `s` — and reports it into the
+  /// AttributionSink (the shared bus, or the proxy-private one).
   void record_divergence(const char* verdict_class, const std::string& reason,
                          const BatchVerdict* verdict,
-                         const std::vector<Unit>* units);
+                         const std::vector<Unit>* units, const Session* s);
   void teardown(const std::shared_ptr<Session>& s);
   void arm_timeout(const std::shared_ptr<Session>& s);
   /// Idle-session read timeout (Config::idle_timeout): re-arming timer
@@ -217,6 +219,9 @@ class IncomingProxy {
   sim::Host& host_;
   Config config_;
   DivergenceBus* bus_;
+  /// Fallback sink when constructed without a shared bus: every record
+  /// still flows through one AttributionSink.
+  std::unique_ptr<DivergenceBus> own_bus_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // fallback registry
   obs::MetricsRegistry* metrics_;
   ProxyCounters counters_;
@@ -238,6 +243,9 @@ class IncomingProxy {
   /// Divergence signatures: request fingerprint -> times it preceded a
   /// divergence (the §IV-D DoS mitigation).
   std::map<uint64_t, uint32_t> signatures_;
+  /// Path quarantine: leaf call site -> interventions attributed to it
+  /// (Config::path_quarantine_threshold).
+  std::map<uint64_t, uint32_t> path_strikes_;
   uint64_t next_session_id_ = 1;
   uint64_t queued_units_ = 0;  // see pending_units()
   std::map<uint64_t, std::shared_ptr<Session>> sessions_;

@@ -12,6 +12,7 @@ void ProxyCounters::bind(obs::MetricsRegistry& reg,
   idle_sheds = reg.counter(prefix + ".idle_sheds");
   passthrough_sessions = reg.counter(prefix + ".passthrough_sessions");
   signature_blocks = reg.counter(prefix + ".signature_blocks");
+  path_blocks = reg.counter(prefix + ".path_blocks");
   instance_unreachable = reg.counter(prefix + ".instance_unreachable");
   quarantines = reg.counter(prefix + ".quarantines");
   reconnects = reg.counter(prefix + ".reconnects");
@@ -39,6 +40,7 @@ ProxyStats ProxyCounters::snapshot() const {
   s.idle_sheds = idle_sheds->value();
   s.passthrough_sessions = passthrough_sessions->value();
   s.signature_blocks = signature_blocks->value();
+  s.path_blocks = path_blocks->value();
   s.instance_unreachable = instance_unreachable->value();
   s.quarantines = quarantines->value();
   s.reconnects = reconnects->value();

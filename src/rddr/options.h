@@ -77,10 +77,22 @@ struct ProxyOptions {
   /// tick never completes a unit, so byte-level activity must not reset
   /// the clock. 0 (default) disables the timeout.
   sim::Time idle_timeout = 0;
-  /// Scenario-factory corpus hook: called once per intervention and per
-  /// quorum outvote with the enriched divergence record (diff region,
-  /// instance-0 unit). Optional; not owned.
+  /// Legacy per-proxy record hook. Superseded by the AttributionSink
+  /// path: every record now flows through the proxy's DivergenceBus —
+  /// subscribe with DivergenceBus::subscribe_records (or
+  /// NVersionDeployment::Builder::on_divergence, which does it for the
+  /// whole deployment). Still honoured when set; removed next release.
+  [[deprecated("subscribe to the DivergenceBus record stream instead")]]
   std::function<void(const DivergenceRecord&)> on_divergence;
+  /// Targeted path quarantine (incoming proxy): after this many
+  /// interventions attributed to one call site (the leaf frame of the
+  /// session's execution index), further sessions arriving *from that
+  /// call site* are refused with the plugin's intervention response —
+  /// quarantining one call path through the graph instead of a whole
+  /// instance. Only indexed (nested) flows are ever path-blocked: root
+  /// edge sessions share the proxy's own listen site, which is exempt.
+  /// 0 (default) disables.
+  uint32_t path_quarantine_threshold = 0;
   /// Batched diff-and-denoise engine knobs (SIMD kernel selection, arena
   /// sizing). Every proxy — and every frontier shard, which copies its
   /// shard options wholesale — owns one DiffEngine configured from this.
@@ -101,6 +113,19 @@ struct ProxyOptions {
   /// Admission control / load shedding for the front tier (Frontier).
   /// The plain proxies ignore this field.
   AdmissionOptions admission;
+
+  // Explicitly-defaulted special members: the implicitly-defined ones
+  // would trip -Werror=deprecated-declarations on the legacy
+  // `on_divergence` member at every copy site.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ProxyOptions() = default;
+  ProxyOptions(const ProxyOptions&) = default;
+  ProxyOptions(ProxyOptions&&) = default;
+  ProxyOptions& operator=(const ProxyOptions&) = default;
+  ProxyOptions& operator=(ProxyOptions&&) = default;
+  ~ProxyOptions() = default;
+#pragma GCC diagnostic pop
 };
 
 /// Element-wise counter snapshot of one proxy (or, via
@@ -115,6 +140,7 @@ struct ProxyStats {
   uint64_t idle_sheds = 0;  // sessions shed by the idle read timeout
   uint64_t passthrough_sessions = 0;
   uint64_t signature_blocks = 0;  // requests refused by known signature
+  uint64_t path_blocks = 0;       // sessions refused by path quarantine
   // Availability-path counters (fault tolerance, §IV-D limitations):
   uint64_t instance_unreachable = 0;  // refused connects / lost instances
   uint64_t quarantines = 0;           // instances moved to quarantine
@@ -140,6 +166,7 @@ struct ProxyStats {
     idle_sheds += o.idle_sheds;
     passthrough_sessions += o.passthrough_sessions;
     signature_blocks += o.signature_blocks;
+    path_blocks += o.path_blocks;
     instance_unreachable += o.instance_unreachable;
     quarantines += o.quarantines;
     reconnects += o.reconnects;
@@ -168,6 +195,7 @@ struct ProxyCounters {
   obs::Counter* idle_sheds = nullptr;
   obs::Counter* passthrough_sessions = nullptr;
   obs::Counter* signature_blocks = nullptr;
+  obs::Counter* path_blocks = nullptr;
   obs::Counter* instance_unreachable = nullptr;
   obs::Counter* quarantines = nullptr;
   obs::Counter* reconnects = nullptr;

@@ -27,12 +27,18 @@ struct OutgoingProxy::Group {
   uint64_t unit_timeout_event = 0;
   SessionState state;  // unused by current plugins upstream, kept uniform
 
-  // Trace context (zero when no tracer is configured). Instances do not
-  // propagate trace ids, so each flow group roots its own trace, tagged
-  // with the flow label; the backend connect carries the context onward.
+  // Trace context (zero when no tracer is configured). The tracer keeps
+  // rooting one trace per flow group (span trees stay stable); the
+  // *attribution* context instead rides the members' FlowContext — see
+  // `index` below.
   obs::TraceId trace = 0;
   obs::SpanId root_span = 0;
   std::vector<obs::SpanId> member_spans;
+
+  // Execution index of the logical call this group carries: the canonical
+  // member's call path (member 0 once instance order is pinned, else the
+  // first joiner). Leaf frame = the instances' dial toward this edge.
+  ExecutionIndex index;
 
   size_t live() const {
     size_t n = 0;
@@ -54,6 +60,12 @@ OutgoingProxy::OutgoingProxy(sim::Network& net, sim::Host& host,
         return h;
       }()),
       engine_(config_.diff) {
+  if (!bus_) {
+    // Bus-less construction keeps the one-sink invariant: the proxy owns a
+    // private bus, so every divergence still flows through AttributionSink.
+    own_bus_ = std::make_unique<DivergenceBus>(net.simulator());
+    bus_ = own_bus_.get();
+  }
   if (config_.metrics) {
     metrics_ = config_.metrics;
   } else {
@@ -113,7 +125,7 @@ void OutgoingProxy::on_accept(sim::ConnPtr conn) {
     }
   }
 
-  const std::string& label = conn->meta().flow_label;
+  const std::string& label = conn->flow().label;
   // Join the first incomplete group with this label, else start one.
   std::shared_ptr<Group> g;
   for (auto& [id, grp] : groups_) {
@@ -126,6 +138,7 @@ void OutgoingProxy::on_accept(sim::ConnPtr conn) {
     g = std::make_shared<Group>();
     g->id = next_group_id_++;
     g->flow_label = label;
+    g->index = conn->flow().index;  // refined to member 0's at completion
     groups_[g->id] = g;
     counters_.sessions->inc();
     if (config_.tracer) {
@@ -318,12 +331,20 @@ void OutgoingProxy::complete_group(const std::shared_ptr<Group>& g) {
   } else {
     g->pair_ok = g->members.size() == config_.group_size;
   }
+  // Canonical call path: member 0's (the N replicated dials share the hop
+  // chain; only the leaf's dialing node differs, and member 0 is the
+  // config-order canonical choice).
+  if (!g->members.empty() && g->members[0])
+    g->index = g->members[0]->flow().index;
 
   sim::ConnectMeta backend_meta;
   backend_meta.source = config_.name;
-  backend_meta.flow_label = g->flow_label;
-  backend_meta.trace_id = g->trace;
-  backend_meta.parent_span = g->root_span;
+  backend_meta.flow.label = g->flow_label;
+  backend_meta.flow.trace_id = g->trace;
+  backend_meta.flow.parent_span = g->root_span;
+  // The merged forward is the same logical call: the backend sees the
+  // group's index unchanged.
+  backend_meta.flow.index = g->index;
   g->backend = net_.connect(config_.backend_address, backend_meta);
   if (!g->backend) {
     intervene(g, "backend unreachable: " + config_.backend_address);
@@ -572,7 +593,7 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
       if (vote.outlier != SIZE_MAX) {
         size_t slot = idxmap[vote.outlier];
         counters_.quorum_outvotes->inc();
-        record_divergence("outvote", vote.reason, &vote, units.get());
+        record_divergence("outvote", vote.reason, &vote, units.get(), g.get());
         obs::SpanId sp = verdict("outvoted");
         if (tracer)
           tracer->tag(sp, "outvoted_instance", strformat("%zu", slot));
@@ -611,8 +632,8 @@ void OutgoingProxy::pump(const std::shared_ptr<Group>& g) {
 void OutgoingProxy::record_divergence(const char* verdict_class,
                                       const std::string& reason,
                                       const BatchVerdict* verdict,
-                                      const std::vector<Unit>* units) {
-  if (!config_.on_divergence) return;
+                                      const std::vector<Unit>* units,
+                                      const Group* g) {
   DivergenceRecord rec;
   rec.time = net_.simulator().now();
   rec.proxy = config_.name;
@@ -628,7 +649,28 @@ void OutgoingProxy::record_divergence(const char* verdict_class,
     rec.region_offset = verdict->region.offset;
     rec.region_instance = verdict->region.instance;
   }
-  config_.on_divergence(rec);
+  if (g) {
+    rec.index = g->index;
+    // Attribution wants the originating edge request's trace when the
+    // members inherited one; the group's locally-rooted trace is the
+    // fallback for unindexed flows.
+    for (const auto& m : g->members)
+      if (m && m->flow().trace_id) {
+        rec.trace_id = m->flow().trace_id;
+        break;
+      }
+    if (!rec.trace_id) rec.trace_id = g->trace;
+  }
+  // The one reporting path: the bus logs the record, dedups per callsite,
+  // notifies record subscribers and — for interventions — emits the
+  // cross-proxy abort event.
+  bus_->report(rec);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  // Legacy per-proxy hook, honoured until out-of-tree callers move to the
+  // bus record stream.
+  if (config_.on_divergence) config_.on_divergence(rec);
+#pragma GCC diagnostic pop
 }
 
 void OutgoingProxy::intervene(const std::shared_ptr<Group>& g,
@@ -640,8 +682,7 @@ void OutgoingProxy::intervene(const std::shared_ptr<Group>& g,
   RDDR_LOG_INFO("%s: intervention on flow '%s': %s", config_.name.c_str(),
                 g->flow_label.c_str(), reason.c_str());
   if (config_.tracer) config_.tracer->tag(g->root_span, "intervention", reason);
-  record_divergence("intervention", reason, verdict, units);
-  if (bus_) bus_->report(config_.name, reason);
+  record_divergence("intervention", reason, verdict, units, g.get());
   teardown(g);
 }
 

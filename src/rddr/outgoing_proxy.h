@@ -95,15 +95,17 @@ class OutgoingProxy {
   void on_window_expired(const std::shared_ptr<Group>& g);
   void complete_group(const std::shared_ptr<Group>& g);
   void pump(const std::shared_ptr<Group>& g);
-  /// On divergence: count, record (corpus hook), report (bus), tear down.
-  /// `verdict`/`units` enrich the corpus record when available.
+  /// On divergence: count, report the attributed record (bus + legacy
+  /// hook), tear down. `verdict`/`units` enrich the record when available.
   void intervene(const std::shared_ptr<Group>& g, const std::string& reason,
                  const BatchVerdict* verdict = nullptr,
                  const std::vector<Unit>* units = nullptr);
-  /// Fires Config::on_divergence (see ProxyOptions); no-op when unset.
+  /// Builds the enriched DivergenceRecord — diff region, instance-0 unit,
+  /// inherited trace id and the group's execution index — and reports it
+  /// into the AttributionSink (the shared bus, or the proxy-private one).
   void record_divergence(const char* verdict_class, const std::string& reason,
                          const BatchVerdict* verdict,
-                         const std::vector<Unit>* units);
+                         const std::vector<Unit>* units, const Group* g);
   void teardown(const std::shared_ptr<Group>& g);
   /// Removes member i from the group (non-strict policies); returns false
   /// when the group could not continue and was ended.
@@ -120,6 +122,9 @@ class OutgoingProxy {
   sim::Host& host_;
   Config config_;
   DivergenceBus* bus_;
+  /// Fallback sink when constructed without a shared bus: every record
+  /// still flows through one AttributionSink.
+  std::unique_ptr<DivergenceBus> own_bus_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // fallback registry
   obs::MetricsRegistry* metrics_;
   ProxyCounters counters_;

@@ -24,9 +24,7 @@
 #include "rddr/frontier.h"
 #include "rddr/health.h"
 #include "rddr/incoming_proxy.h"
-#include "rddr/noise.h"
 #include "rddr/options.h"
 #include "rddr/outgoing_proxy.h"
 #include "rddr/plugin.h"
 #include "rddr/plugins.h"
-#include "rddr/quorum.h"

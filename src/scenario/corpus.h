@@ -1,7 +1,8 @@
 // Divergence corpus + miner (the feedback loop of ROADMAP item 5).
 //
 // Every divergence an RDDR edge reports during a fuzz run is captured as
-// a core::DivergenceRecord (via ProxyOptions::on_divergence) and
+// a core::DivergenceRecord (via the deployment's DivergenceBus record
+// stream, subscribed through Builder::on_divergence) and
 // fingerprinted: protocol, unit kind, and the canonical diff region the
 // DiffEngine located, resolved to a semantic name where the grammar
 // allows (a pgwire ParameterStatus parameter name, an HTTP header name).

@@ -54,8 +54,9 @@ struct TopologyOptions {
   /// running with the default measures the pre-mining benign-divergence
   /// rate; running with the miner's tuned variance measures the after.
   core::KnownVariance variance;
-  /// Corpus hook threaded into every RDDR edge (ProxyOptions::
-  /// on_divergence): fired per intervention and per quorum outvote.
+  /// Corpus hook threaded into every RDDR edge (each deployment's
+  /// DivergenceBus record stream, via Builder::on_divergence): fired per
+  /// intervention and per quorum outvote.
   std::function<void(const core::DivergenceRecord&)> on_divergence;
   /// Per-unit compare timeout on every edge, so composed stall faults
   /// produce visible aborts instead of hangs.

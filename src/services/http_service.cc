@@ -54,6 +54,11 @@ void HttpServer::pump(const std::shared_ptr<Conn>& c) {
   auto req = std::make_shared<http::Request>(std::move(c->pending.front()));
   c->pending.pop_front();
   host_.run_task(opts_.cpu_per_request, [this, c, req] {
+    // The handler runs as a deferred host task, outside the connection
+    // handler's ambient flow scope — re-install it so onward dials the
+    // handler makes derive their execution index from this request's
+    // inbound flow (netsim/network.h).
+    sim::FlowScope flow_scope(c->conn.get());
     ++requests_served_;
     auto respond = [this, c](http::Response resp) {
       if (c->conn->is_open()) {
@@ -76,7 +81,7 @@ HttpClient::HttpClient(sim::Network& net, std::string source_name)
 
 void HttpClient::request(const std::string& address, http::Request req,
                          Callback cb) {
-  auto conn = net_.connect(address, {.source = source_, .flow_label = ""});
+  auto conn = net_.connect(address, {.source = source_});
   if (!conn) {
     cb(-1, nullptr);
     return;

@@ -62,10 +62,13 @@ void ReverseProxy::handle_parsed(const std::shared_ptr<Session>& s) {
     }
     host_.run_task(opts_.cpu_per_request, [this, s, raw = req.raw] {
       if (s->refused || !s->client->is_open()) return;
+      // Deferred host task: re-install the inbound flow scope so the
+      // backend dial derives its execution index from the client flow.
+      sim::FlowScope flow_scope(s->client.get());
       if (!s->backend) {
         s->backend = net_.connect(
             opts_.backend_address,
-            {.source = opts_.instance_name, .flow_label = "revproxy"});
+            {.source = opts_.instance_name, .flow = {.label = "revproxy"}});
         if (!s->backend) {
           s->client->send(
               http::make_response(502, "<h1>502 Bad Gateway</h1>").to_bytes());

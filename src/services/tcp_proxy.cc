@@ -16,7 +16,7 @@ TcpProxy::~TcpProxy() {
 void TcpProxy::on_accept(sim::ConnPtr client) {
   auto backend = net_.connect(opts_.backend_address,
                               {.source = opts_.name,
-                               .flow_label = client->meta().flow_label});
+                               .flow = {.label = client->flow().label}});
   if (!backend) {
     client->close();
     return;

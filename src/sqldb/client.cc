@@ -8,7 +8,8 @@ PgClient::PgClient(sim::Network& net, std::string source,
                    const std::string& address, const std::string& user,
                    std::string flow_label)
     : PgClient(net, address, user,
-               sim::ConnectMeta{std::move(source), std::move(flow_label)}) {}
+               sim::ConnectMeta{std::move(source),
+                                sim::FlowContext{std::move(flow_label)}}) {}
 
 PgClient::PgClient(sim::Network& net, const std::string& address,
                    const std::string& user, sim::ConnectMeta meta) {

@@ -194,9 +194,9 @@ void SqlServer::handle_query(const std::shared_ptr<Conn>& c,
   if (opts_.tracer) {
     // Parent the span to the connect-time trace context, when the dialing
     // side (a proxy or the workload driver) supplied one.
-    obs::TraceId trace = c->conn->meta().trace_id;
+    obs::TraceId trace = c->conn->flow().trace_id;
     if (!trace) trace = opts_.tracer->id_stream(opts_.address)->next_trace();
-    p.span = opts_.tracer->begin(trace, c->conn->meta().parent_span,
+    p.span = opts_.tracer->begin(trace, c->conn->flow().parent_span,
                                  "db.query",
                                  sim::Network::node_of(opts_.address));
     opts_.tracer->tag(p.span, "rows_scanned",

@@ -88,7 +88,7 @@ PoolResult run_client_pool(sim::Simulator& sim, sim::Network& net,
     if (options.tracer) {
       // One trace per client connection; everything the servers/proxies
       // record for this client's requests hangs off this id.
-      meta.trace_id = options.tracer->new_trace();
+      meta.flow.trace_id = options.tracer->new_trace();
     }
     c->client = std::make_unique<sqldb::PgClient>(net, options.address,
                                                   options.user, meta);
@@ -145,7 +145,7 @@ void open_loop_arrival(const std::shared_ptr<OpenLoopState>& st) {
   ++st->outstanding;
   sim::ConnectMeta meta;
   meta.source = strformat("%s-%d", st->options.source_prefix.c_str(), idx);
-  if (st->options.tracer) meta.trace_id = st->options.tracer->new_trace();
+  if (st->options.tracer) meta.flow.trace_id = st->options.tracer->new_trace();
   auto client = std::make_unique<sqldb::PgClient>(
       st->net, st->options.address, st->options.user, meta);
   auto* raw = client.get();

@@ -81,7 +81,7 @@ TEST_F(NetworkTest, EchoRoundTrip) {
     server_side = c;
     c->set_on_data([c](ByteView data) { c->send(Bytes("echo:") + Bytes(data)); });
   });
-  auto client = net.connect("svc:80", {.source = "client", .flow_label = ""});
+  auto client = net.connect("svc:80", {.source = "client"});
   ASSERT_NE(client, nullptr);
   Bytes got;
   client->set_on_data([&](ByteView d) { got += Bytes(d); });
@@ -341,7 +341,7 @@ class FaultNetTest : public ::testing::Test {
 
 TEST_F(FaultNetTest, CrashSeversConnectionsAndRefusesNewOnes) {
   listen_echo("srv:1");
-  auto conn = net.connect("srv:1", {.source = "cli", .flow_label = ""});
+  auto conn = net.connect("srv:1", {.source = "cli"});
   ASSERT_NE(conn, nullptr);
   bool closed = false;
   conn->set_on_close([&] { closed = true; });
@@ -351,12 +351,12 @@ TEST_F(FaultNetTest, CrashSeversConnectionsAndRefusesNewOnes) {
   sim.run_until_idle();
   EXPECT_TRUE(closed);
   EXPECT_TRUE(net.node_down("srv"));
-  EXPECT_EQ(net.connect("srv:1", {.source = "cli", .flow_label = ""}),
+  EXPECT_EQ(net.connect("srv:1", {.source = "cli"}),
             nullptr);
   EXPECT_EQ(net.live_connections("srv"), 0u);
 
   net.restart_node("srv");
-  EXPECT_NE(net.connect("srv:1", {.source = "cli", .flow_label = ""}),
+  EXPECT_NE(net.connect("srv:1", {.source = "cli"}),
             nullptr);
 }
 
@@ -367,7 +367,7 @@ TEST_F(FaultNetTest, CrashLosesInFlightBytes) {
     server_side = c;
     c->set_on_data([&got](ByteView d) { got += Bytes(d); });
   });
-  auto conn = net.connect("srv:1", {.source = "cli", .flow_label = ""});
+  auto conn = net.connect("srv:1", {.source = "cli"});
   sim.run_until_idle();
   // Bytes sent but not yet delivered when the sender's node crashes are
   // lost (abort, not graceful close).
@@ -381,18 +381,18 @@ TEST_F(FaultNetTest, RefusedAddressBlocksOnlyThatAddress) {
   listen_echo("srv:1");
   listen_echo("srv:2");
   net.refuse_address("srv:1", true);
-  EXPECT_EQ(net.connect("srv:1", {.source = "cli", .flow_label = ""}),
+  EXPECT_EQ(net.connect("srv:1", {.source = "cli"}),
             nullptr);
-  EXPECT_NE(net.connect("srv:2", {.source = "cli", .flow_label = ""}),
+  EXPECT_NE(net.connect("srv:2", {.source = "cli"}),
             nullptr);
   net.refuse_address("srv:1", false);
-  EXPECT_NE(net.connect("srv:1", {.source = "cli", .flow_label = ""}),
+  EXPECT_NE(net.connect("srv:1", {.source = "cli"}),
             nullptr);
 }
 
 TEST_F(FaultNetTest, ExtraLatencyDelaysDelivery) {
   listen_echo("srv:1");
-  auto conn = net.connect("srv:1", {.source = "cli", .flow_label = ""});
+  auto conn = net.connect("srv:1", {.source = "cli"});
   sim.run_until_idle();
   net.set_node_extra_latency("srv", kMillisecond);
   Time sent_at = sim.now();
@@ -411,7 +411,7 @@ TEST_F(FaultNetTest, EgressStallHoldsBytesUntilDeadline) {
     server_side = c;
     c->set_on_data([&got](ByteView d) { got += Bytes(d); });
   });
-  auto conn = net.connect("srv:1", {.source = "cli", .flow_label = ""});
+  auto conn = net.connect("srv:1", {.source = "cli"});
   sim.run_until_idle();
   net.stall_node_egress_until("cli", 5 * kMillisecond);
   conn->send("late");
@@ -425,7 +425,7 @@ TEST_F(FaultNetTest, EgressStallHoldsBytesUntilDeadline) {
 TEST_F(FaultNetTest, PartitionBlocksCrossGroupAndHeals) {
   listen_echo("a:1");
   listen_echo("b:1");
-  auto cross = net.connect("b:1", {.source = "a", .flow_label = ""});
+  auto cross = net.connect("b:1", {.source = "a"});
   ASSERT_NE(cross, nullptr);
   bool cross_closed = false;
   cross->set_on_close([&] { cross_closed = true; });
@@ -434,11 +434,11 @@ TEST_F(FaultNetTest, PartitionBlocksCrossGroupAndHeals) {
   net.partition({"a", "c"});
   sim.run_until_idle();
   EXPECT_TRUE(cross_closed);  // severed: a and b are now on opposite sides
-  EXPECT_EQ(net.connect("b:1", {.source = "a", .flow_label = ""}), nullptr);
-  EXPECT_NE(net.connect("a:1", {.source = "c", .flow_label = ""}), nullptr);
+  EXPECT_EQ(net.connect("b:1", {.source = "a"}), nullptr);
+  EXPECT_NE(net.connect("a:1", {.source = "c"}), nullptr);
 
   net.heal_partition();
-  EXPECT_NE(net.connect("b:1", {.source = "a", .flow_label = ""}), nullptr);
+  EXPECT_NE(net.connect("b:1", {.source = "a"}), nullptr);
 }
 
 // ---- cancel regression: O(1), no retained state, stale ids harmless ----
@@ -554,7 +554,7 @@ TEST(NetworkSharedBytes, SharedSendFansOutWithoutCopying) {
   std::vector<ConnPtr> conns;
   for (int i = 0; i < 3; ++i)
     conns.push_back(net.connect("up-" + std::to_string(i) + ":1",
-                                {.source = "proxy", .flow_label = ""}));
+                                {.source = "proxy"}));
   sim.run_until_idle();
 
   SharedBytes payload{Bytes("select 1;")};
@@ -575,7 +575,7 @@ TEST(NetworkSharedBytes, ByteViewSendCountsCopies) {
     server_side = c;
     c->set_on_data([&](ByteView d) { got += Bytes(d); });
   });
-  auto conn = net.connect("srv:1", {.source = "cli", .flow_label = ""});
+  auto conn = net.connect("srv:1", {.source = "cli"});
   sim.run_until_idle();
   conn->send("hello");
   sim.run_until_idle();
@@ -593,7 +593,7 @@ TEST(NetworkSharedBytes, SameTickSendsBatchIntoOneDelivery) {
     server_side = c;
     c->set_on_data([&](ByteView d) { chunks.push_back(Bytes(d)); });
   });
-  auto conn = net.connect("srv:1", {.source = "cli", .flow_label = ""});
+  auto conn = net.connect("srv:1", {.source = "cli"});
   sim.run_until_idle();
   // Three sends in the same tick with nothing scheduled in between ride
   // one delivery event; the receiver sees the concatenation at the same
@@ -615,7 +615,7 @@ TEST(NetworkSharedBytes, InterleavedScheduleBreaksBatch) {
     server_side = c;
     c->set_on_data([&](ByteView d) { chunks.push_back(Bytes(d)); });
   });
-  auto conn = net.connect("srv:1", {.source = "cli", .flow_label = ""});
+  auto conn = net.connect("srv:1", {.source = "cli"});
   sim.run_until_idle();
   conn->send("aa");
   // An unrelated event scheduled between the sends could observe the gap:
@@ -640,7 +640,7 @@ TEST(NetworkSharedBytes, CloseStillDeliversBatchedBytesFirst) {
     c->set_on_data([&](ByteView d) { got += Bytes(d); });
     c->set_on_close([&] { closed = true; });
   });
-  auto conn = net.connect("srv:1", {.source = "cli", .flow_label = ""});
+  auto conn = net.connect("srv:1", {.source = "cli"});
   sim.run_until_idle();
   conn->send("one");
   conn->send("two");

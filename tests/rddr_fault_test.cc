@@ -357,7 +357,7 @@ TEST_F(FaultTest, OrchestratorRestartPolicyRevivesCrashedContainer) {
 
   orch.crash("web-0");
   EXPECT_TRUE(orch.crashed("web-0"));
-  EXPECT_EQ(net.connect("web-0:80", {.source = "probe", .flow_label = ""}),
+  EXPECT_EQ(net.connect("web-0:80", {.source = "probe"}),
             nullptr);
 
   sim.run_until(sim::kSecond);

@@ -234,7 +234,7 @@ TEST(FrontierShed, HttpClientSees503WithRetryAfter) {
   for (int c = 0; c < 3; ++c) {
     auto p = std::make_unique<Probe>();
     p->conn = net.connect("front:80",
-                          {.source = "h" + std::to_string(c), .flow_label = ""});
+                          {.source = "h" + std::to_string(c)});
     ASSERT_NE(p->conn, nullptr);
     Probe* raw = p.get();
     p->conn->set_on_data([raw](ByteView d) { raw->got += Bytes(d); });

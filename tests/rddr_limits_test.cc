@@ -134,8 +134,8 @@ TEST_F(LimitsTest, OutgoingUnitTimeoutCatchesSilentInstance) {
   DivergenceBus bus(simulator);
   OutgoingProxy proxy(net, host, cfg, &bus);
 
-  auto talkative = net.connect("merge:1", {.source = "i0", .flow_label = "f"});
-  auto silent = net.connect("merge:1", {.source = "i1", .flow_label = "f"});
+  auto talkative = net.connect("merge:1", {.source = "i0", .flow = {.label = "f"}});
+  auto silent = net.connect("merge:1", {.source = "i1", .flow = {.label = "f"}});
   talkative->send("query please\n");
   simulator.run_until(10 * sim::kSecond);
   ASSERT_EQ(bus.count(), 1u);
@@ -158,8 +158,8 @@ TEST_F(LimitsTest, OutgoingUnitTimeoutOffHangsForever) {
   DivergenceBus bus(simulator);
   OutgoingProxy proxy(net, host, cfg, &bus);
 
-  auto talkative = net.connect("merge:1", {.source = "i0", .flow_label = "f"});
-  auto silent = net.connect("merge:1", {.source = "i1", .flow_label = "f"});
+  auto talkative = net.connect("merge:1", {.source = "i0", .flow = {.label = "f"}});
+  auto silent = net.connect("merge:1", {.source = "i1", .flow = {.label = "f"}});
   talkative->send("query please\n");
   simulator.run_until(10 * sim::kSecond);
   EXPECT_EQ(bus.count(), 0u);

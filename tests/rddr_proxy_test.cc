@@ -176,7 +176,7 @@ TEST_F(ProxyTest, IdleTimeoutDisabledByDefaultKeepsSlowSessions) {
   cfg.plugin = std::make_shared<HttpPlugin>();
   IncomingProxy proxy(net, host, cfg);
 
-  auto conn = net.connect("svc:80", {.source = "client", .flow_label = ""});
+  auto conn = net.connect("svc:80", {.source = "client"});
   ASSERT_NE(conn, nullptr);
   conn->send("GET / HTTP/1.1\r\nHost: svc\r\nX-Slow: ");  // never finished
   sim.run_until(30 * sim::kSecond);
@@ -199,7 +199,7 @@ TEST_F(ProxyTest, IdleTimeoutShedsSlowlorisDespiteByteTrickle) {
   cfg.idle_timeout = sim::kSecond;
   IncomingProxy proxy(net, host, cfg);
 
-  auto conn = net.connect("svc:80", {.source = "client", .flow_label = ""});
+  auto conn = net.connect("svc:80", {.source = "client"});
   ASSERT_NE(conn, nullptr);
   Bytes got;
   conn->set_on_data([&](ByteView d) { got += Bytes(d); });
@@ -234,7 +234,7 @@ TEST_F(ProxyTest, IdleTimeoutSparedByProtocolProgress) {
   cfg.idle_timeout = sim::kSecond;
   IncomingProxy proxy(net, host, cfg);
 
-  auto conn = net.connect("svc:80", {.source = "client", .flow_label = ""});
+  auto conn = net.connect("svc:80", {.source = "client"});
   ASSERT_NE(conn, nullptr);
   size_t responses = 0;
   http::ResponseParser parser;
@@ -337,7 +337,7 @@ TEST_F(ProxyTest, PipelinedRequestsAllCompared) {
   IncomingProxy proxy(net, host, cfg);
 
   // Raw pipelined connection (the HttpClient closes after one response).
-  auto conn = net.connect("svc:80", {.source = "client", .flow_label = ""});
+  auto conn = net.connect("svc:80", {.source = "client"});
   http::Request r1, r2, r3;
   r1.method = r2.method = r3.method = "GET";
   r1.target = "/a";
@@ -547,8 +547,14 @@ TEST_F(ProxyTest, BusAbortsIncomingSessionsOnOutgoingDivergence) {
     if (r) body = r->body;
   });
   // While the client waits, the outgoing proxy reports divergence.
-  sim.schedule(5 * sim::kMillisecond,
-               [&] { bus.report("rddr-out", "backend query diverged"); });
+  sim.schedule(5 * sim::kMillisecond, [&] {
+    DivergenceRecord rec;
+    rec.time = sim.now();
+    rec.proxy = "rddr-out";
+    rec.verdict = "intervention";
+    rec.reason = "backend query diverged";
+    bus.report(rec);
+  });
   sim.run_until_idle();
   EXPECT_EQ(status, 403);
   EXPECT_NE(body.find("RDDR intervened"), Bytes::npos);
@@ -578,7 +584,12 @@ TEST_F(ProxyTest, BusAbortsOutgoingGroupsOnIncomingDivergence) {
   ASSERT_FALSE(a.broken());
   ASSERT_FALSE(b.broken());
 
-  bus.report("rddr-in", "client response diverged");
+  DivergenceRecord rec;
+  rec.time = sim.now();
+  rec.proxy = "rddr-in";
+  rec.verdict = "intervention";
+  rec.reason = "client response diverged";
+  bus.report(rec);
   sim.run_until_idle();
   EXPECT_TRUE(a.broken());
   EXPECT_TRUE(b.broken());

@@ -63,6 +63,13 @@ for preset in asan ubsan; do
   # exactly what the sanitizers should watch. Exits nonzero (shrunk repro
   # on stderr) on any leak/hang/accounting violation.
   "$repo/build-$preset/bench/fuzz_sweep" --smoke >/dev/null
+
+  # Attribution smoke: Table I rows replayed through the three-tier
+  # generated topology; exits nonzero unless every divergence attributes
+  # to the exact (request, hop, call site), per-callsite dedup collapses
+  # each tier to one key, and the report is byte-identical across island
+  # counts {1, 2}. The attribution report goes to stderr.
+  "$repo/build-$preset/bench/table1_graph" --smoke
 done
 
 # ThreadSanitizer lane: the multi-island executor is the repo's only
@@ -80,6 +87,12 @@ RDDR_PARALLEL_THREADS=2 \
       -R 'Parallel|Simulator|Network|Frontier|Fault' "$@"
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" RDDR_PARALLEL_THREADS=2 \
   "$repo/build-tsan/bench/fig5_scaleout" --smoke --islands=4 >/dev/null
+
+# Attribution under tsan: the islands={1,2} replay runs the multi-island
+# executor with real worker threads; the byte-identity check then proves
+# execution indices are unaffected by scheduling.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" RDDR_PARALLEL_THREADS=2 \
+  "$repo/build-tsan/bench/table1_graph" --smoke
 
 # Perf smoke (optimised build, not sanitized — sanitizers skew timing):
 # the simulator core must stay above the events/sec floor. See
